@@ -1,0 +1,102 @@
+// CLAIM-LAG: paper §3.3.2 — "the system will maintain a priority queue of
+// updates, where the deadline for propagation is used as the priority. Not
+// only does the priority queue allow the system to complete important
+// updates first..."
+//
+// A burst of index updates with mixed staleness bounds (10% tight 2-second
+// bounds — fresh feeds; 90% loose 5-minute bounds — analytics counters)
+// temporarily exceeds the drain rate. The deadline-ordered queue is
+// compared against FIFO. Expected shape: deadline ordering keeps the
+// tight-bound class inside its deadline; FIFO misses most of them.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "index/update_queue.h"
+#include "sim/event_loop.h"
+
+using namespace scads;  // NOLINT: benchmark brevity
+
+namespace {
+
+struct Outcome {
+  int64_t tight_misses = 0;
+  int64_t tight_total = 0;
+  int64_t loose_misses = 0;
+  int64_t loose_total = 0;
+  Duration tight_p99_lag = 0;
+};
+
+Outcome RunBurst(QueuePolicy policy) {
+  EventLoop loop;
+  UpdateQueue queue(&loop, policy);
+  Rng rng(77);
+
+  constexpr Duration kTightBound = 2 * kSecond;
+  constexpr Duration kLooseBound = 5 * kMinute;
+  constexpr Duration kServiceTime = 5 * kMillisecond;  // per update task
+
+  LogHistogram tight_lag;
+  Outcome outcome;
+
+  // Burst: 40,000 tasks arrive over 60 seconds (~667/s) while the queue
+  // drains at 200/s — a 3x overload that takes minutes to clear.
+  int64_t task_count = 40000;
+  for (int64_t i = 0; i < task_count; ++i) {
+    Time arrival = static_cast<Time>(rng.Uniform(60 * kSecond));
+    bool tight = rng.Bernoulli(0.10);
+    loop.ScheduleAt(arrival, [&, tight] {
+      Time enqueued = loop.Now();
+      Duration bound = tight ? kTightBound : kLooseBound;
+      queue.Enqueue(enqueued + bound, tight ? "tight" : "loose",
+                    [&, tight, enqueued, bound](std::function<void(Status)> done) {
+                      loop.ScheduleAfter(kServiceTime, [&, tight, enqueued, bound, done] {
+                        Duration lag = loop.Now() - enqueued;
+                        if (tight) {
+                          tight_lag.Record(lag);
+                          ++outcome.tight_total;
+                          if (lag > bound) ++outcome.tight_misses;
+                        } else {
+                          ++outcome.loose_total;
+                          if (lag > bound) ++outcome.loose_misses;
+                        }
+                        done(Status::Ok());
+                      });
+                    });
+    });
+  }
+  loop.RunUntil(20 * kMinute);
+  outcome.tight_p99_lag = tight_lag.ValueAtQuantile(0.99);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== CLAIM-LAG: deadline-priority update queue vs FIFO ===\n\n");
+  std::printf("burst: 40k index updates in 60s against a 200/s drain rate;\n");
+  std::printf("10%% carry a 2s staleness bound, 90%% a 5min bound.\n\n");
+
+  Outcome deadline = RunBurst(QueuePolicy::kDeadline);
+  Outcome fifo = RunBurst(QueuePolicy::kFifo);
+
+  std::printf("%-26s %16s %16s\n", "", "deadline queue", "FIFO queue");
+  std::printf("%-26s %15.1f%% %15.1f%%\n", "tight-bound misses",
+              100.0 * deadline.tight_misses / std::max<int64_t>(1, deadline.tight_total),
+              100.0 * fifo.tight_misses / std::max<int64_t>(1, fifo.tight_total));
+  std::printf("%-26s %16s %16s\n", "tight-bound p99 lag",
+              FormatDuration(deadline.tight_p99_lag).c_str(),
+              FormatDuration(fifo.tight_p99_lag).c_str());
+  std::printf("%-26s %15.1f%% %15.1f%%\n", "loose-bound misses",
+              100.0 * deadline.loose_misses / std::max<int64_t>(1, deadline.loose_total),
+              100.0 * fifo.loose_misses / std::max<int64_t>(1, fifo.loose_total));
+
+  std::printf("\npaper claim: deadline ordering completes important updates first\n"
+              "and exposes when the system risks falling behind schedule.\n");
+  bool shape_holds = deadline.tight_misses * 10 < fifo.tight_misses &&
+                     deadline.loose_misses <= fifo.loose_misses * 2 + 10;
+  std::printf("shape check (deadline cuts tight-bound misses >10x without\n"
+              "sacrificing the loose class): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+  return shape_holds ? 0 : 1;
+}

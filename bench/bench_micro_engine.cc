@@ -1,0 +1,157 @@
+// MICRO: google-benchmark microbenchmarks for the hot substrate paths —
+// storage engine point ops and scans, skiplist, WAL framing, histogram
+// recording, RNG draws, and event-loop dispatch. These run on wall-clock
+// time (no simulation) and justify the service-time constants used by the
+// simulator's node model.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "sim/event_loop.h"
+#include "storage/codec.h"
+#include "storage/engine.h"
+#include "storage/skiplist.h"
+#include "storage/wal.h"
+
+namespace scads {
+namespace {
+
+std::string KeyOf(uint64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user:%012llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_EnginePut(benchmark::State& state) {
+  StorageEngine engine;
+  Rng rng(1);
+  Time ts = 1;
+  for (auto _ : state) {
+    std::string key = KeyOf(rng.Uniform(100000));
+    benchmark::DoNotOptimize(engine.Put(key, "value-payload-64-bytes.....", Version{ts++, 0}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnginePut);
+
+void BM_EngineGetHit(benchmark::State& state) {
+  StorageEngine engine;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    (void)engine.Put(KeyOf(i), "value", Version{static_cast<Time>(i + 1), 0});
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Get(KeyOf(rng.Uniform(100000))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineGetHit);
+
+void BM_EngineGetMiss(benchmark::State& state) {
+  StorageEngine engine;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    (void)engine.Put(KeyOf(i), "value", Version{static_cast<Time>(i + 1), 0});
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Get(KeyOf(1000000 + rng.Uniform(100000))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineGetMiss);
+
+void BM_EngineScan(benchmark::State& state) {
+  StorageEngine engine;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    (void)engine.Put(KeyOf(i), "value", Version{static_cast<Time>(i + 1), 0});
+  }
+  Rng rng(4);
+  size_t rows = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    std::string start = KeyOf(rng.Uniform(90000));
+    benchmark::DoNotOptimize(engine.Scan(start, "", rows));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineScan)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SkipListInsert(benchmark::State& state) {
+  SkipList list(1);
+  Rng rng(5);
+  bool created;
+  for (auto _ : state) {
+    SkipList::Payload* payload = list.FindOrCreate(KeyOf(rng.Next()), &created);
+    benchmark::DoNotOptimize(payload);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipListInsert);
+
+void BM_WalAppend(benchmark::State& state) {
+  MemoryWalSink sink;
+  WalWriter writer(&sink);
+  WalRecord record;
+  record.key = "user:000000001234";
+  record.value = std::string(64, 'v');
+  record.version = Version{1, 0};
+  for (auto _ : state) {
+    record.version.timestamp++;
+    benchmark::DoNotOptimize(writer.Append(record));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(record.key.size() + record.value.size()));
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LogHistogram histogram;
+  Rng rng(6);
+  for (auto _ : state) {
+    histogram.Record(static_cast<int64_t>(rng.Exponential(10000)));
+  }
+  benchmark::DoNotOptimize(histogram.ValueAtQuantile(0.99));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Zipf(1000000, 0.99));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngZipf);
+
+void BM_EventLoopDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    EventLoop loop;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.ScheduleAt(i, [&counter] { ++counter; });
+    }
+    state.ResumeTiming();
+    loop.RunAll();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopDispatch);
+
+}  // namespace
+}  // namespace scads
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+#include "baseline/adhoc.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/strings.h"
+#include "index/scan.h"
+
+namespace scads {
+
+void AdHocExecutor::FriendsByBirthday(int64_t user,
+                                      std::function<void(Result<std::vector<Row>>)> callback) {
+  const EntityDef* friendships = catalog_->Get("friendships");
+  const EntityDef* profiles = catalog_->Get("profiles");
+  if (friendships == nullptr || profiles == nullptr) {
+    callback(FailedPreconditionError("social schema not registered"));
+    return;
+  }
+  // Phase 1a: clustered prefix scan for f1 = user.
+  std::string prefix = EntityKeyPrefix("friendships");
+  AppendKeyPiece(&prefix, EncodeKeyValue(Value(user)));
+  auto friends = std::make_shared<std::vector<int64_t>>();
+  MultiScanPrefix(
+      router_, cluster_, prefix, 0,
+      [this, friendships, profiles, friends, user,
+       callback = std::move(callback)](Result<std::vector<Record>> forward) mutable {
+        if (!forward.ok()) {
+          callback(forward.status());
+          return;
+        }
+        rows_scanned_ += static_cast<int64_t>(forward->size());
+        for (const Record& record : *forward) {
+          Result<Row> row = DecodeRow(*friendships, record.value);
+          if (row.ok()) friends->push_back(row->GetInt("f2"));
+        }
+        // Phase 1b: the reverse direction has NO access path — full table
+        // scan of friendships, filtering f2 = user in the "client".
+        MultiScanPrefix(
+            router_, cluster_, EntityKeyPrefix("friendships"), 0,
+            [this, friendships, profiles, friends, user,
+             callback = std::move(callback)](Result<std::vector<Record>> all) mutable {
+              if (!all.ok()) {
+                callback(all.status());
+                return;
+              }
+              rows_scanned_ += static_cast<int64_t>(all->size());
+              for (const Record& record : *all) {
+                Result<Row> row = DecodeRow(*friendships, record.value);
+                if (row.ok() && row->GetInt("f2") == user) {
+                  friends->push_back(row->GetInt("f1"));
+                }
+              }
+              std::sort(friends->begin(), friends->end());
+              friends->erase(std::unique(friends->begin(), friends->end()), friends->end());
+              // Phase 2: per-friend profile lookups, then app-side sort.
+              auto rows = std::make_shared<std::vector<Row>>();
+              auto fetch = std::make_shared<std::function<void(size_t)>>();
+              *fetch = [this, profiles, friends, rows, fetch,
+                        callback = std::move(callback)](size_t i) mutable {
+                if (i >= friends->size()) {
+                  std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
+                    return a.GetInt("bday") < b.GetInt("bday");
+                  });
+                  callback(std::move(*rows));
+                  return;
+                }
+                Row key_row;
+                key_row.SetInt("user_id", (*friends)[i]);
+                auto key = EncodePrimaryKey(*profiles, key_row);
+                if (!key.ok()) {
+                  (*fetch)(i + 1);
+                  return;
+                }
+                ++lookups_;
+                router_->Get(*key, /*pin_primary=*/false,
+                             [profiles, rows, fetch, i](Result<Record> record) {
+                               if (record.ok()) {
+                                 Result<Row> row = DecodeRow(*profiles, record->value);
+                                 if (row.ok()) rows->push_back(std::move(row).value());
+                               }
+                               (*fetch)(i + 1);
+                             });
+              };
+              (*fetch)(0);
+            });
+      });
+}
+
+}  // namespace scads

@@ -1,0 +1,53 @@
+// Ad-hoc query baseline (paper §4.1).
+//
+// Executes the social queries the way a general-purpose SQL layer over the
+// same partitioned store would — no precomputed indexes:
+//   * the f1 = <u> half of the friend predicate uses the base table's
+//     clustered key prefix (cheap);
+//   * the f2 = <u> half has no access path and requires a FULL scan of the
+//     friendships table — cost grows linearly with total edges, i.e. with
+//     the user base. This is precisely the "query that performs a linear
+//     number of operations w.r.t. the number of users" the paper bans;
+//   * each matching friend costs one profile lookup; the app sorts.
+//
+// The CLAIM-SI benchmark runs this against the SCADS executor to reproduce
+// the scale-independence claim.
+
+#ifndef SCADS_BASELINE_ADHOC_H_
+#define SCADS_BASELINE_ADHOC_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/router.h"
+#include "query/schema.h"
+
+namespace scads {
+
+/// Ad-hoc executor for the friends/birthday query shape.
+class AdHocExecutor {
+ public:
+  AdHocExecutor(Router* router, ClusterState* cluster, const Catalog* catalog)
+      : router_(router), cluster_(cluster), catalog_(catalog) {}
+
+  /// "Friends of `user` ordered by birthday" with no index support.
+  void FriendsByBirthday(int64_t user,
+                         std::function<void(Result<std::vector<Row>>)> callback);
+
+  /// Total base-table rows this executor has scanned (the linear cost).
+  int64_t rows_scanned() const { return rows_scanned_; }
+  int64_t lookups() const { return lookups_; }
+
+ private:
+  Router* router_;
+  ClusterState* cluster_;
+  const Catalog* catalog_;
+  int64_t rows_scanned_ = 0;
+  int64_t lookups_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_BASELINE_ADHOC_H_

@@ -1,0 +1,90 @@
+#include "baseline/appside.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/strings.h"
+#include "storage/codec.h"
+
+namespace scads {
+
+std::string AppSideJoinClient::ListKey(int64_t user) {
+  std::string key = "kv/friendlist/";
+  AppendKeyPiece(&key, OrderedEncodeInt64(user));
+  return key;
+}
+
+void AppSideJoinClient::StoreFriendList(int64_t user, const std::vector<int64_t>& friends,
+                                        std::function<void(Status)> callback) {
+  std::string blob;
+  PutFixed32(&blob, static_cast<uint32_t>(friends.size()));
+  for (int64_t f : friends) PutFixed64(&blob, static_cast<uint64_t>(f));
+  ++round_trips_;
+  router_->Put(ListKey(user), blob, AckMode::kPrimary, std::move(callback));
+}
+
+void AppSideJoinClient::FriendsByBirthday(
+    int64_t user, std::function<void(Result<std::vector<Row>>)> callback) {
+  const EntityDef* profiles = catalog_->Get("profiles");
+  if (profiles == nullptr) {
+    callback(FailedPreconditionError("profiles entity not registered"));
+    return;
+  }
+  ++round_trips_;
+  router_->Get(
+      ListKey(user), /*pin_primary=*/false,
+      [this, profiles, callback = std::move(callback)](Result<Record> blob) mutable {
+        if (!blob.ok()) {
+          if (IsNotFound(blob.status())) {
+            callback(std::vector<Row>{});
+            return;
+          }
+          callback(blob.status());
+          return;
+        }
+        std::string_view bytes = blob->value;
+        uint32_t count = 0;
+        if (!GetFixed32(&bytes, &count)) {
+          callback(InternalError("corrupt friend list blob"));
+          return;
+        }
+        auto ids = std::make_shared<std::vector<int64_t>>();
+        for (uint32_t i = 0; i < count; ++i) {
+          uint64_t id = 0;
+          if (!GetFixed64(&bytes, &id)) break;
+          ids->push_back(static_cast<int64_t>(id));
+        }
+        // One GET per friend, sequentially — each pays a full round trip.
+        auto rows = std::make_shared<std::vector<Row>>();
+        auto fetch = std::make_shared<std::function<void(size_t)>>();
+        *fetch = [this, profiles, ids, rows, fetch,
+                  callback = std::move(callback)](size_t i) mutable {
+          if (i >= ids->size()) {
+            std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
+              return a.GetInt("bday") < b.GetInt("bday");
+            });
+            callback(std::move(*rows));
+            return;
+          }
+          Row key_row;
+          key_row.SetInt("user_id", (*ids)[i]);
+          auto key = EncodePrimaryKey(*profiles, key_row);
+          if (!key.ok()) {
+            (*fetch)(i + 1);
+            return;
+          }
+          ++round_trips_;
+          router_->Get(*key, /*pin_primary=*/false,
+                       [profiles, rows, fetch, i](Result<Record> record) {
+                         if (record.ok()) {
+                           Result<Row> row = DecodeRow(*profiles, record->value);
+                           if (row.ok()) rows->push_back(std::move(row).value());
+                         }
+                         (*fetch)(i + 1);
+                       });
+        };
+        (*fetch)(0);
+      });
+}
+
+}  // namespace scads

@@ -1,0 +1,49 @@
+// Plain key-value baseline (paper §4.2).
+//
+// Models how applications use Dynamo/Memcached-style stores without
+// server-side indexes: the app denormalizes a friend-id list into one blob
+// per user, then joins by issuing one GET per friend. The join is bounded
+// (the app enforces the cap), but every row costs a network round trip —
+// the "limited data model inhibits programmers" cost the paper contrasts
+// against SCADS's single bounded index scan.
+
+#ifndef SCADS_BASELINE_APPSIDE_H_
+#define SCADS_BASELINE_APPSIDE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/router.h"
+#include "query/schema.h"
+
+namespace scads {
+
+/// App-side join client over the raw KV interface.
+class AppSideJoinClient {
+ public:
+  AppSideJoinClient(Router* router, const Catalog* catalog)
+      : router_(router), catalog_(catalog) {}
+
+  /// Replaces `user`'s denormalized friend list.
+  void StoreFriendList(int64_t user, const std::vector<int64_t>& friends,
+                       std::function<void(Status)> callback);
+
+  /// Fetches the list blob, then sequentially GETs each friend's profile
+  /// and sorts by birthday in the app.
+  void FriendsByBirthday(int64_t user,
+                         std::function<void(Result<std::vector<Row>>)> callback);
+
+  int64_t round_trips() const { return round_trips_; }
+
+ private:
+  static std::string ListKey(int64_t user);
+
+  Router* router_;
+  const Catalog* catalog_;
+  int64_t round_trips_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_BASELINE_APPSIDE_H_

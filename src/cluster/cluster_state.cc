@@ -1,0 +1,41 @@
+#include "cluster/cluster_state.h"
+
+#include "common/strings.h"
+
+namespace scads {
+
+Status ClusterState::AddNode(NodeId id, StorageNode* node) {
+  auto [it, inserted] = nodes_.emplace(id, NodeEntry{node, true});
+  if (!inserted) return AlreadyExistsError(StrFormat("node %d", id));
+  return Status::Ok();
+}
+
+Status ClusterState::RemoveNode(NodeId id) {
+  if (nodes_.erase(id) == 0) return NotFoundError(StrFormat("node %d", id));
+  return Status::Ok();
+}
+
+void ClusterState::SetNodeAlive(NodeId id, bool alive) {
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.alive = alive;
+}
+
+bool ClusterState::IsAlive(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.alive;
+}
+
+StorageNode* ClusterState::GetNode(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.node;
+}
+
+std::vector<NodeId> ClusterState::AliveNodes() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, entry] : nodes_) {
+    if (entry.alive) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace scads

@@ -1,0 +1,56 @@
+// Shared cluster metadata: the node registry and the partition map.
+//
+// In the real deployment this state would be gossiped / kept in a
+// coordination service; in the simulator all components read one
+// authoritative copy (a documented substitution — metadata propagation
+// delay is not the bottleneck the paper studies).
+
+#ifndef SCADS_CLUSTER_CLUSTER_STATE_H_
+#define SCADS_CLUSTER_CLUSTER_STATE_H_
+
+#include <map>
+#include <vector>
+
+#include "cluster/partition.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace scads {
+
+class StorageNode;
+
+/// Registry of storage nodes plus the partition map.
+class ClusterState {
+ public:
+  /// Registers a node (does not take ownership).
+  Status AddNode(NodeId id, StorageNode* node);
+
+  /// Unregisters a node (after drain/terminate).
+  Status RemoveNode(NodeId id);
+
+  /// Marks a node alive/dead (failure injection and boot wiring).
+  void SetNodeAlive(NodeId id, bool alive);
+  bool IsAlive(NodeId id) const;
+
+  /// The node object, or nullptr when unknown.
+  StorageNode* GetNode(NodeId id) const;
+
+  std::vector<NodeId> AliveNodes() const;
+  size_t node_count() const { return nodes_.size(); }
+
+  PartitionMap* partitions() { return &partitions_; }
+  const PartitionMap& partitions() const { return partitions_; }
+  void set_partitions(PartitionMap map) { partitions_ = std::move(map); }
+
+ private:
+  struct NodeEntry {
+    StorageNode* node = nullptr;
+    bool alive = true;
+  };
+  std::map<NodeId, NodeEntry> nodes_;
+  PartitionMap partitions_;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_CLUSTER_CLUSTER_STATE_H_

@@ -1,0 +1,430 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace scads {
+
+namespace {
+constexpr Duration kMaxRetryDelay = kSecond;
+
+int AcksNeeded(AckMode ack, size_t replica_count) {
+  switch (ack) {
+    case AckMode::kPrimary:
+      return 1;
+    case AckMode::kQuorum:
+      return static_cast<int>(replica_count / 2 + 1);
+    case AckMode::kAll:
+      return static_cast<int>(replica_count);
+  }
+  return 1;
+}
+}  // namespace
+
+StorageNode::StorageNode(NodeId id, EventLoop* loop, SimNetwork* network, ClusterState* cluster,
+                         NodeConfig config, uint64_t seed)
+    : id_(id),
+      loop_(loop),
+      network_(network),
+      cluster_(cluster),
+      config_(config),
+      rng_(seed ^ 0xab54a98ceb1f0ad2ULL) {
+  EngineOptions engine_options;
+  engine_options.seed = seed;
+  engine_ = std::make_unique<StorageEngine>(engine_options);
+}
+
+StorageNode::~StorageNode() { Stop(); }
+
+void StorageNode::Start() {
+  if (heartbeat_event_ != EventLoop::kInvalidEvent) return;
+  if (config_.watermark_heartbeat <= 0) return;
+  heartbeat_event_ =
+      loop_->SchedulePeriodic(config_.watermark_heartbeat, [this] { HeartbeatTick(); });
+}
+
+void StorageNode::Stop() {
+  if (heartbeat_event_ != EventLoop::kInvalidEvent) {
+    loop_->Cancel(heartbeat_event_);
+    heartbeat_event_ = EventLoop::kInvalidEvent;
+  }
+  for (auto& [key, stream] : streams_) {
+    if (stream.retry_event != EventLoop::kInvalidEvent) {
+      loop_->Cancel(stream.retry_event);
+      stream.retry_event = EventLoop::kInvalidEvent;
+    }
+  }
+}
+
+Duration StorageNode::queue_delay() const {
+  return std::max<Duration>(0, busy_until_ - loop_->Now());
+}
+
+void StorageNode::InjectBackgroundLoad(Duration service_demand) {
+  if (!alive_ || service_demand <= 0) return;
+  // Saturation cap: a node can at most accumulate max_queue_delay of
+  // backlog; beyond that, real traffic would be shed, so excess background
+  // demand is dropped the same way.
+  Time now = loop_->Now();
+  Duration backlog = std::max<Duration>(0, busy_until_ - now);
+  Duration admissible = std::max<Duration>(0, config_.max_queue_delay + service_demand / 4 -
+                                                  backlog);
+  Duration charged = std::min(service_demand, admissible);
+  if (charged <= 0) {
+    stats_.ops_shed += service_demand / std::max<Duration>(1, config_.get_service_time);
+    return;
+  }
+  busy_until_ = std::max(busy_until_, now) + charged;
+  stats_.busy_micros += charged;
+}
+
+std::optional<Duration> StorageNode::Admit(Duration service) {
+  Time now = loop_->Now();
+  Duration wait = std::max<Duration>(0, busy_until_ - now);
+  // Background (unsampled) traffic: M/M/1-style delay rising steeply as
+  // utilization approaches 1; past saturation the overload fraction sheds.
+  double rho = background_utilization_;
+  if (rho > 0) {
+    if (rho >= 0.99) {
+      double admit_probability = 1.0 / std::max(1.01, rho);
+      if (!rng_.Bernoulli(admit_probability)) {
+        ++stats_.ops_shed;
+        return std::nullopt;
+      }
+      wait += config_.max_queue_delay / 2 +
+              static_cast<Duration>(rng_.Exponential(
+                  static_cast<double>(config_.max_queue_delay) / 4));
+    } else {
+      double mean_wait = rho / (1.0 - rho) * static_cast<double>(service);
+      if (mean_wait >= 1.0) wait += static_cast<Duration>(rng_.Exponential(mean_wait));
+    }
+  }
+  if (wait > config_.max_queue_delay) {
+    ++stats_.ops_shed;
+    return std::nullopt;
+  }
+  busy_until_ = std::max(busy_until_, now) + service;
+  stats_.busy_micros += service;
+  Duration sojourn = wait + service;
+  sojourn_.Record(sojourn);
+  return sojourn;
+}
+
+void StorageNode::SetBackgroundLoad(double utilization, Duration busy_account) {
+  if (!alive_) return;
+  background_utilization_ = std::max(0.0, utilization);
+  // Busy time accrues at most at capacity.
+  stats_.busy_micros += std::min(busy_account, static_cast<Duration>(
+                                                   static_cast<double>(busy_account) /
+                                                   std::max(1.0, utilization)));
+}
+
+void StorageNode::HandleGet(const std::string& key,
+                            std::function<void(Result<Record>)> respond) {
+  if (!alive_) return;
+  std::optional<Duration> sojourn = Admit(config_.get_service_time);
+  if (!sojourn.has_value()) {
+    respond(ResourceExhaustedError("node overloaded"));
+    return;
+  }
+  loop_->ScheduleAfter(*sojourn, [this, key, respond = std::move(respond)] {
+    if (!alive_) return;
+    ++stats_.ops_completed;
+    respond(engine_->Get(key));
+  });
+}
+
+void StorageNode::HandleScan(const std::string& start, const std::string& end, size_t limit,
+                             std::function<void(Result<std::vector<Record>>)> respond) {
+  if (!alive_) return;
+  // Service cost depends on rows returned; we charge after execution by
+  // first paying the base, running, then paying per-row (approximating a
+  // cursor that streams rows while holding the executor).
+  std::optional<Duration> sojourn = Admit(config_.scan_service_base);
+  if (!sojourn.has_value()) {
+    respond(ResourceExhaustedError("node overloaded"));
+    return;
+  }
+  loop_->ScheduleAfter(*sojourn, [this, start, end, limit, respond = std::move(respond)] {
+    if (!alive_) return;
+    Result<std::vector<Record>> rows = engine_->Scan(start, end, limit);
+    Duration row_cost = 0;
+    if (rows.ok()) {
+      row_cost = config_.scan_service_per_row * static_cast<Duration>(rows->size());
+      busy_until_ = std::max(busy_until_, loop_->Now()) + row_cost;
+      stats_.busy_micros += row_cost;
+    }
+    loop_->ScheduleAfter(row_cost, [this, rows = std::move(rows),
+                                    respond = std::move(respond)]() mutable {
+      if (!alive_) return;
+      ++stats_.ops_completed;
+      respond(std::move(rows));
+    });
+  });
+}
+
+void StorageNode::ApplyAndReplicate(PartitionId pid, const WalRecord& record, AckMode ack,
+                                    std::function<void(Status)> respond) {
+  Status applied = engine_->Apply(record);
+  if (!applied.ok()) {
+    respond(applied);
+    return;
+  }
+  const PartitionInfo* partition = cluster_->partitions()->Get(pid);
+  if (partition == nullptr) {
+    respond(NotFoundError(StrFormat("partition %d", pid)));
+    return;
+  }
+  int needed = AcksNeeded(ack, partition->replicas.size()) - 1;  // primary counts as one
+  auto waiter = std::make_shared<WriteWaiter>();
+  waiter->remaining = needed;
+  waiter->respond = std::move(respond);
+  if (needed <= 0) {
+    waiter->done = true;
+    waiter->respond(Status::Ok());
+  }
+  for (NodeId replica : partition->replicas) {
+    if (replica == id_) continue;
+    EnqueueReplication(pid, replica, record, waiter->done ? nullptr : waiter);
+  }
+}
+
+void StorageNode::HandleWrite(PartitionId pid, const WalRecord& record, AckMode ack,
+                              std::function<void(Status)> respond) {
+  if (!alive_) return;
+  std::optional<Duration> sojourn = Admit(config_.put_service_time);
+  if (!sojourn.has_value()) {
+    respond(ResourceExhaustedError("node overloaded"));
+    return;
+  }
+  loop_->ScheduleAfter(*sojourn, [this, pid, record, ack, respond = std::move(respond)] {
+    if (!alive_) return;
+    ++stats_.ops_completed;
+    ApplyAndReplicate(pid, record, ack, respond);
+  });
+}
+
+void StorageNode::HandleConditionalPut(PartitionId pid, const std::string& key,
+                                       const std::string& value, std::optional<Version> expected,
+                                       Version new_version, AckMode ack,
+                                       std::function<void(Status)> respond) {
+  if (!alive_) return;
+  std::optional<Duration> sojourn = Admit(config_.put_service_time);
+  if (!sojourn.has_value()) {
+    respond(ResourceExhaustedError("node overloaded"));
+    return;
+  }
+  loop_->ScheduleAfter(*sojourn, [this, pid, key, value, expected, new_version, ack,
+                                  respond = std::move(respond)] {
+    if (!alive_) return;
+    ++stats_.ops_completed;
+    // The primary serializes all writers of this partition, so read-check-
+    // write here is atomic.
+    std::optional<Record> current = engine_->GetRaw(key);
+    bool exists_live = current.has_value() && !current->tombstone;
+    if (expected.has_value()) {
+      if (!exists_live || !(current->version == *expected)) {
+        respond(AbortedError("version mismatch"));
+        return;
+      }
+    } else if (exists_live) {
+      respond(AbortedError("key already exists"));
+      return;
+    }
+    WalRecord record;
+    record.type = WalRecord::Type::kPut;
+    record.key = key;
+    record.value = value;
+    record.version = new_version;
+    ApplyAndReplicate(pid, record, ack, respond);
+  });
+}
+
+void StorageNode::EnqueueReplication(PartitionId pid, NodeId to, const WalRecord& record,
+                                     const std::shared_ptr<WriteWaiter>& waiter) {
+  ReplicationStream& stream = streams_[{pid, to}];
+  uint64_t seq = stream.next_seq++;
+  stream.pending.emplace_back(seq, record);
+  stream.enqueue_times.emplace_back(seq, loop_->Now());
+  if (waiter != nullptr) stream.waiters.emplace_back(seq, waiter);
+  if (waiter != nullptr) {
+    // Synchronous-ack writes flush immediately.
+    FlushStream(pid, to);
+  } else if (!stream.flush_scheduled && !stream.inflight) {
+    stream.flush_scheduled = true;
+    loop_->ScheduleAfter(config_.replication_flush_interval,
+                         [this, pid, to] { FlushStream(pid, to); });
+  }
+}
+
+void StorageNode::FlushStream(PartitionId pid, NodeId to) {
+  auto it = streams_.find({pid, to});
+  if (it == streams_.end()) return;
+  ReplicationStream& stream = it->second;
+  stream.flush_scheduled = false;
+  if (stream.inflight || !alive_) return;
+  if (stream.pending.empty()) return;
+  SendBatch(pid, to, &stream);
+}
+
+void StorageNode::SendBatch(PartitionId pid, NodeId to, ReplicationStream* stream) {
+  // Send everything pending (bounded by batch max), starting after the last
+  // cumulative ack; retransmissions resend the same prefix.
+  std::vector<WalRecord> batch;
+  uint64_t first_seq = stream->acked + 1;
+  Time watermark = 0;
+  size_t count = 0;
+  for (const auto& [seq, record] : stream->pending) {
+    if (seq < first_seq) continue;
+    if (count == config_.replication_batch_max) break;
+    batch.push_back(record);
+    ++count;
+  }
+  if (batch.empty()) return;
+  uint64_t last_seq = first_seq + count - 1;
+  for (const auto& [seq, at] : stream->enqueue_times) {
+    if (seq == last_seq) {
+      watermark = at;
+      break;
+    }
+  }
+  stream->sent_through = last_seq;
+  stream->inflight = true;
+  stats_.records_replicated_out += static_cast<int64_t>(batch.size());
+  NodeId self = id_;
+  StorageNode* target = cluster_->GetNode(to);
+  if (target != nullptr) {
+    network_->Send(self, to,
+                   [target, pid, self, first_seq, batch = std::move(batch), watermark]() mutable {
+                     target->HandleReplicate(pid, self, first_seq, std::move(batch), watermark);
+                   });
+  }
+  // Arm retransmission with exponential backoff.
+  Duration delay = stream->current_retry_delay == 0 ? config_.replication_retry_base
+                                                    : stream->current_retry_delay;
+  stream->retry_event = loop_->ScheduleAfter(delay, [this, pid, to] {
+    auto it = streams_.find({pid, to});
+    if (it == streams_.end()) return;
+    ReplicationStream& s = it->second;
+    s.retry_event = EventLoop::kInvalidEvent;
+    if (s.acked >= s.sent_through) return;  // acked meanwhile
+    ++stats_.retransmits;
+    s.inflight = false;
+    s.current_retry_delay =
+        std::min<Duration>(kMaxRetryDelay, (s.current_retry_delay == 0
+                                                ? config_.replication_retry_base
+                                                : s.current_retry_delay) *
+                                               2);
+    if (alive_) SendBatch(pid, to, &s);
+  });
+}
+
+void StorageNode::HandleReplicate(PartitionId pid, NodeId from, uint64_t first_seq,
+                                  std::vector<WalRecord> records, Time watermark) {
+  if (!alive_) return;
+  Duration service =
+      config_.replicate_service_per_record * std::max<Duration>(1, static_cast<Duration>(records.size()));
+  std::optional<Duration> sojourn = Admit(service);
+  if (!sojourn.has_value()) return;  // shed; primary will retransmit
+  loop_->ScheduleAfter(*sojourn, [this, pid, from, first_seq, records = std::move(records),
+                                  watermark] {
+    if (!alive_) return;
+    uint64_t& applied = last_applied_seq_[{pid, from}];
+    uint64_t seq = first_seq;
+    for (const WalRecord& record : records) {
+      if (seq > applied) {
+        (void)engine_->Apply(record);  // version rule dedups content anyway
+        applied = seq;
+        ++stats_.records_replicated_in;
+      }
+      ++seq;
+    }
+    if (watermark > 0) {
+      Time& through = replicated_through_[pid];
+      through = std::max(through, watermark);
+    }
+    // Cumulative ack back to the primary.
+    StorageNode* primary = cluster_->GetNode(from);
+    if (primary != nullptr) {
+      uint64_t ack = applied;
+      NodeId self = id_;
+      network_->Send(self, from,
+                     [primary, pid, self, ack] { primary->HandleReplicateAck(pid, self, ack); });
+    }
+  });
+}
+
+void StorageNode::HandleReplicateAck(PartitionId pid, NodeId from, uint64_t acked_seq) {
+  if (!alive_) return;
+  auto it = streams_.find({pid, from});
+  if (it == streams_.end()) return;
+  ReplicationStream& stream = it->second;
+  if (acked_seq <= stream.acked) return;  // stale/duplicate ack
+  stream.acked = acked_seq;
+  stream.current_retry_delay = 0;
+  while (!stream.pending.empty() && stream.pending.front().first <= acked_seq) {
+    stream.pending.pop_front();
+  }
+  while (!stream.enqueue_times.empty() && stream.enqueue_times.front().first <= acked_seq) {
+    stream.enqueue_times.pop_front();
+  }
+  // Wake write waiters satisfied by this ack.
+  auto waiter_it = stream.waiters.begin();
+  while (waiter_it != stream.waiters.end()) {
+    if (waiter_it->first <= acked_seq) {
+      std::shared_ptr<WriteWaiter>& waiter = waiter_it->second;
+      if (!waiter->done && --waiter->remaining <= 0) {
+        waiter->done = true;
+        waiter->respond(Status::Ok());
+      }
+      waiter_it = stream.waiters.erase(waiter_it);
+    } else {
+      ++waiter_it;
+    }
+  }
+  if (stream.retry_event != EventLoop::kInvalidEvent && stream.acked >= stream.sent_through) {
+    loop_->Cancel(stream.retry_event);
+    stream.retry_event = EventLoop::kInvalidEvent;
+  }
+  stream.inflight = false;
+  if (!stream.pending.empty()) {
+    SendBatch(pid, from, &stream);
+  }
+}
+
+void StorageNode::HeartbeatTick() {
+  if (!alive_) return;
+  // Advance watermarks on idle streams so secondaries can prove freshness.
+  for (PartitionId pid : cluster_->partitions()->PartitionsOnNode(id_, /*primary_only=*/true)) {
+    const PartitionInfo* partition = cluster_->partitions()->Get(pid);
+    if (partition == nullptr) continue;
+    for (NodeId replica : partition->replicas) {
+      if (replica == id_) continue;
+      ReplicationStream& stream = streams_[{pid, replica}];
+      if (!stream.pending.empty() || stream.inflight) continue;  // data carries watermark
+      Time watermark = loop_->Now();
+      uint64_t first_seq = stream.next_seq;  // empty batch: no seq consumed
+      StorageNode* target = cluster_->GetNode(replica);
+      if (target == nullptr) continue;
+      NodeId self = id_;
+      network_->Send(self, replica, [target, pid, self, first_seq, watermark] {
+        target->HandleReplicate(pid, self, first_seq, {}, watermark);
+      });
+    }
+  }
+}
+
+Time StorageNode::replicated_through(PartitionId pid) const {
+  // A primary is definitionally current.
+  if (cluster_->partitions()->Get(pid) != nullptr &&
+      cluster_->partitions()->Get(pid)->primary() == id_) {
+    return loop_->Now();
+  }
+  auto it = replicated_through_.find(pid);
+  return it == replicated_through_.end() ? 0 : it->second;
+}
+
+}  // namespace scads

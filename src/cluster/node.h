@@ -1,0 +1,225 @@
+// StorageNode: one simulated server.
+//
+// Wraps a StorageEngine with (a) a service-time queueing model, so latency
+// rises as utilization approaches 1 — the signal the Director's ML models
+// learn from; and (b) reliable asynchronous replication streams (sequence-
+// numbered log shipping with cumulative acks and retransmission), which give
+// the bounded-staleness and durability behaviours of paper §3.3.
+//
+// Handlers are invoked via SimNetwork closures; responses are the caller's
+// responsibility to route back (the Router composes the return hop).
+
+#ifndef SCADS_CLUSTER_NODE_H_
+#define SCADS_CLUSTER_NODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "storage/engine.h"
+
+namespace scads {
+
+/// How many replicas must acknowledge a write before the client is told it
+/// committed (paper §3.3.1, durability vs latency).
+enum class AckMode {
+  kPrimary,  ///< Primary applied it; replication continues asynchronously.
+  kQuorum,   ///< Majority of the replica set applied it.
+  kAll,      ///< Every replica applied it.
+};
+
+/// Per-node service model and replication tunables.
+struct NodeConfig {
+  Duration get_service_time = 120;            ///< us of CPU per point read.
+  Duration put_service_time = 180;            ///< us per write.
+  Duration scan_service_base = 150;           ///< us per scan request.
+  Duration scan_service_per_row = 4;          ///< us per row returned.
+  Duration replicate_service_per_record = 40; ///< us per replicated record.
+  /// Overload shedding: requests that would wait longer than this are
+  /// rejected immediately with kResourceExhausted.
+  Duration max_queue_delay = 2 * kSecond;
+  /// Replication batching window (group commit for the streams).
+  Duration replication_flush_interval = 2 * kMillisecond;
+  /// Retransmit unacked replication batches after this long (doubles up to
+  /// 1s under sustained partition).
+  Duration replication_retry_base = 50 * kMillisecond;
+  /// Idle streams send watermark heartbeats at this period so staleness
+  /// bounds stay measurable without writes. 0 disables the timer (large
+  /// fleet simulations with rf=1 need no watermarks).
+  Duration watermark_heartbeat = 500 * kMillisecond;
+  /// Max records per replication batch.
+  size_t replication_batch_max = 128;
+};
+
+/// Cumulative node statistics; the Director samples these and differences
+/// consecutive samples to get rates.
+struct NodeStats {
+  int64_t ops_completed = 0;
+  int64_t ops_shed = 0;
+  int64_t busy_micros = 0;
+  int64_t records_replicated_out = 0;
+  int64_t records_replicated_in = 0;
+  int64_t retransmits = 0;
+};
+
+/// One storage server in the simulated cluster.
+class StorageNode {
+ public:
+  StorageNode(NodeId id, EventLoop* loop, SimNetwork* network, ClusterState* cluster,
+              NodeConfig config, uint64_t seed);
+  ~StorageNode();
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  NodeId id() const { return id_; }
+  StorageEngine* engine() { return engine_.get(); }
+  const NodeConfig& config() const { return config_; }
+
+  /// Arms the heartbeat timer. Call once the node joins the cluster.
+  void Start();
+  /// Cancels timers; the node stops initiating traffic (terminate path).
+  void Stop();
+
+  /// Crash/recover. A dead node ignores handler invocations (the network
+  /// normally prevents delivery; this guards stray timers). The engine's
+  /// contents survive, modelling a durable local disk.
+  void set_alive(bool alive) { alive_ = alive; }
+  bool alive() const { return alive_; }
+
+  // --- request handlers -----------------------------------------------
+
+  /// Point read of `key`.
+  void HandleGet(const std::string& key, std::function<void(Result<Record>)> respond);
+
+  /// Range read [start, end) with limit.
+  void HandleScan(const std::string& start, const std::string& end, size_t limit,
+                  std::function<void(Result<std::vector<Record>>)> respond);
+
+  /// Write (put or tombstone) for partition `pid`. This node must be the
+  /// partition's primary; it applies locally then drives replication.
+  /// `respond` fires according to `ack`.
+  void HandleWrite(PartitionId pid, const WalRecord& record, AckMode ack,
+                   std::function<void(Status)> respond);
+
+  /// Compare-and-set put used by the serializable write policy: applies
+  /// only when the stored version equals `expected` (absent = expect no
+  /// record or tombstone). kAborted on mismatch.
+  void HandleConditionalPut(PartitionId pid, const std::string& key, const std::string& value,
+                            std::optional<Version> expected, Version new_version, AckMode ack,
+                            std::function<void(Status)> respond);
+
+  /// Replication batch arrival (secondary side). Applies records with
+  /// sequence numbers in (last_applied, ...] and acks cumulatively.
+  void HandleReplicate(PartitionId pid, NodeId from, uint64_t first_seq,
+                       std::vector<WalRecord> records, Time watermark);
+
+  /// Ack arrival (primary side).
+  void HandleReplicateAck(PartitionId pid, NodeId from, uint64_t acked_seq);
+
+  // --- observability ----------------------------------------------------
+
+  /// Replication watermark for `pid` on this node: every write enqueued by
+  /// the primary at or before this time has been applied here. A partition
+  /// primary reports "now".
+  Time replicated_through(PartitionId pid) const;
+
+  const NodeStats& stats() const { return stats_; }
+  /// Node-local sojourn times (queue wait + service), microseconds.
+  const LogHistogram& sojourn_histogram() const { return sojourn_; }
+
+  /// Current queue backlog in microseconds of work.
+  Duration queue_delay() const;
+
+  /// Charges `service_demand` microseconds of aggregate work to this node
+  /// without materializing individual requests. System experiments use this
+  /// hybrid-fidelity path: the bulk of the logical request rate arrives as
+  /// background demand, while a sampled subset flows through the real
+  /// request path and experiences the queueing delay the background load
+  /// creates.
+  void InjectBackgroundLoad(Duration service_demand);
+
+  /// Smooth hybrid-fidelity load: declares that unsampled background
+  /// traffic keeps this node at `utilization` (fraction of capacity).
+  /// Sampled requests then wait an M/M/1-style queueing delay
+  /// (service * rho/(1-rho), exponentially distributed) on top of the
+  /// explicit queue; utilization at or above ~1 sheds the overload
+  /// fraction. `busy_account` is added to the busy-time counters so rate
+  /// estimation still works.
+  void SetBackgroundLoad(double utilization, Duration busy_account);
+
+ private:
+  struct WriteWaiter {
+    int remaining = 0;
+    std::function<void(Status)> respond;
+    bool done = false;
+  };
+
+  // Reliable, ordered, at-least-once stream of records to one secondary.
+  struct ReplicationStream {
+    std::deque<std::pair<uint64_t, WalRecord>> pending;  // (seq, record)
+    std::deque<std::pair<uint64_t, Time>> enqueue_times; // (seq, enqueued_at)
+    uint64_t next_seq = 1;
+    uint64_t acked = 0;
+    uint64_t sent_through = 0;
+    bool inflight = false;
+    bool flush_scheduled = false;
+    Duration current_retry_delay = 0;
+    EventLoop::EventId retry_event = EventLoop::kInvalidEvent;
+    // Waiters blocked on this stream reaching a given seq.
+    std::vector<std::pair<uint64_t, std::shared_ptr<WriteWaiter>>> waiters;
+  };
+
+  using StreamKey = std::pair<PartitionId, NodeId>;
+
+  /// Admission + FIFO queue: reserves `service` capacity, returns total
+  /// sojourn (wait+service), or nullopt when shedding.
+  std::optional<Duration> Admit(Duration service);
+
+  /// Applies a write locally and fans out to the replica set of `pid`.
+  void ApplyAndReplicate(PartitionId pid, const WalRecord& record, AckMode ack,
+                         std::function<void(Status)> respond);
+
+  void EnqueueReplication(PartitionId pid, NodeId to, const WalRecord& record,
+                          const std::shared_ptr<WriteWaiter>& waiter);
+  void FlushStream(PartitionId pid, NodeId to);
+  void SendBatch(PartitionId pid, NodeId to, ReplicationStream* stream);
+  void HeartbeatTick();
+
+  NodeId id_;
+  EventLoop* loop_;
+  SimNetwork* network_;
+  ClusterState* cluster_;
+  NodeConfig config_;
+  std::unique_ptr<StorageEngine> engine_;
+  Rng rng_;
+  bool alive_ = true;
+
+  double background_utilization_ = 0;
+  Time busy_until_ = 0;
+  NodeStats stats_;
+  LogHistogram sojourn_;
+
+  std::map<StreamKey, ReplicationStream> streams_;
+  // Secondary-side per-stream state.
+  std::map<StreamKey, uint64_t> last_applied_seq_;
+  std::map<PartitionId, Time> replicated_through_;
+
+  EventLoop::EventId heartbeat_event_ = EventLoop::kInvalidEvent;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_CLUSTER_NODE_H_

@@ -1,0 +1,292 @@
+#include "cluster/router.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace scads {
+
+void RouterWindow::MergeFrom(const RouterWindow& other) {
+  read_latency.Merge(other.read_latency);
+  write_latency.Merge(other.write_latency);
+  reads_ok += other.reads_ok;
+  reads_failed += other.reads_failed;
+  writes_ok += other.writes_ok;
+  writes_failed += other.writes_failed;
+}
+
+Router::Router(NodeId client_id, EventLoop* loop, SimNetwork* network, ClusterState* cluster,
+               RouterConfig config, uint64_t seed)
+    : client_id_(client_id),
+      loop_(loop),
+      network_(network),
+      cluster_(cluster),
+      config_(config),
+      rng_(seed) {}
+
+NodeId Router::ChooseReadReplica(const PartitionInfo& partition, bool pin_primary) {
+  if (pin_primary || config_.read_target == ReadTarget::kPrimary ||
+      partition.replicas.size() == 1) {
+    return partition.primary();
+  }
+  return partition.replicas[rng_.Uniform(partition.replicas.size())];
+}
+
+void Router::FinishRead(Time start, bool ok) {
+  window_.read_latency.Record(loop_->Now() - start);
+  if (ok) {
+    ++window_.reads_ok;
+  } else {
+    ++window_.reads_failed;
+  }
+}
+
+void Router::FinishWrite(Time start, bool ok) {
+  window_.write_latency.Record(loop_->Now() - start);
+  if (ok) {
+    ++window_.writes_ok;
+  } else {
+    ++window_.writes_failed;
+  }
+}
+
+void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, size_t index,
+                        Time start, std::function<void(Result<Record>)> callback) {
+  if (index >= candidates.size()) {
+    FinishRead(start, false);
+    callback(UnavailableError("all replicas unreachable"));
+    return;
+  }
+  NodeId target = candidates[index];
+  StorageNode* node = cluster_->GetNode(target);
+  if (node == nullptr) {
+    GetAttempt(key, std::move(candidates), index + 1, start, std::move(callback));
+    return;
+  }
+  auto state = std::make_shared<Pending>();
+  auto respond = [this, state, start, callback](Result<Record> result) {
+    if (state->done) return;
+    state->done = true;
+    if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
+    // NotFound counts as a successful (answered) read.
+    bool ok = result.ok() || IsNotFound(result.status());
+    FinishRead(start, ok);
+    callback(std::move(result));
+  };
+  state->timeout_event = loop_->ScheduleAfter(
+      config_.request_timeout,
+      [this, state, key, candidates, index, start, callback]() mutable {
+        if (state->done) return;
+        state->done = true;
+        // Try the next replica; the attempt budget is candidates.size().
+        GetAttempt(key, std::move(candidates), index + 1, start, std::move(callback));
+      });
+  NodeId self = client_id_;
+  network_->Send(self, target, [this, node, key, target, self, respond]() mutable {
+    node->HandleGet(key, [this, target, self, respond](Result<Record> result) mutable {
+      network_->Send(target, self, [respond, result = std::move(result)]() mutable {
+        respond(std::move(result));
+      });
+    });
+  });
+}
+
+void Router::Get(const std::string& key, bool pin_primary,
+                 std::function<void(Result<Record>)> callback) {
+  const PartitionInfo& partition = cluster_->partitions()->ForKey(key);
+  if (partition.replicas.empty()) {
+    FinishRead(loop_->Now(), false);
+    callback(UnavailableError("partition has no replicas"));
+    return;
+  }
+  std::vector<NodeId> candidates;
+  NodeId first = ChooseReadReplica(partition, pin_primary);
+  candidates.push_back(first);
+  if (!pin_primary) {
+    int budget = config_.read_retries;
+    for (NodeId replica : partition.replicas) {
+      if (budget == 0) break;
+      if (replica == first) continue;
+      candidates.push_back(replica);
+      --budget;
+    }
+  }
+  GetAttempt(key, std::move(candidates), 0, loop_->Now(), std::move(callback));
+}
+
+void Router::GetFromReplica(const std::string& key, NodeId replica,
+                            std::function<void(Result<Record>)> callback) {
+  GetAttempt(key, {replica}, 0, loop_->Now(), std::move(callback));
+}
+
+void Router::Scan(const std::string& start, const std::string& end, size_t limit,
+                  std::function<void(Result<std::vector<Record>>)> callback) {
+  Time started = loop_->Now();
+  const PartitionInfo& partition = cluster_->partitions()->ForKey(start);
+  if (!end.empty() && !(partition.end.empty() || end <= partition.end)) {
+    FinishRead(started, false);
+    callback(InvalidArgumentError("scan range spans partitions; fan out at the query layer"));
+    return;
+  }
+  NodeId target = ChooseReadReplica(partition, /*pin_primary=*/false);
+  StorageNode* node = cluster_->GetNode(target);
+  if (node == nullptr) {
+    FinishRead(started, false);
+    callback(UnavailableError("replica not registered"));
+    return;
+  }
+  auto state = std::make_shared<Pending>();
+  auto respond = [this, state, started, callback](Result<std::vector<Record>> result) {
+    if (state->done) return;
+    state->done = true;
+    if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
+    FinishRead(started, result.ok());
+    callback(std::move(result));
+  };
+  state->timeout_event =
+      loop_->ScheduleAfter(config_.request_timeout, [respond]() mutable {
+        respond(UnavailableError("scan timeout"));
+      });
+  NodeId self = client_id_;
+  network_->Send(self, target, [this, node, start, end, limit, target, self, respond]() mutable {
+    node->HandleScan(start, end, limit,
+                     [this, target, self, respond](Result<std::vector<Record>> rows) mutable {
+                       network_->Send(target, self,
+                                      [respond, rows = std::move(rows)]() mutable {
+                                        respond(std::move(rows));
+                                      });
+                     });
+  });
+}
+
+void Router::SendWrite(const WalRecord& record, AckMode ack,
+                       std::function<void(Status)> callback) {
+  Time started = loop_->Now();
+  const PartitionInfo& partition = cluster_->partitions()->ForKey(record.key);
+  NodeId target = partition.primary();
+  StorageNode* node = cluster_->GetNode(target);
+  if (node == nullptr) {
+    FinishWrite(started, false);
+    callback(UnavailableError("primary not registered"));
+    return;
+  }
+  auto state = std::make_shared<Pending>();
+  auto respond = [this, state, started, callback](Status status) {
+    if (state->done) return;
+    state->done = true;
+    if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
+    FinishWrite(started, status.ok());
+    callback(std::move(status));
+  };
+  state->timeout_event =
+      loop_->ScheduleAfter(config_.request_timeout, [respond]() mutable {
+        respond(UnavailableError("write timeout"));
+      });
+  PartitionId pid = partition.id;
+  NodeId self = client_id_;
+  network_->Send(self, target, [this, node, pid, record, ack, target, self, respond]() mutable {
+    node->HandleWrite(pid, record, ack, [this, target, self, respond](Status status) mutable {
+      network_->Send(target, self, [respond, status = std::move(status)]() mutable {
+        respond(std::move(status));
+      });
+    });
+  });
+}
+
+void Router::Put(const std::string& key, const std::string& value, AckMode ack,
+                 std::function<void(Status)> callback) {
+  PutWithVersion(key, value, ack,
+                 [callback = std::move(callback)](Result<Version> result) {
+                   callback(result.ok() ? Status::Ok() : result.status());
+                 });
+}
+
+void Router::PutWithVersion(const std::string& key, const std::string& value, AckMode ack,
+                            std::function<void(Result<Version>)> callback) {
+  WalRecord record;
+  record.type = WalRecord::Type::kPut;
+  record.key = key;
+  record.value = value;
+  record.version = Version{loop_->Now(), client_id_};
+  Version stamped = record.version;
+  SendWrite(record, ack, [stamped, callback = std::move(callback)](Status status) {
+    if (status.ok()) {
+      callback(stamped);
+    } else {
+      callback(std::move(status));
+    }
+  });
+}
+
+void Router::Delete(const std::string& key, AckMode ack, std::function<void(Status)> callback) {
+  DeleteWithVersion(key, ack,
+                    [callback = std::move(callback)](Result<Version> result) {
+                      callback(result.ok() ? Status::Ok() : result.status());
+                    });
+}
+
+void Router::DeleteWithVersion(const std::string& key, AckMode ack,
+                               std::function<void(Result<Version>)> callback) {
+  WalRecord record;
+  record.type = WalRecord::Type::kDelete;
+  record.key = key;
+  record.version = Version{loop_->Now(), client_id_};
+  Version stamped = record.version;
+  SendWrite(record, ack, [stamped, callback = std::move(callback)](Status status) {
+    if (status.ok()) {
+      callback(stamped);
+    } else {
+      callback(std::move(status));
+    }
+  });
+}
+
+void Router::ConditionalPut(const std::string& key, const std::string& value,
+                            std::optional<Version> expected, AckMode ack,
+                            std::function<void(Status)> callback) {
+  Time started = loop_->Now();
+  const PartitionInfo& partition = cluster_->partitions()->ForKey(key);
+  NodeId target = partition.primary();
+  StorageNode* node = cluster_->GetNode(target);
+  if (node == nullptr) {
+    FinishWrite(started, false);
+    callback(UnavailableError("primary not registered"));
+    return;
+  }
+  auto state = std::make_shared<Pending>();
+  auto respond = [this, state, started, callback](Status status) {
+    if (state->done) return;
+    state->done = true;
+    if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
+    // kAborted is an answered request: the system worked, the CAS lost.
+    FinishWrite(started, status.ok() || IsAborted(status));
+    callback(std::move(status));
+  };
+  state->timeout_event =
+      loop_->ScheduleAfter(config_.request_timeout, [respond]() mutable {
+        respond(UnavailableError("write timeout"));
+      });
+  Version new_version{loop_->Now(), client_id_};
+  PartitionId pid = partition.id;
+  NodeId self = client_id_;
+  network_->Send(self, target,
+                 [this, node, pid, key, value, expected, new_version, ack, target, self,
+                  respond]() mutable {
+                   node->HandleConditionalPut(
+                       pid, key, value, expected, new_version, ack,
+                       [this, target, self, respond](Status status) mutable {
+                         network_->Send(target, self,
+                                        [respond, status = std::move(status)]() mutable {
+                                          respond(std::move(status));
+                                        });
+                       });
+                 });
+}
+
+RouterWindow Router::TakeWindow() {
+  RouterWindow out = std::move(window_);
+  window_ = RouterWindow{};
+  return out;
+}
+
+}  // namespace scads

@@ -1,0 +1,137 @@
+// Router: the client-side coordinator.
+//
+// Maps keys to partitions, picks replicas, composes the two network hops
+// (request out, response back), enforces timeouts, and records the
+// end-to-end latency histograms the SLA monitor consumes. One Router models
+// one application server; experiments may run several.
+
+#ifndef SCADS_CLUSTER_ROUTER_H_
+#define SCADS_CLUSTER_ROUTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/node.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace scads {
+
+/// Where point reads go.
+enum class ReadTarget {
+  kPrimary,        ///< Always the partition primary (freshest).
+  kAnyReplica,     ///< Uniformly random replica (spreads load; may be stale).
+};
+
+/// Router tunables.
+struct RouterConfig {
+  Duration request_timeout = 250 * kMillisecond;
+  /// Reads that fail (timeout/unreachable) retry on other replicas up to
+  /// this many times. Writes never retry automatically (no idempotence
+  /// token at this layer).
+  int read_retries = 1;
+  ReadTarget read_target = ReadTarget::kAnyReplica;
+};
+
+/// Cumulative, resettable request statistics for one Router.
+struct RouterWindow {
+  LogHistogram read_latency;
+  LogHistogram write_latency;
+  int64_t reads_ok = 0;
+  int64_t reads_failed = 0;  ///< Timeout/unavailable/shed (NotFound is ok).
+  int64_t writes_ok = 0;
+  int64_t writes_failed = 0;
+
+  void MergeFrom(const RouterWindow& other);
+};
+
+/// Client entry point into the cluster.
+class Router {
+ public:
+  Router(NodeId client_id, EventLoop* loop, SimNetwork* network, ClusterState* cluster,
+         RouterConfig config, uint64_t seed);
+
+  NodeId client_id() const { return client_id_; }
+  RouterConfig* mutable_config() { return &config_; }
+
+  /// Point read. Replica choice follows config.read_target; `pin_primary`
+  /// forces the primary (used by serializable reads and session guarantees).
+  void Get(const std::string& key, bool pin_primary,
+           std::function<void(Result<Record>)> callback);
+
+  /// Range read [start, end) (single-partition ranges only: SCADS query
+  /// compilation guarantees bounded ranges; cross-partition scans fan out at
+  /// the query layer).
+  void Scan(const std::string& start, const std::string& end, size_t limit,
+            std::function<void(Result<std::vector<Record>>)> callback);
+
+  /// Write with the given ack mode. The version is stamped here:
+  /// {loop->Now(), client_id} — last-write-wins order is wall-clock time,
+  /// writer id breaks ties.
+  void Put(const std::string& key, const std::string& value, AckMode ack,
+           std::function<void(Status)> callback);
+
+  /// Like Put, but reports the stamped version on success (session
+  /// guarantees keep it as their token).
+  void PutWithVersion(const std::string& key, const std::string& value, AckMode ack,
+                      std::function<void(Result<Version>)> callback);
+
+  /// Tombstone write.
+  void Delete(const std::string& key, AckMode ack, std::function<void(Status)> callback);
+
+  /// Like Delete, but reports the stamped version on success.
+  void DeleteWithVersion(const std::string& key, AckMode ack,
+                         std::function<void(Result<Version>)> callback);
+
+  /// Compare-and-set (serializable writes). `expected` empty = "must not
+  /// exist".
+  void ConditionalPut(const std::string& key, const std::string& value,
+                      std::optional<Version> expected, AckMode ack,
+                      std::function<void(Status)> callback);
+
+  /// Read directly from a chosen replica (consistency layer uses this for
+  /// staleness-bounded and availability-prioritized reads).
+  void GetFromReplica(const std::string& key, NodeId replica,
+                      std::function<void(Result<Record>)> callback);
+
+  /// Statistics since the last TakeWindow call.
+  RouterWindow TakeWindow();
+  const RouterWindow& window() const { return window_; }
+
+ private:
+  struct Pending {
+    bool done = false;
+    EventLoop::EventId timeout_event = EventLoop::kInvalidEvent;
+  };
+
+  /// Wraps `callback` with a timeout: at most one of callback(result) /
+  /// callback(timeout-status) runs.
+  template <typename T>
+  std::function<void(Result<T>)> WithTimeout(std::function<void(Result<T>)> callback,
+                                             std::function<Result<T>()> timeout_result);
+
+  void GetAttempt(const std::string& key, std::vector<NodeId> candidates, size_t index, Time start,
+                  std::function<void(Result<Record>)> callback);
+  void FinishRead(Time start, bool ok);
+  void FinishWrite(Time start, bool ok);
+
+  NodeId ChooseReadReplica(const PartitionInfo& partition, bool pin_primary);
+  void SendWrite(const WalRecord& record, AckMode ack, std::function<void(Status)> callback);
+
+  NodeId client_id_;
+  EventLoop* loop_;
+  SimNetwork* network_;
+  ClusterState* cluster_;
+  RouterConfig config_;
+  Rng rng_;
+  RouterWindow window_;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_CLUSTER_ROUTER_H_

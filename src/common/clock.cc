@@ -1,0 +1,29 @@
+#include "common/clock.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace scads {
+
+Time WallClock::Now() const {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+}
+
+WallClock* WallClock::Get() {
+  static WallClock clock;
+  return &clock;
+}
+
+Time ManualClock::Advance(Duration delta) {
+  assert(delta >= 0 && "clock cannot go backwards");
+  now_ += delta;
+  return now_;
+}
+
+void ManualClock::SetTime(Time t) {
+  assert(t >= now_ && "clock cannot go backwards");
+  now_ = t;
+}
+
+}  // namespace scads

@@ -1,0 +1,48 @@
+// Clock abstraction. System experiments run on simulated time (the
+// discrete-event loop advances a ManualClock); micro-benchmarks use
+// WallClock. Code that needs "now" takes a Clock* so both work.
+
+#ifndef SCADS_COMMON_CLOCK_H_
+#define SCADS_COMMON_CLOCK_H_
+
+#include "common/types.h"
+
+namespace scads {
+
+/// Source of the current time in microseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time. Never decreases.
+  virtual Time Now() const = 0;
+};
+
+/// Real time (CLOCK_MONOTONIC-based).
+class WallClock final : public Clock {
+ public:
+  Time Now() const override;
+  /// Process-wide instance.
+  static WallClock* Get();
+};
+
+/// A clock advanced explicitly by its owner (the event loop in simulations,
+/// or a test).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Time start = 0) : now_(start) {}
+
+  Time Now() const override { return now_; }
+
+  /// Moves time forward by `delta` (must be >= 0). Returns the new time.
+  Time Advance(Duration delta);
+
+  /// Jumps to an absolute time (must be >= Now()).
+  void SetTime(Time t);
+
+ private:
+  Time now_;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_COMMON_CLOCK_H_

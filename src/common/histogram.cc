@@ -1,0 +1,118 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace scads {
+
+namespace {
+// 64 powers of two, each with kSubBuckets slices, plus the linear region.
+constexpr int kMaxBuckets = 128 + 64 * 16;
+}  // namespace
+
+LogHistogram::LogHistogram() : buckets_(kMaxBuckets, 0) {}
+
+int LogHistogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kLinearMax) return static_cast<int>(value);
+  uint64_t v = static_cast<uint64_t>(value);
+  int log2 = 63 - std::countl_zero(v);
+  // Slice within [2^log2, 2^(log2+1)).
+  uint64_t base = 1ULL << log2;
+  int sub = static_cast<int>(((v - base) * kSubBuckets) >> log2);
+  int idx = kLinearMax + (log2 - 7) * kSubBuckets + sub;
+  // log2 >= 7 because value >= 128. Clamp defensively for huge values.
+  return std::min(idx, kMaxBuckets - 1);
+}
+
+int64_t LogHistogram::BucketUpperBound(int bucket) {
+  if (bucket < kLinearMax) return bucket;
+  int rel = bucket - kLinearMax;
+  int log2 = rel / kSubBuckets + 7;
+  int sub = rel % kSubBuckets;
+  uint64_t base = 1ULL << log2;
+  return static_cast<int64_t>(base + ((base * (sub + 1)) / kSubBuckets) - 1);
+}
+
+void LogHistogram::Record(int64_t value) { RecordMany(value, 1); }
+
+void LogHistogram::RecordMany(int64_t value, int64_t count) {
+  if (count <= 0) return;
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buckets_[BucketFor(value)] += count;
+  count_ += count;
+  sum_ += value * count;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (int i = 0; i < kMaxBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+int64_t LogHistogram::min() const { return min_; }
+int64_t LogHistogram::max() const { return max_; }
+
+double LogHistogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t LogHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  int64_t target = static_cast<int64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kMaxBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min<int64_t>(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+double LogHistogram::FractionAtOrBelow(int64_t threshold) const {
+  if (count_ == 0) return 1.0;
+  if (threshold < 0) return 0.0;
+  int64_t at_or_below = 0;
+  for (int i = 0; i < kMaxBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (BucketUpperBound(i) <= threshold) {
+      at_or_below += buckets_[i];
+    } else {
+      break;  // Buckets are ordered; everything later is above threshold.
+    }
+  }
+  return static_cast<double>(at_or_below) / static_cast<double>(count_);
+}
+
+std::string LogHistogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%" PRId64 " mean=%.1f p50=%" PRId64 " p95=%" PRId64 " p99=%" PRId64
+                " p999=%" PRId64 " max=%" PRId64,
+                count_, mean(), ValueAtQuantile(0.50), ValueAtQuantile(0.95),
+                ValueAtQuantile(0.99), ValueAtQuantile(0.999), max_);
+  return buf;
+}
+
+}  // namespace scads

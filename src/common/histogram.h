@@ -1,0 +1,69 @@
+// Latency/size histograms with percentile queries.
+//
+// LogHistogram buckets values on a log scale (constant relative error),
+// which is the standard representation for latency SLO accounting: p50/p99/
+// p99.9 queries are O(#buckets) and merging is element-wise addition.
+
+#ifndef SCADS_COMMON_HISTOGRAM_H_
+#define SCADS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scads {
+
+/// Log-bucketed histogram for non-negative values (typically microseconds).
+///
+/// Layout: values [0, kLinearMax) map to unit-width buckets; above that,
+/// each power of two is split into kSubBuckets equal slices, capping the
+/// relative error at 1/kSubBuckets.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  /// Records one observation (negative values clamp to 0).
+  void Record(int64_t value);
+  /// Records `count` observations of `value`.
+  void RecordMany(int64_t value, int64_t count);
+
+  /// Adds all observations from `other` into this histogram.
+  void Merge(const LogHistogram& other);
+
+  /// Removes all observations.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+  int64_t sum() const { return sum_; }
+
+  /// Value at quantile q in [0,1] (upper bound of the containing bucket;
+  /// 0 when empty). q=0.5 -> median, q=0.99 -> p99.
+  int64_t ValueAtQuantile(double q) const;
+
+  /// Fraction of observations <= threshold (1.0 when empty — vacuous SLAs
+  /// hold). Conservative: a partially-crossing bucket counts as violating.
+  double FractionAtOrBelow(int64_t threshold) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/p999/max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kLinearMax = 128;
+  static constexpr int kSubBuckets = 16;
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketUpperBound(int bucket);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_COMMON_HISTOGRAM_H_

@@ -1,0 +1,59 @@
+// Minimal leveled logging. Experiments print their own tables; logging is
+// for diagnostics and is off below kWarning by default so bench output stays
+// clean.
+
+#ifndef SCADS_COMMON_LOGGING_H_
+#define SCADS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace scads {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (process-wide).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define SCADS_LOG(level)                                         \
+  (::scads::LogLevel::k##level < ::scads::GetLogLevel())         \
+      ? (void)0                                                  \
+      : ::scads::internal::LogMessageVoidify() &                 \
+            ::scads::internal::LogMessage(::scads::LogLevel::k##level, __FILE__, __LINE__) \
+                .stream()
+
+/// Fatal check: aborts with a message when `cond` is false. Used for
+/// programmer-error invariants (never for data-dependent failures, which
+/// return Status).
+#define SCADS_CHECK(cond)                                                     \
+  (cond) ? (void)0                                                            \
+         : ::scads::internal::CheckFail(#cond, __FILE__, __LINE__)
+
+namespace internal {
+[[noreturn]] void CheckFail(const char* expr, const char* file, int line);
+}  // namespace internal
+
+}  // namespace scads
+
+#endif  // SCADS_COMMON_LOGGING_H_

@@ -1,0 +1,58 @@
+#include "common/metrics.h"
+
+#include "common/strings.h"
+
+namespace scads {
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+LogHistogram* MetricRegistry::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<LogHistogram>()).first;
+  }
+  return it->second.get();
+}
+
+int64_t MetricRegistry::CounterValue(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::vector<std::string> MetricRegistry::CounterNames() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, unused] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricRegistry::HistogramNames() const {
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, unused] : histograms_) names.push_back(name);
+  return names;
+}
+
+void MetricRegistry::ResetAll() {
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricRegistry::DebugString() const {
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += StrFormat("%s %lld\n", name.c_str(), static_cast<long long>(counter->value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += StrFormat("%s %s\n", name.c_str(), histogram->Summary().c_str());
+  }
+  return out;
+}
+
+}  // namespace scads

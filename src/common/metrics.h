@@ -1,0 +1,60 @@
+// Named counters and histograms. Components export metrics through a
+// registry so the Director (and tests) can observe them without coupling to
+// component internals — the same shape as RocksDB Statistics.
+
+#ifndef SCADS_COMMON_METRICS_H_
+#define SCADS_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace scads {
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Registry of named counters and histograms. Not thread-safe by design:
+/// SCADS simulations are single-threaded and deterministic.
+class MetricRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter* GetCounter(std::string_view name);
+
+  /// Returns the histogram registered under `name`, creating it on first use.
+  LogHistogram* GetHistogram(std::string_view name);
+
+  /// Counter value, or 0 when absent (does not create).
+  int64_t CounterValue(std::string_view name) const;
+
+  /// Sorted names of all registered counters.
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+  /// Zeroes every counter and histogram.
+  void ResetAll();
+
+  /// Multi-line "name value" dump for debugging.
+  std::string DebugString() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>> histograms_;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_COMMON_METRICS_H_

@@ -1,0 +1,132 @@
+// Result<T>: a value or an error Status.
+//
+// The error representation never constructs a T, so T need not be
+// default-constructible. Accessing value() on an error result aborts the
+// process (it is a programming error, like dereferencing a null pointer).
+//
+// Engagement is tracked by an explicit flag rather than status_.ok():
+// moving a Status out leaves the source status OK, which must not make the
+// destructor believe a T exists.
+
+#ifndef SCADS_COMMON_RESULT_H_
+#define SCADS_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace scads {
+
+/// Holds either a T (when ok()) or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Error results are built from a non-OK Status. Constructing from an OK
+  /// status is a bug and aborts.
+  Result(Status status) : status_(std::move(status)), has_value_(false) {  // NOLINT: implicit
+    if (status_.ok()) Abort("Result constructed from OK status without value");
+  }
+
+  /// Value results are built from a T.
+  Result(T value) : status_(), has_value_(true) {  // NOLINT: implicit by design
+    new (&storage_) T(std::move(value));
+  }
+
+  Result(const Result& other) : status_(other.status_), has_value_(other.has_value_) {
+    if (has_value_) new (&storage_) T(other.value_ref());
+  }
+
+  Result(Result&& other) noexcept
+      : status_(std::move(other.status_)), has_value_(other.has_value_) {
+    if (has_value_) new (&storage_) T(std::move(other.value_ref()));
+  }
+
+  Result& operator=(const Result& other) {
+    if (this != &other) {
+      Destroy();
+      status_ = other.status_;
+      has_value_ = other.has_value_;
+      if (has_value_) new (&storage_) T(other.value_ref());
+    }
+    return *this;
+  }
+
+  Result& operator=(Result&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      status_ = std::move(other.status_);
+      has_value_ = other.has_value_;
+      if (has_value_) new (&storage_) T(std::move(other.value_ref()));
+    }
+    return *this;
+  }
+
+  ~Result() { Destroy(); }
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  /// The held value. Precondition: ok().
+  const T& value() const& {
+    CheckOk();
+    return value_ref();
+  }
+  T& value() & {
+    CheckOk();
+    return value_ref();
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(value_ref());
+  }
+
+  /// Returns the value, or `fallback` when this result is an error.
+  T value_or(T fallback) const& { return ok() ? value_ref() : std::move(fallback); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!has_value_) Abort(status_.ToString().c_str());
+  }
+  [[noreturn]] static void Abort(const char* what) {
+    std::fprintf(stderr, "Result<T>::value() on error result: %s\n", what);
+    std::abort();
+  }
+  const T& value_ref() const { return *std::launder(reinterpret_cast<const T*>(&storage_)); }
+  T& value_ref() { return *std::launder(reinterpret_cast<T*>(&storage_)); }
+  void Destroy() {
+    if (has_value_) {
+      value_ref().~T();
+      has_value_ = false;
+    }
+  }
+
+  Status status_;
+  bool has_value_ = false;
+  alignas(T) unsigned char storage_[sizeof(T)];
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the status,
+/// otherwise assigns the value into `lhs` (which must be declarable).
+#define SCADS_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  SCADS_ASSIGN_OR_RETURN_IMPL_(                         \
+      SCADS_RESULT_CONCAT_(scads_result_, __LINE__), lhs, rexpr)
+
+#define SCADS_RESULT_CONCAT_INNER_(a, b) a##b
+#define SCADS_RESULT_CONCAT_(a, b) SCADS_RESULT_CONCAT_INNER_(a, b)
+#define SCADS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace scads
+
+#endif  // SCADS_COMMON_RESULT_H_

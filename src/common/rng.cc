@@ -1,0 +1,154 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace scads {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+double ZetaStatic(int64_t n, double theta) {
+  // Exact zeta for small n; Euler-Maclaurin style approximation for large n
+  // keeps Zipf setup O(1)-ish while matching the standard YCSB behaviour
+  // closely enough for workload skew.
+  if (n <= 4096) {
+    double sum = 0;
+    for (int64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+  double sum = 0;
+  for (int64_t i = 1; i <= 4096; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  // Integral tail from 4096.5 to n.
+  double a = 4096.5, b = static_cast<double>(n) + 0.5;
+  sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+  return sum;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_normal_ = true;
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+int64_t Rng::Poisson(double mean) {
+  assert(mean >= 0);
+  if (mean == 0) return 0;
+  if (mean > 64) {
+    // Normal approximation with continuity correction; adequate for
+    // aggregate request-count draws.
+    double draw = Normal(mean, std::sqrt(mean));
+    return draw < 0 ? 0 : static_cast<int64_t>(draw + 0.5);
+  }
+  // Knuth's method.
+  double limit = std::exp(-mean);
+  double product = NextDouble();
+  int64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= NextDouble();
+  }
+  return count;
+}
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  assert(n > 0);
+  if (theta <= 0.0) return static_cast<int64_t>(Uniform(static_cast<uint64_t>(n)));
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_zetan_ = ZetaStatic(n, theta);
+    double zeta2 = ZetaStatic(2, theta);
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                (1.0 - zeta2 / zipf_zetan_);
+    zipf_half_pow_ = 1.0 + std::pow(0.5, theta);
+  }
+  double u = NextDouble();
+  double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < zipf_half_pow_) return 1;
+  return static_cast<int64_t>(static_cast<double>(zipf_n_) *
+                              std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+}
+
+double Rng::Pareto(double minimum, double alpha) {
+  assert(minimum > 0 && alpha > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return minimum / std::pow(u, 1.0 / alpha);
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace scads

@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in SCADS flows from Rng instances seeded explicitly, so any
+// experiment is reproducible from its seed. The core generator is
+// xoshiro256**, seeded via splitmix64.
+
+#ifndef SCADS_COMMON_RNG_H_
+#define SCADS_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace scads {
+
+/// Deterministic PRNG with distribution helpers used by the workload
+/// generators and the network/failure models.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi]. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponential with mean `mean` (> 0).
+  double Exponential(double mean);
+
+  /// Standard normal via Box-Muller, scaled to (mean, stddev).
+  double Normal(double mean, double stddev);
+
+  /// Poisson-distributed count with the given mean (uses normal
+  /// approximation above 64 to stay O(1)).
+  int64_t Poisson(double mean);
+
+  /// Zipfian index in [0, n) with exponent theta (0 = uniform; typical
+  /// social-graph skew uses ~0.99). Uses the Gray et al. rejection method;
+  /// O(1) per draw after O(n)-free setup.
+  int64_t Zipf(int64_t n, double theta);
+
+  /// Pareto-distributed degree sample with minimum `minimum` and shape
+  /// `alpha` (heavy-tailed; used for friend counts).
+  double Pareto(double minimum, double alpha);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  // Cached state for Zipf: recomputed when (n, theta) changes.
+  int64_t zipf_n_ = -1;
+  double zipf_theta_ = -1.0;
+  double zipf_alpha_ = 0.0, zipf_zetan_ = 0.0, zipf_eta_ = 0.0, zipf_half_pow_ = 0.0;
+  // Cached second normal deviate.
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_COMMON_RNG_H_

@@ -1,0 +1,76 @@
+#include "common/status.h"
+
+namespace scads {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+Status::Status(StatusCode code, std::string_view message) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_unique<Rep>(Rep{code, std::string(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.rep_ != nullptr) rep_ = std::make_unique<Rep>(*other.rep_);
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ == nullptr ? nullptr : std::make_unique<Rep>(*other.rep_);
+  }
+  return *this;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code()));
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status InvalidArgumentError(std::string_view m) { return Status(StatusCode::kInvalidArgument, m); }
+Status NotFoundError(std::string_view m) { return Status(StatusCode::kNotFound, m); }
+Status AlreadyExistsError(std::string_view m) { return Status(StatusCode::kAlreadyExists, m); }
+Status FailedPreconditionError(std::string_view m) {
+  return Status(StatusCode::kFailedPrecondition, m);
+}
+Status OutOfRangeError(std::string_view m) { return Status(StatusCode::kOutOfRange, m); }
+Status ResourceExhaustedError(std::string_view m) {
+  return Status(StatusCode::kResourceExhausted, m);
+}
+Status UnavailableError(std::string_view m) { return Status(StatusCode::kUnavailable, m); }
+Status DeadlineExceededError(std::string_view m) {
+  return Status(StatusCode::kDeadlineExceeded, m);
+}
+Status AbortedError(std::string_view m) { return Status(StatusCode::kAborted, m); }
+Status UnimplementedError(std::string_view m) { return Status(StatusCode::kUnimplemented, m); }
+Status InternalError(std::string_view m) { return Status(StatusCode::kInternal, m); }
+
+}  // namespace scads

@@ -1,0 +1,112 @@
+// Status: the error-reporting currency of SCADS.
+//
+// SCADS does not use C++ exceptions. Every fallible operation returns a
+// Status (or a Result<T>, see result.h) that callers must inspect. The code
+// set mirrors the small, well-understood vocabulary used by production
+// storage systems.
+
+#ifndef SCADS_COMMON_STATUS_H_
+#define SCADS_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace scads {
+
+/// Canonical error codes. Keep this list small; prefer attaching context to
+/// the message over inventing new codes.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller supplied a bad value.
+  kNotFound = 2,          ///< Entity (key, node, table, ...) does not exist.
+  kAlreadyExists = 3,     ///< Create-style op collided with an existing entity.
+  kFailedPrecondition = 4,///< System not in a state where the op is legal.
+  kOutOfRange = 5,        ///< Index/offset outside the valid interval.
+  kResourceExhausted = 6, ///< Budget (ops, memory, capacity) exceeded.
+  kUnavailable = 7,       ///< Transient: retry may succeed (partition, boot).
+  kDeadlineExceeded = 8,  ///< SLA or staleness deadline missed.
+  kAborted = 9,           ///< Concurrency conflict; caller may retry.
+  kUnimplemented = 10,    ///< Feature intentionally not built.
+  kInternal = 11,         ///< Invariant violation; a bug in SCADS itself.
+};
+
+/// Human-readable name of a code ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic status. The OK status carries no allocation; error
+/// statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with `code` and `message`. A `code` of
+  /// StatusCode::kOk ignores the message.
+  Status(StatusCode code, std::string_view message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  /// Message text; empty for OK.
+  std::string_view message() const {
+    return rep_ == nullptr ? std::string_view() : std::string_view(rep_->message);
+  }
+
+  /// "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  /// Two statuses are equal when code and message both match.
+  friend bool operator==(const Status& a, const Status& b);
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;  // nullptr <=> OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Factory helpers, one per error code.
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+Status UnavailableError(std::string_view message);
+Status DeadlineExceededError(std::string_view message);
+Status AbortedError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+Status InternalError(std::string_view message);
+
+// Predicates.
+inline bool IsNotFound(const Status& s) { return s.code() == StatusCode::kNotFound; }
+inline bool IsUnavailable(const Status& s) { return s.code() == StatusCode::kUnavailable; }
+inline bool IsAborted(const Status& s) { return s.code() == StatusCode::kAborted; }
+inline bool IsDeadlineExceeded(const Status& s) {
+  return s.code() == StatusCode::kDeadlineExceeded;
+}
+
+/// Evaluates `expr` (a Status expression); on error, returns it from the
+/// enclosing function.
+#define SCADS_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::scads::Status scads_status_ = (expr);        \
+    if (!scads_status_.ok()) return scads_status_; \
+  } while (0)
+
+}  // namespace scads
+
+#endif  // SCADS_COMMON_STATUS_H_

@@ -1,0 +1,122 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace scads {
+
+std::vector<std::string> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string AsciiLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string OrderedEncodeInt64(int64_t value) {
+  uint64_t u = static_cast<uint64_t>(value) ^ (1ULL << 63);  // flip sign bit
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((u >> (56 - 8 * i)) & 0xff);
+  }
+  return out;
+}
+
+bool OrderedDecodeInt64(std::string_view encoded, int64_t* value) {
+  if (encoded.size() != 8) return false;
+  uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) {
+    u = (u << 8) | static_cast<unsigned char>(encoded[i]);
+  }
+  *value = static_cast<int64_t>(u ^ (1ULL << 63));
+  return true;
+}
+
+void AppendKeyPiece(std::string* key, std::string_view piece) {
+  // 4-byte big-endian length prefix keeps pieces self-delimiting while
+  // preserving lexicographic order between equal-arity keys.
+  uint32_t n = static_cast<uint32_t>(piece.size());
+  for (int i = 0; i < 4; ++i) {
+    key->push_back(static_cast<char>((n >> (24 - 8 * i)) & 0xff));
+  }
+  key->append(piece);
+}
+
+bool ConsumeKeyPiece(std::string_view* key, std::string_view* piece) {
+  if (key->size() < 4) return false;
+  uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n = (n << 8) | static_cast<unsigned char>((*key)[static_cast<size_t>(i)]);
+  }
+  key->remove_prefix(4);
+  if (key->size() < n) return false;
+  *piece = key->substr(0, n);
+  key->remove_prefix(n);
+  return true;
+}
+
+std::string InvertBytes(std::string_view bytes) {
+  std::string out(bytes);
+  for (char& c : out) c = static_cast<char>(~static_cast<unsigned char>(c));
+  return out;
+}
+
+std::string PrefixSuccessor(std::string_view p) {
+  std::string out(p);
+  while (!out.empty()) {
+    unsigned char last = static_cast<unsigned char>(out.back());
+    if (last != 0xff) {
+      out.back() = static_cast<char>(last + 1);
+      return out;
+    }
+    out.pop_back();
+  }
+  return out;  // empty: unbounded
+}
+
+}  // namespace scads

@@ -1,0 +1,59 @@
+// String helpers shared across modules: split/join, prefix tests, printf-
+// style formatting into std::string, and fixed-width key encoding that
+// preserves numeric order under lexicographic comparison (used by every
+// index key in SCADS).
+
+#ifndef SCADS_COMMON_STRINGS_H_
+#define SCADS_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scads {
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// ASCII lowercase copy.
+std::string AsciiLower(std::string_view text);
+
+/// Encodes an int64 as 8 bytes whose lexicographic order equals numeric
+/// order (big-endian with the sign bit flipped). Composite index keys are
+/// concatenations of these plus raw strings.
+std::string OrderedEncodeInt64(int64_t value);
+
+/// Inverse of OrderedEncodeInt64. Returns false when `encoded` is not
+/// exactly 8 bytes.
+bool OrderedDecodeInt64(std::string_view encoded, int64_t* value);
+
+/// Appends a length-prefixed string piece so composite keys cannot alias
+/// ("ab"+"c" vs "a"+"bc").
+void AppendKeyPiece(std::string* key, std::string_view piece);
+
+/// Consumes one length-prefixed piece (as written by AppendKeyPiece) from
+/// the front of `*key`. Returns false on truncation.
+bool ConsumeKeyPiece(std::string_view* key, std::string_view* piece);
+
+/// Flips every byte. For fixed-width encodings (OrderedEncodeInt64) this
+/// reverses the sort order — used to build descending index keys.
+std::string InvertBytes(std::string_view bytes);
+
+/// The smallest string strictly greater than every string with prefix `p`
+/// (for building end-of-range bounds). Empty result means "no upper bound"
+/// (p was all 0xff).
+std::string PrefixSuccessor(std::string_view p);
+
+}  // namespace scads
+
+#endif  // SCADS_COMMON_STRINGS_H_

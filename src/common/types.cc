@@ -1,0 +1,53 @@
+#include "common/types.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace scads {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  const char* sign = d < 0 ? "-" : "";
+  if (d < 0) d = -d;
+  if (d < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64 "us", sign, d);
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fms", sign, static_cast<double>(d) / kMillisecond);
+  } else if (d < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fs", sign, static_cast<double>(d) / kSecond);
+  } else if (d < kHour) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64 "m%" PRId64 "s", sign, d / kMinute,
+                  (d % kMinute) / kSecond);
+  } else if (d < kDay) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64 "h%" PRId64 "m", sign, d / kHour,
+                  (d % kHour) / kMinute);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64 "d%" PRId64 "h", sign, d / kDay,
+                  (d % kDay) / kHour);
+  }
+  return buf;
+}
+
+std::string FormatCount(int64_t n) {
+  char digits[32];
+  const char* sign = n < 0 ? "-" : "";
+  uint64_t magnitude = n < 0 ? -static_cast<uint64_t>(n) : static_cast<uint64_t>(n);
+  std::snprintf(digits, sizeof(digits), "%" PRIu64, magnitude);
+  std::string out(sign);
+  int len = static_cast<int>(std::string(digits).size());
+  for (int i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string FormatMoneyMicros(int64_t micro_dollars) {
+  char buf[64];
+  double dollars = static_cast<double>(micro_dollars) / 1e6;
+  std::snprintf(buf, sizeof(buf), "$%.2f", dollars);
+  return buf;
+}
+
+}  // namespace scads

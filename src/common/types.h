@@ -1,0 +1,59 @@
+// Small shared vocabulary types used across SCADS modules.
+
+#ifndef SCADS_COMMON_TYPES_H_
+#define SCADS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace scads {
+
+/// Simulated (or wall) time in microseconds since an arbitrary epoch.
+using Time = int64_t;
+/// A span of time in microseconds.
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+
+/// Identifies a storage node (server) in the cluster. Dense, never reused.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Identifies a partition (contiguous key range) of a keyspace.
+using PartitionId = int32_t;
+
+/// Monotonic version for a record: commit timestamp in micros, tie-broken by
+/// writer node id. Higher wins under last-write-wins.
+struct Version {
+  Time timestamp = 0;
+  NodeId writer = kInvalidNode;
+
+  friend bool operator==(const Version& a, const Version& b) {
+    return a.timestamp == b.timestamp && a.writer == b.writer;
+  }
+  friend bool operator<(const Version& a, const Version& b) {
+    if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+    return a.writer < b.writer;
+  }
+  friend bool operator>(const Version& a, const Version& b) { return b < a; }
+  friend bool operator<=(const Version& a, const Version& b) { return !(b < a); }
+  friend bool operator>=(const Version& a, const Version& b) { return !(a < b); }
+};
+
+/// Formats a duration for humans: "1.5ms", "2m30s", "3d", ...
+std::string FormatDuration(Duration d);
+
+/// Formats a count with thousands separators: 1234567 -> "1,234,567".
+std::string FormatCount(int64_t n);
+
+/// Formats US dollars from micro-dollars: 1_500_000 -> "$1.50".
+std::string FormatMoneyMicros(int64_t micro_dollars);
+
+}  // namespace scads
+
+#endif  // SCADS_COMMON_TYPES_H_

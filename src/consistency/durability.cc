@@ -1,0 +1,45 @@
+#include "consistency/durability.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace scads {
+
+double PredictSurvival(int replication_factor, const FailureModel& model) {
+  if (replication_factor < 1) return 0.0;
+  // P(one node fails within a re-replication window).
+  double window = static_cast<double>(model.re_replication_time);
+  double mtbf = static_cast<double>(model.node_mtbf);
+  double p_node = 1.0 - std::exp(-window / mtbf);
+  // All rf replicas fail in the same window (independent failures).
+  double p_loss_per_window = std::pow(p_node, replication_factor);
+  double windows = static_cast<double>(model.horizon) / window;
+  // Survive every window. Use log1p for numerical stability.
+  return std::exp(windows * std::log1p(-p_loss_per_window));
+}
+
+Result<DurabilityPlan> PlanDurability(double target_probability, const FailureModel& model,
+                                      int max_replication_factor) {
+  if (target_probability <= 0.0 || target_probability >= 1.0000001) {
+    return InvalidArgumentError("target probability must be in (0,1]");
+  }
+  for (int rf = 1; rf <= max_replication_factor; ++rf) {
+    double survival = PredictSurvival(rf, model);
+    if (survival >= target_probability) {
+      DurabilityPlan plan;
+      plan.replication_factor = rf;
+      plan.predicted_survival = survival;
+      // With one copy the primary ack is all there is; with more, the ack
+      // must cover enough copies that an immediate primary loss cannot drop
+      // below one surviving copy.
+      plan.ack_mode = rf >= 2 ? AckMode::kQuorum : AckMode::kPrimary;
+      return plan;
+    }
+  }
+  return ResourceExhaustedError(
+      StrFormat("durability %.7f unreachable with <= %d replicas", target_probability,
+                max_replication_factor));
+}
+
+}  // namespace scads

@@ -1,0 +1,52 @@
+// Durability SLA planning (Figure 4, "Durability SLA").
+//
+// "Durability may require persisting a write to multiple machines" — given
+// a target survival probability and a node failure model, compute the
+// minimal replication factor (and write ack mode) that meets the target.
+// The model: a write is lost only if every replica holding it fails within
+// one re-replication window (the time the system needs to restore a lost
+// copy). Relaxing the probability for low-value data saves replicas, which
+// is exactly the cost lever the paper describes for "old comments".
+
+#ifndef SCADS_CONSISTENCY_DURABILITY_H_
+#define SCADS_CONSISTENCY_DURABILITY_H_
+
+#include "cluster/node.h"
+#include "common/result.h"
+#include "common/types.h"
+
+namespace scads {
+
+/// Failure assumptions the planner works from.
+struct FailureModel {
+  /// Mean time between failures for one node (exponential model).
+  Duration node_mtbf = 30 * kDay;
+  /// How long the cluster needs to re-create a lost replica.
+  Duration re_replication_time = 10 * kMinute;
+  /// Horizon over which the survival probability must hold.
+  Duration horizon = 365 * kDay;
+};
+
+/// Chosen replication parameters.
+struct DurabilityPlan {
+  int replication_factor = 1;
+  /// Ack mode that guarantees the committed copy count before the client
+  /// sees success (rf >= 2 requires at least quorum so a primary crash
+  /// right after the ack cannot lose the write).
+  AckMode ack_mode = AckMode::kPrimary;
+  /// Survival probability the plan achieves over the horizon.
+  double predicted_survival = 0.0;
+};
+
+/// Probability that data with `replication_factor` copies survives
+/// `model.horizon` (see the loss model in the header comment).
+double PredictSurvival(int replication_factor, const FailureModel& model);
+
+/// Smallest plan meeting `target_probability`, or kResourceExhausted when
+/// even `max_replication_factor` copies are not enough.
+Result<DurabilityPlan> PlanDurability(double target_probability, const FailureModel& model,
+                                      int max_replication_factor = 7);
+
+}  // namespace scads
+
+#endif  // SCADS_CONSISTENCY_DURABILITY_H_

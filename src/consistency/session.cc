@@ -1,0 +1,87 @@
+#include "consistency/session.h"
+
+#include <utility>
+
+namespace scads {
+
+void SessionClient::Put(const std::string& key, const std::string& value, AckMode ack,
+                        std::function<void(Status)> callback) {
+  router_->PutWithVersion(
+      key, value, ack,
+      [this, key, callback = std::move(callback)](Result<Version> result) {
+        if (result.ok() && guarantees_.read_your_writes) {
+          write_tokens_[key] = WriteToken{*result, /*was_delete=*/false};
+        }
+        callback(result.ok() ? Status::Ok() : result.status());
+      });
+}
+
+void SessionClient::Delete(const std::string& key, AckMode ack,
+                           std::function<void(Status)> callback) {
+  router_->DeleteWithVersion(
+      key, ack,
+      [this, key, callback = std::move(callback)](Result<Version> result) {
+        if (result.ok() && guarantees_.read_your_writes) {
+          write_tokens_[key] = WriteToken{*result, /*was_delete=*/true};
+        }
+        callback(result.ok() ? Status::Ok() : result.status());
+      });
+}
+
+bool SessionClient::SatisfiesTokens(const std::string& key, const Result<Record>& result) const {
+  bool found = result.ok();
+  bool not_found = IsNotFound(result.status());
+  if (!found && !not_found) return true;  // infrastructure error: nothing to check
+  if (guarantees_.read_your_writes) {
+    auto it = write_tokens_.find(key);
+    if (it != write_tokens_.end()) {
+      const WriteToken& token = it->second;
+      if (token.was_delete) {
+        // Must observe the deletion or anything newer.
+        if (found && result.value().version < token.version) return false;
+      } else {
+        if (not_found) return false;
+        if (found && result.value().version < token.version) return false;
+      }
+    }
+  }
+  if (guarantees_.monotonic_reads) {
+    auto it = read_tokens_.find(key);
+    if (it != read_tokens_.end()) {
+      if (not_found) return false;  // once seen, it cannot vanish backwards
+      if (result.value().version < it->second) return false;
+    }
+  }
+  return true;
+}
+
+void SessionClient::RecordObservation(const std::string& key, const Result<Record>& result) {
+  if (!guarantees_.monotonic_reads) return;
+  if (result.ok()) {
+    Version& token = read_tokens_[key];
+    token = std::max(token, result.value().version);
+  }
+}
+
+void SessionClient::Get(const std::string& key, std::function<void(Result<Record>)> callback) {
+  router_->Get(key, /*pin_primary=*/false,
+               [this, key, callback = std::move(callback)](Result<Record> result) mutable {
+                 if (SatisfiesTokens(key, result)) {
+                   ++first_try_;
+                   RecordObservation(key, result);
+                   callback(std::move(result));
+                   return;
+                 }
+                 // Stale replica: fall back to the primary, which serializes
+                 // writes and therefore always satisfies both guarantees.
+                 ++fallbacks_;
+                 router_->Get(key, /*pin_primary=*/true,
+                              [this, key, callback = std::move(callback)](
+                                  Result<Record> fresh) mutable {
+                                RecordObservation(key, fresh);
+                                callback(std::move(fresh));
+                              });
+               });
+}
+
+}  // namespace scads

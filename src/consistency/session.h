@@ -1,0 +1,63 @@
+// Session guarantees (Figure 4, "Session Guarantees"; Terry et al. 1994).
+//
+// A SessionClient wraps a Router and tracks version tokens:
+//  * read-your-writes: a read must observe this session's latest write to
+//    the key (or its deletion);
+//  * monotonic reads: versions observed by this session never go backwards.
+// When a replica returns data older than the session token, the client
+// re-reads pinned to the primary (which is always current).
+
+#ifndef SCADS_CONSISTENCY_SESSION_H_
+#define SCADS_CONSISTENCY_SESSION_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/router.h"
+#include "consistency/spec.h"
+
+namespace scads {
+
+/// One user session with configurable guarantees.
+class SessionClient {
+ public:
+  SessionClient(Router* router, SessionGuarantees guarantees)
+      : router_(router), guarantees_(guarantees) {}
+
+  /// Write; on success the session remembers the committed version.
+  void Put(const std::string& key, const std::string& value, AckMode ack,
+           std::function<void(Status)> callback);
+
+  /// Delete; the session remembers the tombstone version.
+  void Delete(const std::string& key, AckMode ack, std::function<void(Status)> callback);
+
+  /// Read honouring the session guarantees. May cost a second, primary-
+  /// pinned request when a replica served stale data.
+  void Get(const std::string& key, std::function<void(Result<Record>)> callback);
+
+  /// How many reads needed the primary fallback (stale replica answers).
+  int64_t guarantee_fallbacks() const { return fallbacks_; }
+  /// How many reads were answered within guarantees on the first try.
+  int64_t first_try_reads() const { return first_try_; }
+
+ private:
+  struct WriteToken {
+    Version version;
+    bool was_delete = false;
+  };
+
+  bool SatisfiesTokens(const std::string& key, const Result<Record>& result) const;
+  void RecordObservation(const std::string& key, const Result<Record>& result);
+
+  Router* router_;
+  SessionGuarantees guarantees_;
+  std::unordered_map<std::string, WriteToken> write_tokens_;
+  std::unordered_map<std::string, Version> read_tokens_;
+  int64_t fallbacks_ = 0;
+  int64_t first_try_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_CONSISTENCY_SESSION_H_

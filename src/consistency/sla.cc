@@ -1,0 +1,37 @@
+#include "consistency/sla.h"
+
+#include "common/strings.h"
+
+namespace scads {
+
+std::string SlaReport::ToString() const {
+  return StrFormat("t=%s reads=%lld q-latency=%s within-bound=%.4f availability=%.4f %s",
+                   FormatDuration(at).c_str(), static_cast<long long>(reads),
+                   FormatDuration(read_latency_at_quantile).c_str(), fraction_within_bound,
+                   availability, ok() ? "OK" : "VIOLATION");
+}
+
+SlaReport SlaMonitor::Evaluate(const RouterWindow& window, Time now) {
+  SlaReport report;
+  report.at = now;
+  report.reads = window.reads_ok + window.reads_failed;
+  report.writes = window.writes_ok + window.writes_failed;
+  if (report.reads > 0) {
+    report.read_latency_at_quantile =
+        window.read_latency.ValueAtQuantile(sla_.read_quantile);
+    report.fraction_within_bound =
+        window.read_latency.FractionAtOrBelow(sla_.read_latency_bound);
+    report.latency_ok = report.fraction_within_bound >= sla_.read_quantile;
+  }
+  int64_t total = report.reads + report.writes;
+  if (total > 0) {
+    report.availability =
+        static_cast<double>(window.reads_ok + window.writes_ok) / static_cast<double>(total);
+    report.availability_ok = report.availability >= sla_.min_availability;
+  }
+  ++windows_;
+  if (!report.ok()) ++violations_;
+  return report;
+}
+
+}  // namespace scads

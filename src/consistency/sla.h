@@ -1,0 +1,58 @@
+// SLA monitoring (Figure 4, "Performance"; Figure 2 "SLA violations" input).
+//
+// The monitor folds RouterWindow samples into per-window compliance reports:
+// did the latency quantile stay under its bound, and did enough requests get
+// answered? The Director consumes the report stream; experiments also print
+// it as the per-window SLA trace.
+
+#ifndef SCADS_CONSISTENCY_SLA_H_
+#define SCADS_CONSISTENCY_SLA_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/router.h"
+#include "consistency/spec.h"
+#include "common/types.h"
+
+namespace scads {
+
+/// One evaluation window's compliance verdict.
+struct SlaReport {
+  Time at = 0;
+  int64_t reads = 0;
+  int64_t writes = 0;
+  /// Latency at the SLA quantile (us) and the fraction of reads within the
+  /// bound.
+  int64_t read_latency_at_quantile = 0;
+  double fraction_within_bound = 1.0;
+  double availability = 1.0;
+  bool latency_ok = true;
+  bool availability_ok = true;
+
+  bool ok() const { return latency_ok && availability_ok; }
+  std::string ToString() const;
+};
+
+/// Evaluates PerformanceSla compliance window by window.
+class SlaMonitor {
+ public:
+  explicit SlaMonitor(PerformanceSla sla) : sla_(sla) {}
+
+  /// Folds one router window (as returned by Router::TakeWindow) into a
+  /// report. Windows with no traffic are compliant by definition.
+  SlaReport Evaluate(const RouterWindow& window, Time now);
+
+  const PerformanceSla& sla() const { return sla_; }
+  int64_t windows_evaluated() const { return windows_; }
+  int64_t windows_violated() const { return violations_; }
+
+ private:
+  PerformanceSla sla_;
+  int64_t windows_ = 0;
+  int64_t violations_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_CONSISTENCY_SLA_H_

@@ -1,0 +1,226 @@
+#include "consistency/spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace scads {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+Result<double> ParseNumber(std::string_view text) {
+  std::string buf(text);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str()) return InvalidArgumentError(StrFormat("not a number: '%s'", buf.c_str()));
+  return v;
+}
+
+}  // namespace
+
+bool ConsistencySpec::AvailabilityFirst() const {
+  for (RequirementAxis axis : priority) {
+    if (axis == RequirementAxis::kAvailability) return true;
+    if (axis == RequirementAxis::kStaleness) return false;
+  }
+  return true;
+}
+
+std::string ConsistencySpec::ToString() const {
+  const char* writes_name = writes == WriteConsistency::kLastWriteWins ? "last_write_wins"
+                            : writes == WriteConsistency::kMergeFunction ? "merge"
+                                                                         : "serializable";
+  std::string session_text;
+  if (session.read_your_writes) session_text += "read_your_writes";
+  if (session.monotonic_reads) {
+    if (!session_text.empty()) session_text += ", ";
+    session_text += "monotonic_reads";
+  }
+  if (session_text.empty()) session_text = "none";
+  return StrFormat(
+      "performance: p%g read < %s, availability %.4g%%\n"
+      "writes: %s\n"
+      "staleness: %s\n"
+      "session: %s\n"
+      "durability: %.5g%%\n"
+      "priority: %s\n",
+      performance.read_quantile * 100.0, FormatDuration(performance.read_latency_bound).c_str(),
+      performance.min_availability * 100.0, writes_name,
+      max_staleness == 0 ? "unbounded" : FormatDuration(max_staleness).c_str(),
+      session_text.c_str(), durability_probability * 100.0,
+      AvailabilityFirst() ? "availability > staleness" : "staleness > availability");
+}
+
+Result<Duration> ParseDurationText(std::string_view text) {
+  text = Trim(text);
+  if (text.empty()) return InvalidArgumentError("empty duration");
+  size_t pos = 0;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.')) {
+    ++pos;
+  }
+  if (pos == 0) return InvalidArgumentError(StrFormat("bad duration '%.*s'",
+                                                      static_cast<int>(text.size()), text.data()));
+  double number = 0;
+  SCADS_ASSIGN_OR_RETURN(number, ParseNumber(text.substr(0, pos)));
+  std::string unit = AsciiLower(Trim(text.substr(pos)));
+  double scale;
+  if (unit == "us") {
+    scale = kMicrosecond;
+  } else if (unit == "ms") {
+    scale = kMillisecond;
+  } else if (unit == "s" || unit == "sec") {
+    scale = kSecond;
+  } else if (unit == "m" || unit == "min") {
+    scale = kMinute;
+  } else if (unit == "h" || unit == "hr") {
+    scale = kHour;
+  } else if (unit == "d") {
+    scale = kDay;
+  } else {
+    return InvalidArgumentError(StrFormat("unknown duration unit '%s'", unit.c_str()));
+  }
+  return static_cast<Duration>(number * scale);
+}
+
+Result<double> ParsePercent(std::string_view text) {
+  text = Trim(text);
+  bool percent = !text.empty() && text.back() == '%';
+  if (percent) text.remove_suffix(1);
+  double v = 0;
+  SCADS_ASSIGN_OR_RETURN(v, ParseNumber(Trim(text)));
+  if (percent) v /= 100.0;
+  if (v <= 0.0 || v > 1.0) {
+    return InvalidArgumentError(StrFormat("fraction %g out of (0,1]", v));
+  }
+  return v;
+}
+
+namespace {
+
+Status ParsePerformanceLine(std::string_view value, ConsistencySpec* spec) {
+  // "p99 read < 100ms, availability 99.99%" — both clauses optional.
+  for (const std::string& raw_clause : StrSplit(std::string(value), ',')) {
+    std::string_view clause = Trim(raw_clause);
+    if (clause.empty()) continue;
+    std::string lower = AsciiLower(clause);
+    if (StartsWith(lower, "p")) {
+      size_t lt = lower.find('<');
+      if (lt == std::string::npos) {
+        return InvalidArgumentError("performance clause missing '<'");
+      }
+      // "p99.9 read" -> quantile
+      std::string_view head = Trim(std::string_view(lower).substr(1, lt - 1));
+      size_t space = head.find(' ');
+      std::string_view quantile_text = space == std::string::npos ? head : head.substr(0, space);
+      // "p99.9" notation is implicitly a percentage.
+      double quantile = 0;
+      SCADS_ASSIGN_OR_RETURN(quantile, ParseNumber(Trim(quantile_text)));
+      if (quantile > 1.0) quantile /= 100.0;
+      if (quantile <= 0.0 || quantile >= 1.0) {
+        return InvalidArgumentError(StrFormat("quantile %g out of range", quantile));
+      }
+      spec->performance.read_quantile = quantile;
+      Duration bound = 0;
+      SCADS_ASSIGN_OR_RETURN(bound, ParseDurationText(std::string_view(lower).substr(lt + 1)));
+      spec->performance.read_latency_bound = bound;
+    } else if (StartsWith(lower, "availability")) {
+      double availability = 0;
+      SCADS_ASSIGN_OR_RETURN(availability,
+                             ParsePercent(std::string_view(lower).substr(strlen("availability"))));
+      spec->performance.min_availability = availability;
+    } else {
+      return InvalidArgumentError(StrFormat("unknown performance clause '%s'", lower.c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ConsistencySpec> ParseConsistencySpec(std::string_view text) {
+  ConsistencySpec spec;
+  for (const std::string& raw_line : StrSplit(std::string(text), '\n')) {
+    std::string_view line = raw_line;
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return InvalidArgumentError(StrFormat("missing ':' in line '%.*s'",
+                                            static_cast<int>(line.size()), line.data()));
+    }
+    std::string key = AsciiLower(Trim(line.substr(0, colon)));
+    std::string_view value = Trim(line.substr(colon + 1));
+    if (key == "performance") {
+      SCADS_RETURN_IF_ERROR(ParsePerformanceLine(value, &spec));
+    } else if (key == "writes" || key == "write_consistency") {
+      std::string v = AsciiLower(value);
+      if (v == "last_write_wins" || v == "lww") {
+        spec.writes = WriteConsistency::kLastWriteWins;
+      } else if (v == "merge") {
+        spec.writes = WriteConsistency::kMergeFunction;
+      } else if (v == "serializable") {
+        spec.writes = WriteConsistency::kSerializable;
+      } else {
+        return InvalidArgumentError(StrFormat("unknown write consistency '%s'", v.c_str()));
+      }
+    } else if (key == "staleness" || key == "read_staleness") {
+      if (AsciiLower(value) == "unbounded") {
+        spec.max_staleness = 0;
+      } else {
+        Duration staleness = 0;
+        SCADS_ASSIGN_OR_RETURN(staleness, ParseDurationText(value));
+        spec.max_staleness = staleness;
+      }
+    } else if (key == "session") {
+      spec.session = SessionGuarantees{};
+      for (const std::string& raw_g : StrSplit(std::string(value), ',')) {
+        std::string g = AsciiLower(Trim(raw_g));
+        if (g == "read_your_writes" || g == "ryw") {
+          spec.session.read_your_writes = true;
+        } else if (g == "monotonic_reads") {
+          spec.session.monotonic_reads = true;
+        } else if (g == "none" || g.empty()) {
+          // explicit none
+        } else {
+          return InvalidArgumentError(StrFormat("unknown session guarantee '%s'", g.c_str()));
+        }
+      }
+    } else if (key == "durability") {
+      double durability = 0;
+      SCADS_ASSIGN_OR_RETURN(durability, ParsePercent(value));
+      spec.durability_probability = durability;
+    } else if (key == "priority") {
+      std::vector<RequirementAxis> order;
+      for (const std::string& raw_axis : StrSplit(std::string(value), '>')) {
+        std::string axis = AsciiLower(Trim(raw_axis));
+        if (axis == "availability") {
+          order.push_back(RequirementAxis::kAvailability);
+        } else if (axis == "staleness" || axis == "read_consistency" ||
+                   axis == "consistency") {
+          order.push_back(RequirementAxis::kStaleness);
+        } else {
+          return InvalidArgumentError(StrFormat("unknown priority axis '%s'", axis.c_str()));
+        }
+      }
+      if (order.empty()) return InvalidArgumentError("empty priority order");
+      spec.priority = std::move(order);
+    } else {
+      return InvalidArgumentError(StrFormat("unknown spec key '%s'", key.c_str()));
+    }
+  }
+  return spec;
+}
+
+}  // namespace scads

@@ -1,0 +1,96 @@
+// The declarative consistency/performance specification (paper §2.2, §3.3,
+// Figure 4) and its parser.
+//
+// Developers state *what* correctness means — latency SLA, write conflict
+// handling, staleness bound, session guarantees, durability probability,
+// and a priority order for when requirements conflict — and SCADS picks the
+// mechanisms. The textual form accepted by ParseConsistencySpec:
+//
+//   performance: p99 read < 100ms, availability 99.99%
+//   writes: last_write_wins            # or: merge | serializable
+//   staleness: 10m
+//   session: read_your_writes, monotonic_reads
+//   durability: 99.999%
+//   priority: availability > staleness
+//
+// Lines may appear in any order; '#' starts a comment; every axis has a
+// sensible default.
+
+#ifndef SCADS_CONSISTENCY_SPEC_H_
+#define SCADS_CONSISTENCY_SPEC_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace scads {
+
+/// Write-conflict handling (Figure 4, "Write Consistency").
+enum class WriteConsistency {
+  kLastWriteWins,  ///< Any order is fine; highest (timestamp, writer) wins.
+  kMergeFunction,  ///< Developer merge resolves concurrent values.
+  kSerializable,   ///< Writes serialize through the partition primary (CAS).
+};
+
+/// Session guarantees (Figure 4, after Terry et al.).
+struct SessionGuarantees {
+  bool read_your_writes = false;
+  bool monotonic_reads = false;
+};
+
+/// Latency/availability SLA (Figure 4, "Performance").
+struct PerformanceSla {
+  double read_quantile = 0.99;                   ///< e.g. 0.999 for p99.9.
+  Duration read_latency_bound = 100 * kMillisecond;
+  double min_availability = 0.999;               ///< Fraction of requests answered.
+};
+
+/// Requirements that can be traded off under failures (paper §3.3.1).
+enum class RequirementAxis {
+  kAvailability,
+  kStaleness,
+};
+
+/// The full declarative spec.
+struct ConsistencySpec {
+  PerformanceSla performance;
+  WriteConsistency writes = WriteConsistency::kLastWriteWins;
+  /// Upper bound on replica staleness visible to reads; 0 = no bound.
+  Duration max_staleness = 10 * kMinute;
+  SessionGuarantees session;
+  /// Target probability that a committed write survives (Figure 4,
+  /// "Durability SLA").
+  double durability_probability = 0.99999;
+  /// When not all requirements can hold (e.g. a network partition), earlier
+  /// axes win. Default: availability over staleness (serve stale data).
+  std::vector<RequirementAxis> priority = {RequirementAxis::kAvailability,
+                                           RequirementAxis::kStaleness};
+
+  /// True when availability outranks staleness under conflict.
+  bool AvailabilityFirst() const;
+
+  /// Round-trips through the textual form (for logs and docs).
+  std::string ToString() const;
+};
+
+/// Merge function for WriteConsistency::kMergeFunction: given the stored
+/// and incoming values, returns the resolved value.
+using MergeFunction =
+    std::function<std::string(std::string_view stored, std::string_view incoming)>;
+
+/// Parses the textual spec format documented at the top of this header.
+Result<ConsistencySpec> ParseConsistencySpec(std::string_view text);
+
+/// Parses durations like "100ms", "10m", "30s", "2h", "500us".
+Result<Duration> ParseDurationText(std::string_view text);
+
+/// Parses "99.99%" (or "0.9999") into a fraction in (0, 1].
+Result<double> ParsePercent(std::string_view text);
+
+}  // namespace scads
+
+#endif  // SCADS_CONSISTENCY_SPEC_H_

@@ -1,0 +1,66 @@
+#include "consistency/staleness.h"
+
+#include <utility>
+
+#include "cluster/node.h"
+
+namespace scads {
+
+NodeId StalenessController::FreshEnoughReplica(const PartitionInfo& partition) const {
+  Time now = loop_->Now();
+  for (size_t i = 1; i < partition.replicas.size(); ++i) {
+    NodeId id = partition.replicas[i];
+    StorageNode* node = cluster_->GetNode(id);
+    if (node == nullptr || !cluster_->IsAlive(id)) continue;
+    Time watermark = node->replicated_through(partition.id);
+    if (bound_ == 0 || now - watermark <= bound_) return id;
+  }
+  return kInvalidNode;
+}
+
+void StalenessController::Get(const std::string& key,
+                              std::function<void(Result<Record>)> callback) {
+  const PartitionInfo& partition = cluster_->partitions()->ForKey(key);
+  NodeId replica = FreshEnoughReplica(partition);
+  if (replica != kInvalidNode) {
+    ++stats_.fresh_replica_reads;
+    router_->GetFromReplica(key, replica, std::move(callback));
+    return;
+  }
+  // No secondary can prove freshness: escalate to the primary (always
+  // current). If that fails, the declared priority order decides.
+  ++stats_.primary_escalations;
+  router_->Get(
+      key, /*pin_primary=*/true,
+      [this, key, callback = std::move(callback)](Result<Record> result) mutable {
+        if (result.ok() || IsNotFound(result.status())) {
+          callback(std::move(result));
+          return;
+        }
+        // Primary unreachable.
+        if (!availability_first_) {
+          ++stats_.consistency_failures;
+          callback(DeadlineExceededError("staleness bound unprovable; consistency prioritized"));
+          return;
+        }
+        // Availability first: serve possibly-stale data from any live
+        // secondary.
+        const PartitionInfo& p = cluster_->partitions()->ForKey(key);
+        NodeId fallback = kInvalidNode;
+        for (size_t i = 1; i < p.replicas.size(); ++i) {
+          if (cluster_->IsAlive(p.replicas[i])) {
+            fallback = p.replicas[i];
+            break;
+          }
+        }
+        if (fallback == kInvalidNode) {
+          ++stats_.consistency_failures;
+          callback(UnavailableError("no live replica"));
+          return;
+        }
+        ++stats_.stale_served;
+        router_->GetFromReplica(key, fallback, std::move(callback));
+      });
+}
+
+}  // namespace scads

@@ -1,0 +1,67 @@
+// Bounded-staleness reads (Figure 4, "Read Consistency") and the
+// availability-vs-consistency priority rule of paper §3.3.1.
+//
+// Replication streams carry watermarks: a secondary knows the time T such
+// that it has applied every write the primary enqueued at or before T. A
+// read with staleness bound B may be served by any replica whose
+// (now - watermark) <= B; otherwise the read escalates to the primary. When
+// the primary is unreachable the declared priority decides: availability-
+// first serves the stale replica (counting the violation); staleness-first
+// fails the read with kDeadlineExceeded.
+
+#ifndef SCADS_CONSISTENCY_STALENESS_H_
+#define SCADS_CONSISTENCY_STALENESS_H_
+
+#include <functional>
+#include <string>
+
+#include "cluster/cluster_state.h"
+#include "cluster/router.h"
+#include "consistency/spec.h"
+#include "sim/event_loop.h"
+
+namespace scads {
+
+/// Statistics for staleness-bounded reading.
+struct StalenessStats {
+  int64_t fresh_replica_reads = 0;   ///< Served by a within-bound replica.
+  int64_t primary_escalations = 0;   ///< Bound at risk; went to primary.
+  int64_t stale_served = 0;          ///< Availability-first served stale data.
+  int64_t consistency_failures = 0;  ///< Staleness-first refused the read.
+};
+
+/// Read-side enforcement of the staleness bound.
+class StalenessController {
+ public:
+  StalenessController(EventLoop* loop, Router* router, ClusterState* cluster,
+                      const ConsistencySpec& spec)
+      : loop_(loop),
+        router_(router),
+        cluster_(cluster),
+        bound_(spec.max_staleness),
+        availability_first_(spec.AvailabilityFirst()) {}
+
+  /// Reads `key` under the staleness bound. The result's freshness
+  /// guarantee: unless stats().stale_served counted it, the value reflects
+  /// every write older than the bound.
+  void Get(const std::string& key, std::function<void(Result<Record>)> callback);
+
+  const StalenessStats& stats() const { return stats_; }
+  Duration bound() const { return bound_; }
+
+ private:
+  /// A replica (non-primary) whose watermark satisfies the bound, or
+  /// kInvalidNode.
+  NodeId FreshEnoughReplica(const PartitionInfo& partition) const;
+
+  EventLoop* loop_;
+  Router* router_;
+  ClusterState* cluster_;
+  Duration bound_;
+  bool availability_first_;
+  StalenessStats stats_;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_CONSISTENCY_STALENESS_H_

@@ -1,0 +1,103 @@
+#include "consistency/write_policy.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace scads {
+
+void WritePolicy::Put(const std::string& key, const std::string& value, AckMode ack,
+                      std::function<void(Status)> callback) {
+  ++stats_.writes_attempted;
+  switch (mode_) {
+    case WriteConsistency::kLastWriteWins:
+      router_->Put(key, value, ack, [this, callback = std::move(callback)](Status status) {
+        if (status.ok()) ++stats_.writes_committed;
+        callback(std::move(status));
+      });
+      return;
+    case WriteConsistency::kSerializable:
+      SerializableAttempt(key, value, ack, max_retries_, std::move(callback));
+      return;
+    case WriteConsistency::kMergeFunction:
+      SCADS_CHECK(merge_ != nullptr);
+      MergeAttempt(key, value, ack, max_retries_, std::move(callback));
+      return;
+  }
+}
+
+void WritePolicy::SerializableAttempt(const std::string& key, const std::string& value,
+                                      AckMode ack, int attempts_left,
+                                      std::function<void(Status)> callback) {
+  // Serializable writes are CAS against the version this writer last saw;
+  // we read from the primary, then install conditioned on that version.
+  router_->Get(
+      key, /*pin_primary=*/true,
+      [this, key, value, ack, attempts_left, callback = std::move(callback)](
+          Result<Record> current) mutable {
+        std::optional<Version> expected;
+        if (current.ok()) {
+          expected = current->version;
+        } else if (!IsNotFound(current.status())) {
+          callback(current.status());
+          return;
+        }
+        router_->ConditionalPut(
+            key, value, expected, ack,
+            [this, key, value, ack, attempts_left,
+             callback = std::move(callback)](Status status) mutable {
+              if (status.ok()) {
+                ++stats_.writes_committed;
+                callback(Status::Ok());
+                return;
+              }
+              if (IsAborted(status) && attempts_left > 0) {
+                ++stats_.conflicts_retried;
+                SerializableAttempt(key, value, ack, attempts_left - 1, std::move(callback));
+                return;
+              }
+              if (IsAborted(status)) ++stats_.conflicts_failed;
+              callback(std::move(status));
+            });
+      });
+}
+
+void WritePolicy::MergeAttempt(const std::string& key, const std::string& value, AckMode ack,
+                               int attempts_left, std::function<void(Status)> callback) {
+  router_->Get(
+      key, /*pin_primary=*/true,
+      [this, key, value, ack, attempts_left, callback = std::move(callback)](
+          Result<Record> current) mutable {
+        std::optional<Version> expected;
+        std::string to_write = value;
+        if (current.ok()) {
+          expected = current->version;
+          to_write = merge_(current->value, value);
+          ++stats_.merges_performed;
+        } else if (!IsNotFound(current.status())) {
+          callback(current.status());
+          return;
+        }
+        router_->ConditionalPut(
+            key, to_write, expected, ack,
+            [this, key, value, ack, attempts_left,
+             callback = std::move(callback)](Status status) mutable {
+              if (status.ok()) {
+                ++stats_.writes_committed;
+                callback(Status::Ok());
+                return;
+              }
+              if (IsAborted(status) && attempts_left > 0) {
+                // Someone raced us: re-read, re-merge, retry. No update is
+                // lost — the merge folds our value into the newer state.
+                ++stats_.conflicts_retried;
+                MergeAttempt(key, value, ack, attempts_left - 1, std::move(callback));
+                return;
+              }
+              if (IsAborted(status)) ++stats_.conflicts_failed;
+              callback(std::move(status));
+            });
+      });
+}
+
+}  // namespace scads

@@ -1,0 +1,63 @@
+// Write-consistency policies (Figure 4, "Write Consistency").
+//
+//  * last-write-wins — plain routed Put; replicas converge on the highest
+//    (timestamp, writer) version.
+//  * serializable — compare-and-set through the partition primary; a lost
+//    race surfaces as kAborted after bounded retries.
+//  * merge — optimistic read-merge-CAS loop with a developer-provided merge
+//    function; conflicting writers converge without losing either update.
+
+#ifndef SCADS_CONSISTENCY_WRITE_POLICY_H_
+#define SCADS_CONSISTENCY_WRITE_POLICY_H_
+
+#include <functional>
+#include <string>
+
+#include "cluster/router.h"
+#include "consistency/spec.h"
+
+namespace scads {
+
+/// Statistics for a write policy instance.
+struct WritePolicyStats {
+  int64_t writes_attempted = 0;
+  int64_t writes_committed = 0;
+  int64_t conflicts_retried = 0;  ///< CAS losses that were retried.
+  int64_t conflicts_failed = 0;   ///< Writes aborted after retry budget.
+  int64_t merges_performed = 0;
+};
+
+/// Applies the configured WriteConsistency to every write.
+class WritePolicy {
+ public:
+  /// `merge` is required when mode == kMergeFunction; ignored otherwise.
+  WritePolicy(Router* router, WriteConsistency mode, MergeFunction merge = nullptr,
+              int max_retries = 4)
+      : router_(router), mode_(mode), merge_(std::move(merge)), max_retries_(max_retries) {}
+
+  /// Writes `value` to `key` under the policy. For kSerializable the write
+  /// fails with kAborted when it loses the race `max_retries` times; for
+  /// kMergeFunction the merge loop retries until the CAS lands (or budget
+  /// exhausts).
+  void Put(const std::string& key, const std::string& value, AckMode ack,
+           std::function<void(Status)> callback);
+
+  const WritePolicyStats& stats() const { return stats_; }
+  WriteConsistency mode() const { return mode_; }
+
+ private:
+  void SerializableAttempt(const std::string& key, const std::string& value, AckMode ack,
+                           int attempts_left, std::function<void(Status)> callback);
+  void MergeAttempt(const std::string& key, const std::string& value, AckMode ack,
+                    int attempts_left, std::function<void(Status)> callback);
+
+  Router* router_;
+  WriteConsistency mode_;
+  MergeFunction merge_;
+  int max_retries_;
+  WritePolicyStats stats_;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_CONSISTENCY_WRITE_POLICY_H_

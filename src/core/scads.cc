@@ -1,0 +1,307 @@
+#include "core/scads.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace scads {
+
+namespace {
+constexpr NodeId kRouterClientId = 1 << 20;  // outside the instance id range
+}  // namespace
+
+Scads::Scads(ScadsOptions options)
+    : options_(options),
+      loop_(),
+      network_(&loop_, options.seed ^ 0x6e65740aULL, options.network_config),
+      cloud_(&loop_, options.seed ^ 0x636c6f75ULL, options.cloud_config),
+      failures_(&loop_, &network_, options.seed ^ 0x6661696cULL),
+      update_queue_(&loop_, options.queue_policy) {}
+
+Scads::~Scads() {
+  if (director_ != nullptr) director_->Stop();
+  for (auto& [id, node] : nodes_) node->Stop();
+}
+
+Result<std::unique_ptr<Scads>> Scads::Create(ScadsOptions options) {
+  if (options.initial_nodes < 1) return InvalidArgumentError("initial_nodes < 1");
+  if (options.partitions < 1) return InvalidArgumentError("partitions < 1");
+  ConsistencySpec spec;
+  if (!options.consistency_spec.empty()) {
+    Result<ConsistencySpec> parsed = ParseConsistencySpec(options.consistency_spec);
+    if (!parsed.ok()) return parsed.status();
+    spec = *parsed;
+  }
+  if (spec.writes == WriteConsistency::kMergeFunction && options.merge_function == nullptr) {
+    return InvalidArgumentError("spec requires a merge function; set options.merge_function");
+  }
+  auto scads = std::unique_ptr<Scads>(new Scads(options));
+  scads->spec_ = spec;
+
+  // Durability SLA -> replication plan (Figure 4's "Durability SLA" axis).
+  Result<DurabilityPlan> plan =
+      PlanDurability(spec.durability_probability, options.failure_model);
+  if (!plan.ok()) return plan.status();
+  scads->durability_plan_ = *plan;
+
+  scads->router_ = std::make_unique<Router>(kRouterClientId, &scads->loop_, &scads->network_,
+                                            &scads->cluster_, options.router_config,
+                                            options.seed ^ 0x726f7574ULL);
+  scads->rebalancer_ =
+      std::make_unique<Rebalancer>(&scads->loop_, &scads->network_, &scads->cluster_);
+  scads->write_policy_ = std::make_unique<WritePolicy>(scads->router_.get(), spec.writes,
+                                                       options.merge_function);
+  scads->staleness_ = std::make_unique<StalenessController>(&scads->loop_, scads->router_.get(),
+                                                            &scads->cluster_, spec);
+  scads->maintainer_ = std::make_unique<IndexMaintainer>(
+      &scads->loop_, scads->router_.get(), &scads->cluster_, &scads->catalog_,
+      &scads->update_queue_);
+  scads->executor_ = std::make_unique<QueryExecutor>(scads->router_.get(), &scads->cluster_,
+                                                     &scads->catalog_);
+  return scads;
+}
+
+Status Scads::DefineEntity(EntityDef entity) {
+  if (started_) return FailedPreconditionError("DefineEntity must precede Start()");
+  return catalog_.AddEntity(std::move(entity));
+}
+
+Result<QueryBounds> Scads::RegisterQuery(const std::string& name, const std::string& sql) {
+  if (queries_.count(name) > 0) return AlreadyExistsError(name);
+  Result<QueryTemplate> ast = ParseQueryTemplate(sql);
+  if (!ast.ok()) return ast.status();
+  Result<QueryBounds> bounds = AnalyzeTemplate(catalog_, *ast);
+  if (!bounds.ok()) return bounds.status();
+  Result<QueryPlan> plan = PlanQuery(catalog_, name, *ast, *bounds);
+  if (!plan.ok()) return plan.status();
+  for (const IndexPlan& index_plan : plan->plans) {
+    SCADS_RETURN_IF_ERROR(maintainer_->RegisterPlan(
+        index_plan, spec_.max_staleness > 0 ? spec_.max_staleness : kMinute));
+  }
+  QueryBounds out = *bounds;
+  queries_.emplace(name, std::move(plan).value());
+  return out;
+}
+
+StorageNode* Scads::MakeNode(NodeId id) {
+  auto node = std::make_unique<StorageNode>(id, &loop_, &network_, &cluster_,
+                                            options_.node_config,
+                                            options_.seed ^ static_cast<uint64_t>(id) * 0x9e37ULL);
+  StorageNode* raw = node.get();
+  nodes_[id] = std::move(node);
+  return raw;
+}
+
+Status Scads::Start() {
+  if (started_) return FailedPreconditionError("already started");
+  started_ = true;
+
+  // Boot the initial fleet and wait for it (simulated boot delay elapses).
+  std::vector<NodeId> ids = cloud_.RequestInstances(options_.initial_nodes);
+  if (static_cast<int>(ids.size()) != options_.initial_nodes) {
+    return ResourceExhaustedError("cloud quota below initial_nodes");
+  }
+  Duration boot_budget =
+      options_.cloud_config.boot_delay_mean + options_.cloud_config.boot_delay_jitter + kSecond;
+  loop_.RunFor(boot_budget);
+  for (NodeId id : ids) {
+    StorageNode* node = MakeNode(id);
+    SCADS_RETURN_IF_ERROR(cluster_.AddNode(id, node));
+    node->Start();
+  }
+
+  // Partition map sized by the durability plan.
+  Result<PartitionMap> map = PartitionMap::CreateUniform(options_.partitions, ids,
+                                                         durability_plan_.replication_factor);
+  if (!map.ok()) return map.status();
+  cluster_.set_partitions(std::move(map).value());
+
+  // Failure wiring: node outages mark cluster state.
+  failures_.set_node_down_callback([this](NodeId id) {
+    cluster_.SetNodeAlive(id, false);
+    StorageNode* node = cluster_.GetNode(id);
+    if (node != nullptr) node->set_alive(false);
+  });
+  failures_.set_node_up_callback([this](NodeId id) {
+    cluster_.SetNodeAlive(id, true);
+    StorageNode* node = cluster_.GetNode(id);
+    if (node != nullptr) node->set_alive(true);
+  });
+
+  if (options_.enable_director) {
+    DirectorConfig config = options_.director_config;
+    config.min_nodes = std::max(config.min_nodes, durability_plan_.replication_factor);
+    config.sla = spec_.performance;
+    director_ = std::make_unique<Director>(&loop_, &cloud_, &cluster_, rebalancer_.get(),
+                                           std::vector<Router*>{router_.get()}, config,
+                                           [this](NodeId id) { return MakeNode(id); });
+    director_->set_update_queue(&update_queue_);
+    director_->Start();
+  }
+  return Status::Ok();
+}
+
+void Scads::RunFor(Duration duration) { loop_.RunFor(duration); }
+
+void Scads::DrainIndexQueue(Duration max_wait) {
+  Time give_up = loop_.Now() + max_wait;
+  while (!update_queue_.idle() && loop_.Now() < give_up) {
+    loop_.RunFor(50 * kMillisecond);
+  }
+  loop_.RunFor(100 * kMillisecond);
+}
+
+void Scads::PutRow(const std::string& entity_name, const Row& row,
+                   std::function<void(Status)> callback) {
+  const EntityDef* entity = catalog_.Get(entity_name);
+  if (entity == nullptr) {
+    callback(NotFoundError("entity " + entity_name));
+    return;
+  }
+  Result<std::string> key = EncodePrimaryKey(*entity, row);
+  if (!key.ok()) {
+    callback(key.status());
+    return;
+  }
+  // Read the old image (index maintenance needs it), then write through the
+  // spec's write policy, then fan out maintenance.
+  router_->Get(*key, /*pin_primary=*/true,
+               [this, entity, row, key = *key,
+                callback = std::move(callback)](Result<Record> old_record) mutable {
+                 std::optional<Row> old_row;
+                 if (old_record.ok()) {
+                   Result<Row> decoded = DecodeRow(*entity, old_record->value);
+                   if (decoded.ok()) old_row = std::move(decoded).value();
+                 }
+                 write_policy_->Put(
+                     key, EncodeRow(*entity, row), durability_plan_.ack_mode,
+                     [this, entity, row, old_row = std::move(old_row),
+                      callback = std::move(callback)](Status status) mutable {
+                       if (status.ok()) {
+                         maintainer_->OnBaseWrite(entity->name, std::move(old_row), row);
+                       }
+                       callback(std::move(status));
+                     });
+               });
+}
+
+void Scads::DeleteRow(const std::string& entity_name, const Row& row,
+                      std::function<void(Status)> callback) {
+  const EntityDef* entity = catalog_.Get(entity_name);
+  if (entity == nullptr) {
+    callback(NotFoundError("entity " + entity_name));
+    return;
+  }
+  Result<std::string> key = EncodePrimaryKey(*entity, row);
+  if (!key.ok()) {
+    callback(key.status());
+    return;
+  }
+  router_->Get(*key, /*pin_primary=*/true,
+               [this, entity, key = *key,
+                callback = std::move(callback)](Result<Record> old_record) mutable {
+                 std::optional<Row> old_row;
+                 if (old_record.ok()) {
+                   Result<Row> decoded = DecodeRow(*entity, old_record->value);
+                   if (decoded.ok()) old_row = std::move(decoded).value();
+                 }
+                 router_->Delete(key, durability_plan_.ack_mode,
+                                 [this, entity, old_row = std::move(old_row),
+                                  callback = std::move(callback)](Status status) mutable {
+                                   if (status.ok() && old_row.has_value()) {
+                                     maintainer_->OnBaseWrite(entity->name, std::move(old_row),
+                                                              std::nullopt);
+                                   }
+                                   callback(std::move(status));
+                                 });
+               });
+}
+
+void Scads::GetRow(const std::string& entity_name, const Row& key_row,
+                   std::function<void(Result<Row>)> callback) {
+  const EntityDef* entity = catalog_.Get(entity_name);
+  if (entity == nullptr) {
+    callback(NotFoundError("entity " + entity_name));
+    return;
+  }
+  Result<std::string> key = EncodePrimaryKey(*entity, key_row);
+  if (!key.ok()) {
+    callback(key.status());
+    return;
+  }
+  staleness_->Get(*key, [entity, callback = std::move(callback)](Result<Record> record) {
+    if (!record.ok()) {
+      callback(record.status());
+      return;
+    }
+    callback(DecodeRow(*entity, record->value));
+  });
+}
+
+void Scads::Query(const std::string& name, const ParamMap& params,
+                  std::function<void(Result<std::vector<Row>>)> callback) {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    callback(NotFoundError("query " + name));
+    return;
+  }
+  executor_->Execute(it->second, params, std::move(callback));
+}
+
+std::unique_ptr<SessionClient> Scads::NewSession() {
+  return std::make_unique<SessionClient>(router_.get(), spec_.session);
+}
+
+std::string Scads::RenderMaintenanceTable() const {
+  return scads::RenderMaintenanceTable(maintainer_->MaintenanceTable());
+}
+
+template <typename T>
+T Scads::AwaitSync(std::function<void(std::function<void(T)>)> start, Duration max_wait) {
+  struct Box {
+    std::optional<T> value;
+  };
+  auto box = std::make_shared<Box>();
+  start([box](T result) { box->value = std::move(result); });
+  Time give_up = loop_.Now() + max_wait;
+  while (!box->value.has_value() && loop_.Now() < give_up) {
+    loop_.RunFor(kMillisecond);
+  }
+  if (!box->value.has_value()) {
+    if constexpr (std::is_same_v<T, Status>) {
+      return DeadlineExceededError("sync call did not complete");
+    } else {
+      return T(DeadlineExceededError("sync call did not complete"));
+    }
+  }
+  return std::move(*box->value);
+}
+
+Status Scads::PutRowSync(const std::string& entity, const Row& row) {
+  return AwaitSync<Status>(
+      [&](std::function<void(Status)> done) { PutRow(entity, row, std::move(done)); },
+      kMinute);
+}
+
+Status Scads::DeleteRowSync(const std::string& entity, const Row& row) {
+  return AwaitSync<Status>(
+      [&](std::function<void(Status)> done) { DeleteRow(entity, row, std::move(done)); },
+      kMinute);
+}
+
+Result<Row> Scads::GetRowSync(const std::string& entity, const Row& key_row) {
+  return AwaitSync<Result<Row>>(
+      [&](std::function<void(Result<Row>)> done) { GetRow(entity, key_row, std::move(done)); },
+      kMinute);
+}
+
+Result<std::vector<Row>> Scads::QuerySync(const std::string& name, const ParamMap& params) {
+  return AwaitSync<Result<std::vector<Row>>>(
+      [&](std::function<void(Result<std::vector<Row>>)> done) {
+        Query(name, params, std::move(done));
+      },
+      kMinute);
+}
+
+}  // namespace scads

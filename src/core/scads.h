@@ -1,0 +1,190 @@
+// scads::Scads — the public facade of the system.
+//
+// Assembles the full SCADS stack on a deterministic simulation: cloud
+// provider, network, storage nodes, partitioned+replicated routing,
+// declarative consistency enforcement, the restricted query language with
+// asynchronous index maintenance, and the ML-driven Director.
+//
+// Typical use (see examples/quickstart.cc):
+//
+//   ScadsOptions options;
+//   options.consistency_spec = "staleness: 10s\nwrites: last_write_wins\n";
+//   auto scads = Scads::Create(options);
+//   (*scads)->DefineEntity(...);
+//   (*scads)->RegisterQuery("friends", "SELECT p.* FROM ...");
+//   (*scads)->Start();
+//   (*scads)->PutRowSync("profiles", row);
+//   auto rows = (*scads)->QuerySync("friends", {{"user_id", Value(7)}});
+
+#ifndef SCADS_CORE_SCADS_H_
+#define SCADS_CORE_SCADS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/node.h"
+#include "cluster/rebalancer.h"
+#include "cluster/router.h"
+#include "consistency/durability.h"
+#include "consistency/session.h"
+#include "consistency/sla.h"
+#include "consistency/spec.h"
+#include "consistency/staleness.h"
+#include "consistency/write_policy.h"
+#include "director/director.h"
+#include "index/executor.h"
+#include "index/maintenance.h"
+#include "index/update_queue.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "query/planner.h"
+#include "query/schema.h"
+#include "sim/cloud.h"
+#include "sim/event_loop.h"
+#include "sim/failure.h"
+#include "sim/network.h"
+
+namespace scads {
+
+/// Construction-time options for a SCADS deployment.
+struct ScadsOptions {
+  uint64_t seed = 42;
+  /// Fleet size at Start() (the Director may grow/shrink it afterwards).
+  int initial_nodes = 3;
+  /// Initial partition count (ranges split uniformly over the key space).
+  int partitions = 16;
+  /// Declarative consistency spec (textual form of consistency/spec.h).
+  /// Empty = defaults.
+  std::string consistency_spec;
+  /// Developer merge function (required when the spec says `writes: merge`).
+  MergeFunction merge_function;
+  /// Failure model used to size replication for the durability SLA.
+  FailureModel failure_model;
+  /// Autoscaling on/off.
+  bool enable_director = false;
+  /// Index update queue policy (kFifo is the ablation baseline).
+  QueuePolicy queue_policy = QueuePolicy::kDeadline;
+
+  NodeConfig node_config;
+  NetworkConfig network_config;
+  CloudConfig cloud_config;
+  RouterConfig router_config;
+  DirectorConfig director_config;
+};
+
+/// A SCADS deployment (simulation-backed).
+class Scads {
+ public:
+  /// Validates options and builds the substrate (no nodes yet).
+  static Result<std::unique_ptr<Scads>> Create(ScadsOptions options);
+
+  ~Scads();
+  Scads(const Scads&) = delete;
+  Scads& operator=(const Scads&) = delete;
+
+  // --- DDL (before Start) ------------------------------------------------
+
+  /// Declares an entity (with fan-out caps; see query/schema.h).
+  Status DefineEntity(EntityDef entity);
+
+  /// Parses, analyzes, and compiles a query template. Rejection statuses
+  /// carry the scale-independence reason (the paper's §3.2 behaviour).
+  Result<QueryBounds> RegisterQuery(const std::string& name, const std::string& sql);
+
+  // --- lifecycle -----------------------------------------------------------
+
+  /// Boots the initial fleet (simulated boot delay elapses inside), builds
+  /// the partition map with the durability-planned replication factor, and
+  /// starts the Director when enabled.
+  Status Start();
+
+  /// Advances simulated time.
+  void RunFor(Duration duration);
+  /// Advances until the index-update queue is idle (bounded by `max_wait`).
+  void DrainIndexQueue(Duration max_wait = 5 * kMinute);
+
+  // --- data plane ----------------------------------------------------------
+
+  /// Upserts a row (write policy per the consistency spec) and triggers
+  /// index maintenance.
+  void PutRow(const std::string& entity, const Row& row, std::function<void(Status)> callback);
+  Status PutRowSync(const std::string& entity, const Row& row);
+
+  /// Deletes a row by its key fields.
+  void DeleteRow(const std::string& entity, const Row& row,
+                 std::function<void(Status)> callback);
+  Status DeleteRowSync(const std::string& entity, const Row& row);
+
+  /// Point-reads a row by key under the staleness bound.
+  void GetRow(const std::string& entity, const Row& key_row,
+              std::function<void(Result<Row>)> callback);
+  Result<Row> GetRowSync(const std::string& entity, const Row& key_row);
+
+  /// Executes a registered query.
+  void Query(const std::string& name, const ParamMap& params,
+             std::function<void(Result<std::vector<Row>>)> callback);
+  Result<std::vector<Row>> QuerySync(const std::string& name, const ParamMap& params);
+
+  /// New client session honouring the spec's session guarantees.
+  std::unique_ptr<SessionClient> NewSession();
+
+  // --- introspection ---------------------------------------------------
+
+  EventLoop* loop() { return &loop_; }
+  SimNetwork* network() { return &network_; }
+  SimCloud* cloud() { return &cloud_; }
+  FailureInjector* failures() { return &failures_; }
+  ClusterState* cluster() { return &cluster_; }
+  Router* router() { return router_.get(); }
+  Rebalancer* rebalancer() { return rebalancer_.get(); }
+  UpdateQueue* update_queue() { return &update_queue_; }
+  IndexMaintainer* maintainer() { return maintainer_.get(); }
+  QueryExecutor* executor() { return executor_.get(); }
+  Director* director() { return director_.get(); }
+  WritePolicy* write_policy() { return write_policy_.get(); }
+  StalenessController* staleness() { return staleness_.get(); }
+  const Catalog& catalog() const { return catalog_; }
+  const ConsistencySpec& spec() const { return spec_; }
+  const DurabilityPlan& durability_plan() const { return durability_plan_; }
+  const std::map<std::string, QueryPlan>& queries() const { return queries_; }
+
+  /// The Figure-3 maintenance table for everything registered.
+  std::string RenderMaintenanceTable() const;
+
+ private:
+  explicit Scads(ScadsOptions options);
+
+  StorageNode* MakeNode(NodeId id);
+  template <typename T>
+  T AwaitSync(std::function<void(std::function<void(T)>)> start, Duration max_wait);
+
+  ScadsOptions options_;
+  EventLoop loop_;
+  SimNetwork network_;
+  SimCloud cloud_;
+  FailureInjector failures_;
+  ClusterState cluster_;
+  Catalog catalog_;
+  ConsistencySpec spec_;
+  DurabilityPlan durability_plan_;
+  UpdateQueue update_queue_;
+
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<Rebalancer> rebalancer_;
+  std::unique_ptr<WritePolicy> write_policy_;
+  std::unique_ptr<StalenessController> staleness_;
+  std::unique_ptr<IndexMaintainer> maintainer_;
+  std::unique_ptr<QueryExecutor> executor_;
+  std::unique_ptr<Director> director_;
+
+  std::map<NodeId, std::unique_ptr<StorageNode>> nodes_;
+  std::map<std::string, QueryPlan> queries_;
+  bool started_ = false;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_CORE_SCADS_H_

@@ -1,0 +1,266 @@
+#include "director/director.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace scads {
+
+Director::Director(EventLoop* loop, SimCloud* cloud, ClusterState* cluster,
+                   Rebalancer* rebalancer, std::vector<Router*> routers, DirectorConfig config,
+                   NodeFactory factory)
+    : loop_(loop),
+      cloud_(cloud),
+      cluster_(cluster),
+      rebalancer_(rebalancer),
+      routers_(std::move(routers)),
+      config_(config),
+      factory_(std::move(factory)),
+      sla_monitor_(config.sla) {}
+
+void Director::LogEvent(const std::string& kind, const std::string& detail) {
+  events_.push_back(DirectorEvent{loop_->Now(), kind, detail});
+}
+
+void Director::Start() {
+  cloud_->set_instance_ready_callback([this](NodeId id) { OnInstanceReady(id); });
+  int deficit = config_.min_nodes - cloud_->active_count();
+  if (deficit > 0) ScaleUp(deficit);
+  control_event_ =
+      loop_->SchedulePeriodic(config_.control_interval, [this] { ControlTick(); });
+}
+
+void Director::Stop() {
+  if (control_event_ != EventLoop::kInvalidEvent) {
+    loop_->Cancel(control_event_);
+    control_event_ = EventLoop::kInvalidEvent;
+  }
+}
+
+void Director::OnInstanceReady(NodeId id) {
+  StorageNode* node = factory_(id);
+  if (node == nullptr) {
+    LogEvent("factory_failed", StrFormat("node %d", id));
+    return;
+  }
+  Status added = cluster_->AddNode(id, node);
+  if (!added.ok()) {
+    LogEvent("add_failed", added.ToString());
+    return;
+  }
+  node->Start();
+  LogEvent("node_ready", StrFormat("node %d joined", id));
+  RebalanceOnto(id);
+}
+
+void Director::RebalanceOnto(NodeId new_node) {
+  // Move partition replicas from the most-loaded nodes until the newcomer
+  // holds roughly the per-node average.
+  const PartitionMap& map = *cluster_->partitions();
+  size_t total_slots = 0;
+  for (const PartitionInfo& p : map.partitions()) total_slots += p.replicas.size();
+  size_t node_count = cluster_->AliveNodes().size();
+  if (node_count == 0) return;
+  size_t target = std::max<size_t>(1, total_slots / node_count);
+
+  // Build per-node replica counts.
+  std::map<NodeId, size_t> counts;
+  for (const PartitionInfo& p : map.partitions()) {
+    for (NodeId replica : p.replicas) counts[replica]++;
+  }
+  size_t have = counts[new_node];
+  int moves = 0;
+  // Iterate donors from most-loaded.
+  while (have < target && moves < 64) {
+    NodeId donor = kInvalidNode;
+    size_t donor_count = target;  // only take from nodes above the average
+    for (const auto& [node, count] : counts) {
+      if (node == new_node || draining_.count(node) > 0) continue;
+      if (count > donor_count) {
+        donor_count = count;
+        donor = node;
+      }
+    }
+    if (donor == kInvalidNode) break;
+    // Pick one movable partition on the donor.
+    PartitionId pick = -1;
+    for (const PartitionInfo& p : map.partitions()) {
+      if (rebalancer_->IsMoving(p.id)) continue;
+      if (std::find(p.replicas.begin(), p.replicas.end(), donor) == p.replicas.end()) continue;
+      if (std::find(p.replicas.begin(), p.replicas.end(), new_node) != p.replicas.end()) {
+        continue;
+      }
+      pick = p.id;
+      break;
+    }
+    if (pick < 0) break;
+    rebalancer_->MoveReplica(pick, donor, new_node, [this, pick](Status status) {
+      if (!status.ok()) {
+        LogEvent("move_failed", StrFormat("partition %d: %s", pick, status.ToString().c_str()));
+      }
+    });
+    counts[donor]--;
+    counts[new_node]++;
+    have++;
+    ++moves;
+  }
+  if (moves > 0) {
+    LogEvent("rebalance", StrFormat("moved %d partitions onto node %d", moves, new_node));
+  }
+}
+
+void Director::ScaleUp(int count) {
+  count = std::min(count, config_.max_step_up);
+  if (count <= 0) return;
+  int before = cloud_->active_count();
+  int room = config_.max_nodes - before;
+  count = std::min(count, room);
+  if (count <= 0) return;
+  cloud_->RequestInstances(count);
+  ++scale_ups_;
+  LogEvent("scale_up", StrFormat("+%d instances (active %d -> %d)", count, before,
+                                 before + count));
+}
+
+void Director::ScaleDown(int count) {
+  count = std::min(count, config_.max_step_down);
+  if (count <= 0) return;
+  // Candidates: alive nodes, newest first (highest id), not draining.
+  std::vector<NodeId> alive = cluster_->AliveNodes();
+  std::sort(alive.begin(), alive.end(), std::greater<>());
+  int removed = 0;
+  for (NodeId victim : alive) {
+    if (removed >= count) break;
+    if (draining_.count(victim) > 0) continue;
+    if (static_cast<int>(alive.size()) - static_cast<int>(draining_.size()) - removed <=
+        config_.min_nodes) {
+      break;
+    }
+    // Drain targets: every other alive, non-draining node.
+    std::vector<NodeId> targets;
+    for (NodeId node : alive) {
+      if (node != victim && draining_.count(node) == 0) targets.push_back(node);
+    }
+    if (targets.empty()) break;
+    draining_.insert(victim);
+    LogEvent("drain", StrFormat("draining node %d", victim));
+    rebalancer_->DrainNode(victim, targets, [this, victim](Status status) {
+      draining_.erase(victim);
+      if (!status.ok()) {
+        LogEvent("drain_failed", StrFormat("node %d: %s", victim, status.ToString().c_str()));
+        return;
+      }
+      StorageNode* node = cluster_->GetNode(victim);
+      if (node != nullptr) node->Stop();
+      (void)cluster_->RemoveNode(victim);
+      Status terminated = cloud_->TerminateInstance(victim);
+      LogEvent("terminate", StrFormat("node %d released (%s)", victim,
+                                      terminated.ok() ? "ok" : terminated.ToString().c_str()));
+    });
+    ++removed;
+  }
+  if (removed > 0) ++scale_downs_;
+}
+
+double Director::EstimateOfferedRate() {
+  if (offered_rate_probe_) return offered_rate_probe_();
+  // Fall back to busy-time deltas: rate ~ busy_us / (interval * service_us).
+  int64_t busy_total = 0;
+  for (NodeId id : cluster_->AliveNodes()) {
+    StorageNode* node = cluster_->GetNode(id);
+    if (node != nullptr) busy_total += node->stats().busy_micros;
+  }
+  Time now = loop_->Now();
+  double rate = 0;
+  if (last_tick_at_ > 0 && now > last_tick_at_) {
+    double busy_delta = static_cast<double>(busy_total - last_busy_total_);
+    double interval_s = static_cast<double>(now - last_tick_at_) / kSecond;
+    // 140us default mean service (kept in sync with DriverConfig default).
+    rate = busy_delta / 140.0 / interval_s;
+  }
+  last_busy_total_ = busy_total;
+  last_tick_at_ = now;
+  return rate;
+}
+
+void Director::ControlTick() {
+  Time now = loop_->Now();
+  // 1. Observe.
+  RouterWindow window;
+  for (Router* router : routers_) window.MergeFrom(router->TakeWindow());
+  SlaReport report = sla_monitor_.Evaluate(window, now);
+  double observed_rate = EstimateOfferedRate();
+
+  // 2. Learn.
+  forecaster_.Observe(observed_rate);
+  size_t alive = cluster_->AliveNodes().size();
+  if (alive > 0 && report.reads >= 20) {
+    latency_model_.Observe(observed_rate / static_cast<double>(alive),
+                           report.read_latency_at_quantile, config_.sla.read_latency_bound);
+  }
+
+  // 3. Decide.
+  double lead_steps = static_cast<double>(config_.forecast_lead) /
+                      static_cast<double>(config_.control_interval);
+  double planning_rate = config_.use_forecasting
+                             ? std::max(observed_rate, forecaster_.Forecast(lead_steps))
+                             : observed_rate;
+  // Sustainable per-node rate: the model's inverted latency curve (with
+  // utilization headroom) once it has enough samples, floored by hard
+  // evidence — a rate the fleet has already served inside the bound is a
+  // safe operating point as-is (no second headroom division, which would
+  // otherwise feed back into unbounded growth).
+  double usable_per_node = config_.default_rate_per_node * config_.target_utilization;
+  if (latency_model_.sample_count() >= 10) {
+    double inverted = latency_model_.MaxRateWithinBound(config_.sla.read_latency_bound);
+    if (inverted > 1e-9) usable_per_node = inverted * config_.target_utilization;
+  }
+  usable_per_node = std::max(usable_per_node, latency_model_.max_compliant_rate());
+  int desired = std::max(
+      config_.min_nodes,
+      static_cast<int>(std::ceil(planning_rate / std::max(1e-9, usable_per_node))));
+  // Emergency boost: the SLA is being violated right now — grow faster than
+  // the model suggests.
+  if (!report.ok() && desired <= static_cast<int>(alive)) {
+    desired = static_cast<int>(alive) + std::max(1, static_cast<int>(alive / 4));
+  }
+  // Index-queue pressure: drain risk means more capacity.
+  if (update_queue_ != nullptr && update_queue_->depth() > 0) {
+    Time earliest = update_queue_->earliest_deadline();
+    if (earliest != std::numeric_limits<Time>::max() && earliest < now + config_.control_interval) {
+      desired = std::max(desired, static_cast<int>(alive) + 1);
+    }
+  }
+  desired = std::min(desired, config_.max_nodes);
+
+  // 4. Act.
+  int active = cloud_->active_count() - static_cast<int>(draining_.size());
+  if (desired > active) {
+    surplus_windows_ = 0;
+    ScaleUp(desired - active);
+  } else if (desired < active) {
+    ++surplus_windows_;
+    if (surplus_windows_ >= config_.scale_down_patience) {
+      ScaleDown(active - desired);
+      surplus_windows_ = 0;
+    }
+  } else {
+    surplus_windows_ = 0;
+  }
+
+  DirectorSnapshot snapshot;
+  snapshot.at = now;
+  snapshot.observed_rate = observed_rate;
+  snapshot.forecast_rate = planning_rate;
+  snapshot.desired_nodes = desired;
+  snapshot.running = cloud_->running_count();
+  snapshot.booting = cloud_->booting_count();
+  snapshot.latency_at_quantile = report.read_latency_at_quantile;
+  snapshot.availability = report.availability;
+  snapshot.sla_ok = report.ok();
+  history_.push_back(snapshot);
+}
+
+}  // namespace scads

@@ -1,0 +1,155 @@
+// The Director: SCADS's provisioning feedback loop (paper Figure 2).
+//
+// Every control interval it:
+//   1. samples the routers' latency/availability windows and the nodes'
+//      load counters ("workload" and "SLA violations" inputs of Figure 2);
+//   2. trains the ML models — a Holt forecaster over the offered rate and a
+//      latency-vs-load regression ("performance models");
+//   3. decides the fleet size that keeps the *forecast* load inside the SLA
+//      with headroom ("policy"); forecasting is what buys back the cloud's
+//      boot latency — a reactive policy (ablation switch) only reacts after
+//      the violation has begun;
+//   4. acts on the cloud: request instances, or drain-and-terminate them
+//      when sustained headroom says the money is being wasted (§2.1's
+//      scale-*down* economics).
+//
+// New instances join the cluster through a NodeFactory and receive partition
+// replicas from the most-loaded nodes via the Rebalancer — scale-up without
+// downtime.
+
+#ifndef SCADS_DIRECTOR_DIRECTOR_H_
+#define SCADS_DIRECTOR_DIRECTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/node.h"
+#include "cluster/rebalancer.h"
+#include "cluster/router.h"
+#include "consistency/sla.h"
+#include "index/update_queue.h"
+#include "ml/forecaster.h"
+#include "ml/latency_model.h"
+#include "sim/cloud.h"
+#include "sim/event_loop.h"
+
+namespace scads {
+
+/// Director tunables.
+struct DirectorConfig {
+  Duration control_interval = 15 * kSecond;
+  int min_nodes = 2;
+  int max_nodes = 1 << 20;
+  /// Provision for the rate forecast this far ahead (covers boot delay).
+  Duration forecast_lead = 3 * kMinute;
+  /// Assumed per-node sustainable rate before the model has learned one.
+  double default_rate_per_node = 2000;
+  /// Provision such that predicted load uses at most this fraction of
+  /// capacity.
+  double target_utilization = 0.65;
+  /// Consecutive surplus windows required before scaling down.
+  int scale_down_patience = 8;
+  int max_step_up = 512;
+  int max_step_down = 4;
+  /// Ablation switch: false = reactive policy (no forecasting).
+  bool use_forecasting = true;
+  PerformanceSla sla;
+};
+
+/// One loop iteration's record (drives the Figure-2 trace output).
+struct DirectorSnapshot {
+  Time at = 0;
+  double observed_rate = 0;
+  double forecast_rate = 0;
+  int desired_nodes = 0;
+  int running = 0;
+  int booting = 0;
+  int64_t latency_at_quantile = 0;
+  double availability = 1.0;
+  bool sla_ok = true;
+};
+
+/// Free-form action log entry ("scale_up 12", "drain node 40", ...).
+struct DirectorEvent {
+  Time at = 0;
+  std::string kind;
+  std::string detail;
+};
+
+/// The control loop.
+class Director {
+ public:
+  /// Creates (and owns elsewhere) the StorageNode for a fresh instance id;
+  /// the Director registers and starts it.
+  using NodeFactory = std::function<StorageNode*(NodeId)>;
+
+  Director(EventLoop* loop, SimCloud* cloud, ClusterState* cluster, Rebalancer* rebalancer,
+           std::vector<Router*> routers, DirectorConfig config, NodeFactory factory);
+
+  /// Optional: exact offered rate (requests/s) as seen by the application
+  /// front-ends. Without it the Director estimates rate from node busy
+  /// time.
+  void set_offered_rate_probe(std::function<double()> probe) {
+    offered_rate_probe_ = std::move(probe);
+  }
+
+  /// Optional: index update queue to watch for deadline pressure.
+  void set_update_queue(UpdateQueue* queue) { update_queue_ = queue; }
+
+  /// Arms the control loop and wires the cloud-ready callback. Also brings
+  /// the fleet up to min_nodes.
+  void Start();
+  void Stop();
+
+  const std::vector<DirectorSnapshot>& history() const { return history_; }
+  const std::vector<DirectorEvent>& events() const { return events_; }
+  SlaMonitor* sla_monitor() { return &sla_monitor_; }
+  HoltForecaster* forecaster() { return &forecaster_; }
+  LatencyModel* latency_model() { return &latency_model_; }
+
+  int64_t scale_ups() const { return scale_ups_; }
+  int64_t scale_downs() const { return scale_downs_; }
+
+ private:
+  void ControlTick();
+  void OnInstanceReady(NodeId id);
+  void RebalanceOnto(NodeId new_node);
+  void ScaleUp(int count);
+  void ScaleDown(int count);
+  double EstimateOfferedRate();
+  void LogEvent(const std::string& kind, const std::string& detail);
+
+  EventLoop* loop_;
+  SimCloud* cloud_;
+  ClusterState* cluster_;
+  Rebalancer* rebalancer_;
+  std::vector<Router*> routers_;
+  DirectorConfig config_;
+  NodeFactory factory_;
+  std::function<double()> offered_rate_probe_;
+  UpdateQueue* update_queue_ = nullptr;
+
+  SlaMonitor sla_monitor_;
+  HoltForecaster forecaster_;
+  LatencyModel latency_model_;
+
+  EventLoop::EventId control_event_ = EventLoop::kInvalidEvent;
+  std::vector<DirectorSnapshot> history_;
+  std::vector<DirectorEvent> events_;
+  std::set<NodeId> draining_;
+  int surplus_windows_ = 0;
+  int64_t scale_ups_ = 0;
+  int64_t scale_downs_ = 0;
+  // Rate estimation from node counters.
+  int64_t last_busy_total_ = 0;
+  Time last_tick_at_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_DIRECTOR_DIRECTOR_H_

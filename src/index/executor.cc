@@ -1,0 +1,177 @@
+#include "index/executor.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/strings.h"
+#include "index/keys.h"
+#include "index/scan.h"
+
+namespace scads {
+
+Result<Value> QueryExecutor::BindParam(const ParamMap& params, const std::string& name) const {
+  auto it = params.find(name);
+  if (it == params.end()) {
+    return InvalidArgumentError("missing query parameter <" + name + ">");
+  }
+  return it->second;
+}
+
+void QueryExecutor::Execute(const QueryPlan& plan, const ParamMap& params,
+                            std::function<void(Result<std::vector<Row>>)> callback) {
+  ++executions_;
+  auto counted = [this, callback = std::move(callback)](Result<std::vector<Row>> rows) {
+    if (rows.ok()) rows_returned_ += static_cast<int64_t>(rows->size());
+    callback(std::move(rows));
+  };
+  const IndexPlan& main = plan.main();
+  switch (main.shape) {
+    case QueryShape::kPointLookup:
+      ExecutePointLookup(main, params, std::move(counted));
+      return;
+    case QueryShape::kSelection:
+    case QueryShape::kJoin:
+    case QueryShape::kAdjacency:
+      ExecuteIndexScan(main, params, std::move(counted));
+      return;
+    case QueryShape::kTwoHop:
+      ExecuteTwoHop(main, params, std::move(counted));
+      return;
+  }
+  counted(InternalError("unhandled query shape"));
+}
+
+void QueryExecutor::ExecutePointLookup(const IndexPlan& plan, const ParamMap& params,
+                                       std::function<void(Result<std::vector<Row>>)> callback) {
+  const EntityDef* entity = catalog_->Get(plan.target_entity);
+  Row key_row;
+  for (size_t i = 0; i < plan.eq_fields.size(); ++i) {
+    Result<Value> value = BindParam(params, plan.eq_params[i]);
+    if (!value.ok()) {
+      callback(value.status());
+      return;
+    }
+    key_row.Set(plan.eq_fields[i], *value);
+  }
+  Result<std::string> key = EncodePrimaryKey(*entity, key_row);
+  if (!key.ok()) {
+    callback(key.status());
+    return;
+  }
+  router_->Get(*key, /*pin_primary=*/false,
+               [entity, callback = std::move(callback)](Result<Record> record) {
+                 if (!record.ok()) {
+                   if (IsNotFound(record.status())) {
+                     callback(std::vector<Row>{});
+                     return;
+                   }
+                   callback(record.status());
+                   return;
+                 }
+                 Result<Row> row = DecodeRow(*entity, record->value);
+                 if (!row.ok()) {
+                   callback(row.status());
+                   return;
+                 }
+                 callback(std::vector<Row>{std::move(row).value()});
+               });
+}
+
+void QueryExecutor::ExecuteIndexScan(const IndexPlan& plan, const ParamMap& params,
+                                     std::function<void(Result<std::vector<Row>>)> callback) {
+  const EntityDef* entity = catalog_->Get(plan.target_entity);
+  std::string prefix = plan.KeyPrefix();
+  if (plan.shape == QueryShape::kSelection) {
+    for (size_t i = 0; i < plan.eq_fields.size(); ++i) {
+      Result<Value> value = BindParam(params, plan.eq_params[i]);
+      if (!value.ok()) {
+        callback(value.status());
+        return;
+      }
+      AppendKeyPiece(&prefix, EncodeKeyValue(*value));
+    }
+  } else {
+    Result<Value> anchor = BindParam(params, plan.edge_param_name);
+    if (!anchor.ok()) {
+      callback(anchor.status());
+      return;
+    }
+    AppendKeyPiece(&prefix, EncodeKeyValue(*anchor));
+  }
+  size_t limit = plan.limit.has_value() ? static_cast<size_t>(*plan.limit) : 0;
+  MultiScanPrefix(router_, cluster_, prefix, limit,
+                  [entity, callback = std::move(callback)](Result<std::vector<Record>> entries) {
+                    if (!entries.ok()) {
+                      callback(entries.status());
+                      return;
+                    }
+                    std::vector<Row> rows;
+                    rows.reserve(entries->size());
+                    for (const Record& entry : *entries) {
+                      Result<Row> row = DecodeRow(*entity, entry.value);
+                      if (!row.ok()) {
+                        callback(row.status());
+                        return;
+                      }
+                      rows.push_back(std::move(row).value());
+                    }
+                    callback(std::move(rows));
+                  });
+}
+
+void QueryExecutor::ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
+                                  std::function<void(Result<std::vector<Row>>)> callback) {
+  const EntityDef* target = catalog_->Get(plan.target_entity);
+  Result<Value> anchor = BindParam(params, plan.edge_param_name);
+  if (!anchor.ok()) {
+    callback(anchor.status());
+    return;
+  }
+  std::string prefix = AnchorScanPrefix(plan, EncodeKeyValue(*anchor));
+  size_t limit = plan.limit.has_value() ? static_cast<size_t>(*plan.limit) : 0;
+  std::string self_piece = EncodeKeyValue(*anchor);
+  MultiScanPrefix(
+      router_, cluster_, prefix, limit,
+      [this, target, plan, self_piece,
+       callback = std::move(callback)](Result<std::vector<Record>> entries) mutable {
+        if (!entries.ok()) {
+          callback(entries.status());
+          return;
+        }
+        // Decode friend-of-friend pk pieces from entry keys; exclude self.
+        auto pieces = std::make_shared<std::vector<std::string>>();
+        for (const Record& entry : *entries) {
+          std::string_view key_view = entry.key;
+          key_view.remove_prefix(plan.KeyPrefix().size());
+          std::string_view user_piece, fof_piece;
+          if (!ConsumeKeyPiece(&key_view, &user_piece) ||
+              !ConsumeKeyPiece(&key_view, &fof_piece)) {
+            continue;
+          }
+          if (fof_piece == self_piece) continue;
+          pieces->emplace_back(fof_piece);
+        }
+        // Fetch target rows sequentially (bounded by the plan's read
+        // bound), preserving index order.
+        auto rows = std::make_shared<std::vector<Row>>();
+        auto fetch = std::make_shared<std::function<void(size_t)>>();
+        *fetch = [this, target, pieces, rows, fetch,
+                  callback = std::move(callback)](size_t i) mutable {
+          if (i >= pieces->size()) {
+            callback(std::move(*rows));
+            return;
+          }
+          router_->Get(BaseRowKeyFromPiece(*target, (*pieces)[i]), /*pin_primary=*/false,
+                       [target, rows, fetch, i](Result<Record> record) {
+                         if (record.ok()) {
+                           Result<Row> row = DecodeRow(*target, record->value);
+                           if (row.ok()) rows->push_back(std::move(row).value());
+                         }
+                         (*fetch)(i + 1);
+                       });
+        };
+        (*fetch)(0);
+      });
+}
+
+}  // namespace scads

@@ -1,0 +1,59 @@
+// Query execution over precomputed indexes (paper §3.1).
+//
+// Every accepted query runs as at most: one bounded contiguous index scan
+// plus (for two-hop shapes) a bounded batch of point lookups — never an
+// unbounded traversal. Ad-hoc queries do not exist at this layer; anything
+// not registered was rejected at compile time.
+
+#ifndef SCADS_INDEX_EXECUTOR_H_
+#define SCADS_INDEX_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/router.h"
+#include "query/planner.h"
+#include "query/schema.h"
+
+namespace scads {
+
+/// Parameter bindings for one execution.
+using ParamMap = std::map<std::string, Value>;
+
+/// Executes compiled query plans.
+class QueryExecutor {
+ public:
+  QueryExecutor(Router* router, ClusterState* cluster, const Catalog* catalog)
+      : router_(router), cluster_(cluster), catalog_(catalog) {}
+
+  /// Runs the main plan of `plan` with `params`; returns target-entity rows
+  /// in index order. kInvalidArgument when a parameter is missing.
+  void Execute(const QueryPlan& plan, const ParamMap& params,
+               std::function<void(Result<std::vector<Row>>)> callback);
+
+  int64_t executions() const { return executions_; }
+  int64_t rows_returned() const { return rows_returned_; }
+
+ private:
+  void ExecutePointLookup(const IndexPlan& plan, const ParamMap& params,
+                          std::function<void(Result<std::vector<Row>>)> callback);
+  void ExecuteIndexScan(const IndexPlan& plan, const ParamMap& params,
+                        std::function<void(Result<std::vector<Row>>)> callback);
+  void ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
+                     std::function<void(Result<std::vector<Row>>)> callback);
+
+  Result<Value> BindParam(const ParamMap& params, const std::string& name) const;
+
+  Router* router_;
+  ClusterState* cluster_;
+  const Catalog* catalog_;
+  int64_t executions_ = 0;
+  int64_t rows_returned_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_INDEX_EXECUTOR_H_

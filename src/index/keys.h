@@ -1,0 +1,58 @@
+// Index entry key layouts.
+//
+// Every index lives in the same ordered keyspace as base tables, under the
+// prefix "i/<index_name>/". Key components are length-prefixed pieces
+// (common/strings.h) so composite keys cannot alias, and ints are encoded
+// order-preserving. Layouts per shape:
+//
+//   selection:  i/<n>/ piece(eq_0)..piece(eq_k) piece(order) piece(pk...)
+//   join:       i/<n>/ piece(anchor) piece(order) piece(target_pk)
+//   adjacency:  i/<n>/ piece(endpoint) piece(other_endpoint)
+//   two_hop:    i/<n>/ piece(user) piece(fof_user)
+//
+// Descending ORDER BY inverts the order piece's bytes (valid for the
+// fixed-width int encoding; the planner rejects DESC on strings).
+
+#ifndef SCADS_INDEX_KEYS_H_
+#define SCADS_INDEX_KEYS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "query/planner.h"
+#include "query/schema.h"
+
+namespace scads {
+
+/// Encoded order-by piece for `row` under `plan` (empty piece when the plan
+/// has no ORDER BY). Applies descending inversion.
+std::string OrderPieceForRow(const IndexPlan& plan, const Row& row);
+
+/// Selection-index key for a full row of the target entity.
+Result<std::string> SelectionEntryKey(const IndexPlan& plan, const EntityDef& target,
+                                      const Row& row);
+
+/// Join-index key from raw encoded pieces.
+std::string JoinEntryKey(const IndexPlan& plan, std::string_view anchor_piece,
+                         std::string_view order_piece, std::string_view pk_piece);
+
+/// Adjacency entry key (directed: endpoint -> other).
+std::string AdjacencyEntryKey(const IndexPlan& plan, std::string_view endpoint_piece,
+                              std::string_view other_piece);
+
+/// Two-hop entry key (user -> friend-of-friend).
+std::string TwoHopEntryKey(const IndexPlan& plan, std::string_view user_piece,
+                           std::string_view fof_piece);
+
+/// Scan prefix for all entries anchored at `first_piece` (e.g. one user's
+/// slice of a join/adjacency/two-hop index).
+std::string AnchorScanPrefix(const IndexPlan& plan, std::string_view first_piece);
+
+/// Base-table key for the row of `entity` whose (single-field) primary key
+/// has encoded bytes `pk_piece`.
+std::string BaseRowKeyFromPiece(const EntityDef& entity, std::string_view pk_piece);
+
+}  // namespace scads
+
+#endif  // SCADS_INDEX_KEYS_H_

@@ -1,0 +1,466 @@
+#include "index/maintenance.h"
+
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "index/keys.h"
+#include "index/scan.h"
+#include "storage/codec.h"
+
+namespace scads {
+
+namespace {
+
+/// Encoded piece of one edge endpoint field.
+std::string EndpointPiece(const Row& edge, const std::string& field) {
+  const Value* v = edge.Get(field);
+  return v == nullptr ? std::string() : EncodeKeyValue(*v);
+}
+
+std::string EncodeCount(int64_t count) {
+  std::string out;
+  PutFixed64(&out, static_cast<uint64_t>(count));
+  return out;
+}
+
+int64_t DecodeCount(std::string_view bytes) {
+  if (bytes.size() != 8) return 0;
+  return static_cast<int64_t>(DecodeFixed64(bytes.data()));
+}
+
+}  // namespace
+
+Status IndexMaintainer::RegisterPlan(const IndexPlan& plan, Duration staleness_bound) {
+  if (plans_.count(plan.name) > 0) return Status::Ok();  // shared helper
+  if (catalog_->Get(plan.target_entity) == nullptr) {
+    return InvalidArgumentError("plan target entity not in catalog: " + plan.target_entity);
+  }
+  plans_.emplace(plan.name, Registered{plan, staleness_bound});
+  return Status::Ok();
+}
+
+const IndexPlan* IndexMaintainer::GetPlan(const std::string& name) const {
+  auto it = plans_.find(name);
+  return it == plans_.end() ? nullptr : &it->second.plan;
+}
+
+std::vector<MaintenanceEntry> IndexMaintainer::MaintenanceTable() const {
+  std::vector<MaintenanceEntry> table;
+  for (const auto& [name, reg] : plans_) {
+    for (const MaintenanceEntry& entry : reg.plan.maintenance) table.push_back(entry);
+  }
+  return table;
+}
+
+void IndexMaintainer::PutEntry(const std::string& key, std::string value,
+                               std::function<void(Status)> next) {
+  ++stats_.entries_written;
+  router_->Put(key, std::move(value), AckMode::kPrimary, std::move(next));
+}
+
+void IndexMaintainer::DeleteEntry(const std::string& key, std::function<void(Status)> next) {
+  ++stats_.entries_deleted;
+  router_->Delete(key, AckMode::kPrimary, std::move(next));
+}
+
+void IndexMaintainer::OnBaseWrite(const std::string& entity, std::optional<Row> old_row,
+                                  std::optional<Row> new_row) {
+  for (auto& [name, reg] : plans_) {
+    const IndexPlan& plan = reg.plan;
+    Time deadline = loop_->Now() + DeadlineBound(reg);
+    const Registered* registered = &reg;
+    switch (plan.shape) {
+      case QueryShape::kPointLookup:
+        break;  // no derived structure
+      case QueryShape::kSelection:
+        if (plan.target_entity == entity) {
+          ++stats_.tasks_enqueued;
+          queue_->Enqueue(deadline, "sel:" + plan.name,
+                          [this, registered, old_row, new_row](std::function<void(Status)> done) {
+                            RunSelectionUpdate(*registered, old_row, new_row, std::move(done));
+                          });
+        }
+        break;
+      case QueryShape::kAdjacency:
+        if (plan.edge_entity == entity) {
+          ++stats_.tasks_enqueued;
+          queue_->Enqueue(deadline, "adj:" + plan.name,
+                          [this, registered, old_row, new_row](std::function<void(Status)> done) {
+                            RunAdjacencyUpdate(*registered, old_row, new_row, std::move(done));
+                          });
+        }
+        break;
+      case QueryShape::kJoin:
+        if (plan.edge_entity == entity) {
+          ++stats_.tasks_enqueued;
+          queue_->Enqueue(deadline, "join-edge:" + plan.name,
+                          [this, registered, old_row, new_row](std::function<void(Status)> done) {
+                            RunJoinEdgeUpdate(*registered, old_row, new_row, std::move(done));
+                          });
+        }
+        if (plan.target_entity == entity) {
+          ++stats_.tasks_enqueued;
+          queue_->Enqueue(deadline, "join-target:" + plan.name,
+                          [this, registered, old_row, new_row](std::function<void(Status)> done) {
+                            RunJoinTargetUpdate(*registered, old_row, new_row, std::move(done));
+                          });
+        }
+        break;
+      case QueryShape::kTwoHop:
+        // Cascaded from the adjacency index (Figure 3): fires on the same
+        // edge change, after the adjacency task (strict queue order).
+        if (plan.edge_entity == entity) {
+          ++stats_.tasks_enqueued;
+          queue_->Enqueue(deadline, "twohop:" + plan.name,
+                          [this, registered, old_row, new_row](std::function<void(Status)> done) {
+                            RunTwoHopUpdate(*registered, old_row, new_row, std::move(done));
+                          });
+        }
+        break;
+    }
+  }
+}
+
+void IndexMaintainer::RunSelectionUpdate(const Registered& reg, std::optional<Row> old_row,
+                                         std::optional<Row> new_row,
+                                         std::function<void(Status)> done) {
+  const IndexPlan& plan = reg.plan;
+  const EntityDef* target = catalog_->Get(plan.target_entity);
+  std::optional<std::string> old_key;
+  if (old_row.has_value()) {
+    Result<std::string> key = SelectionEntryKey(plan, *target, *old_row);
+    if (key.ok()) old_key = *key;
+  }
+  std::optional<std::string> new_key;
+  std::string new_value;
+  if (new_row.has_value()) {
+    Result<std::string> key = SelectionEntryKey(plan, *target, *new_row);
+    if (!key.ok()) {
+      done(key.status());
+      return;
+    }
+    new_key = *key;
+    new_value = EncodeRow(*target, *new_row);
+  }
+  auto put_new = [this, new_key, new_value = std::move(new_value),
+                  done](Status status) mutable {
+    if (!status.ok() || !new_key.has_value()) {
+      done(std::move(status));
+      return;
+    }
+    PutEntry(*new_key, std::move(new_value), std::move(done));
+  };
+  if (old_key.has_value() && old_key != new_key) {
+    DeleteEntry(*old_key, std::move(put_new));
+  } else {
+    put_new(Status::Ok());
+  }
+}
+
+void IndexMaintainer::RunAdjacencyUpdate(const Registered& reg, std::optional<Row> old_edge,
+                                         std::optional<Row> new_edge,
+                                         std::function<void(Status)> done) {
+  const IndexPlan& plan = reg.plan;
+  const EntityDef* edge_entity = catalog_->Get(plan.edge_entity);
+  // Build the four (delete old both directions, insert new both directions)
+  // operations and run them sequentially.
+  auto ops = std::make_shared<std::vector<std::pair<std::string, std::optional<std::string>>>>();
+  if (old_edge.has_value()) {
+    std::string a = EndpointPiece(*old_edge, plan.edge_param_field);
+    std::string b = EndpointPiece(*old_edge, plan.edge_other_field);
+    ops->emplace_back(AdjacencyEntryKey(plan, a, b), std::nullopt);
+    ops->emplace_back(AdjacencyEntryKey(plan, b, a), std::nullopt);
+  }
+  if (new_edge.has_value()) {
+    std::string a = EndpointPiece(*new_edge, plan.edge_param_field);
+    std::string b = EndpointPiece(*new_edge, plan.edge_other_field);
+    std::string value = EncodeRow(*edge_entity, *new_edge);
+    ops->emplace_back(AdjacencyEntryKey(plan, a, b), value);
+    ops->emplace_back(AdjacencyEntryKey(plan, b, a), value);
+  }
+  // Sequential executor over ops.
+  auto run = std::make_shared<std::function<void(size_t)>>();
+  *run = [this, ops, run, done = std::move(done)](size_t i) {
+    if (i >= ops->size()) {
+      done(Status::Ok());
+      return;
+    }
+    auto& [key, value] = (*ops)[i];
+    auto next = [run, i](Status) { (*run)(i + 1); };
+    if (value.has_value()) {
+      PutEntry(key, *value, next);
+    } else {
+      DeleteEntry(key, next);
+    }
+  };
+  (*run)(0);
+}
+
+void IndexMaintainer::RunJoinEdgeUpdate(const Registered& reg, std::optional<Row> old_edge,
+                                        std::optional<Row> new_edge,
+                                        std::function<void(Status)> done) {
+  const IndexPlan& plan = reg.plan;
+  const EntityDef* target = catalog_->Get(plan.target_entity);
+  // Work items: {anchor_piece, target_pk_piece, insert?}. Symmetric plans
+  // index both directions.
+  struct Item {
+    std::string anchor;
+    std::string target_pk;
+    bool insert;
+  };
+  auto items = std::make_shared<std::vector<Item>>();
+  auto add_edge_items = [&](const Row& edge, bool insert) {
+    std::string a = EndpointPiece(edge, plan.edge_param_field);
+    std::string b = EndpointPiece(edge, plan.edge_other_field);
+    items->push_back(Item{a, b, insert});
+    if (plan.symmetric) items->push_back(Item{b, a, insert});
+  };
+  if (old_edge.has_value()) add_edge_items(*old_edge, false);
+  if (new_edge.has_value()) add_edge_items(*new_edge, true);
+
+  auto run = std::make_shared<std::function<void(size_t)>>();
+  *run = [this, items, run, target, &reg, done = std::move(done)](size_t i) {
+    if (i >= items->size()) {
+      done(Status::Ok());
+      return;
+    }
+    const Item& item = (*items)[i];
+    // Look up the target row to learn its order value (and entry payload).
+    ++stats_.lookups;
+    router_->Get(
+        BaseRowKeyFromPiece(*target, item.target_pk), /*pin_primary=*/true,
+        [this, items, run, target, &reg, i](Result<Record> record) {
+          const Item& item = (*items)[i];
+          const IndexPlan& plan = reg.plan;
+          auto next = [run, i](Status) { (*run)(i + 1); };
+          if (!record.ok()) {
+            // Target row absent: nothing to index (a later target write
+            // will backfill via RunJoinTargetUpdate).
+            next(Status::Ok());
+            return;
+          }
+          Result<Row> row = DecodeRow(*target, record->value);
+          if (!row.ok()) {
+            next(row.status());
+            return;
+          }
+          std::string order_piece = OrderPieceForRow(plan, *row);
+          std::string key = JoinEntryKey(plan, item.anchor, order_piece, item.target_pk);
+          if (item.insert) {
+            PutEntry(key, EncodeRow(*target, *row), next);
+          } else {
+            DeleteEntry(key, next);
+          }
+        });
+  };
+  (*run)(0);
+}
+
+void IndexMaintainer::RunJoinTargetUpdate(const Registered& reg, std::optional<Row> old_row,
+                                          std::optional<Row> new_row,
+                                          std::function<void(Status)> done) {
+  const IndexPlan& plan = reg.plan;
+  const EntityDef* target = catalog_->Get(plan.target_entity);
+  const Row& pk_source = new_row.has_value() ? *new_row : *old_row;
+  const Value* pk = pk_source.Get(target->key_fields[0]);
+  if (pk == nullptr) {
+    done(InvalidArgumentError("target row missing key"));
+    return;
+  }
+  std::string pk_piece = EncodeKeyValue(*pk);
+  const IndexPlan* adjacency = GetPlan(plan.adjacency_index);
+  if (adjacency == nullptr) {
+    done(FailedPreconditionError("adjacency index not registered: " + plan.adjacency_index));
+    return;
+  }
+  // Neighbors = adjacency slice anchored at this row's key.
+  ++stats_.lookups;
+  MultiScanPrefix(
+      router_, cluster_, AnchorScanPrefix(*adjacency, pk_piece), /*limit=*/0,
+      [this, &reg, target, pk_piece, old_row, new_row,
+       done = std::move(done)](Result<std::vector<Record>> neighbors) mutable {
+        if (!neighbors.ok()) {
+          done(neighbors.status());
+          return;
+        }
+        const IndexPlan& plan = reg.plan;
+        std::string old_order =
+            old_row.has_value() ? OrderPieceForRow(plan, *old_row) : std::string();
+        std::string new_order =
+            new_row.has_value() ? OrderPieceForRow(plan, *new_row) : std::string();
+        std::string new_value =
+            new_row.has_value() ? EncodeRow(*target, *new_row) : std::string();
+        // (key, value-or-delete) op list over every neighbor.
+        auto ops =
+            std::make_shared<std::vector<std::pair<std::string, std::optional<std::string>>>>();
+        for (const Record& entry : *neighbors) {
+          // Key layout: prefix piece(pk) piece(neighbor).
+          std::string_view key_view = entry.key;
+          const IndexPlan* adjacency = GetPlan(plan.adjacency_index);
+          key_view.remove_prefix(adjacency->KeyPrefix().size());
+          std::string_view anchor_piece, neighbor_piece;
+          if (!ConsumeKeyPiece(&key_view, &anchor_piece) ||
+              !ConsumeKeyPiece(&key_view, &neighbor_piece)) {
+            continue;
+          }
+          if (old_row.has_value()) {
+            ops->emplace_back(JoinEntryKey(plan, neighbor_piece, old_order, pk_piece),
+                              std::nullopt);
+          }
+          if (new_row.has_value()) {
+            ops->emplace_back(JoinEntryKey(plan, neighbor_piece, new_order, pk_piece),
+                              new_value);
+          }
+        }
+        if (ops->size() > static_cast<size_t>(plan.update_cost)) ++stats_.budget_overruns;
+        auto run = std::make_shared<std::function<void(size_t)>>();
+        *run = [this, ops, run, done = std::move(done)](size_t i) {
+          if (i >= ops->size()) {
+            done(Status::Ok());
+            return;
+          }
+          auto& [key, value] = (*ops)[i];
+          auto next = [run, i](Status) { (*run)(i + 1); };
+          if (value.has_value()) {
+            PutEntry(key, *value, next);
+          } else {
+            DeleteEntry(key, next);
+          }
+        };
+        (*run)(0);
+      });
+}
+
+void IndexMaintainer::RunTwoHopUpdate(const Registered& reg, std::optional<Row> old_edge,
+                                      std::optional<Row> new_edge,
+                                      std::function<void(Status)> done) {
+  const IndexPlan& plan = reg.plan;
+  const IndexPlan* adjacency = GetPlan(plan.adjacency_index);
+  if (adjacency == nullptr) {
+    done(FailedPreconditionError("adjacency index not registered: " + plan.adjacency_index));
+    return;
+  }
+  // Process the removed edge (delta -1) then the added edge (delta +1).
+  struct EdgeDelta {
+    std::string x;
+    std::string y;
+    int delta;
+  };
+  auto edges = std::make_shared<std::vector<EdgeDelta>>();
+  if (old_edge.has_value()) {
+    edges->push_back(EdgeDelta{EndpointPiece(*old_edge, plan.edge_param_field),
+                               EndpointPiece(*old_edge, plan.edge_other_field), -1});
+  }
+  if (new_edge.has_value()) {
+    edges->push_back(EdgeDelta{EndpointPiece(*new_edge, plan.edge_param_field),
+                               EndpointPiece(*new_edge, plan.edge_other_field), +1});
+  }
+
+  auto process = std::make_shared<std::function<void(size_t)>>();
+  *process = [this, edges, process, &reg, adjacency, done = std::move(done)](size_t e) {
+    if (e >= edges->size()) {
+      done(Status::Ok());
+      return;
+    }
+    const EdgeDelta edge = (*edges)[e];
+    // Gather N(x) and N(y) from the adjacency index.
+    ++stats_.lookups;
+    MultiScanPrefix(
+        router_, cluster_, AnchorScanPrefix(*adjacency, edge.x), 0,
+        [this, edges, process, &reg, adjacency, edge, e](Result<std::vector<Record>> nx) {
+          if (!nx.ok()) {
+            (*process)(e + 1);
+            return;
+          }
+          ++stats_.lookups;
+          MultiScanPrefix(
+              router_, cluster_, AnchorScanPrefix(*adjacency, edge.y), 0,
+              [this, edges, process, &reg, adjacency, edge, e,
+               nx = std::move(nx)](Result<std::vector<Record>> ny) {
+                if (!ny.ok()) {
+                  (*process)(e + 1);
+                  return;
+                }
+                auto neighbor_pieces = [&](const std::vector<Record>& entries,
+                                           std::string_view exclude) {
+                  std::vector<std::string> out;
+                  for (const Record& entry : entries) {
+                    std::string_view key_view = entry.key;
+                    key_view.remove_prefix(adjacency->KeyPrefix().size());
+                    std::string_view anchor_piece, neighbor_piece;
+                    if (!ConsumeKeyPiece(&key_view, &anchor_piece) ||
+                        !ConsumeKeyPiece(&key_view, &neighbor_piece)) {
+                      continue;
+                    }
+                    if (neighbor_piece == exclude) continue;
+                    out.emplace_back(neighbor_piece);
+                  }
+                  return out;
+                };
+                std::vector<std::string> n_of_x = neighbor_pieces(*nx, edge.y);
+                std::vector<std::string> n_of_y = neighbor_pieces(*ny, edge.x);
+                // Witness deltas: paths of length two gained/lost via this
+                // edge. u-x-y for u in N(x): pairs (u,y) and (y,u); x-y-w
+                // for w in N(y): pairs (x,w) and (w,x).
+                auto deltas = std::make_shared<
+                    std::vector<std::tuple<std::string, std::string, int>>>();
+                for (const std::string& u : n_of_x) {
+                  if (u == edge.y) continue;
+                  deltas->emplace_back(u, edge.y, edge.delta);
+                  deltas->emplace_back(edge.y, u, edge.delta);
+                }
+                for (const std::string& w : n_of_y) {
+                  if (w == edge.x) continue;
+                  deltas->emplace_back(edge.x, w, edge.delta);
+                  deltas->emplace_back(w, edge.x, edge.delta);
+                }
+                if (deltas->size() > static_cast<size_t>(reg.plan.update_cost)) {
+                  ++stats_.budget_overruns;
+                }
+                ApplyWitnessDeltas(reg, deltas, 0,
+                                   [process, e](Status) { (*process)(e + 1); });
+              });
+        });
+  };
+  (*process)(0);
+}
+
+void IndexMaintainer::ApplyWitnessDeltas(
+    const Registered& reg,
+    std::shared_ptr<std::vector<std::tuple<std::string, std::string, int>>> deltas, size_t index,
+    std::function<void(Status)> done) {
+  if (index >= deltas->size()) {
+    done(Status::Ok());
+    return;
+  }
+  const auto& [a, b, delta] = (*deltas)[index];
+  if (a == b) {
+    ApplyWitnessDeltas(reg, deltas, index + 1, std::move(done));
+    return;
+  }
+  std::string key = TwoHopEntryKey(reg.plan, a, b);
+  ++stats_.lookups;
+  int d = delta;
+  router_->Get(key, /*pin_primary=*/true,
+               [this, &reg, deltas, index, key, d,
+                done = std::move(done)](Result<Record> current) mutable {
+                 int64_t count = current.ok() ? DecodeCount(current->value) : 0;
+                 count += d;
+                 auto next = [this, &reg, deltas, index, done = std::move(done)](Status) mutable {
+                   ApplyWitnessDeltas(reg, deltas, index + 1, std::move(done));
+                 };
+                 if (count <= 0) {
+                   if (current.ok()) {
+                     DeleteEntry(key, std::move(next));
+                   } else {
+                     next(Status::Ok());
+                   }
+                 } else {
+                   PutEntry(key, EncodeCount(count), std::move(next));
+                 }
+               });
+}
+
+}  // namespace scads

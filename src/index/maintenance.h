@@ -1,0 +1,111 @@
+// Asynchronous index maintenance (paper §3.2, Figure 3).
+//
+// Base-table writes trigger compiled update functions: the maintainer maps
+// each (entity, change) to the registered plans it affects and enqueues a
+// bounded task per plan into the UpdateQueue, with a deadline derived from
+// the plan's staleness bound. Cascades (two-hop indexes maintained from the
+// adjacency/"friend" index) fire when the adjacency task completes —
+// "updatable structures may themselves be specified as tables".
+//
+// Each task's router-operation count is tracked against the plan's
+// update_cost bound; overruns are counted (they indicate a planner bug or a
+// violated fan-out cap).
+
+#ifndef SCADS_INDEX_MAINTENANCE_H_
+#define SCADS_INDEX_MAINTENANCE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/router.h"
+#include "index/update_queue.h"
+#include "query/planner.h"
+#include "query/schema.h"
+
+namespace scads {
+
+/// Maintenance statistics.
+struct MaintenanceStats {
+  int64_t tasks_enqueued = 0;
+  int64_t entries_written = 0;
+  int64_t entries_deleted = 0;
+  int64_t lookups = 0;
+  int64_t budget_overruns = 0;
+};
+
+/// Owns the registered index plans and drives their maintenance.
+class IndexMaintainer {
+ public:
+  IndexMaintainer(EventLoop* loop, Router* router, ClusterState* cluster,
+                  const Catalog* catalog, UpdateQueue* queue)
+      : loop_(loop), router_(router), cluster_(cluster), catalog_(catalog), queue_(queue) {}
+
+  /// Registers a plan. `staleness_bound` sets task deadlines (0 = one
+  /// minute default). Duplicate names are ignored (the shared adjacency
+  /// helper arrives once per query).
+  Status RegisterPlan(const IndexPlan& plan, Duration staleness_bound);
+
+  /// Notifies the maintainer that a base row changed. `old_row` is the
+  /// previous image (nullopt on insert), `new_row` the new one (nullopt on
+  /// delete). The write itself has already been routed; this only schedules
+  /// derived-structure updates.
+  void OnBaseWrite(const std::string& entity, std::optional<Row> old_row,
+                   std::optional<Row> new_row);
+
+  const MaintenanceStats& stats() const { return stats_; }
+  UpdateQueue* queue() { return queue_; }
+
+  /// Registered plan by name (nullptr when unknown).
+  const IndexPlan* GetPlan(const std::string& name) const;
+
+  /// Concatenated Figure-3 maintenance table of all registered plans.
+  std::vector<MaintenanceEntry> MaintenanceTable() const;
+
+ private:
+  struct Registered {
+    IndexPlan plan;
+    Duration staleness_bound;
+  };
+
+  // Task bodies. Each invokes done(status) exactly once.
+  void RunSelectionUpdate(const Registered& reg, std::optional<Row> old_row,
+                          std::optional<Row> new_row, std::function<void(Status)> done);
+  void RunAdjacencyUpdate(const Registered& reg, std::optional<Row> old_edge,
+                          std::optional<Row> new_edge, std::function<void(Status)> done);
+  void RunJoinEdgeUpdate(const Registered& reg, std::optional<Row> old_edge,
+                         std::optional<Row> new_edge, std::function<void(Status)> done);
+  void RunJoinTargetUpdate(const Registered& reg, std::optional<Row> old_row,
+                           std::optional<Row> new_row, std::function<void(Status)> done);
+  void RunTwoHopUpdate(const Registered& reg, std::optional<Row> old_edge,
+                       std::optional<Row> new_edge, std::function<void(Status)> done);
+
+  /// Applies +/-1 witness-count deltas for an edge (a, b) of a two-hop
+  /// plan, sequentially over the (pair, delta) list.
+  void ApplyWitnessDeltas(
+      const Registered& reg,
+      std::shared_ptr<std::vector<std::tuple<std::string, std::string, int>>> deltas,
+      size_t index, std::function<void(Status)> done);
+
+  void PutEntry(const std::string& key, std::string value, std::function<void(Status)> next);
+  void DeleteEntry(const std::string& key, std::function<void(Status)> next);
+
+  Duration DeadlineBound(const Registered& reg) const {
+    return reg.staleness_bound > 0 ? reg.staleness_bound : kMinute;
+  }
+
+  EventLoop* loop_;
+  Router* router_;
+  ClusterState* cluster_;
+  const Catalog* catalog_;
+  UpdateQueue* queue_;
+  std::map<std::string, Registered> plans_;
+  MaintenanceStats stats_;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_INDEX_MAINTENANCE_H_

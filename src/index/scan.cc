@@ -1,0 +1,72 @@
+#include "index/scan.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace scads {
+
+namespace {
+
+struct MultiScanState {
+  Router* router;
+  ClusterState* cluster;
+  std::string end;  // overall exclusive end ("" = unbounded)
+  size_t limit;
+  std::vector<Record> rows;
+  std::function<void(Result<std::vector<Record>>)> callback;
+};
+
+void ScanFrom(std::shared_ptr<MultiScanState> state, std::string cursor) {
+  // Determine the partition holding `cursor` and scan to the nearer of the
+  // partition end or the overall end.
+  const PartitionInfo& partition = state->cluster->partitions()->ForKey(cursor);
+  std::string sub_end = partition.end;
+  bool is_last;
+  if (state->end.empty()) {
+    is_last = sub_end.empty();
+  } else if (sub_end.empty() || state->end <= sub_end) {
+    sub_end = state->end;
+    is_last = true;
+  } else {
+    is_last = false;
+  }
+  size_t remaining = state->limit == 0 ? 0 : state->limit - state->rows.size();
+  state->router->Scan(
+      cursor, sub_end, remaining,
+      [state, sub_end, is_last](Result<std::vector<Record>> result) mutable {
+        if (!result.ok()) {
+          state->callback(result.status());
+          return;
+        }
+        for (Record& record : *result) state->rows.push_back(std::move(record));
+        bool hit_limit = state->limit != 0 && state->rows.size() >= state->limit;
+        if (is_last || hit_limit || sub_end.empty()) {
+          state->callback(std::move(state->rows));
+          return;
+        }
+        ScanFrom(state, sub_end);  // continue in the next partition
+      });
+}
+
+}  // namespace
+
+void MultiScan(Router* router, ClusterState* cluster, const std::string& start,
+               const std::string& end, size_t limit,
+               std::function<void(Result<std::vector<Record>>)> callback) {
+  auto state = std::make_shared<MultiScanState>();
+  state->router = router;
+  state->cluster = cluster;
+  state->end = end;
+  state->limit = limit;
+  state->callback = std::move(callback);
+  ScanFrom(state, start);
+}
+
+void MultiScanPrefix(Router* router, ClusterState* cluster, const std::string& prefix,
+                     size_t limit, std::function<void(Result<std::vector<Record>>)> callback) {
+  MultiScan(router, cluster, prefix, PrefixSuccessor(prefix), limit, std::move(callback));
+}
+
+}  // namespace scads

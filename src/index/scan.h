@@ -1,0 +1,30 @@
+// Multi-partition range scan: splits [start, end) along partition
+// boundaries and issues one Router::Scan per sub-range, concatenating
+// results in key order. Index slices are bounded, but nothing forces them
+// to respect partition boundaries — this helper makes range reads correct
+// regardless of how the rebalancer has split the keyspace.
+
+#ifndef SCADS_INDEX_SCAN_H_
+#define SCADS_INDEX_SCAN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/router.h"
+
+namespace scads {
+
+/// Scans [start, end) across partitions; `limit` 0 = unlimited.
+void MultiScan(Router* router, ClusterState* cluster, const std::string& start,
+               const std::string& end, size_t limit,
+               std::function<void(Result<std::vector<Record>>)> callback);
+
+/// Scans every key with `prefix`.
+void MultiScanPrefix(Router* router, ClusterState* cluster, const std::string& prefix,
+                     size_t limit, std::function<void(Result<std::vector<Record>>)> callback);
+
+}  // namespace scads
+
+#endif  // SCADS_INDEX_SCAN_H_

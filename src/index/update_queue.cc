@@ -1,0 +1,69 @@
+#include "index/update_queue.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace scads {
+
+void UpdateQueue::Enqueue(Time deadline, std::string description, AsyncTask task) {
+  Task entry;
+  entry.deadline = deadline;
+  entry.enqueued_at = loop_->Now();
+  entry.seq = next_seq_++;
+  entry.description = std::move(description);
+  entry.run = std::move(task);
+  if (policy_ == QueuePolicy::kDeadline) {
+    // Insert keeping (deadline, seq) order; bursts mostly append, so search
+    // from the back.
+    auto pos = std::upper_bound(pending_.begin(), pending_.end(), entry,
+                                [](const Task& a, const Task& b) {
+                                  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+                                  return a.seq < b.seq;
+                                });
+    pending_.insert(pos, std::move(entry));
+  } else {
+    pending_.push_back(std::move(entry));
+  }
+  MaybeRunNext();
+}
+
+void UpdateQueue::SetPaused(bool paused) {
+  paused_ = paused;
+  if (!paused_) MaybeRunNext();
+}
+
+Time UpdateQueue::earliest_deadline() const {
+  if (pending_.empty()) return std::numeric_limits<Time>::max();
+  if (policy_ == QueuePolicy::kDeadline) return pending_.front().deadline;
+  Time earliest = std::numeric_limits<Time>::max();
+  for (const Task& task : pending_) earliest = std::min(earliest, task.deadline);
+  return earliest;
+}
+
+void UpdateQueue::MaybeRunNext() {
+  if (running_ || paused_ || pending_.empty()) return;
+  running_ = true;
+  Task task = std::move(pending_.front());
+  pending_.pop_front();
+  // Start the task from a fresh event so deep enqueue chains cannot grow
+  // the native stack.
+  loop_->ScheduleAfter(0, [this, task = std::move(task)]() mutable {
+    task.run([this, deadline = task.deadline, enqueued_at = task.enqueued_at,
+              description = task.description](Status status) {
+      Time now = loop_->Now();
+      lag_.Record(now - enqueued_at);
+      ++processed_;
+      if (now > deadline) ++deadline_misses_;
+      if (!status.ok()) {
+        ++failures_;
+        SCADS_LOG(Warning) << "index update failed (" << description << "): " << status;
+      }
+      running_ = false;
+      MaybeRunNext();
+    });
+  });
+}
+
+}  // namespace scads

@@ -1,0 +1,87 @@
+// The asynchronous index-update queue (paper §3.3.2).
+//
+// Every index maintenance task carries a propagation deadline derived from
+// the developer's staleness bound. The queue is a priority queue ordered by
+// deadline: urgent updates (tight bounds) run first, and the depth of the
+// queue versus the nearest deadlines tells the Director when the system is
+// "in danger of getting behind schedule". A FIFO policy is provided as the
+// ablation baseline.
+//
+// Tasks execute strictly sequentially (one at a time); maintenance bodies
+// are therefore free to read-modify-write index entries without races.
+
+#ifndef SCADS_INDEX_UPDATE_QUEUE_H_
+#define SCADS_INDEX_UPDATE_QUEUE_H_
+
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/event_loop.h"
+
+namespace scads {
+
+/// Ordering policy for pending updates.
+enum class QueuePolicy { kDeadline, kFifo };
+
+/// An asynchronous task body: runs, then invokes done(status) exactly once.
+using AsyncTask = std::function<void(std::function<void(Status)> done)>;
+
+/// Deadline-ordered, sequential executor of index updates.
+class UpdateQueue {
+ public:
+  UpdateQueue(EventLoop* loop, QueuePolicy policy = QueuePolicy::kDeadline)
+      : loop_(loop), policy_(policy) {}
+
+  /// Enqueues a task that should complete by `deadline`.
+  void Enqueue(Time deadline, std::string description, AsyncTask task);
+
+  /// Pauses/resumes processing (used to build backlogs in experiments).
+  void SetPaused(bool paused);
+
+  size_t depth() const { return pending_.size(); }
+  bool idle() const { return pending_.empty() && !running_; }
+
+  /// Completion lag (finish - enqueue) and deadline tracking.
+  const LogHistogram& lag_histogram() const { return lag_; }
+  int64_t processed() const { return processed_; }
+  int64_t deadline_misses() const { return deadline_misses_; }
+  int64_t failures() const { return failures_; }
+
+  /// Earliest pending deadline, or max Time when empty. The Director uses
+  /// (earliest_deadline - now) vs. predicted drain time as its risk signal.
+  Time earliest_deadline() const;
+
+  QueuePolicy policy() const { return policy_; }
+
+ private:
+  struct Task {
+    Time deadline;
+    Time enqueued_at;
+    int64_t seq;  // FIFO tiebreak
+    std::string description;
+    AsyncTask run;
+  };
+
+  void MaybeRunNext();
+
+  EventLoop* loop_;
+  QueuePolicy policy_;
+  std::deque<Task> pending_;  // kept sorted for kDeadline; append for kFifo
+  bool running_ = false;
+  bool paused_ = false;
+  int64_t next_seq_ = 0;
+  int64_t processed_ = 0;
+  int64_t deadline_misses_ = 0;
+  int64_t failures_ = 0;
+  LogHistogram lag_;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_INDEX_UPDATE_QUEUE_H_

@@ -1,0 +1,26 @@
+#include "ml/forecaster.h"
+
+#include <algorithm>
+
+namespace scads {
+
+void HoltForecaster::Observe(double value) {
+  if (count_ == 0) {
+    level_ = value;
+    trend_ = 0;
+  } else if (count_ == 1) {
+    trend_ = value - level_;
+    level_ = value;
+  } else {
+    double prev_level = level_;
+    level_ = alpha_ * value + (1 - alpha_) * (level_ + trend_);
+    trend_ = beta_ * (level_ - prev_level) + (1 - beta_) * trend_;
+  }
+  ++count_;
+}
+
+double HoltForecaster::Forecast(double steps) const {
+  return std::max(0.0, level_ + trend_ * steps);
+}
+
+}  // namespace scads

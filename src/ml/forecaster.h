@@ -1,0 +1,42 @@
+// Workload forecasting: Holt double exponential smoothing over a fixed
+// observation interval. Captures both level and trend, which is what makes
+// the Director provision *ahead* of viral growth (paper Figure 1/2) —
+// by the time a reactive policy sees the violation, boot latency has
+// already cost it minutes of SLA.
+
+#ifndef SCADS_ML_FORECASTER_H_
+#define SCADS_ML_FORECASTER_H_
+
+#include <cstdint>
+
+namespace scads {
+
+/// Holt linear-trend forecaster.
+class HoltForecaster {
+ public:
+  /// `alpha` smooths the level, `beta` the trend; both in (0, 1].
+  HoltForecaster(double alpha = 0.5, double beta = 0.3) : alpha_(alpha), beta_(beta) {}
+
+  /// Feeds the next observation (fixed time step between calls).
+  void Observe(double value);
+
+  /// Forecast `steps` observation intervals ahead (>= 0; 0 = current
+  /// level). Never negative.
+  double Forecast(double steps) const;
+
+  /// Estimated per-step trend.
+  double trend() const { return trend_; }
+  double level() const { return level_; }
+  int64_t count() const { return count_; }
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_ = 0;
+  double trend_ = 0;
+  int64_t count_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_ML_FORECASTER_H_

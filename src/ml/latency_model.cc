@@ -1,0 +1,61 @@
+#include "ml/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scads {
+
+std::vector<double> LatencyModel::Features(double rate) {
+  // Scale rate to thousands so cubes stay numerically tame.
+  double x = rate / 1000.0;
+  return {1.0, x, x * x, x * x * x};
+}
+
+void LatencyModel::Observe(double rate_per_node, Duration latency, Duration sla_bound) {
+  if (rate_per_node < 0) return;
+  regression_.Observe(Features(rate_per_node), static_cast<double>(latency));
+  max_observed_rate_ = std::max(max_observed_rate_, rate_per_node);
+  max_observed_latency_ = std::max(max_observed_latency_, latency);
+  if (sla_bound > 0 && latency <= sla_bound * 3 / 4) {
+    max_compliant_rate_ = std::max(max_compliant_rate_, rate_per_node);
+  }
+}
+
+Duration LatencyModel::Predict(double rate_per_node) const {
+  if (regression_.sample_count() == 0) return 0;
+  if (max_observed_rate_ > 0 && rate_per_node > max_observed_rate_ * 1.25) {
+    // Never extrapolate optimism past the observed envelope: report at
+    // least the worst latency seen, scaled by how far past the envelope
+    // the query is.
+    double over = rate_per_node / std::max(1e-9, max_observed_rate_);
+    return static_cast<Duration>(static_cast<double>(max_observed_latency_) * over);
+  }
+  double predicted = regression_.Predict(Features(rate_per_node));
+  return predicted < 0 ? 0 : static_cast<Duration>(predicted);
+}
+
+double LatencyModel::MaxRateWithinBound(Duration bound) const {
+  if (regression_.sample_count() == 0 || max_observed_rate_ <= 0) return 0;
+  double lo = 0;
+  double hi = max_observed_rate_ * 2;
+  for (int i = 0; i < 48; ++i) {
+    double mid = (lo + hi) / 2;
+    if (Predict(mid) <= bound) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // Hard evidence beats extrapolation: a rate the fleet has actually served
+  // within the bound is sustainable regardless of what the fit says.
+  return std::max(lo, max_compliant_rate_);
+}
+
+int LatencyModel::MinNodesForSla(double total_rate, Duration bound,
+                                 double fallback_rate_per_node) const {
+  double per_node = MaxRateWithinBound(bound);
+  if (per_node <= 1e-9) per_node = std::max(1e-9, fallback_rate_per_node);
+  return std::max(1, static_cast<int>(std::ceil(total_rate / per_node)));
+}
+
+}  // namespace scads

@@ -1,0 +1,64 @@
+// Learned per-node latency model (paper §3.3.1: "performance and failure
+// models combined with current workload information ... configure system
+// parameters such as partitioning and replication").
+//
+// The model learns p-quantile latency as a function of per-node request
+// rate from observed (rate, latency) windows. The feature basis
+// [1, x, x^2, x^3] captures the convex rise of queueing curves well inside
+// the observed range; outside it, a safety fallback treats the node as
+// saturated. The Director inverts the model: "how many nodes keep
+// predicted latency under the SLA at the forecast rate?"
+
+#ifndef SCADS_ML_LATENCY_MODEL_H_
+#define SCADS_ML_LATENCY_MODEL_H_
+
+#include "common/types.h"
+#include "ml/linreg.h"
+
+namespace scads {
+
+/// Latency(rate-per-node) regression with inversion helpers.
+class LatencyModel {
+ public:
+  LatencyModel() : regression_(4, /*ridge=*/1e-6, /*forgetting=*/0.99) {}
+
+  /// Adds one observation window: mean per-node rate (requests/second) and
+  /// the achieved latency at the SLA quantile (microseconds). When
+  /// `sla_bound` > 0 and the window was comfortably inside the bound, the
+  /// rate is also recorded as *empirically compliant* — hard evidence that
+  /// overrides pessimistic regression extrapolation.
+  void Observe(double rate_per_node, Duration latency, Duration sla_bound = 0);
+
+  /// Predicted latency (us) at `rate_per_node`. Beyond the highest observed
+  /// rate the prediction is clamped upward (saturation is never
+  /// extrapolated optimistically).
+  Duration Predict(double rate_per_node) const;
+
+  /// Largest per-node rate whose predicted latency stays under `bound`,
+  /// searched over (0, max_observed_rate * 2]. Returns 0 when unknown
+  /// (no samples) — callers fall back to a configured default.
+  double MaxRateWithinBound(Duration bound) const;
+
+  /// Minimum node count such that `total_rate` spread evenly keeps the
+  /// predicted latency under `bound`. At least 1; `fallback_rate_per_node`
+  /// is used before the model has data.
+  int MinNodesForSla(double total_rate, Duration bound, double fallback_rate_per_node) const;
+
+  int64_t sample_count() const { return regression_.sample_count(); }
+  double max_observed_rate() const { return max_observed_rate_; }
+  /// Highest per-node rate that demonstrably met the bound (0 = none yet).
+  double max_compliant_rate() const { return max_compliant_rate_; }
+
+ private:
+  static std::vector<double> Features(double rate);
+
+  OnlineLinearRegression regression_;
+  double max_observed_rate_ = 0;
+  Duration max_observed_latency_ = 0;
+  /// Highest per-node rate that demonstrably met the SLA bound.
+  double max_compliant_rate_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_ML_LATENCY_MODEL_H_

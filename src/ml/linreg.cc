@@ -1,0 +1,96 @@
+#include "ml/linreg.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace scads {
+
+OnlineLinearRegression::OnlineLinearRegression(int dims, double ridge, double forgetting)
+    : dims_(dims),
+      ridge_(ridge),
+      forgetting_(forgetting),
+      xtx_(static_cast<size_t>(dims) * static_cast<size_t>(dims), 0.0),
+      xty_(static_cast<size_t>(dims), 0.0),
+      weights_(static_cast<size_t>(dims), 0.0) {
+  SCADS_CHECK(dims >= 1 && dims <= 8);
+}
+
+void OnlineLinearRegression::Observe(const std::vector<double>& x, double y) {
+  SCADS_CHECK(static_cast<int>(x.size()) == dims_);
+  if (forgetting_ < 1.0) {
+    for (double& a : xtx_) a *= forgetting_;
+    for (double& b : xty_) b *= forgetting_;
+  }
+  for (int i = 0; i < dims_; ++i) {
+    for (int j = 0; j < dims_; ++j) {
+      xtx_[static_cast<size_t>(i) * dims_ + j] += x[i] * x[j];
+    }
+    xty_[static_cast<size_t>(i)] += x[i] * y;
+  }
+  ++samples_;
+  dirty_ = true;
+}
+
+void OnlineLinearRegression::SolveIfNeeded() const {
+  if (!dirty_) return;
+  dirty_ = false;
+  // Gaussian elimination with partial pivoting on (X^T X + ridge I) w = X^T y.
+  int n = dims_;
+  std::vector<double> a(xtx_);
+  std::vector<double> b(xty_);
+  for (int i = 0; i < n; ++i) a[static_cast<size_t>(i) * n + i] += ridge_;
+  for (int col = 0; col < n; ++col) {
+    // Pivot.
+    int pivot = col;
+    double best = std::fabs(a[static_cast<size_t>(col) * n + col]);
+    for (int row = col + 1; row < n; ++row) {
+      double candidate = std::fabs(a[static_cast<size_t>(row) * n + col]);
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    if (best < 1e-12) continue;  // degenerate direction: leave weight at 0
+    if (pivot != col) {
+      for (int k = 0; k < n; ++k) {
+        std::swap(a[static_cast<size_t>(col) * n + k], a[static_cast<size_t>(pivot) * n + k]);
+      }
+      std::swap(b[static_cast<size_t>(col)], b[static_cast<size_t>(pivot)]);
+    }
+    double diag = a[static_cast<size_t>(col) * n + col];
+    for (int row = col + 1; row < n; ++row) {
+      double factor = a[static_cast<size_t>(row) * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (int k = col; k < n; ++k) {
+        a[static_cast<size_t>(row) * n + k] -= factor * a[static_cast<size_t>(col) * n + k];
+      }
+      b[static_cast<size_t>(row)] -= factor * b[static_cast<size_t>(col)];
+    }
+  }
+  // Back substitution.
+  for (int row = n - 1; row >= 0; --row) {
+    double sum = b[static_cast<size_t>(row)];
+    for (int k = row + 1; k < n; ++k) {
+      sum -= a[static_cast<size_t>(row) * n + k] * weights_[static_cast<size_t>(k)];
+    }
+    double diag = a[static_cast<size_t>(row) * n + row];
+    weights_[static_cast<size_t>(row)] = std::fabs(diag) < 1e-12 ? 0.0 : sum / diag;
+  }
+}
+
+double OnlineLinearRegression::Predict(const std::vector<double>& x) const {
+  SCADS_CHECK(static_cast<int>(x.size()) == dims_);
+  if (samples_ == 0) return 0.0;
+  SolveIfNeeded();
+  double y = 0;
+  for (int i = 0; i < dims_; ++i) y += weights_[static_cast<size_t>(i)] * x[i];
+  return y;
+}
+
+std::vector<double> OnlineLinearRegression::Weights() const {
+  SolveIfNeeded();
+  return weights_;
+}
+
+}  // namespace scads

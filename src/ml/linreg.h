@@ -1,0 +1,53 @@
+// Online multivariate linear regression (normal equations with ridge
+// regularization). Feature dimension is small (<= 8); fitting is O(d^3) on
+// demand and observing is O(d^2), so models retrain continuously as the
+// Director streams samples in (paper §2.2: "machine learning–based models
+// of past performance").
+
+#ifndef SCADS_ML_LINREG_H_
+#define SCADS_ML_LINREG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scads {
+
+/// y ~ w . x (callers append 1.0 themselves for an intercept).
+class OnlineLinearRegression {
+ public:
+  /// `dims` features; `ridge` is the L2 regularizer keeping the solve
+  /// stable before enough samples arrive; `forgetting` < 1 exponentially
+  /// discounts old samples so the model tracks a drifting system.
+  explicit OnlineLinearRegression(int dims, double ridge = 1e-6, double forgetting = 1.0);
+
+  /// Adds one (x, y) sample. x.size() must equal dims.
+  void Observe(const std::vector<double>& x, double y);
+
+  /// Predicted y for x. Returns 0 before any sample.
+  double Predict(const std::vector<double>& x) const;
+
+  /// Current weights (solves on demand).
+  std::vector<double> Weights() const;
+
+  int64_t sample_count() const { return samples_; }
+  int dims() const { return dims_; }
+
+ private:
+  void SolveIfNeeded() const;
+
+  int dims_;
+  double ridge_;
+  double forgetting_;
+  int64_t samples_ = 0;
+  // Accumulated X^T X (row-major, symmetric) and X^T y.
+  std::vector<double> xtx_;
+  std::vector<double> xty_;
+  mutable std::vector<double> weights_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_ML_LINREG_H_

@@ -1,0 +1,91 @@
+#include "ml/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace scads {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  SCADS_CHECK(q > 0.0 && q < 1.0);
+  desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+}
+
+double P2Quantile::Parabolic(int i, double d) const {
+  double np = positions_[static_cast<size_t>(i)];
+  double nm = positions_[static_cast<size_t>(i - 1)];
+  double nn = positions_[static_cast<size_t>(i + 1)];
+  double hp = heights_[static_cast<size_t>(i)];
+  double hm = heights_[static_cast<size_t>(i - 1)];
+  double hn = heights_[static_cast<size_t>(i + 1)];
+  return hp + d / (nn - nm) *
+                  ((np - nm + d) * (hn - hp) / (nn - np) + (nn - np - d) * (hp - hm) / (np - nm));
+}
+
+double P2Quantile::Linear(int i, double d) const {
+  int j = i + static_cast<int>(d);
+  return heights_[static_cast<size_t>(i)] +
+         d * (heights_[static_cast<size_t>(j)] - heights_[static_cast<size_t>(i)]) /
+             (positions_[static_cast<size_t>(j)] - positions_[static_cast<size_t>(i)]);
+}
+
+void P2Quantile::Observe(double value) {
+  if (count_ < 5) {
+    heights_[static_cast<size_t>(count_)] = value;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[static_cast<size_t>(i)] = i + 1;
+    }
+    return;
+  }
+  // Find cell k for the new observation and update extremes.
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], value);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[static_cast<size_t>(k + 1)]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[static_cast<size_t>(i)] += 1;
+  for (int i = 0; i < 5; ++i) desired_[static_cast<size_t>(i)] += increments_[static_cast<size_t>(i)];
+  // Adjust interior markers.
+  for (int i = 1; i <= 3; ++i) {
+    double diff = desired_[static_cast<size_t>(i)] - positions_[static_cast<size_t>(i)];
+    double next_gap = positions_[static_cast<size_t>(i + 1)] - positions_[static_cast<size_t>(i)];
+    double prev_gap = positions_[static_cast<size_t>(i - 1)] - positions_[static_cast<size_t>(i)];
+    if ((diff >= 1 && next_gap > 1) || (diff <= -1 && prev_gap < -1)) {
+      double d = diff >= 1 ? 1 : -1;
+      double candidate = Parabolic(i, d);
+      if (heights_[static_cast<size_t>(i - 1)] < candidate &&
+          candidate < heights_[static_cast<size_t>(i + 1)]) {
+        heights_[static_cast<size_t>(i)] = candidate;
+      } else {
+        heights_[static_cast<size_t>(i)] = Linear(i, d);
+      }
+      positions_[static_cast<size_t>(i)] += d;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::Estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile.
+    std::array<double, 5> sorted{};
+    std::copy_n(heights_.begin(), count_, sorted.begin());
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    int index = static_cast<int>(q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[static_cast<size_t>(std::min<int64_t>(index, count_ - 1))];
+  }
+  return heights_[2];
+}
+
+}  // namespace scads

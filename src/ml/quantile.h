@@ -1,0 +1,41 @@
+// P² (piecewise-parabolic) streaming quantile estimator — O(1) memory per
+// tracked quantile (Jain & Chlamtac 1985). The Director tracks long-run
+// latency quantiles without retaining samples.
+
+#ifndef SCADS_ML_QUANTILE_H_
+#define SCADS_ML_QUANTILE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace scads {
+
+/// Streaming estimate of one quantile q in (0, 1).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  /// Feeds one observation.
+  void Observe(double value);
+
+  /// Current estimate (exact until 5 samples arrive; 0 when empty).
+  double Estimate() const;
+
+  int64_t count() const { return count_; }
+  double quantile() const { return q_; }
+
+ private:
+  double Parabolic(int i, double d) const;
+  double Linear(int i, double d) const;
+
+  double q_;
+  int64_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace scads
+
+#endif  // SCADS_ML_QUANTILE_H_

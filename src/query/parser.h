@@ -1,0 +1,31 @@
+// Recursive-descent parser for the SCADS query template dialect.
+//
+// Grammar (keywords case-insensitive):
+//   query   := SELECT ident '.' '*'
+//              FROM ident [ident]
+//              (JOIN ident [ident] ON fieldref '=' fieldref)*
+//              [WHERE orgroup (AND orgroup)*]
+//              [ORDER BY fieldref [ASC|DESC]]
+//              [LIMIT integer]
+//   orgroup := pred (OR pred)*
+//   pred    := fieldref op ('<' ident '>' | fieldref)
+//   op      := '=' | '<' | '>' | '<=' | '>='
+//   fieldref:= ident '.' ident
+
+#ifndef SCADS_QUERY_PARSER_H_
+#define SCADS_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace scads {
+
+/// Parses one query template. Errors carry the offending token and
+/// position.
+Result<QueryTemplate> ParseQueryTemplate(std::string_view text);
+
+}  // namespace scads
+
+#endif  // SCADS_QUERY_PARSER_H_

@@ -1,0 +1,122 @@
+// Query planner: compiles accepted templates into index plans plus the
+// index-maintenance table of Figure 3.
+//
+// Supported shapes (everything the paper's examples need):
+//  * kPointLookup — full-primary-key equality; reads the base row, no index;
+//  * kSelection   — equality params + optional ORDER BY on one entity
+//                   (e.g. Craigslist listings by city ordered by date);
+//  * kJoin        — edge table anchored on a param joined into a target
+//                   entity by primary key (the "friends" and "friends with
+//                   upcoming birthdays" queries); the OR form
+//                   (f.f1 = <u> OR f.f2 = <u>) marks the edge symmetric;
+//  * kTwoHop      — edge⋈edge (friends-of-friends), optionally joined into
+//                   the target entity.
+//
+// Join shapes also emit a shared *adjacency index* over the edge entity
+// (the paper's "friend index"); two-hop plans are maintained from that
+// index, reproducing the cascading row of Figure 3.
+
+#ifndef SCADS_QUERY_PLANNER_H_
+#define SCADS_QUERY_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/analyzer.h"
+#include "query/ast.h"
+#include "query/schema.h"
+
+namespace scads {
+
+/// Plan shapes the index engine knows how to maintain and execute.
+enum class QueryShape { kPointLookup, kSelection, kJoin, kTwoHop, kAdjacency };
+
+std::string_view QueryShapeName(QueryShape shape);
+
+/// One row of the Figure-3 index-maintenance table: which index must be
+/// updated when (table, field) changes. field == "*" means any field.
+struct MaintenanceEntry {
+  std::string index;
+  std::string table;  ///< Entity name, or another index's name (cascade).
+  std::string field;
+
+  friend bool operator==(const MaintenanceEntry& a, const MaintenanceEntry& b) {
+    return a.index == b.index && a.table == b.table && a.field == b.field;
+  }
+};
+
+/// A compiled, executable index definition.
+struct IndexPlan {
+  std::string name;
+  QueryShape shape = QueryShape::kSelection;
+  std::string query_name;  ///< Registered query this serves ("" for helpers).
+
+  /// Entity whose rows the query returns (and whose copies the index
+  /// stores).
+  std::string target_entity;
+
+  // kSelection / kPointLookup: equality fields on the target entity, in
+  // index-key order, with the parameter names they bind to.
+  std::vector<std::string> eq_fields;
+  std::vector<std::string> eq_params;
+
+  // kJoin / kTwoHop / kAdjacency: the edge entity and its two endpoint
+  // fields. `edge_param_field` is the anchored side; symmetric edges index
+  // both directions.
+  std::string edge_entity;
+  std::string edge_param_field;
+  std::string edge_other_field;
+  std::string edge_param_name;
+  bool symmetric = false;
+  /// Name of the adjacency helper index this plan reads (kJoin maintenance
+  /// and kTwoHop expansion).
+  std::string adjacency_index;
+
+  /// ORDER BY component (field of target entity) baked into the key.
+  std::optional<std::string> order_field;
+  bool descending = false;
+  std::optional<int64_t> limit;
+
+  /// Worst-case index writes caused by one base-table write.
+  int64_t update_cost = 1;
+  /// Read bound from the analyzer.
+  QueryBounds bounds;
+
+  /// Figure-3 rows contributed by this plan.
+  std::vector<MaintenanceEntry> maintenance;
+
+  /// Key prefix of this index in the store ("i/<name>/").
+  std::string KeyPrefix() const { return "i/" + name + "/"; }
+};
+
+/// A compiled query: the main plan plus any helper plans (adjacency).
+struct QueryPlan {
+  std::string query_name;
+  QueryTemplate ast;
+  QueryBounds bounds;
+  /// plans[0] is the main plan; helpers follow.
+  std::vector<IndexPlan> plans;
+
+  const IndexPlan& main() const { return plans.front(); }
+};
+
+/// Budget for update work per base write (the O(K) of paper §3.2).
+struct PlannerConfig {
+  int64_t max_update_cost = 25000;
+};
+
+/// Compiles `query` (already analyzed as `bounds`). Returns
+/// kFailedPrecondition when the update cost exceeds the budget and
+/// kUnimplemented for shapes outside the supported set.
+Result<QueryPlan> PlanQuery(const Catalog& catalog, const std::string& query_name,
+                            const QueryTemplate& query, const QueryBounds& bounds,
+                            const PlannerConfig& config = {});
+
+/// Renders maintenance entries as the paper's Figure 3 table.
+std::string RenderMaintenanceTable(const std::vector<MaintenanceEntry>& entries);
+
+}  // namespace scads
+
+#endif  // SCADS_QUERY_PLANNER_H_

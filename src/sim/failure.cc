@@ -1,0 +1,69 @@
+#include "sim/failure.h"
+
+#include <utility>
+
+namespace scads {
+
+FailureInjector::FailureInjector(EventLoop* loop, SimNetwork* network, uint64_t seed)
+    : loop_(loop), network_(network), rng_(seed) {}
+
+void FailureInjector::ScheduleNodeOutage(NodeId node, Time start, Duration down_for) {
+  loop_->ScheduleAt(start, [this, node, down_for] {
+    ++outages_;
+    int group = next_down_group_--;
+    network_->SetPartitionGroup(node, group);
+    if (node_down_) node_down_(node);
+    loop_->ScheduleAfter(down_for, [this, node] {
+      network_->SetPartitionGroup(node, 0);
+      if (node_up_) node_up_(node);
+    });
+  });
+}
+
+void FailureInjector::SchedulePartition(std::vector<NodeId> side_a, std::vector<NodeId> side_b,
+                                        Time start, Duration length) {
+  loop_->ScheduleAt(start, [this, a = std::move(side_a), b = std::move(side_b), length] {
+    ++partitions_;
+    for (NodeId n : a) network_->SetPartitionGroup(n, 0);
+    for (NodeId n : b) network_->SetPartitionGroup(n, 1);
+    loop_->ScheduleAfter(length, [this, a, b] {
+      for (NodeId n : a) network_->SetPartitionGroup(n, 0);
+      for (NodeId n : b) network_->SetPartitionGroup(n, 0);
+    });
+  });
+}
+
+void FailureInjector::EnableRandomOutages(NodeId node, Duration mtbf, Duration mttr) {
+  random_outages_[node] = OutageParams{mtbf, mttr, true};
+  ArmNextRandomOutage(node);
+}
+
+void FailureInjector::DisableRandomOutages(NodeId node) {
+  auto it = random_outages_.find(node);
+  if (it != random_outages_.end()) it->second.enabled = false;
+}
+
+void FailureInjector::ArmNextRandomOutage(NodeId node) {
+  auto it = random_outages_.find(node);
+  if (it == random_outages_.end() || !it->second.enabled) return;
+  Duration until_failure =
+      static_cast<Duration>(rng_.Exponential(static_cast<double>(it->second.mtbf)));
+  Duration down_for =
+      std::max<Duration>(1, static_cast<Duration>(
+                                rng_.Exponential(static_cast<double>(it->second.mttr))));
+  loop_->ScheduleAfter(until_failure, [this, node, down_for] {
+    auto entry = random_outages_.find(node);
+    if (entry == random_outages_.end() || !entry->second.enabled) return;
+    ++outages_;
+    int group = next_down_group_--;
+    network_->SetPartitionGroup(node, group);
+    if (node_down_) node_down_(node);
+    loop_->ScheduleAfter(down_for, [this, node] {
+      network_->SetPartitionGroup(node, 0);
+      if (node_up_) node_up_(node);
+      ArmNextRandomOutage(node);
+    });
+  });
+}
+
+}  // namespace scads

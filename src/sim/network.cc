@@ -1,0 +1,53 @@
+#include "sim/network.h"
+
+#include <utility>
+
+namespace scads {
+
+SimNetwork::SimNetwork(EventLoop* loop, uint64_t seed, NetworkConfig config)
+    : loop_(loop), rng_(seed), config_(config) {}
+
+int SimNetwork::GroupOf(NodeId node) const {
+  auto it = partition_group_.find(node);
+  return it == partition_group_.end() ? 0 : it->second;
+}
+
+bool SimNetwork::Connected(NodeId a, NodeId b) const {
+  return a == b || GroupOf(a) == GroupOf(b);
+}
+
+Duration SimNetwork::SampleLatency(NodeId from, NodeId to) {
+  if (from == to) return config_.loopback_latency;
+  Duration jitter = config_.jitter_mean > 0
+                        ? static_cast<Duration>(
+                              rng_.Exponential(static_cast<double>(config_.jitter_mean)))
+                        : 0;
+  return config_.base_latency + jitter;
+}
+
+void SimNetwork::Send(NodeId from, NodeId to, std::function<void()> deliver) {
+  ++sent_;
+  if (!Connected(from, to)) {
+    ++dropped_;
+    return;
+  }
+  if (from != to && config_.loss_probability > 0 && rng_.Bernoulli(config_.loss_probability)) {
+    ++dropped_;
+    return;
+  }
+  Duration latency = SampleLatency(from, to);
+  loop_->ScheduleAfter(latency, [this, from, to, fn = std::move(deliver)] {
+    if (!Connected(from, to)) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    fn();
+  });
+}
+
+void SimNetwork::SetPartitionGroup(NodeId node, int group) { partition_group_[node] = group; }
+
+void SimNetwork::Heal() { partition_group_.clear(); }
+
+}  // namespace scads

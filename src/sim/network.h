@@ -1,0 +1,79 @@
+// Simulated datacenter network.
+//
+// Delivers closures between nodes with sampled latency, optional loss, and
+// partition support. The cluster layer builds request/response RPC (with
+// timeouts) on top; this layer decides only *whether* and *when* a message
+// arrives.
+
+#ifndef SCADS_SIM_NETWORK_H_
+#define SCADS_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/event_loop.h"
+
+namespace scads {
+
+/// Tunables for the latency/loss model.
+struct NetworkConfig {
+  /// Fixed one-way propagation+switching floor.
+  Duration base_latency = 200;  // 200us, same-datacenter RTT ~0.4-1ms
+  /// Mean of the exponential jitter added on top.
+  Duration jitter_mean = 150;
+  /// Latency when a node talks to itself (loopback).
+  Duration loopback_latency = 10;
+  /// Probability an individual message is silently dropped.
+  double loss_probability = 0.0;
+};
+
+/// Message-passing fabric between NodeIds over simulated time.
+class SimNetwork {
+ public:
+  SimNetwork(EventLoop* loop, uint64_t seed, NetworkConfig config = {});
+
+  /// Schedules `deliver` to run after a sampled latency, unless the message
+  /// is lost or `from`/`to` are in different partition groups at send time.
+  /// Partition state is also re-checked at delivery time, so messages in
+  /// flight when a partition forms are lost too (matching real TCP resets).
+  void Send(NodeId from, NodeId to, std::function<void()> deliver);
+
+  /// Puts each node into a numbered partition group; nodes in different
+  /// groups cannot exchange messages. Unlisted nodes stay in group 0.
+  void SetPartitionGroup(NodeId node, int group);
+
+  /// Removes all partitions (every node back in group 0).
+  void Heal();
+
+  /// True when a->b messages can currently flow.
+  bool Connected(NodeId a, NodeId b) const;
+
+  /// Samples one message latency from the model (exposed for tests and for
+  /// co-simulating client latencies).
+  Duration SampleLatency(NodeId from, NodeId to);
+
+  NetworkConfig* mutable_config() { return &config_; }
+
+  int64_t sent_count() const { return sent_; }
+  int64_t delivered_count() const { return delivered_; }
+  int64_t dropped_count() const { return dropped_; }
+
+ private:
+  int GroupOf(NodeId node) const;
+
+  EventLoop* loop_;
+  Rng rng_;
+  NetworkConfig config_;
+  std::unordered_map<NodeId, int> partition_group_;
+  int64_t sent_ = 0;
+  int64_t delivered_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_SIM_NETWORK_H_

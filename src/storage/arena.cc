@@ -1,0 +1,51 @@
+#include "storage/arena.h"
+
+#include <cassert>
+
+namespace scads {
+
+char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateAligned(size_t bytes) {
+  constexpr size_t kAlign = alignof(void*);
+  size_t current = reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
+  size_t slop = current == 0 ? 0 : kAlign - current;
+  size_t needed = bytes + slop;
+  if (needed <= alloc_remaining_) {
+    char* result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_remaining_ -= needed;
+    return result;
+  }
+  // Fresh blocks from new[] are always pointer-aligned.
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large allocations get their own block so the current block's tail
+    // isn't wasted.
+    return AllocateNewBlock(bytes);
+  }
+  char* block = AllocateNewBlock(kBlockSize);
+  alloc_ptr_ = block + bytes;
+  alloc_remaining_ = kBlockSize - bytes;
+  return block;
+}
+
+char* Arena::AllocateNewBlock(size_t block_bytes) {
+  blocks_.push_back(std::make_unique<char[]>(block_bytes));
+  memory_usage_ += block_bytes + sizeof(char*);
+  return blocks_.back().get();
+}
+
+}  // namespace scads

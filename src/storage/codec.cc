@@ -1,0 +1,86 @@
+#include "storage/codec.h"
+
+#include <array>
+#include <cstring>
+
+namespace scads {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeFixed32(const char* data) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(data[i]);
+  return v;
+}
+
+uint64_t DecodeFixed64(const char* data) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(data[i]);
+  return v;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutFixed32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value);
+}
+
+bool GetFixed32(std::string_view* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  *value = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  return true;
+}
+
+bool GetFixed64(std::string_view* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  *value = DecodeFixed64(input->data());
+  input->remove_prefix(8);
+  return true;
+}
+
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint32_t len = 0;
+  if (!GetFixed32(input, &len)) return false;
+  if (input->size() < len) return false;
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return true;
+}
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  // CRC-32C polynomial (Castagnoli), reflected: 0x82f63b78.
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char c : data) {
+    crc = kTable[(crc ^ c) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace scads

@@ -1,0 +1,37 @@
+// Byte-level encoding shared by the WAL and replication streams:
+// little-endian fixed integers, length-prefixed strings, and CRC32C for
+// record integrity.
+
+#ifndef SCADS_STORAGE_CODEC_H_
+#define SCADS_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace scads {
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// Reads 4/8 little-endian bytes at `data` (caller guarantees bounds).
+uint32_t DecodeFixed32(const char* data);
+uint64_t DecodeFixed64(const char* data);
+
+/// Appends [u32 length][bytes].
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Consumes a length-prefixed slice from the front of `*input` into
+/// `*value`. Returns false (leaving *input unspecified) on truncation.
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+/// Consumes fixed-width integers from the front of `*input`.
+bool GetFixed32(std::string_view* input, uint32_t* value);
+bool GetFixed64(std::string_view* input, uint64_t* value);
+
+/// CRC-32C (Castagnoli) of `data`, software table implementation.
+uint32_t Crc32c(std::string_view data);
+
+}  // namespace scads
+
+#endif  // SCADS_STORAGE_CODEC_H_

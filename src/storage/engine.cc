@@ -1,0 +1,160 @@
+#include "storage/engine.h"
+
+#include <utility>
+
+namespace scads {
+
+StorageEngine::StorageEngine(EngineOptions options)
+    : options_(options), table_(options.seed) {}
+
+Result<bool> StorageEngine::Write(std::string_view key, std::string_view value, Version version,
+                                  bool tombstone) {
+  if (key.empty()) return InvalidArgumentError("empty key");
+  // WAL first: a mutation must be logged before it becomes visible.
+  if (options_.wal != nullptr) {
+    WalRecord record;
+    record.type = tombstone ? WalRecord::Type::kDelete : WalRecord::Type::kPut;
+    record.key.assign(key);
+    if (!tombstone) record.value.assign(value);
+    record.version = version;
+    WalWriter writer(options_.wal);
+    SCADS_RETURN_IF_ERROR(writer.Append(record));
+    metrics_.GetCounter("wal_appends")->Increment();
+    if (options_.wal_sync_every_write) SCADS_RETURN_IF_ERROR(writer.Sync());
+  }
+
+  bool created = false;
+  SkipList::Payload* payload = table_.FindOrCreate(key, &created);
+  if (!created && !(version > payload->version)) {
+    metrics_.GetCounter(tombstone ? "deletes_superseded" : "puts_superseded")->Increment();
+    return false;
+  }
+  bool was_live = !created && !payload->tombstone;
+  if (tombstone) {
+    table_.AssignValue(payload, "");
+    if (was_live) --live_count_;
+  } else {
+    table_.AssignValue(payload, value);
+    if (!was_live) ++live_count_;
+  }
+  payload->version = version;
+  payload->tombstone = tombstone;
+  metrics_.GetCounter(tombstone ? "deletes" : "puts")->Increment();
+  return true;
+}
+
+Result<bool> StorageEngine::Put(std::string_view key, std::string_view value, Version version) {
+  return Write(key, value, version, /*tombstone=*/false);
+}
+
+Result<bool> StorageEngine::Delete(std::string_view key, Version version) {
+  return Write(key, "", version, /*tombstone=*/true);
+}
+
+Result<Record> StorageEngine::Get(std::string_view key) const {
+  auto* metrics = const_cast<MetricRegistry*>(&metrics_);
+  metrics->GetCounter("gets")->Increment();
+  const SkipList::Payload* payload = table_.Find(key);
+  if (payload == nullptr || payload->tombstone) {
+    metrics->GetCounter("get_misses")->Increment();
+    return NotFoundError(std::string(key));
+  }
+  Record record;
+  record.key.assign(key);
+  record.value.assign(payload->value_data, payload->value_size);
+  record.version = payload->version;
+  return record;
+}
+
+std::optional<Record> StorageEngine::GetRaw(std::string_view key) const {
+  const SkipList::Payload* payload = table_.Find(key);
+  if (payload == nullptr) return std::nullopt;
+  Record record;
+  record.key.assign(key);
+  record.value.assign(payload->value_data, payload->value_size);
+  record.version = payload->version;
+  record.tombstone = payload->tombstone;
+  return record;
+}
+
+Result<std::vector<Record>> StorageEngine::Scan(std::string_view start, std::string_view end,
+                                                size_t limit) const {
+  if (!end.empty() && start > end) return InvalidArgumentError("scan start > end");
+  auto* metrics = const_cast<MetricRegistry*>(&metrics_);
+  metrics->GetCounter("scans")->Increment();
+  std::vector<Record> out;
+  SkipList::Iterator it(&table_);
+  it.Seek(start);
+  while (it.Valid()) {
+    if (!end.empty() && it.key() >= end) break;
+    const SkipList::Payload& payload = it.payload();
+    if (!payload.tombstone) {
+      Record record;
+      record.key.assign(it.key());
+      record.value.assign(payload.value_data, payload.value_size);
+      record.version = payload.version;
+      out.push_back(std::move(record));
+      if (limit != 0 && out.size() >= limit) break;
+    }
+    it.Next();
+  }
+  metrics->GetCounter("scan_rows")->Increment(static_cast<int64_t>(out.size()));
+  return out;
+}
+
+std::vector<Record> StorageEngine::ScanRaw(std::string_view start, std::string_view end,
+                                           size_t limit) const {
+  std::vector<Record> out;
+  SkipList::Iterator it(&table_);
+  it.Seek(start);
+  while (it.Valid()) {
+    if (!end.empty() && it.key() >= end) break;
+    const SkipList::Payload& payload = it.payload();
+    Record record;
+    record.key.assign(it.key());
+    record.value.assign(payload.value_data, payload.value_size);
+    record.version = payload.version;
+    record.tombstone = payload.tombstone;
+    out.push_back(std::move(record));
+    if (limit != 0 && out.size() >= limit) break;
+    it.Next();
+  }
+  return out;
+}
+
+Status StorageEngine::Apply(const WalRecord& record) {
+  Result<bool> applied =
+      Write(record.key, record.value, record.version,
+            record.type == WalRecord::Type::kDelete);
+  return applied.ok() ? Status::Ok() : applied.status();
+}
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Recover(
+    EngineOptions options, const std::vector<WalRecord>& records) {
+  // Replay must not re-log: recover into a WAL-less engine, then attach.
+  WalSink* wal = options.wal;
+  options.wal = nullptr;
+  auto engine = std::make_unique<StorageEngine>(options);
+  for (const WalRecord& record : records) {
+    SCADS_RETURN_IF_ERROR(engine->Apply(record));
+  }
+  engine->options_.wal = wal;
+  return engine;
+}
+
+size_t StorageEngine::PurgeTombstonesBefore(Time cutoff) {
+  size_t purged = 0;
+  SkipList::Iterator it(&table_);
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    const SkipList::Payload& payload = it.payload();
+    if (payload.tombstone && payload.version.timestamp < cutoff) {
+      // Reset the version floor so the slot behaves like an absent key.
+      SkipList::Payload* mutable_payload = table_.FindMutable(it.key());
+      mutable_payload->version = Version{};
+      ++purged;
+    }
+  }
+  return purged;
+}
+
+}  // namespace scads

@@ -1,0 +1,119 @@
+// StorageEngine: one node's ordered, versioned key-value store.
+//
+// Semantics (the contract the cluster layer builds on):
+//  * Each key holds at most one live version; a Put/Delete whose Version is
+//    not strictly newer than the stored one is a no-op ("superseded") — this
+//    makes replica application idempotent and order-insensitive, the basis
+//    of last-write-wins convergence (paper §3.3.1).
+//  * Deletes write tombstones so replicas learn about removals; tombstones
+//    hide keys from reads/scans and can be purged after a grace window.
+//  * Scans are forward iterations over a contiguous key range — exactly the
+//    "bounded contiguous range of an index" query SCADS allows (paper §3.1).
+
+#ifndef SCADS_STORAGE_ENGINE_H_
+#define SCADS_STORAGE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/skiplist.h"
+#include "storage/wal.h"
+
+namespace scads {
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Seed for skiplist height draws.
+  uint64_t seed = 1;
+  /// Optional write-ahead log; when set, every mutation is framed to the
+  /// sink before the memtable is touched. The engine does not own the sink.
+  WalSink* wal = nullptr;
+  /// Sync the WAL on every mutation (true = durable-by-default; system
+  /// experiments turn this off and model group commit at the node layer).
+  bool wal_sync_every_write = false;
+};
+
+/// A materialized row returned by reads and scans.
+struct Record {
+  std::string key;
+  std::string value;
+  Version version;
+  bool tombstone = false;
+};
+
+/// Single-node storage engine. Not thread-safe (one simulated node == one
+/// logical thread).
+class StorageEngine {
+ public:
+  explicit StorageEngine(EngineOptions options = {});
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  /// Applies `value` at `key` if `version` is strictly newer than what is
+  /// stored. Returns true when applied, false when superseded.
+  Result<bool> Put(std::string_view key, std::string_view value, Version version);
+
+  /// Tombstones `key` if `version` is strictly newer. Returns true when
+  /// applied.
+  Result<bool> Delete(std::string_view key, Version version);
+
+  /// Live value for `key`; kNotFound for absent or tombstoned keys.
+  Result<Record> Get(std::string_view key) const;
+
+  /// Raw entry including tombstones (replication/anti-entropy uses this).
+  std::optional<Record> GetRaw(std::string_view key) const;
+
+  /// Live records with start <= key < end (end empty = unbounded), at most
+  /// `limit` (0 = unlimited). Tombstoned keys are skipped.
+  Result<std::vector<Record>> Scan(std::string_view start, std::string_view end,
+                                   size_t limit) const;
+
+  /// All entries (including tombstones) in a range — replication streams and
+  /// partition hand-off use this.
+  std::vector<Record> ScanRaw(std::string_view start, std::string_view end, size_t limit) const;
+
+  /// Replays a WAL record (recovery path). Applies the same newer-version
+  /// rule, so replay is idempotent.
+  Status Apply(const WalRecord& record);
+
+  /// Creates an engine and replays `records` into it.
+  static Result<std::unique_ptr<StorageEngine>> Recover(EngineOptions options,
+                                                        const std::vector<WalRecord>& records);
+
+  /// Number of live (non-tombstoned) keys.
+  size_t live_count() const { return live_count_; }
+  /// Number of keys including tombstones.
+  size_t total_count() const { return table_.size(); }
+  /// Arena bytes reserved by the memtable.
+  size_t memory_usage() const { return table_.memory_usage(); }
+
+  /// Drops tombstones whose version timestamp is older than `cutoff`.
+  /// Returns how many were purged. (Entries stay in the skiplist but become
+  /// re-writable ghosts; space is reclaimed at the next memtable rotation —
+  /// same trade-off as LevelDB.)
+  size_t PurgeTombstonesBefore(Time cutoff);
+
+  /// Engine counters: puts, puts_superseded, deletes, gets, get_misses,
+  /// scans, scan_rows, wal_appends.
+  const MetricRegistry& metrics() const { return metrics_; }
+
+ private:
+  Result<bool> Write(std::string_view key, std::string_view value, Version version,
+                     bool tombstone);
+
+  EngineOptions options_;
+  SkipList table_;
+  MetricRegistry metrics_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_STORAGE_ENGINE_H_

@@ -1,0 +1,125 @@
+#include "storage/skiplist.h"
+
+#include <cstring>
+
+namespace scads {
+
+struct SkipList::Node {
+  const char* key_data;
+  uint32_t key_size;
+  Payload payload;
+  // Tower of forward pointers; allocated with the node (height entries).
+  Node* next[1];
+
+  std::string_view key() const { return {key_data, key_size}; }
+};
+
+SkipList::SkipList(uint64_t seed) : rng_(seed) {
+  head_ = NewNode("", kMaxHeight);
+  for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
+}
+
+SkipList::Node* SkipList::NewNode(std::string_view key, int height) {
+  size_t node_bytes = sizeof(Node) + sizeof(Node*) * (static_cast<size_t>(height) - 1);
+  char* mem = arena_.AllocateAligned(node_bytes);
+  Node* node = reinterpret_cast<Node*>(mem);
+  if (key.empty()) {
+    static const char kEmpty[1] = {0};
+    node->key_data = kEmpty;  // string_view{nullptr,0} is UB; point at a byte
+    node->key_size = 0;
+  } else {
+    char* key_copy = arena_.Allocate(key.size());
+    std::memcpy(key_copy, key.data(), key.size());
+    node->key_data = key_copy;
+    node->key_size = static_cast<uint32_t>(key.size());
+  }
+  node->payload = Payload{};
+  return node;
+}
+
+int SkipList::RandomHeight() {
+  // P(height >= h) = (1/4)^(h-1), capped at kMaxHeight.
+  int height = 1;
+  while (height < kMaxHeight && rng_.Uniform(4) == 0) ++height;
+  return height;
+}
+
+SkipList::Node* SkipList::FindGreaterOrEqual(std::string_view key, Node** prev) const {
+  Node* node = head_;
+  int level = max_height_ - 1;
+  for (;;) {
+    Node* next = node->next[level];
+    if (next != nullptr && next->key() < key) {
+      node = next;
+    } else {
+      if (prev != nullptr) prev[level] = node;
+      if (level == 0) return next;
+      --level;
+    }
+  }
+}
+
+SkipList::Payload* SkipList::FindOrCreate(std::string_view key, bool* created) {
+  Node* prev[kMaxHeight];
+  Node* node = FindGreaterOrEqual(key, prev);
+  if (node != nullptr && node->key() == key) {
+    *created = false;
+    return &node->payload;
+  }
+  int height = RandomHeight();
+  if (height > max_height_) {
+    for (int i = max_height_; i < height; ++i) prev[i] = head_;
+    max_height_ = height;
+  }
+  Node* fresh = NewNode(key, height);
+  for (int i = 0; i < height; ++i) {
+    fresh->next[i] = prev[i]->next[i];
+    prev[i]->next[i] = fresh;
+  }
+  ++count_;
+  *created = true;
+  return &fresh->payload;
+}
+
+const SkipList::Payload* SkipList::Find(std::string_view key) const {
+  Node* node = FindGreaterOrEqual(key, nullptr);
+  if (node != nullptr && node->key() == key) return &node->payload;
+  return nullptr;
+}
+
+SkipList::Payload* SkipList::FindMutable(std::string_view key) {
+  return const_cast<Payload*>(Find(key));
+}
+
+void SkipList::AssignValue(Payload* payload, std::string_view value) {
+  if (value.empty()) {
+    static const char kEmpty[1] = {0};
+    payload->value_data = kEmpty;
+    payload->value_size = 0;
+    return;
+  }
+  char* copy = arena_.Allocate(value.size());
+  std::memcpy(copy, value.data(), value.size());
+  payload->value_data = copy;
+  payload->value_size = static_cast<uint32_t>(value.size());
+}
+
+void SkipList::Iterator::Seek(std::string_view target) {
+  node_ = list_->FindGreaterOrEqual(target, nullptr);
+}
+
+void SkipList::Iterator::SeekToFirst() { node_ = list_->head_->next[0]; }
+
+void SkipList::Iterator::Next() {
+  node_ = static_cast<const Node*>(node_)->next[0];
+}
+
+std::string_view SkipList::Iterator::key() const {
+  return static_cast<const Node*>(node_)->key();
+}
+
+const SkipList::Payload& SkipList::Iterator::payload() const {
+  return static_cast<const Node*>(node_)->payload;
+}
+
+}  // namespace scads

@@ -1,0 +1,92 @@
+// Ordered in-memory index: an arena-backed skiplist from byte-string keys to
+// a mutable versioned payload. This is the memtable of every SCADS storage
+// node; range queries ("lookup over a bounded contiguous range of an index",
+// paper §3.1) are forward iterations from a Seek.
+
+#ifndef SCADS_STORAGE_SKIPLIST_H_
+#define SCADS_STORAGE_SKIPLIST_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "storage/arena.h"
+
+namespace scads {
+
+/// Skiplist keyed by raw bytes in lexicographic order. Keys are immutable
+/// once inserted; the payload (value pointer, version, tombstone) is mutated
+/// in place on updates, since the engine keeps only the newest version of
+/// each key.
+class SkipList {
+ public:
+  /// Versioned value stored at each key.
+  struct Payload {
+    const char* value_data = nullptr;
+    uint32_t value_size = 0;
+    Version version;
+    bool tombstone = false;
+  };
+
+  explicit SkipList(uint64_t seed);
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Returns the payload for `key`, inserting a fresh node when absent.
+  /// `*created` reports whether an insert happened. The key bytes are copied
+  /// into the arena.
+  Payload* FindOrCreate(std::string_view key, bool* created);
+
+  /// Payload for `key`, or nullptr when absent. Tombstoned entries are
+  /// still returned (callers decide visibility).
+  const Payload* Find(std::string_view key) const;
+  Payload* FindMutable(std::string_view key);
+
+  /// Copies `value` into the arena and points `payload` at it.
+  void AssignValue(Payload* payload, std::string_view value);
+
+  /// Number of keys, including tombstoned ones.
+  size_t size() const { return count_; }
+
+  /// Arena bytes reserved.
+  size_t memory_usage() const { return arena_.MemoryUsage(); }
+
+  /// Forward iterator over keys in lexicographic order.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    /// Positions at the first key >= `target`.
+    void Seek(std::string_view target);
+    void SeekToFirst();
+    void Next();
+    std::string_view key() const;
+    const Payload& payload() const;
+
+   private:
+    const SkipList* list_;
+    const void* node_ = nullptr;
+  };
+
+ private:
+  friend class Iterator;
+  struct Node;
+  static constexpr int kMaxHeight = 12;
+
+  Node* NewNode(std::string_view key, int height);
+  int RandomHeight();
+  /// First node with key >= target; fills prev[] when non-null.
+  Node* FindGreaterOrEqual(std::string_view key, Node** prev) const;
+
+  Arena arena_;
+  Rng rng_;
+  Node* head_;
+  int max_height_ = 1;
+  size_t count_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_STORAGE_SKIPLIST_H_

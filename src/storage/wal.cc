@@ -1,0 +1,120 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+#include "storage/codec.h"
+
+namespace scads {
+
+Result<std::unique_ptr<FileWalSink>> FileWalSink::Create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return UnavailableError(StrFormat("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  return std::unique_ptr<FileWalSink>(new FileWalSink(f, path));
+}
+
+FileWalSink::~FileWalSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileWalSink::Append(std::string_view blob) {
+  size_t written = std::fwrite(blob.data(), 1, blob.size(), file_);
+  if (written != blob.size()) {
+    return UnavailableError(StrFormat("short write to %s", path_.c_str()));
+  }
+  size_ += static_cast<int64_t>(blob.size());
+  return Status::Ok();
+}
+
+Status FileWalSink::Sync() {
+  if (std::fflush(file_) != 0) {
+    return UnavailableError(StrFormat("fflush %s failed", path_.c_str()));
+  }
+  if (fsync(fileno(file_)) != 0) {
+    return UnavailableError(StrFormat("fsync %s: %s", path_.c_str(), std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+std::string WalWriter::EncodePayload(const WalRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.type));
+  PutFixed64(&payload, static_cast<uint64_t>(record.version.timestamp));
+  PutFixed32(&payload, static_cast<uint32_t>(record.version.writer));
+  PutLengthPrefixed(&payload, record.key);
+  PutLengthPrefixed(&payload, record.value);
+  return payload;
+}
+
+Result<WalRecord> WalWriter::DecodePayload(std::string_view payload) {
+  if (payload.empty()) return InvalidArgumentError("empty WAL payload");
+  WalRecord record;
+  uint8_t type = static_cast<uint8_t>(payload[0]);
+  if (type > static_cast<uint8_t>(WalRecord::Type::kDelete)) {
+    return InvalidArgumentError(StrFormat("bad WAL record type %u", type));
+  }
+  record.type = static_cast<WalRecord::Type>(type);
+  payload.remove_prefix(1);
+  uint64_t ts = 0;
+  uint32_t writer = 0;
+  std::string_view key, value;
+  if (!GetFixed64(&payload, &ts) || !GetFixed32(&payload, &writer) ||
+      !GetLengthPrefixed(&payload, &key) || !GetLengthPrefixed(&payload, &value)) {
+    return InvalidArgumentError("truncated WAL payload");
+  }
+  record.version.timestamp = static_cast<Time>(ts);
+  record.version.writer = static_cast<NodeId>(writer);
+  record.key.assign(key);
+  record.value.assign(value);
+  return record;
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  std::string payload = EncodePayload(record);
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, Crc32c(payload));
+  frame.append(payload);
+  return sink_->Append(frame);
+}
+
+Result<std::vector<WalRecord>> ReadWal(std::string_view log_bytes) {
+  std::vector<WalRecord> records;
+  while (!log_bytes.empty()) {
+    if (log_bytes.size() < 8) break;  // torn final frame header: stop cleanly
+    uint32_t len = 0, crc = 0;
+    GetFixed32(&log_bytes, &len);
+    GetFixed32(&log_bytes, &crc);
+    if (log_bytes.size() < len) break;  // torn final payload
+    std::string_view payload = log_bytes.substr(0, len);
+    log_bytes.remove_prefix(len);
+    if (Crc32c(payload) != crc) {
+      return InternalError(StrFormat("WAL corruption at record %zu", records.size()));
+    }
+    Result<WalRecord> record = WalWriter::DecodePayload(payload);
+    if (!record.ok()) return record.status();
+    records.push_back(std::move(record).value());
+  }
+  return records;
+}
+
+Result<std::vector<WalRecord>> ReadWalFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return UnavailableError(StrFormat("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return ReadWal(bytes);
+}
+
+}  // namespace scads

@@ -1,0 +1,81 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace scads {
+
+WorkloadDriver::WorkloadDriver(EventLoop* loop, ClusterState* cluster, TrafficPattern pattern,
+                               DriverConfig config, uint64_t seed)
+    : loop_(loop),
+      cluster_(cluster),
+      pattern_(std::move(pattern)),
+      config_(config),
+      rng_(seed) {}
+
+void WorkloadDriver::AddOp(WorkloadOp op) {
+  total_weight_ += op.weight;
+  ops_.push_back(std::move(op));
+}
+
+void WorkloadDriver::Start() {
+  if (tick_event_ != EventLoop::kInvalidEvent) return;
+  tick_event_ = loop_->SchedulePeriodic(config_.tick, [this] { Tick(); });
+}
+
+void WorkloadDriver::Stop() {
+  if (tick_event_ != EventLoop::kInvalidEvent) {
+    loop_->Cancel(tick_event_);
+    tick_event_ = EventLoop::kInvalidEvent;
+  }
+}
+
+void WorkloadDriver::Tick() {
+  ++ticks_;
+  Time now = loop_->Now();
+  double rate = std::max(0.0, pattern_(now));
+  double tick_seconds = static_cast<double>(config_.tick) / kSecond;
+  double logical = rate * tick_seconds;
+  logical_requests_ += static_cast<int64_t>(logical);
+
+  // Background demand: declare each node's utilization from its share of
+  // the logical rate. Writes additionally cost replication work on their
+  // secondaries; we fold that into a demand multiplier.
+  std::vector<NodeId> alive = cluster_->AliveNodes();
+  if (!alive.empty()) {
+    double replication_multiplier =
+        1.0 + config_.write_fraction * (cluster_->partitions()->replication_factor() - 1) * 0.4;
+    double per_node_rate = rate * replication_multiplier / static_cast<double>(alive.size());
+    double utilization =
+        per_node_rate * static_cast<double>(config_.mean_service_per_request) / 1e6;
+    Duration per_node_busy = static_cast<Duration>(
+        per_node_rate * static_cast<double>(config_.mean_service_per_request) * tick_seconds);
+    for (NodeId id : alive) {
+      StorageNode* node = cluster_->GetNode(id);
+      if (node != nullptr) node->SetBackgroundLoad(utilization, per_node_busy);
+    }
+  }
+
+  // Sampled probes: real requests measuring latency under the injected
+  // queueing state.
+  if (ops_.empty() || total_weight_ <= 0) return;
+  double want = std::min(rate, config_.sample_rate) * tick_seconds;
+  int64_t count = rng_.Poisson(want);
+  for (int64_t i = 0; i < count; ++i) {
+    double pick = rng_.NextDouble() * total_weight_;
+    for (const WorkloadOp& op : ops_) {
+      pick -= op.weight;
+      if (pick <= 0 || &op == &ops_.back()) {
+        // Jitter each probe inside the tick so they do not arrive as a
+        // burst at tick boundaries.
+        Duration offset = static_cast<Duration>(rng_.Uniform(static_cast<uint64_t>(config_.tick)));
+        loop_->ScheduleAfter(offset, [this, &op] { op.issue(&rng_); });
+        ++samples_issued_;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace scads

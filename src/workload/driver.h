@@ -1,0 +1,86 @@
+// Workload driver: turns a TrafficPattern into load on the cluster.
+//
+// Hybrid fidelity (documented in DESIGN.md): per tick, the full logical
+// demand is charged to nodes as background service time — queueing state is
+// exact in aggregate — while up to `sample_rate` real requests per second
+// flow through the Router and measure end-to-end latency under that
+// queueing state. This is what lets a laptop simulate Animoto-scale load
+// with thousands of nodes.
+
+#ifndef SCADS_WORKLOAD_DRIVER_H_
+#define SCADS_WORKLOAD_DRIVER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/node.h"
+#include "cluster/router.h"
+#include "common/rng.h"
+#include "sim/event_loop.h"
+#include "workload/traffic.h"
+
+namespace scads {
+
+/// One weighted operation the driver can issue (issue must eventually call
+/// its completion callback; the driver does not track it).
+struct WorkloadOp {
+  std::string name;
+  double weight = 1.0;
+  std::function<void(Rng*)> issue;
+};
+
+/// Driver tunables.
+struct DriverConfig {
+  Duration tick = kSecond;
+  /// Sampled real requests per second (the latency probes).
+  double sample_rate = 25;
+  /// Mean service demand per logical request (us) charged as background
+  /// load; defaults to a read-heavy mix.
+  Duration mean_service_per_request = 140;
+  /// Fraction of logical requests that are writes (drives replication-load
+  /// accounting on top of the base demand).
+  double write_fraction = 0.15;
+};
+
+/// Drives a traffic pattern against the cluster.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(EventLoop* loop, ClusterState* cluster, TrafficPattern pattern,
+                 DriverConfig config, uint64_t seed);
+
+  /// Registers a sampled operation (weights normalize automatically).
+  void AddOp(WorkloadOp op);
+
+  /// Starts ticking. Stops when Stop() is called or the loop ends.
+  void Start();
+  void Stop();
+
+  /// Current logical rate (requests/second) at `t`.
+  double RateAt(Time t) const { return pattern_(t); }
+
+  int64_t samples_issued() const { return samples_issued_; }
+  int64_t ticks() const { return ticks_; }
+  /// Logical requests represented (sampled + background).
+  int64_t logical_requests() const { return logical_requests_; }
+
+ private:
+  void Tick();
+
+  EventLoop* loop_;
+  ClusterState* cluster_;
+  TrafficPattern pattern_;
+  DriverConfig config_;
+  Rng rng_;
+  std::vector<WorkloadOp> ops_;
+  double total_weight_ = 0;
+  EventLoop::EventId tick_event_ = EventLoop::kInvalidEvent;
+  int64_t samples_issued_ = 0;
+  int64_t ticks_ = 0;
+  int64_t logical_requests_ = 0;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_WORKLOAD_DRIVER_H_

@@ -1,0 +1,56 @@
+#include "workload/traffic.h"
+
+#include <cmath>
+
+namespace scads {
+
+TrafficPattern ConstantTraffic(double rate) {
+  return [rate](Time) { return rate; };
+}
+
+TrafficPattern DiurnalTraffic(double base, double amplitude, Duration period) {
+  return [base, amplitude, period](Time t) {
+    double phase = 2.0 * M_PI * static_cast<double>(t % period) / static_cast<double>(period);
+    // Trough at t=0 (midnight), peak at half period.
+    double value = base - amplitude * std::cos(phase);
+    return value < 0 ? 0.0 : value;
+  };
+}
+
+TrafficPattern SpikeTraffic(TrafficPattern underlying, Time start, Duration width, double factor,
+                            Duration ramp) {
+  return [underlying = std::move(underlying), start, width, factor, ramp](Time t) {
+    double base = underlying(t);
+    double multiplier = 1.0;
+    if (t >= start && t < start + width) {
+      multiplier = factor;
+    } else if (t >= start - ramp && t < start) {
+      double progress = static_cast<double>(t - (start - ramp)) / static_cast<double>(ramp);
+      multiplier = 1.0 + (factor - 1.0) * progress;
+    } else if (t >= start + width && t < start + width + ramp) {
+      double progress =
+          static_cast<double>(t - (start + width)) / static_cast<double>(ramp);
+      multiplier = factor - (factor - 1.0) * progress;
+    }
+    return base * multiplier;
+  };
+}
+
+TrafficPattern ViralGrowthTraffic(double initial_rate, double peak_rate, Time midpoint,
+                                  Duration steepness) {
+  return [initial_rate, peak_rate, midpoint, steepness](Time t) {
+    double z = static_cast<double>(t - midpoint) / static_cast<double>(steepness);
+    double logistic = 1.0 / (1.0 + std::exp(-z));
+    return initial_rate + (peak_rate - initial_rate) * logistic;
+  };
+}
+
+TrafficPattern SumTraffic(std::vector<TrafficPattern> parts) {
+  return [parts = std::move(parts)](Time t) {
+    double total = 0;
+    for (const TrafficPattern& part : parts) total += part(t);
+    return total;
+  };
+}
+
+}  // namespace scads

@@ -1,0 +1,46 @@
+// Traffic patterns: simulated-time -> aggregate request rate.
+//
+// The three shapes the paper motivates:
+//  * diurnal cycles ("keeping idle servers active during non-peak times is
+//    a waste of money", §2.1);
+//  * event spikes (Facebook's day-after-Halloween photo surge);
+//  * viral growth (Animoto's 50 -> 3 400 servers in three days, Figure 1).
+
+#ifndef SCADS_WORKLOAD_TRAFFIC_H_
+#define SCADS_WORKLOAD_TRAFFIC_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scads {
+
+/// A rate curve: requests/second as a function of simulated time.
+using TrafficPattern = std::function<double(Time)>;
+
+/// Constant `rate`.
+TrafficPattern ConstantTraffic(double rate);
+
+/// Sinusoidal day/night cycle: base +/- amplitude with the given period
+/// (trough at t=0).
+TrafficPattern DiurnalTraffic(double base, double amplitude, Duration period = kDay);
+
+/// Multiplies the underlying pattern by `factor` inside [start, start+width)
+/// with linear ramps of `ramp` on each side (the Halloween spike).
+TrafficPattern SpikeTraffic(TrafficPattern underlying, Time start, Duration width, double factor,
+                            Duration ramp = kHour);
+
+/// Logistic (S-curve) growth from `initial_rate` to `peak_rate`; the curve
+/// passes its steepest point at `midpoint`. Animoto's three-day ramp is
+/// ViralGrowthTraffic(r0, r1, t0 + 36h, ~6h).
+TrafficPattern ViralGrowthTraffic(double initial_rate, double peak_rate, Time midpoint,
+                                  Duration steepness);
+
+/// Sum of patterns.
+TrafficPattern SumTraffic(std::vector<TrafficPattern> parts);
+
+}  // namespace scads
+
+#endif  // SCADS_WORKLOAD_TRAFFIC_H_

@@ -1,0 +1,277 @@
+// Tests for the public Scads facade (src/core) and the paper's baselines
+// (src/baseline).
+
+#include <memory>
+#include <string>
+
+#include "baseline/adhoc.h"
+#include "baseline/appside.h"
+#include "core/scads.h"
+#include "gtest/gtest.h"
+
+namespace scads {
+namespace {
+
+EntityDef ProfilesEntity() {
+  EntityDef profiles;
+  profiles.name = "profiles";
+  profiles.fields = {{"user_id", FieldType::kInt64},
+                     {"name", FieldType::kString},
+                     {"bday", FieldType::kInt64}};
+  profiles.key_fields = {"user_id"};
+  return profiles;
+}
+
+EntityDef FriendshipsEntity(int64_t cap = 100) {
+  EntityDef friendships;
+  friendships.name = "friendships";
+  friendships.fields = {{"f1", FieldType::kInt64}, {"f2", FieldType::kInt64}};
+  friendships.key_fields = {"f1", "f2"};
+  friendships.fanout_caps["f1"] = cap;
+  friendships.fanout_caps["f2"] = cap;
+  return friendships;
+}
+
+std::unique_ptr<Scads> MakeSocialScads(std::string spec_text = "") {
+  ScadsOptions options;
+  options.initial_nodes = 3;
+  options.partitions = 8;
+  options.consistency_spec = std::move(spec_text);
+  auto scads = Scads::Create(options);
+  EXPECT_TRUE(scads.ok()) << scads.status();
+  auto instance = std::move(scads).value();
+  EXPECT_TRUE(instance->DefineEntity(ProfilesEntity()).ok());
+  EXPECT_TRUE(instance->DefineEntity(FriendshipsEntity()).ok());
+  return instance;
+}
+
+Row Profile(int64_t id, const std::string& name, int64_t bday) {
+  Row row;
+  row.SetInt("user_id", id);
+  row.SetString("name", name);
+  row.SetInt("bday", bday);
+  return row;
+}
+
+Row Edge(int64_t a, int64_t b) {
+  Row row;
+  row.SetInt("f1", a);
+  row.SetInt("f2", b);
+  return row;
+}
+
+TEST(ScadsTest, CreateValidatesOptions) {
+  ScadsOptions bad;
+  bad.initial_nodes = 0;
+  EXPECT_FALSE(Scads::Create(bad).ok());
+  ScadsOptions bad_spec;
+  bad_spec.consistency_spec = "writes: telepathy";
+  EXPECT_FALSE(Scads::Create(bad_spec).ok());
+  ScadsOptions merge_without_fn;
+  merge_without_fn.consistency_spec = "writes: merge";
+  EXPECT_FALSE(Scads::Create(merge_without_fn).ok());
+}
+
+TEST(ScadsTest, LifecycleAndPointQueries) {
+  auto scads = MakeSocialScads();
+  ASSERT_TRUE(scads->RegisterQuery("profile_by_id",
+                                   "SELECT p.* FROM profiles p WHERE p.user_id = <u>")
+                  .ok());
+  ASSERT_TRUE(scads->Start().ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "ada", 101)).ok());
+  scads->DrainIndexQueue();
+  auto rows = scads->QuerySync("profile_by_id", {{"u", Value(int64_t{1})}});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].GetString("name"), "ada");
+}
+
+TEST(ScadsTest, RejectsUnboundedQueryAtRegistration) {
+  ScadsOptions options;
+  auto scads = Scads::Create(options);
+  ASSERT_TRUE(scads.ok());
+  ASSERT_TRUE((*scads)->DefineEntity(ProfilesEntity()).ok());
+  // Twitter-style uncapped follow edge.
+  EntityDef follows;
+  follows.name = "follows";
+  follows.fields = {{"follower", FieldType::kInt64}, {"followee", FieldType::kInt64}};
+  follows.key_fields = {"follower", "followee"};
+  ASSERT_TRUE((*scads)->DefineEntity(follows).ok());
+  auto result = (*scads)->RegisterQuery(
+      "timeline_fanout",
+      "SELECT p.* FROM follows f JOIN profiles p ON f.follower = p.user_id "
+      "WHERE f.followee = <star>");
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ScadsTest, BirthdayQueryEndToEndThroughFacade) {
+  auto scads = MakeSocialScads("staleness: 5s\n");
+  ASSERT_TRUE(scads
+                  ->RegisterQuery("birthday",
+                                  "SELECT p.* FROM friendships f JOIN profiles p "
+                                  "ON f.f2 = p.user_id WHERE f.f1 = <user_id> OR "
+                                  "f.f2 = <user_id> ORDER BY p.bday")
+                  .ok());
+  ASSERT_TRUE(scads->Start().ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "alice", 300)).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(2, "bob", 100)).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(3, "carol", 200)).ok());
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(1, 2)).ok());
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(3, 1)).ok());
+  scads->DrainIndexQueue();
+  auto rows = scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].GetString("name"), "bob");
+  EXPECT_EQ((*rows)[1].GetString("name"), "carol");
+  // The maintenance table renders with the Figure-3 rows.
+  std::string table = scads->RenderMaintenanceTable();
+  EXPECT_NE(table.find("idx_birthday"), std::string::npos);
+  EXPECT_NE(table.find("adj_friendships"), std::string::npos);
+}
+
+TEST(ScadsTest, GetRowHonoursStalenessPath) {
+  auto scads = MakeSocialScads("staleness: 1m\n");
+  ASSERT_TRUE(scads->Start().ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(9, "zed", 7)).ok());
+  scads->RunFor(2 * kSecond);
+  Row key;
+  key.SetInt("user_id", 9);
+  auto row = scads->GetRowSync("profiles", key);
+  ASSERT_TRUE(row.ok()) << row.status();
+  EXPECT_EQ(row->GetString("name"), "zed");
+  Row missing;
+  missing.SetInt("user_id", 404);
+  EXPECT_TRUE(IsNotFound(scads->GetRowSync("profiles", missing).status()));
+}
+
+TEST(ScadsTest, DeleteRowUpdatesIndexes) {
+  auto scads = MakeSocialScads();
+  ASSERT_TRUE(scads
+                  ->RegisterQuery("birthday",
+                                  "SELECT p.* FROM friendships f JOIN profiles p "
+                                  "ON f.f2 = p.user_id WHERE f.f1 = <user_id> OR "
+                                  "f.f2 = <user_id> ORDER BY p.bday")
+                  .ok());
+  ASSERT_TRUE(scads->Start().ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "a", 1)).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(2, "b", 2)).ok());
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(1, 2)).ok());
+  scads->DrainIndexQueue();
+  ASSERT_EQ(scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}})->size(), 1u);
+  ASSERT_TRUE(scads->DeleteRowSync("friendships", Edge(1, 2)).ok());
+  scads->DrainIndexQueue();
+  EXPECT_TRUE(scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}})->empty());
+}
+
+TEST(ScadsTest, SerializableSpecAppliesCasWrites) {
+  auto scads = MakeSocialScads("writes: serializable\n");
+  ASSERT_TRUE(scads->Start().ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "v1", 1)).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "v2", 2)).ok());
+  Row key;
+  key.SetInt("user_id", 1);
+  auto row = scads->GetRowSync("profiles", key);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->GetString("name"), "v2");
+  EXPECT_GT(scads->write_policy()->stats().writes_committed, 0);
+}
+
+TEST(ScadsTest, DurabilitySpecRaisesReplication) {
+  auto strict = MakeSocialScads("durability: 99.99999%\n");
+  auto relaxed = MakeSocialScads("durability: 90%\n");
+  EXPECT_GT(strict->durability_plan().replication_factor,
+            relaxed->durability_plan().replication_factor);
+}
+
+TEST(ScadsTest, SessionGuaranteesComeFromSpec) {
+  auto scads = MakeSocialScads("session: read_your_writes\n");
+  ASSERT_TRUE(scads->Start().ok());
+  auto session = scads->NewSession();
+  Status put = InternalError("pending");
+  session->Put("app/key", "value", AckMode::kPrimary, [&](Status s) { put = std::move(s); });
+  scads->RunFor(kSecond);
+  ASSERT_TRUE(put.ok());
+  Result<Record> got(InternalError("pending"));
+  bool done = false;
+  session->Get("app/key", [&](Result<Record> r) {
+    got = std::move(r);
+    done = true;
+  });
+  scads->RunFor(kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->value, "value");
+}
+
+// --------------------------------------------------------------- Baselines --
+
+TEST(BaselineTest, AdHocAnswersMatchScads) {
+  auto scads = MakeSocialScads();
+  ASSERT_TRUE(scads
+                  ->RegisterQuery("birthday",
+                                  "SELECT p.* FROM friendships f JOIN profiles p "
+                                  "ON f.f2 = p.user_id WHERE f.f1 = <user_id> OR "
+                                  "f.f2 = <user_id> ORDER BY p.bday")
+                  .ok());
+  ASSERT_TRUE(scads->Start().ok());
+  for (int64_t i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(scads->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 10 * i)).ok());
+  }
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(1, 3)).ok());
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(5, 1)).ok());
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(2, 6)).ok());
+  scads->DrainIndexQueue();
+
+  AdHocExecutor adhoc(scads->router(), scads->cluster(), &scads->catalog());
+  Result<std::vector<Row>> adhoc_rows(InternalError("pending"));
+  bool done = false;
+  adhoc.FriendsByBirthday(1, [&](Result<std::vector<Row>> rows) {
+    adhoc_rows = std::move(rows);
+    done = true;
+  });
+  scads->RunFor(10 * kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(adhoc_rows.ok()) << adhoc_rows.status();
+
+  auto scads_rows = scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}});
+  ASSERT_TRUE(scads_rows.ok());
+  ASSERT_EQ(adhoc_rows->size(), scads_rows->size());
+  for (size_t i = 0; i < adhoc_rows->size(); ++i) {
+    EXPECT_EQ((*adhoc_rows)[i].GetInt("user_id"), (*scads_rows)[i].GetInt("user_id"));
+  }
+  // The ad-hoc path had to scan the whole friendships table.
+  EXPECT_GE(adhoc.rows_scanned(), 3);
+}
+
+TEST(BaselineTest, AppSideJoinCostsOneRoundTripPerFriend) {
+  auto scads = MakeSocialScads();
+  ASSERT_TRUE(scads->Start().ok());
+  for (int64_t i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(scads->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 10 * i)).ok());
+  }
+  AppSideJoinClient app(scads->router(), &scads->catalog());
+  Status stored = InternalError("pending");
+  app.StoreFriendList(1, {2, 3, 4, 5}, [&](Status s) { stored = std::move(s); });
+  scads->RunFor(kSecond);
+  ASSERT_TRUE(stored.ok());
+  int64_t before = app.round_trips();
+  Result<std::vector<Row>> rows(InternalError("pending"));
+  bool done = false;
+  app.FriendsByBirthday(1, [&](Result<std::vector<Row>> r) {
+    rows = std::move(r);
+    done = true;
+  });
+  scads->RunFor(5 * kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  // 1 list fetch + 4 profile gets.
+  EXPECT_EQ(app.round_trips() - before, 5);
+  // Sorted by birthday.
+  EXPECT_EQ((*rows)[0].GetInt("user_id"), 2);
+  EXPECT_EQ((*rows)[3].GetInt("user_id"), 5);
+}
+
+}  // namespace
+}  // namespace scads

@@ -1,0 +1,320 @@
+// System-level chaos and integration tests: the full SCADS stack under
+// failure injection, partition splits, and concurrent maintenance — the
+// behaviours that only appear when every module runs together.
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/strings.h"
+#include "core/scads.h"
+#include "gtest/gtest.h"
+#include "index/scan.h"
+
+namespace scads {
+namespace {
+
+EntityDef ProfilesEntity() {
+  EntityDef profiles;
+  profiles.name = "profiles";
+  profiles.fields = {{"user_id", FieldType::kInt64},
+                     {"name", FieldType::kString},
+                     {"bday", FieldType::kInt64}};
+  profiles.key_fields = {"user_id"};
+  return profiles;
+}
+
+EntityDef FriendshipsEntity() {
+  EntityDef friendships;
+  friendships.name = "friendships";
+  friendships.fields = {{"f1", FieldType::kInt64}, {"f2", FieldType::kInt64}};
+  friendships.key_fields = {"f1", "f2"};
+  friendships.fanout_caps["f1"] = 100;
+  friendships.fanout_caps["f2"] = 100;
+  return friendships;
+}
+
+Row Profile(int64_t id, const std::string& name, int64_t bday) {
+  Row row;
+  row.SetInt("user_id", id);
+  row.SetString("name", name);
+  row.SetInt("bday", bday);
+  return row;
+}
+
+TEST(SystemTest, DataSurvivesRollingNodeOutages) {
+  ScadsOptions options;
+  options.initial_nodes = 5;
+  options.partitions = 16;
+  options.consistency_spec = "durability: 99.999%\n";  // plans rf=3, quorum acks
+  auto db = std::move(Scads::Create(options)).value();
+  ASSERT_TRUE(db->DefineEntity(ProfilesEntity()).ok());
+  ASSERT_TRUE(db->Start().ok());
+  ASSERT_EQ(db->durability_plan().replication_factor, 3);
+
+  for (int64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), i)).ok());
+  }
+  db->RunFor(5 * kSecond);  // replication settles
+
+  // Roll an outage across every node, one at a time, reading throughout.
+  for (NodeId victim = 0; victim < 5; ++victim) {
+    db->failures()->ScheduleNodeOutage(victim, db->loop()->Now() + kSecond, 10 * kSecond);
+    db->RunFor(3 * kSecond);  // node is down now
+    int readable = 0;
+    for (int64_t i = 0; i < 40; ++i) {
+      Row key;
+      key.SetInt("user_id", i);
+      if (db->GetRowSync("profiles", key).ok()) ++readable;
+    }
+    EXPECT_GE(readable, 38) << "during outage of node " << victim;
+    db->RunFor(15 * kSecond);  // recover before the next outage
+  }
+}
+
+TEST(SystemTest, RandomOutagesDoNotLoseQuorumWrites) {
+  ScadsOptions options;
+  options.initial_nodes = 6;
+  options.partitions = 12;
+  options.consistency_spec = "durability: 99.999%\n";
+  auto db = std::move(Scads::Create(options)).value();
+  ASSERT_TRUE(db->DefineEntity(ProfilesEntity()).ok());
+  ASSERT_TRUE(db->Start().ok());
+  // Flaky minority: two nodes cycle 5s-down/15s-up.
+  db->failures()->EnableRandomOutages(0, 20 * kSecond, 5 * kSecond);
+  db->failures()->EnableRandomOutages(1, 20 * kSecond, 5 * kSecond);
+
+  std::set<int64_t> written;
+  for (int64_t i = 0; i < 60; ++i) {
+    Status status = db->PutRowSync("profiles", Profile(i, "w" + std::to_string(i), i));
+    if (status.ok()) written.insert(i);
+    db->RunFor(kSecond);
+  }
+  EXPECT_GE(written.size(), 40u);  // most writes land despite churn
+  db->failures()->DisableRandomOutages(0);
+  db->failures()->DisableRandomOutages(1);
+  db->RunFor(kMinute);  // heal + catch up
+
+  // Every acknowledged write must be readable afterwards.
+  for (int64_t i : written) {
+    Row key;
+    key.SetInt("user_id", i);
+    auto row = db->GetRowSync("profiles", key);
+    EXPECT_TRUE(row.ok()) << "acked write " << i << " lost: " << row.status();
+  }
+}
+
+TEST(SystemTest, PartitionSplitKeepsQueriesCorrect) {
+  ScadsOptions options;
+  options.initial_nodes = 3;
+  options.partitions = 2;  // coarse map; we split it live
+  auto db = std::move(Scads::Create(options)).value();
+  ASSERT_TRUE(db->DefineEntity(ProfilesEntity()).ok());
+  ASSERT_TRUE(db->DefineEntity(FriendshipsEntity()).ok());
+  ASSERT_TRUE(db
+                  ->RegisterQuery("birthday",
+                                  "SELECT p.* FROM friendships f JOIN profiles p "
+                                  "ON f.f2 = p.user_id WHERE f.f1 = <u> OR "
+                                  "f.f2 = <u> ORDER BY p.bday")
+                  .ok());
+  ASSERT_TRUE(db->Start().ok());
+  for (int64_t i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(db->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 100 - i)).ok());
+  }
+  for (int64_t i = 2; i <= 11; ++i) {
+    Row edge;
+    edge.SetInt("f1", 1);
+    edge.SetInt("f2", i);
+    ASSERT_TRUE(db->PutRowSync("friendships", edge).ok());
+  }
+  db->DrainIndexQueue();
+  auto before = db->QuerySync("birthday", {{"u", Value(int64_t{1})}});
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->size(), 10u);
+
+  // Split the index's partition mid-life (hot-partition mitigation): the
+  // index prefix range now spans two partitions; MultiScan must stitch it.
+  const IndexPlan* plan = db->maintainer()->GetPlan("idx_birthday");
+  ASSERT_NE(plan, nullptr);
+  std::string prefix = plan->KeyPrefix();
+  std::string split_point = prefix;
+  AppendKeyPiece(&split_point, EncodeKeyValue(Value(int64_t{1})));
+  split_point += std::string(1, '\x40');  // inside user 1's slice
+  auto split = db->cluster()->partitions()->Split(split_point);
+  ASSERT_TRUE(split.ok()) << split.status();
+
+  auto after = db->QuerySync("birthday", {{"u", Value(int64_t{1})}});
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), 10u);
+  for (size_t i = 0; i < after->size(); ++i) {
+    EXPECT_EQ((*before)[i].GetInt("user_id"), (*after)[i].GetInt("user_id"));
+  }
+}
+
+TEST(SystemTest, MultiScanStitchesAcrossManyPartitions) {
+  ScadsOptions options;
+  options.initial_nodes = 4;
+  options.partitions = 3;
+  auto db = std::move(Scads::Create(options)).value();
+  ASSERT_TRUE(db->Start().ok());
+  // Write keys spanning the whole byte space.
+  for (int i = 0; i < 200; ++i) {
+    char head = static_cast<char>((i * 255) / 200);
+    std::string key = std::string(1, head) + "/k" + std::to_string(i);
+    Status status = InternalError("pending");
+    db->router()->Put(key, "v", AckMode::kPrimary, [&](Status s) { status = std::move(s); });
+    db->RunFor(50 * kMillisecond);
+    ASSERT_TRUE(status.ok()) << i;
+  }
+  // Several live splits to force many sub-scans.
+  ASSERT_TRUE(db->cluster()->partitions()->Split(std::string(1, '\x20')).ok());
+  ASSERT_TRUE(db->cluster()->partitions()->Split(std::string(1, '\x90')).ok());
+  ASSERT_TRUE(db->cluster()->partitions()->Split(std::string(1, '\xd0')).ok());
+  Result<std::vector<Record>> all(InternalError("pending"));
+  bool done = false;
+  MultiScan(db->router(), db->cluster(), "", "", 0, [&](Result<std::vector<Record>> rows) {
+    all = std::move(rows);
+    done = true;
+  });
+  db->RunFor(10 * kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(all->size(), 200u);
+  for (size_t i = 1; i < all->size(); ++i) {
+    EXPECT_LT((*all)[i - 1].key, (*all)[i].key) << "ordering broken at " << i;
+  }
+  // Limit stops early across partition boundaries too.
+  done = false;
+  MultiScan(db->router(), db->cluster(), "", "", 37, [&](Result<std::vector<Record>> rows) {
+    all = std::move(rows);
+    done = true;
+  });
+  db->RunFor(10 * kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 37u);
+}
+
+TEST(SystemTest, IndexMaintenanceCatchesUpAfterPartitionHeals) {
+  ScadsOptions options;
+  options.initial_nodes = 4;
+  options.partitions = 1;
+  options.consistency_spec = "staleness: 30s\n";
+  auto db = std::move(Scads::Create(options)).value();
+  ASSERT_TRUE(db->DefineEntity(ProfilesEntity()).ok());
+  ASSERT_TRUE(db->DefineEntity(FriendshipsEntity()).ok());
+  ASSERT_TRUE(db
+                  ->RegisterQuery("birthday",
+                                  "SELECT p.* FROM friendships f JOIN profiles p "
+                                  "ON f.f2 = p.user_id WHERE f.f1 = <u> OR "
+                                  "f.f2 = <u> ORDER BY p.bday")
+                  .ok());
+  ASSERT_TRUE(db->Start().ok());
+  // Pin node 3 as a pure trailing secondary of the single partition so
+  // cutting it off never blocks a primary operation: what we isolate is
+  // replication catch-up, not failover.
+  PartitionId pid = db->cluster()->partitions()->partitions()[0].id;
+  ASSERT_TRUE(db->cluster()->partitions()->SetReplicas(pid, {0, 1, 3}).ok());
+  constexpr NodeId kLagger = 3;
+  db->network()->SetPartitionGroup(kLagger, 55);
+
+  ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, "a", 10)).ok());
+  ASSERT_TRUE(db->PutRowSync("profiles", Profile(2, "b", 20)).ok());
+  Row edge;
+  edge.SetInt("f1", 1);
+  edge.SetInt("f2", 2);
+  ASSERT_TRUE(db->PutRowSync("friendships", edge).ok());
+  db->DrainIndexQueue();
+
+  // While cut off, the lagger's local store must be missing the data.
+  StorageNode* lagger_node = db->cluster()->GetNode(kLagger);
+  ASSERT_NE(lagger_node, nullptr);
+  EXPECT_EQ(lagger_node->engine()->live_count(), 0u);
+
+  // Heal: the primary's replication streams retransmit everything.
+  db->network()->Heal();
+  db->RunFor(15 * kSecond);
+  EXPECT_GT(lagger_node->engine()->live_count(), 0u)
+      << "replication catch-up did not deliver after heal";
+
+  auto rows = db->QuerySync("birthday", {{"u", Value(int64_t{1})}});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].GetString("name"), "b");
+}
+
+TEST(SystemTest, SessionsStayConsistentDuringChurn) {
+  ScadsOptions options;
+  options.initial_nodes = 4;
+  options.partitions = 8;
+  options.consistency_spec = "session: read_your_writes, monotonic_reads\n";
+  options.node_config.replication_flush_interval = 2 * kSecond;  // visible lag
+  auto db = std::move(Scads::Create(options)).value();
+  ASSERT_TRUE(db->Start().ok());
+  auto session = db->NewSession();
+  // Interleave writes and reads; every read must observe the session's own
+  // latest write regardless of replica lag.
+  for (int i = 0; i < 15; ++i) {
+    std::string value = "v" + std::to_string(i);
+    Status put = InternalError("pending");
+    session->Put("me/profile", value, AckMode::kPrimary, [&](Status s) { put = std::move(s); });
+    db->RunFor(200 * kMillisecond);
+    ASSERT_TRUE(put.ok());
+    Result<Record> got(InternalError("pending"));
+    bool done = false;
+    session->Get("me/profile", [&](Result<Record> r) {
+      got = std::move(r);
+      done = true;
+    });
+    db->RunFor(kSecond);
+    ASSERT_TRUE(done);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->value, value) << "iteration " << i;
+  }
+}
+
+TEST(SystemTest, WholeStackSmokeAllFeaturesTogether) {
+  // Everything at once: serializable writes, sessions, staleness bound,
+  // queries, failures, and the maintenance queue — the "would a downstream
+  // user's app survive" test.
+  ScadsOptions options;
+  options.initial_nodes = 4;
+  options.partitions = 8;
+  options.consistency_spec =
+      "performance: p99 read < 100ms, availability 99%\n"
+      "writes: serializable\n"
+      "staleness: 10s\n"
+      "session: read_your_writes\n"
+      "durability: 99.9%\n"
+      "priority: availability > staleness\n";
+  auto db = std::move(Scads::Create(options)).value();
+  ASSERT_TRUE(db->DefineEntity(ProfilesEntity()).ok());
+  ASSERT_TRUE(db->DefineEntity(FriendshipsEntity()).ok());
+  ASSERT_TRUE(db
+                  ->RegisterQuery("birthday",
+                                  "SELECT p.* FROM friendships f JOIN profiles p "
+                                  "ON f.f2 = p.user_id WHERE f.f1 = <u> OR "
+                                  "f.f2 = <u> ORDER BY p.bday LIMIT 5")
+                  .ok());
+  ASSERT_TRUE(db->Start().ok());
+  for (int64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(db->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 50 + i)).ok());
+  }
+  for (int64_t i = 2; i <= 8; ++i) {
+    Row edge;
+    edge.SetInt("f1", 1);
+    edge.SetInt("f2", i);
+    ASSERT_TRUE(db->PutRowSync("friendships", edge).ok());
+  }
+  db->failures()->ScheduleNodeOutage(1, db->loop()->Now() + 2 * kSecond, 8 * kSecond);
+  db->DrainIndexQueue();
+  db->RunFor(15 * kSecond);
+  auto rows = db->QuerySync("birthday", {{"u", Value(int64_t{1})}});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 5u);  // LIMIT applied
+  EXPECT_EQ((*rows)[0].GetInt("bday"), 52);
+  EXPECT_EQ(db->update_queue()->failures(), 0);
+}
+
+}  // namespace
+}  // namespace scads
