@@ -1,0 +1,146 @@
+#include "cache/cache_directory.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace scads {
+
+CacheDirectory::CacheDirectory(CacheConfig config, Duration staleness_bound,
+                               MetricRegistry* metrics)
+    : config_(config),
+      bound_(staleness_bound),
+      points_(config.capacity_bytes, config.shards, metrics->GetCounter("cache.point.evictions")),
+      scans_(config.scan_capacity_bytes, metrics->GetCounter("cache.scan.evictions")),
+      point_hits_(metrics->GetCounter("cache.point.hits")),
+      point_misses_(metrics->GetCounter("cache.point.misses")),
+      point_stale_rejects_(metrics->GetCounter("cache.point.stale_rejects")),
+      point_invalidations_(metrics->GetCounter("cache.point.invalidations")),
+      point_refreshes_(metrics->GetCounter("cache.point.refreshes")),
+      scan_hits_(metrics->GetCounter("cache.scan.hits")),
+      scan_misses_(metrics->GetCounter("cache.scan.misses")),
+      scan_stale_rejects_(metrics->GetCounter("cache.scan.stale_rejects")),
+      scan_invalidations_(metrics->GetCounter("cache.scan.invalidations")) {}
+
+bool CacheDirectory::LookupPoint(const std::string& key, Time now, Record* out) {
+  if (!config_.enabled) return false;
+  CacheEntry entry;
+  switch (points_.Lookup(key, now, bound_, &entry)) {
+    case CacheLookup::kMiss:
+      point_misses_->Increment();
+      return false;
+    case CacheLookup::kStale:
+      point_stale_rejects_->Increment();
+      return false;
+    case CacheLookup::kHit:
+      break;
+  }
+  point_hits_->Increment();
+  TrackHotKey(key);
+  out->key = key;
+  out->value = std::move(entry.value);
+  out->version = entry.version;
+  out->tombstone = false;
+  return true;
+}
+
+void CacheDirectory::StorePoint(const std::string& key, std::string_view value,
+                                const Version& version, Time as_of) {
+  if (!config_.enabled) return;
+  points_.Insert(key, value, version, as_of);
+}
+
+bool CacheDirectory::LookupScan(const std::string& prefix, size_t limit, Time now,
+                                std::vector<Record>* out) {
+  if (!scan_caching()) return false;
+  switch (scans_.Lookup(prefix, limit, now, bound_, out)) {
+    case CacheLookup::kMiss:
+      scan_misses_->Increment();
+      return false;
+    case CacheLookup::kStale:
+      scan_stale_rejects_->Increment();
+      return false;
+    case CacheLookup::kHit:
+      scan_hits_->Increment();
+      return true;
+  }
+  return false;
+}
+
+uint64_t CacheDirectory::BeginScan(const std::string& prefix) {
+  if (!scan_caching()) return 0;
+  uint64_t token = next_scan_token_++;
+  pending_scans_.push_back(PendingScan{token, prefix, false});
+  return token;
+}
+
+bool CacheDirectory::EndScan(uint64_t token) {
+  if (token == 0) return true;
+  for (auto it = pending_scans_.begin(); it != pending_scans_.end(); ++it) {
+    if (it->token != token) continue;
+    bool clean = !it->dirty;
+    pending_scans_.erase(it);
+    return clean;
+  }
+  return false;  // unknown token: never cache
+}
+
+void CacheDirectory::StoreScan(const std::string& prefix, size_t limit,
+                               const std::vector<Record>& records, Time as_of) {
+  if (!scan_caching()) return;
+  scans_.Insert(prefix, limit, records, as_of);
+}
+
+void CacheDirectory::InvalidateScansFor(const std::string& key) {
+  size_t dropped = scans_.InvalidateForKey(key);
+  if (dropped > 0) scan_invalidations_->Increment(static_cast<int64_t>(dropped));
+  for (PendingScan& pending : pending_scans_) {
+    if (std::string_view(key).substr(0, pending.prefix.size()) == pending.prefix) {
+      pending.dirty = true;
+    }
+  }
+}
+
+void CacheDirectory::OnPut(const std::string& key, std::string_view value,
+                           const Version& version, Time now) {
+  if (!config_.enabled) return;
+  if (config_.write_mode == CacheWriteMode::kWriteThrough) {
+    points_.Insert(key, value, version, now);
+    point_refreshes_->Increment();
+  } else if (points_.MarkInvalidated(key, version, now)) {
+    point_invalidations_->Increment();
+  }
+  if (config_.cache_scan_results) InvalidateScansFor(key);
+}
+
+void CacheDirectory::OnDelete(const std::string& key, const Version& version, Time now) {
+  if (!config_.enabled) return;
+  if (points_.MarkInvalidated(key, version, now)) point_invalidations_->Increment();
+  if (config_.cache_scan_results) InvalidateScansFor(key);
+}
+
+void CacheDirectory::TrackHotKey(const std::string& key) {
+  ++hot_total_;
+  auto it = hot_hits_.find(key);
+  if (it != hot_hits_.end()) {
+    ++it->second;
+    return;
+  }
+  if (hot_hits_.size() >= kHotKeyCap) return;
+  hot_hits_.emplace(key, 1);
+}
+
+CacheDirectory::HotKeyReport CacheDirectory::TakeHotKeys(size_t n) {
+  HotKeyReport report;
+  report.total_hits = hot_total_;
+  report.top.assign(hot_hits_.begin(), hot_hits_.end());
+  std::sort(report.top.begin(), report.top.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic across runs
+  });
+  if (report.top.size() > n) report.top.resize(n);
+  hot_hits_.clear();
+  hot_total_ = 0;
+  return report;
+}
+
+}  // namespace scads

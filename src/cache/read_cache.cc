@@ -1,0 +1,215 @@
+#include "cache/read_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace scads {
+
+namespace {
+// Fixed bookkeeping charge per entry (list node, index slot, struct fields);
+// keeps byte accounting honest for small values without sizing real heap
+// internals.
+constexpr size_t kPointEntryOverhead = 64;
+constexpr size_t kScanEntryOverhead = 128;
+constexpr size_t kScanRecordOverhead = 64;
+
+bool WithinBound(Time now, Time as_of, Duration bound) {
+  return bound == 0 || now - as_of <= bound;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- ReadCache
+
+ReadCache::ReadCache(size_t capacity_bytes, size_t shards, Counter* evictions)
+    : per_shard_capacity_(capacity_bytes / std::max<size_t>(1, shards)),
+      shards_(std::max<size_t>(1, shards)),
+      evictions_(evictions) {}
+
+ReadCache::Shard* ReadCache::ShardFor(const std::string& key) {
+  return &shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+CacheLookup ReadCache::Lookup(const std::string& key, Time now, Duration bound,
+                              CacheEntry* out) {
+  Shard* shard = ShardFor(key);
+  auto it = shard->index.find(key);
+  if (it == shard->index.end()) return CacheLookup::kMiss;
+  if (!WithinBound(now, it->second->entry.as_of, bound)) {
+    bool was_marker = it->second->entry.invalidated;
+    shard->bytes -= it->second->bytes;
+    shard->lru.erase(it->second);
+    shard->index.erase(it);
+    // An aged-out marker is bookkeeping, not a rejected value.
+    return was_marker ? CacheLookup::kMiss : CacheLookup::kStale;
+  }
+  if (it->second->entry.invalidated) return CacheLookup::kMiss;
+  shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+  *out = it->second->entry;
+  return CacheLookup::kHit;
+}
+
+void ReadCache::Insert(const std::string& key, std::string_view value, Version version,
+                       Time as_of) {
+  Shard* shard = ShardFor(key);
+  size_t bytes = key.size() + value.size() + kPointEntryOverhead;
+  auto it = shard->index.find(key);
+  if (it != shard->index.end()) {
+    Node& node = *it->second;
+    if (node.entry.version > version) {
+      // Newer cached state (a write-through refresh, or an invalidation
+      // marker from an acked write) beats this lagged value; a live entry
+      // may only have its freshness lease extended by a later as_of.
+      if (!node.entry.invalidated) {
+        node.entry.as_of = std::max(node.entry.as_of, as_of);
+        shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+      }
+      return;
+    }
+    shard->bytes -= node.bytes;
+    shard->lru.erase(it->second);
+    shard->index.erase(it);
+  }
+  if (bytes > per_shard_capacity_) return;  // would evict the whole shard
+  shard->lru.push_front(Node{key, CacheEntry{std::string(value), version, as_of, false}, bytes});
+  shard->index[key] = shard->lru.begin();
+  shard->bytes += bytes;
+  EvictOver(shard);
+}
+
+void ReadCache::EvictOver(Shard* shard) {
+  while (shard->bytes > per_shard_capacity_ && !shard->lru.empty()) {
+    Node& victim = shard->lru.back();
+    shard->bytes -= victim.bytes;
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+    if (evictions_ != nullptr) evictions_->Increment();
+  }
+}
+
+bool ReadCache::MarkInvalidated(const std::string& key, Version version, Time as_of) {
+  Shard* shard = ShardFor(key);
+  bool dropped_live = false;
+  auto it = shard->index.find(key);
+  if (it != shard->index.end()) {
+    if (it->second->entry.version > version) return false;  // newer state cached
+    dropped_live = !it->second->entry.invalidated;
+    shard->bytes -= it->second->bytes;
+    shard->lru.erase(it->second);
+    shard->index.erase(it);
+  }
+  size_t bytes = key.size() + kPointEntryOverhead;
+  shard->lru.push_front(Node{key, CacheEntry{std::string(), version, as_of, true}, bytes});
+  shard->index[key] = shard->lru.begin();
+  shard->bytes += bytes;
+  EvictOver(shard);
+  return dropped_live;
+}
+
+bool ReadCache::Erase(const std::string& key) {
+  Shard* shard = ShardFor(key);
+  auto it = shard->index.find(key);
+  if (it == shard->index.end()) return false;
+  shard->bytes -= it->second->bytes;
+  shard->lru.erase(it->second);
+  shard->index.erase(it);
+  return true;
+}
+
+void ReadCache::Clear() {
+  for (Shard& shard : shards_) {
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+size_t ReadCache::entry_count() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.index.size();
+  return n;
+}
+
+size_t ReadCache::bytes_used() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.bytes;
+  return n;
+}
+
+// ---------------------------------------------------------------- ScanCache
+
+ScanCache::ScanCache(size_t capacity_bytes, Counter* evictions)
+    : capacity_bytes_(capacity_bytes), evictions_(evictions) {}
+
+std::string ScanCache::CacheKey(std::string_view prefix, size_t limit) {
+  // Length-prefixed so a prefix whose bytes look like the separator cannot
+  // collide with another (prefix, limit) pair.
+  std::string key = std::to_string(prefix.size());
+  key.push_back(':');
+  key.append(prefix);
+  key.push_back(':');
+  key.append(std::to_string(limit));
+  return key;
+}
+
+CacheLookup ScanCache::Lookup(const std::string& prefix, size_t limit, Time now, Duration bound,
+                              std::vector<Record>* out) {
+  auto it = index_.find(CacheKey(prefix, limit));
+  if (it == index_.end()) return CacheLookup::kMiss;
+  if (!WithinBound(now, it->second->as_of, bound)) {
+    EraseNode(it->second);
+    return CacheLookup::kStale;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->records;
+  return CacheLookup::kHit;
+}
+
+void ScanCache::Insert(const std::string& prefix, size_t limit,
+                       const std::vector<Record>& records, Time as_of) {
+  std::string cache_key = CacheKey(prefix, limit);
+  auto it = index_.find(cache_key);
+  if (it != index_.end()) EraseNode(it->second);
+  size_t bytes = kScanEntryOverhead + cache_key.size();
+  for (const Record& record : records) {
+    bytes += record.key.size() + record.value.size() + kScanRecordOverhead;
+  }
+  if (bytes > capacity_bytes_) return;
+  lru_.push_front(Node{std::move(cache_key), prefix, records, as_of, bytes});
+  index_[lru_.front().cache_key] = lru_.begin();
+  bytes_ += bytes;
+  EvictOver();
+}
+
+size_t ScanCache::InvalidateForKey(std::string_view written_key) {
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto current = it++;
+    if (written_key.substr(0, current->prefix.size()) == current->prefix) {
+      EraseNode(current);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+void ScanCache::EraseNode(std::list<Node>::iterator it) {
+  bytes_ -= it->bytes;
+  index_.erase(it->cache_key);
+  lru_.erase(it);
+}
+
+void ScanCache::EvictOver() {
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    EraseNode(std::prev(lru_.end()));
+    if (evictions_ != nullptr) evictions_->Increment();
+  }
+}
+
+void ScanCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace scads

@@ -1,0 +1,178 @@
+// Staleness-aware read caching (the paper's central bargain, made
+// mechanical): the developer declares a staleness bound in the consistency
+// spec, and SCADS exploits it for performance. A cached value may be served
+// only while `now - as_of <= bound` — the same rule the replica-watermark
+// check in consistency/staleness.h enforces against storage nodes, applied
+// one hop earlier. Entries past the bound are rejected (and dropped) at
+// lookup, so the cache can never widen the declared staleness window.
+//
+// Two structures:
+//  * ReadCache  — sharded byte-capacity LRU over point-read records.
+//  * ScanCache  — bounded index-scan results keyed by (prefix, limit); the
+//    query compiler only admits bounded contiguous scans (paper §3.1), so
+//    cardinality stays small and prefix invalidation stays cheap.
+//
+// Policy coordination (what to serve, when to invalidate, counters, the
+// hot-key signal) lives in cache/cache_directory.h.
+
+#ifndef SCADS_CACHE_READ_CACHE_H_
+#define SCADS_CACHE_READ_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "storage/engine.h"
+
+namespace scads {
+
+/// How an acknowledged write treats a cached entry for the same key.
+enum class CacheWriteMode {
+  kInvalidate,    ///< Drop the entry; the next read repopulates from storage.
+  kWriteThrough,  ///< Refresh the entry in place with the written value.
+};
+
+/// Construction knobs (ScadsOptions::cache_config).
+struct CacheConfig {
+  /// Master switch; off = the read path is untouched.
+  bool enabled = false;
+  /// Point-cache capacity in bytes (keys + values + bookkeeping), split
+  /// uniformly across shards.
+  size_t capacity_bytes = 8u << 20;
+  size_t shards = 8;
+  CacheWriteMode write_mode = CacheWriteMode::kWriteThrough;
+  /// Cache bounded index-scan results in the query executor.
+  bool cache_scan_results = true;
+  size_t scan_capacity_bytes = 4u << 20;
+  /// Simulated local service time for serving a hit (hash probe + copy);
+  /// keeps cache-served latency nonzero and honest in experiments.
+  Duration hit_service_time = 5;  // microseconds
+};
+
+/// One cached point read.
+struct CacheEntry {
+  std::string value;
+  Version version;
+  /// The value is provably no staler than this instant: the serving
+  /// replica's replication watermark for reads, the ack time for
+  /// write-through refreshes. Freshness age is measured from here, not from
+  /// the insert call, so a value read off a lagging replica does not get a
+  /// fresh lease.
+  Time as_of = 0;
+  /// Invalidation marker: no servable value, but the version floor of the
+  /// key's latest acked write/delete. Lookups miss; Insert of anything
+  /// older is rejected, so a read response that was in flight when the
+  /// write acked cannot re-cache the predecessor value.
+  bool invalidated = false;
+};
+
+/// Lookup verdicts. kStale means the entry existed but aged past the bound;
+/// it has been dropped so capacity is not held by unservable data.
+enum class CacheLookup { kHit, kMiss, kStale };
+
+/// Sharded byte-capacity LRU over point-read records. Not thread-safe
+/// (SCADS simulations are single-threaded); sharding bounds worst-case
+/// probe cost and mirrors how a production build would partition locks.
+class ReadCache {
+ public:
+  /// `evictions` (optional) is incremented per capacity eviction.
+  ReadCache(size_t capacity_bytes, size_t shards, Counter* evictions = nullptr);
+
+  /// Looks up `key`; on kHit copies the entry into `out` and marks it most
+  /// recently used. `bound` 0 = no staleness bound (entries never expire).
+  CacheLookup Lookup(const std::string& key, Time now, Duration bound, CacheEntry* out);
+
+  /// Inserts or refreshes `key`. An existing entry with a strictly newer
+  /// version wins over the incoming value (a read returning via a lagging
+  /// replica must not clobber a write-through refresh). Values too large
+  /// for one shard are not cached.
+  void Insert(const std::string& key, std::string_view value, Version version, Time as_of);
+
+  /// Drops `key`; returns whether an entry existed.
+  bool Erase(const std::string& key);
+
+  /// Replaces the entry for `key` with an invalidation marker carrying the
+  /// acked write's version (no-op when something strictly newer is already
+  /// cached). Returns whether a live value entry was dropped. The marker
+  /// ages out like any entry; if capacity evicts it early, a racing
+  /// re-insert is still bounded by the entry's own as_of staleness check.
+  bool MarkInvalidated(const std::string& key, Version version, Time as_of);
+
+  void Clear();
+
+  size_t entry_count() const;
+  size_t bytes_used() const;
+  size_t capacity_bytes() const { return per_shard_capacity_ * shards_.size(); }
+
+ private:
+  struct Node {
+    std::string key;
+    CacheEntry entry;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    std::list<Node> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Node>::iterator> index;
+    size_t bytes = 0;
+  };
+
+  Shard* ShardFor(const std::string& key);
+  void EvictOver(Shard* shard);
+
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  Counter* evictions_;
+};
+
+/// LRU cache of bounded index-scan results, keyed by (prefix, limit).
+/// Invalidation scans every entry for a prefix match with the written key;
+/// the entry count is bounded by registered-query shapes × hot parameter
+/// values, which the byte capacity keeps small.
+class ScanCache {
+ public:
+  ScanCache(size_t capacity_bytes, Counter* evictions = nullptr);
+
+  CacheLookup Lookup(const std::string& prefix, size_t limit, Time now, Duration bound,
+                     std::vector<Record>* out);
+
+  void Insert(const std::string& prefix, size_t limit, const std::vector<Record>& records,
+              Time as_of);
+
+  /// Drops every cached scan whose prefix covers `written_key` (the write
+  /// may add, remove, or reorder a row of that result). Returns how many
+  /// entries were dropped.
+  size_t InvalidateForKey(std::string_view written_key);
+
+  void Clear();
+
+  size_t entry_count() const { return index_.size(); }
+  size_t bytes_used() const { return bytes_; }
+
+ private:
+  struct Node {
+    std::string cache_key;
+    std::string prefix;
+    std::vector<Record> records;
+    Time as_of = 0;
+    size_t bytes = 0;
+  };
+
+  static std::string CacheKey(std::string_view prefix, size_t limit);
+  void EraseNode(std::list<Node>::iterator it);
+  void EvictOver();
+
+  size_t capacity_bytes_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+  size_t bytes_ = 0;
+  Counter* evictions_;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_CACHE_READ_CACHE_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "cache/cache_directory.h"
 #include "common/strings.h"
 
 namespace scads {
@@ -50,6 +51,11 @@ void Router::FinishWrite(Time start, bool ok) {
   }
 }
 
+void Router::MaybeCacheRead(const std::string& key, Time as_of, const Result<Record>& result) {
+  if (cache_ == nullptr || !result.ok() || result->tombstone) return;
+  cache_->StorePoint(key, result->value, result->version, as_of);
+}
+
 void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, size_t index,
                         Time start, std::function<void(Result<Record>)> callback) {
   if (index >= candidates.size()) {
@@ -64,13 +70,14 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
     return;
   }
   auto state = std::make_shared<Pending>();
-  auto respond = [this, state, start, callback](Result<Record> result) {
+  auto respond = [this, state, key, start, callback](Result<Record> result, Time as_of) {
     if (state->done) return;
     state->done = true;
     if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
     // NotFound counts as a successful (answered) read.
     bool ok = result.ok() || IsNotFound(result.status());
     FinishRead(start, ok);
+    MaybeCacheRead(key, as_of, result);
     callback(std::move(result));
   };
   state->timeout_event = loop_->ScheduleAfter(
@@ -83,9 +90,13 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
       });
   NodeId self = client_id_;
   network_->Send(self, target, [this, node, key, target, self, respond]() mutable {
-    node->HandleGet(key, [this, target, self, respond](Result<Record> result) mutable {
-      network_->Send(target, self, [respond, result = std::move(result)]() mutable {
-        respond(std::move(result));
+    node->HandleGet(key, [this, node, key, target, self, respond](Result<Record> result) mutable {
+      // Snapshot the freshness watermark at serve time, not response time:
+      // a write acked while this response is on the wire must not lend the
+      // (predecessor) value a fresh staleness lease.
+      Time as_of = node->replicated_through(cluster_->partitions()->ForKey(key).id);
+      network_->Send(target, self, [respond, as_of, result = std::move(result)]() mutable {
+        respond(std::move(result), as_of);
       });
     });
   });
@@ -93,6 +104,23 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
 
 void Router::Get(const std::string& key, bool pin_primary,
                  std::function<void(Result<Record>)> callback) {
+  // Cache hot path: serve staleness-fresh entries without touching a
+  // storage node. Pinned reads (session guarantees, read-modify-write)
+  // always go to the primary, and a deployment configured for primary-only
+  // reads opted for freshness over load spreading — honor that too.
+  if (cache_ != nullptr && !pin_primary && config_.read_target != ReadTarget::kPrimary) {
+    Record cached;
+    if (cache_->LookupPoint(key, loop_->Now(), &cached)) {
+      Time start = loop_->Now();
+      loop_->ScheduleAfter(cache_->hit_service_time(),
+                           [this, start, cached = std::move(cached),
+                            callback = std::move(callback)]() mutable {
+        FinishRead(start, true);
+        callback(std::move(cached));
+      });
+      return;
+    }
+  }
   const PartitionInfo& partition = cluster_->partitions()->ForKey(key);
   if (partition.replicas.empty()) {
     FinishRead(loop_->Now(), false);
@@ -171,11 +199,24 @@ void Router::SendWrite(const WalRecord& record, AckMode ack,
     return;
   }
   auto state = std::make_shared<Pending>();
-  auto respond = [this, state, started, callback](Status status) {
+  // Shared, not copied per closure: the record's value payload would
+  // otherwise ride in both the respond and timeout lambdas.
+  auto acked = std::make_shared<WalRecord>(record);
+  auto respond = [this, state, started, acked, callback](Status status) {
     if (state->done) return;
     state->done = true;
     if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
     FinishWrite(started, status.ok());
+    // Synchronous cache coherence: the entry is refreshed/invalidated
+    // before the client learns the write committed, so no later read
+    // through this router can see the predecessor value from cache.
+    if (cache_ != nullptr && status.ok()) {
+      if (acked->type == WalRecord::Type::kPut) {
+        cache_->OnPut(acked->key, acked->value, acked->version, loop_->Now());
+      } else {
+        cache_->OnDelete(acked->key, acked->version, loop_->Now());
+      }
+    }
     callback(std::move(status));
   };
   state->timeout_event =
@@ -253,20 +294,21 @@ void Router::ConditionalPut(const std::string& key, const std::string& value,
     callback(UnavailableError("primary not registered"));
     return;
   }
+  Version new_version{loop_->Now(), client_id_};
   auto state = std::make_shared<Pending>();
-  auto respond = [this, state, started, callback](Status status) {
+  auto respond = [this, state, started, key, value, new_version, callback](Status status) {
     if (state->done) return;
     state->done = true;
     if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
     // kAborted is an answered request: the system worked, the CAS lost.
     FinishWrite(started, status.ok() || IsAborted(status));
+    if (cache_ != nullptr && status.ok()) cache_->OnPut(key, value, new_version, loop_->Now());
     callback(std::move(status));
   };
   state->timeout_event =
       loop_->ScheduleAfter(config_.request_timeout, [respond]() mutable {
         respond(UnavailableError("write timeout"));
       });
-  Version new_version{loop_->Now(), client_id_};
   PartitionId pid = partition.id;
   NodeId self = client_id_;
   network_->Send(self, target,

@@ -22,6 +22,8 @@
 
 namespace scads {
 
+class CacheDirectory;
+
 /// Where point reads go.
 enum class ReadTarget {
   kPrimary,        ///< Always the partition primary (freshest).
@@ -58,6 +60,14 @@ class Router {
 
   NodeId client_id() const { return client_id_; }
   RouterConfig* mutable_config() { return &config_; }
+
+  /// Attaches the staleness-aware read cache. Non-pinned point reads are
+  /// then answered from cache when the entry's age is within the spec's
+  /// staleness bound; successful reads populate it, and every acked write
+  /// refreshes/invalidates it synchronously (before the write callback), so
+  /// the cache can never serve a value older than the declared bound.
+  void set_cache(CacheDirectory* cache) { cache_ = cache; }
+  CacheDirectory* cache() { return cache_; }
 
   /// Point read. Replica choice follows config.read_target; `pin_primary`
   /// forces the primary (used by serializable reads and session guarantees).
@@ -99,6 +109,11 @@ class Router {
   void GetFromReplica(const std::string& key, NodeId replica,
                       std::function<void(Result<Record>)> callback);
 
+  /// Records a read that was served from cache outside the Router (the
+  /// staleness controller's hit path), so RouterWindow — the SLA monitor's
+  /// and Director's view — still sees every read.
+  void CountCacheServedRead(Time start) { FinishRead(start, true); }
+
   /// Statistics since the last TakeWindow call.
   RouterWindow TakeWindow();
   const RouterWindow& window() const { return window_; }
@@ -123,6 +138,10 @@ class Router {
   NodeId ChooseReadReplica(const PartitionInfo& partition, bool pin_primary);
   void SendWrite(const WalRecord& record, AckMode ack, std::function<void(Status)> callback);
 
+  /// Caches `result` if it is a live record. `as_of` is the serving node's
+  /// replication watermark snapshotted when it served the read.
+  void MaybeCacheRead(const std::string& key, Time as_of, const Result<Record>& result);
+
   NodeId client_id_;
   EventLoop* loop_;
   SimNetwork* network_;
@@ -130,6 +149,7 @@ class Router {
   RouterConfig config_;
   Rng rng_;
   RouterWindow window_;
+  CacheDirectory* cache_ = nullptr;
 };
 
 }  // namespace scads

@@ -22,8 +22,11 @@
 
 namespace scads {
 
+class CacheDirectory;
+
 /// Statistics for staleness-bounded reading.
 struct StalenessStats {
+  int64_t cache_hits = 0;            ///< Served from the read cache within bound.
   int64_t fresh_replica_reads = 0;   ///< Served by a within-bound replica.
   int64_t primary_escalations = 0;   ///< Bound at risk; went to primary.
   int64_t stale_served = 0;          ///< Availability-first served stale data.
@@ -40,6 +43,11 @@ class StalenessController {
         cluster_(cluster),
         bound_(spec.max_staleness),
         availability_first_(spec.AvailabilityFirst()) {}
+
+  /// Attaches the read cache: a staleness-fresh cached entry satisfies Get
+  /// without any replica traffic (the cache enforces the same age bound the
+  /// watermark check below does, so the freshness guarantee is unchanged).
+  void set_cache(CacheDirectory* cache) { cache_ = cache; }
 
   /// Reads `key` under the staleness bound. The result's freshness
   /// guarantee: unless stats().stale_served counted it, the value reflects
@@ -60,6 +68,7 @@ class StalenessController {
   Duration bound_;
   bool availability_first_;
   StalenessStats stats_;
+  CacheDirectory* cache_ = nullptr;
 };
 
 }  // namespace scads

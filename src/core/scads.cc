@@ -45,20 +45,25 @@ Result<std::unique_ptr<Scads>> Scads::Create(ScadsOptions options) {
   if (!plan.ok()) return plan.status();
   scads->durability_plan_ = *plan;
 
+  scads->cache_ = std::make_unique<CacheDirectory>(options.cache_config, spec.max_staleness,
+                                                   &scads->metrics_);
   scads->router_ = std::make_unique<Router>(kRouterClientId, &scads->loop_, &scads->network_,
                                             &scads->cluster_, options.router_config,
                                             options.seed ^ 0x726f7574ULL);
+  scads->router_->set_cache(scads->cache_.get());
   scads->rebalancer_ =
       std::make_unique<Rebalancer>(&scads->loop_, &scads->network_, &scads->cluster_);
   scads->write_policy_ = std::make_unique<WritePolicy>(scads->router_.get(), spec.writes,
                                                        options.merge_function);
   scads->staleness_ = std::make_unique<StalenessController>(&scads->loop_, scads->router_.get(),
                                                             &scads->cluster_, spec);
+  scads->staleness_->set_cache(scads->cache_.get());
   scads->maintainer_ = std::make_unique<IndexMaintainer>(
       &scads->loop_, scads->router_.get(), &scads->cluster_, &scads->catalog_,
       &scads->update_queue_);
   scads->executor_ = std::make_unique<QueryExecutor>(scads->router_.get(), &scads->cluster_,
                                                      &scads->catalog_);
+  scads->executor_->set_cache(scads->cache_.get(), &scads->loop_);
   return scads;
 }
 
@@ -137,6 +142,7 @@ Status Scads::Start() {
                                            std::vector<Router*>{router_.get()}, config,
                                            [this](NodeId id) { return MakeNode(id); });
     director_->set_update_queue(&update_queue_);
+    director_->set_cache(cache_.get());
     director_->Start();
   }
   return Status::Ok();

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache_directory.h"
+#include "cache/read_cache.h"
 #include "cluster/cluster_state.h"
 #include "cluster/node.h"
 #include "cluster/rebalancer.h"
@@ -67,6 +69,10 @@ struct ScadsOptions {
   bool enable_director = false;
   /// Index update queue policy (kFifo is the ablation baseline).
   QueuePolicy queue_policy = QueuePolicy::kDeadline;
+  /// Staleness-aware read cache (off by default; when enabled, point reads
+  /// and bounded scans are served from cache while within the spec's
+  /// staleness bound).
+  CacheConfig cache_config;
 
   NodeConfig node_config;
   NetworkConfig network_config;
@@ -146,6 +152,10 @@ class Scads {
   Director* director() { return director_.get(); }
   WritePolicy* write_policy() { return write_policy_.get(); }
   StalenessController* staleness() { return staleness_.get(); }
+  CacheDirectory* cache() { return cache_.get(); }
+  /// Deployment-wide registry (cache.point.* / cache.scan.* counters live
+  /// here; per-engine counters stay on the nodes).
+  MetricRegistry* metrics() { return &metrics_; }
   const Catalog& catalog() const { return catalog_; }
   const ConsistencySpec& spec() const { return spec_; }
   const DurabilityPlan& durability_plan() const { return durability_plan_; }
@@ -171,7 +181,9 @@ class Scads {
   ConsistencySpec spec_;
   DurabilityPlan durability_plan_;
   UpdateQueue update_queue_;
+  MetricRegistry metrics_;
 
+  std::unique_ptr<CacheDirectory> cache_;
   std::unique_ptr<Router> router_;
   std::unique_ptr<Rebalancer> rebalancer_;
   std::unique_ptr<WritePolicy> write_policy_;

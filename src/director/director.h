@@ -40,6 +40,8 @@
 
 namespace scads {
 
+class CacheDirectory;
+
 /// Director tunables.
 struct DirectorConfig {
   Duration control_interval = 15 * kSecond;
@@ -58,6 +60,13 @@ struct DirectorConfig {
   int max_step_down = 4;
   /// Ablation switch: false = reactive policy (no forecasting).
   bool use_forecasting = true;
+  /// Hot-key mitigation from the read cache's per-key hit rates: when one
+  /// key draws at least hot_key_split_fraction of a control window's cache
+  /// hits (and at least hot_key_min_hits absolute), split its partition at
+  /// that key so the rebalancer can move the hot range on its own.
+  bool hot_key_splits = false;
+  double hot_key_split_fraction = 0.2;
+  int64_t hot_key_min_hits = 100;
   PerformanceSla sla;
 };
 
@@ -101,6 +110,10 @@ class Director {
   /// Optional: index update queue to watch for deadline pressure.
   void set_update_queue(UpdateQueue* queue) { update_queue_ = queue; }
 
+  /// Optional: read cache whose per-key hit rates feed the hot-key
+  /// partition-split policy (config.hot_key_splits).
+  void set_cache(CacheDirectory* cache) { cache_ = cache; }
+
   /// Arms the control loop and wires the cloud-ready callback. Also brings
   /// the fleet up to min_nodes.
   void Start();
@@ -117,6 +130,7 @@ class Director {
 
  private:
   void ControlTick();
+  void MaybeSplitHotKeys();
   void OnInstanceReady(NodeId id);
   void RebalanceOnto(NodeId new_node);
   void ScaleUp(int count);
@@ -133,6 +147,8 @@ class Director {
   NodeFactory factory_;
   std::function<double()> offered_rate_probe_;
   UpdateQueue* update_queue_ = nullptr;
+  CacheDirectory* cache_ = nullptr;
+  std::set<std::string> hot_splits_attempted_;
 
   SlaMonitor sla_monitor_;
   HoltForecaster forecaster_;

@@ -3,11 +3,43 @@
 #include <memory>
 #include <utility>
 
+#include "cache/cache_directory.h"
 #include "common/strings.h"
 #include "index/keys.h"
 #include "index/scan.h"
 
 namespace scads {
+
+void QueryExecutor::ScanPrefix(const std::string& prefix, size_t limit,
+                               std::function<void(Result<std::vector<Record>>)> callback) {
+  if (cache_ != nullptr && loop_ != nullptr && cache_->scan_caching()) {
+    auto cached = std::make_shared<std::vector<Record>>();
+    if (cache_->LookupScan(prefix, limit, loop_->Now(), cached.get())) {
+      loop_->ScheduleAfter(cache_->hit_service_time(),
+                           [cached, callback = std::move(callback)]() mutable {
+                             callback(std::move(*cached));
+                           });
+      return;
+    }
+    // The result's freshness lease starts when the scan is issued: by
+    // completion the rows are already (completion - issued) old. The scan
+    // lease keeps a result from being cached when a covered write acked
+    // mid-scan (it would be the predecessor of an acknowledged write).
+    Time issued = loop_->Now();
+    uint64_t lease = cache_->BeginScan(prefix);
+    MultiScanPrefix(router_, cluster_, prefix, limit,
+                    [this, prefix, limit, issued, lease,
+                     callback = std::move(callback)](Result<std::vector<Record>> entries) mutable {
+                      bool clean = cache_->EndScan(lease);
+                      if (entries.ok() && clean) {
+                        cache_->StoreScan(prefix, limit, *entries, issued);
+                      }
+                      callback(std::move(entries));
+                    });
+    return;
+  }
+  MultiScanPrefix(router_, cluster_, prefix, limit, std::move(callback));
+}
 
 Result<Value> QueryExecutor::BindParam(const ParamMap& params, const std::string& name) const {
   auto it = params.find(name);
@@ -99,24 +131,24 @@ void QueryExecutor::ExecuteIndexScan(const IndexPlan& plan, const ParamMap& para
     AppendKeyPiece(&prefix, EncodeKeyValue(*anchor));
   }
   size_t limit = plan.limit.has_value() ? static_cast<size_t>(*plan.limit) : 0;
-  MultiScanPrefix(router_, cluster_, prefix, limit,
-                  [entity, callback = std::move(callback)](Result<std::vector<Record>> entries) {
-                    if (!entries.ok()) {
-                      callback(entries.status());
-                      return;
-                    }
-                    std::vector<Row> rows;
-                    rows.reserve(entries->size());
-                    for (const Record& entry : *entries) {
-                      Result<Row> row = DecodeRow(*entity, entry.value);
-                      if (!row.ok()) {
-                        callback(row.status());
-                        return;
-                      }
-                      rows.push_back(std::move(row).value());
-                    }
-                    callback(std::move(rows));
-                  });
+  ScanPrefix(prefix, limit,
+             [entity, callback = std::move(callback)](Result<std::vector<Record>> entries) {
+               if (!entries.ok()) {
+                 callback(entries.status());
+                 return;
+               }
+               std::vector<Row> rows;
+               rows.reserve(entries->size());
+               for (const Record& entry : *entries) {
+                 Result<Row> row = DecodeRow(*entity, entry.value);
+                 if (!row.ok()) {
+                   callback(row.status());
+                   return;
+                 }
+                 rows.push_back(std::move(row).value());
+               }
+               callback(std::move(rows));
+             });
 }
 
 void QueryExecutor::ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
@@ -130,8 +162,8 @@ void QueryExecutor::ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
   std::string prefix = AnchorScanPrefix(plan, EncodeKeyValue(*anchor));
   size_t limit = plan.limit.has_value() ? static_cast<size_t>(*plan.limit) : 0;
   std::string self_piece = EncodeKeyValue(*anchor);
-  MultiScanPrefix(
-      router_, cluster_, prefix, limit,
+  ScanPrefix(
+      prefix, limit,
       [this, target, plan, self_piece,
        callback = std::move(callback)](Result<std::vector<Record>> entries) mutable {
         if (!entries.ok()) {

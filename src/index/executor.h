@@ -17,8 +17,11 @@
 #include "cluster/router.h"
 #include "query/planner.h"
 #include "query/schema.h"
+#include "sim/event_loop.h"
 
 namespace scads {
+
+class CacheDirectory;
 
 /// Parameter bindings for one execution.
 using ParamMap = std::map<std::string, Value>;
@@ -28,6 +31,16 @@ class QueryExecutor {
  public:
   QueryExecutor(Router* router, ClusterState* cluster, const Catalog* catalog)
       : router_(router), cluster_(cluster), catalog_(catalog) {}
+
+  /// Enables result caching for the bounded index scans that back
+  /// selections, joins, and two-hop queries. Results are keyed by
+  /// (scan prefix, limit) — i.e. (query, params, range) — served only while
+  /// within the spec's staleness bound, and invalidated by the Router write
+  /// hook when any covered key (base row or index entry) changes.
+  void set_cache(CacheDirectory* cache, EventLoop* loop) {
+    cache_ = cache;
+    loop_ = loop;
+  }
 
   /// Runs the main plan of `plan` with `params`; returns target-entity rows
   /// in index order. kInvalidArgument when a parameter is missing.
@@ -47,9 +60,15 @@ class QueryExecutor {
 
   Result<Value> BindParam(const ParamMap& params, const std::string& name) const;
 
+  /// MultiScanPrefix with the scan-result cache in front (when attached).
+  void ScanPrefix(const std::string& prefix, size_t limit,
+                  std::function<void(Result<std::vector<Record>>)> callback);
+
   Router* router_;
   ClusterState* cluster_;
   const Catalog* catalog_;
+  CacheDirectory* cache_ = nullptr;
+  EventLoop* loop_ = nullptr;
   int64_t executions_ = 0;
   int64_t rows_returned_ = 0;
 };

@@ -147,7 +147,10 @@ size_t StorageEngine::PurgeTombstonesBefore(Time cutoff) {
   SkipList::Iterator it(&table_);
   for (it.SeekToFirst(); it.Valid(); it.Next()) {
     const SkipList::Payload& payload = it.payload();
-    if (payload.tombstone && payload.version.timestamp < cutoff) {
+    // Already-purged ghosts carry Version{} (no real writer ever stamps
+    // kInvalidNode); skip them so repeated purges don't recount.
+    if (payload.tombstone && payload.version.timestamp < cutoff &&
+        !(payload.version == Version{})) {
       // Reset the version floor so the slot behaves like an absent key.
       SkipList::Payload* mutable_payload = table_.FindMutable(it.key());
       mutable_payload->version = Version{};

@@ -472,6 +472,67 @@ TEST(EngineTest, RecoveryIsIdempotentUnderDuplicateRecords) {
   EXPECT_EQ((*recovered)->live_count(), 1u);
 }
 
+TEST(EngineTest, ScanLimitAtRangeBoundaries) {
+  StorageEngine engine;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.Put("k" + std::to_string(i), std::to_string(i), V(i + 1)).ok());
+  }
+  // Limit exactly equal to the rows in range behaves like unlimited.
+  auto exact = engine.Scan("k2", "k6", 4);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(exact->size(), 4u);
+  EXPECT_EQ((*exact)[0].key, "k2");
+  EXPECT_EQ((*exact)[3].key, "k5");
+  // Limit larger than the range must not read past the end bound.
+  auto over = engine.Scan("k2", "k6", 100);
+  ASSERT_TRUE(over.ok());
+  EXPECT_EQ(over->size(), 4u);
+  // Limit smaller than the range stops early, in order.
+  auto under = engine.Scan("k2", "k6", 3);
+  ASSERT_TRUE(under.ok());
+  ASSERT_EQ(under->size(), 3u);
+  EXPECT_EQ((*under)[2].key, "k4");
+  // Start exactly at an existing key with limit 1 returns that key.
+  auto head = engine.Scan("k7", "", 1);
+  ASSERT_TRUE(head.ok());
+  ASSERT_EQ(head->size(), 1u);
+  EXPECT_EQ((*head)[0].key, "k7");
+}
+
+TEST(EngineTest, ScanLimitCountsOnlyLiveRows) {
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Put("a", "1", V(1)).ok());
+  ASSERT_TRUE(engine.Put("b", "2", V(1)).ok());
+  ASSERT_TRUE(engine.Put("c", "3", V(1)).ok());
+  ASSERT_TRUE(engine.Delete("b", V(2)).ok());
+  // The tombstone must not consume a limit slot: limit 2 still reaches "c".
+  auto rows = engine.Scan("", "", 2);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].key, "a");
+  EXPECT_EQ((*rows)[1].key, "c");
+}
+
+TEST(EngineTest, PurgeTombstonesKeepsLiveAndTotalCounts) {
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Put("a", "1", V(10)).ok());
+  ASSERT_TRUE(engine.Put("b", "2", V(10)).ok());
+  ASSERT_TRUE(engine.Delete("a", V(20)).ok());
+  EXPECT_EQ(engine.live_count(), 1u);
+  EXPECT_EQ(engine.total_count(), 2u);
+  // Purging drops the version floor but the ghost stays in the skiplist
+  // until memtable rotation: counts must not change.
+  EXPECT_EQ(engine.PurgeTombstonesBefore(100), 1u);
+  EXPECT_EQ(engine.live_count(), 1u);
+  EXPECT_EQ(engine.total_count(), 2u);
+  // A purge is idempotent: the ghost must not be recounted.
+  EXPECT_EQ(engine.PurgeTombstonesBefore(100), 0u);
+  // Reviving the key restores live accounting without growing the table.
+  EXPECT_TRUE(*engine.Put("a", "back", V(5)));
+  EXPECT_EQ(engine.live_count(), 2u);
+  EXPECT_EQ(engine.total_count(), 2u);
+}
+
 TEST(EngineTest, PurgeTombstonesResetsVersionFloor) {
   StorageEngine engine;
   ASSERT_TRUE(engine.Put("k", "v", V(100)).ok());
