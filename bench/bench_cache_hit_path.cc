@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/benchjson.h"
 #include "common/histogram.h"
 #include "core/scads.h"
 #include "workload/driver.h"
@@ -136,6 +137,19 @@ int main() {
               "node reads", "hit rate");
   PrintRow("off", off);
   PrintRow("on", on);
+
+  BenchJson json("cache_hit_path");
+  for (const auto& [label, r] : {std::pair<const char*, const RunResult&>{"off", off},
+                                 std::pair<const char*, const RunResult&>{"on", on}}) {
+    json.BeginRow(label);
+    json.Add("samples", r.sampled_reads);
+    json.Add("p50_us", r.read_latency.ValueAtQuantile(0.5));
+    json.Add("p99_us", r.read_latency.ValueAtQuantile(0.99));
+    json.Add("node_reads", r.node_read_requests);
+    json.Add("cache_hits", r.cache_hits);
+    json.Add("cache_misses", r.cache_misses);
+  }
+  if (!json.Write().ok()) std::fprintf(stderr, "failed to write BENCH_cache_hit_path.json\n");
 
   std::printf("\npaper claim: a declared staleness bound is performance the system may\n"
               "spend; serving within-bound reads from cache cuts node load and latency\n"

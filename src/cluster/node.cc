@@ -137,6 +137,90 @@ void StorageNode::HandleGet(const std::string& key,
   });
 }
 
+void StorageNode::HandleMultiGet(const std::vector<std::string>& keys,
+                                 std::function<void(MultiGetReply)> respond) {
+  if (!alive_) return;
+  Duration service =
+      config_.get_service_time +
+      config_.multiget_service_per_key *
+          static_cast<Duration>(keys.empty() ? 0 : keys.size() - 1);
+  std::optional<Duration> sojourn = Admit(service);
+  if (!sojourn.has_value()) {
+    // Shed the whole batch, per key, so the router can redirect it.
+    MultiGetReply reply;
+    reply.results.assign(keys.size(),
+                         Result<Record>(ResourceExhaustedError("node overloaded")));
+    reply.as_of.assign(keys.size(), 0);
+    respond(std::move(reply));
+    return;
+  }
+  loop_->ScheduleAfter(*sojourn, [this, keys, respond = std::move(respond)] {
+    if (!alive_) return;
+    stats_.ops_completed += static_cast<int64_t>(keys.size());
+    MultiGetReply reply;
+    reply.results = engine_->MultiGet(keys);
+    reply.as_of.reserve(keys.size());
+    for (const std::string& key : keys) {
+      // Serve-time watermark, per key: sub-batches may span partitions with
+      // different replication progress.
+      reply.as_of.push_back(replicated_through(cluster_->partitions()->ForKey(key).id));
+    }
+    respond(std::move(reply));
+  });
+}
+
+void StorageNode::HandleMultiWrite(std::vector<MultiWriteItem> items, AckMode ack,
+                                   std::function<void(std::vector<Status>)> respond) {
+  if (!alive_) return;
+  if (items.empty()) {
+    respond({});  // vacuously committed; the ack loop below would never fire
+    return;
+  }
+  Duration service = config_.put_service_time +
+                     config_.multiwrite_service_per_record *
+                         static_cast<Duration>(items.size() - 1);
+  std::optional<Duration> sojourn = Admit(service);
+  if (!sojourn.has_value()) {
+    respond(std::vector<Status>(items.size(), ResourceExhaustedError("node overloaded")));
+    return;
+  }
+  loop_->ScheduleAfter(*sojourn, [this, items = std::move(items), ack,
+                                  respond = std::move(respond)]() mutable {
+    if (!alive_) return;
+    stats_.ops_completed += static_cast<int64_t>(items.size());
+    // Group commit: log and apply the whole batch before any replication or
+    // ack — one WAL sync covers every record.
+    std::vector<WalRecord> records;
+    records.reserve(items.size());
+    for (const MultiWriteItem& item : items) records.push_back(item.record);
+    Status applied = engine_->ApplyBatch(records);
+    if (!applied.ok()) {
+      respond(std::vector<Status>(items.size(), applied));
+      return;
+    }
+    // Fan each record out on the replication streams; the batch responds
+    // when every record has reached the requested ack level.
+    struct BatchState {
+      std::vector<Status> statuses;
+      size_t remaining = 0;
+      std::function<void(std::vector<Status>)> respond;
+    };
+    auto batch = std::make_shared<BatchState>();
+    batch->statuses.assign(items.size(), Status::Ok());
+    batch->remaining = items.size();
+    batch->respond = std::move(respond);
+    auto settle = [batch](size_t index, Status status) {
+      batch->statuses[index] = std::move(status);
+      if (--batch->remaining == 0) batch->respond(std::move(batch->statuses));
+    };
+    for (size_t i = 0; i < items.size(); ++i) {
+      const MultiWriteItem& item = items[i];
+      ReplicateAndAck(item.pid, item.record, ack,
+                      [settle, i](Status status) { settle(i, std::move(status)); });
+    }
+  });
+}
+
 void StorageNode::HandleScan(const std::string& start, const std::string& end, size_t limit,
                              std::function<void(Result<std::vector<Record>>)> respond) {
   if (!alive_) return;
@@ -166,13 +250,8 @@ void StorageNode::HandleScan(const std::string& start, const std::string& end, s
   });
 }
 
-void StorageNode::ApplyAndReplicate(PartitionId pid, const WalRecord& record, AckMode ack,
-                                    std::function<void(Status)> respond) {
-  Status applied = engine_->Apply(record);
-  if (!applied.ok()) {
-    respond(applied);
-    return;
-  }
+void StorageNode::ReplicateAndAck(PartitionId pid, const WalRecord& record, AckMode ack,
+                                  std::function<void(Status)> respond) {
   const PartitionInfo* partition = cluster_->partitions()->Get(pid);
   if (partition == nullptr) {
     respond(NotFoundError(StrFormat("partition %d", pid)));
@@ -190,6 +269,16 @@ void StorageNode::ApplyAndReplicate(PartitionId pid, const WalRecord& record, Ac
     if (replica == id_) continue;
     EnqueueReplication(pid, replica, record, waiter->done ? nullptr : waiter);
   }
+}
+
+void StorageNode::ApplyAndReplicate(PartitionId pid, const WalRecord& record, AckMode ack,
+                                    std::function<void(Status)> respond) {
+  Status applied = engine_->Apply(record);
+  if (!applied.ok()) {
+    respond(applied);
+    return;
+  }
+  ReplicateAndAck(pid, record, ack, std::move(respond));
 }
 
 void StorageNode::HandleWrite(PartitionId pid, const WalRecord& record, AckMode ack,
@@ -297,7 +386,9 @@ void StorageNode::SendBatch(PartitionId pid, NodeId to, ReplicationStream* strea
   NodeId self = id_;
   StorageNode* target = cluster_->GetNode(to);
   if (target != nullptr) {
-    network_->Send(self, to,
+    int64_t payload_bytes = 0;
+    for (const WalRecord& record : batch) payload_bytes += WireSize(record);
+    network_->Send(self, to, payload_bytes,
                    [target, pid, self, first_seq, batch = std::move(batch), watermark]() mutable {
                      target->HandleReplicate(pid, self, first_seq, std::move(batch), watermark);
                    });

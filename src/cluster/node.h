@@ -47,6 +47,13 @@ struct NodeConfig {
   Duration scan_service_base = 150;           ///< us per scan request.
   Duration scan_service_per_row = 4;          ///< us per row returned.
   Duration replicate_service_per_record = 40; ///< us per replicated record.
+  /// us per key after the first in a batched read: request parsing,
+  /// dispatch, and the syscall are paid once, the probes share traversal
+  /// state, so the marginal key is far cheaper than a standalone get.
+  Duration multiget_service_per_key = 25;
+  /// us per record after the first in a batched write (group commit
+  /// amortizes the WAL sync the same way).
+  Duration multiwrite_service_per_record = 60;
   /// Overload shedding: requests that would wait longer than this are
   /// rejected immediately with kResourceExhausted.
   Duration max_queue_delay = 2 * kSecond;
@@ -72,6 +79,21 @@ struct NodeStats {
   int64_t records_replicated_out = 0;
   int64_t records_replicated_in = 0;
   int64_t retransmits = 0;
+};
+
+/// Response to a batched read: one result per requested key, in request
+/// order, plus the serving replica's replication watermark per key (the
+/// instant each value is provably no staler than — the cache's as_of).
+struct MultiGetReply {
+  std::vector<Result<Record>> results;
+  std::vector<Time> as_of;
+};
+
+/// One mutation of a batched write; the partition id rides along because a
+/// node-batch may span every partition the node is primary for.
+struct MultiWriteItem {
+  PartitionId pid = -1;
+  WalRecord record;
 };
 
 /// One storage server in the simulated cluster.
@@ -103,6 +125,21 @@ class StorageNode {
 
   /// Point read of `key`.
   void HandleGet(const std::string& key, std::function<void(Result<Record>)> respond);
+
+  /// Batched point reads: one admission (base get cost + a smaller marginal
+  /// cost per extra key) and one engine MultiGet over the whole key set.
+  /// Under overload every key reports kResourceExhausted so the router can
+  /// redirect the sub-batch.
+  void HandleMultiGet(const std::vector<std::string>& keys,
+                      std::function<void(MultiGetReply)> respond);
+
+  /// Batched writes: the whole batch is WAL-logged with one group-commit
+  /// sync, applied, then each record replicates on the normal streams.
+  /// `respond` fires once with a status per item, when every item has
+  /// reached the requested ack level. This node must be primary for every
+  /// item's partition.
+  void HandleMultiWrite(std::vector<MultiWriteItem> items, AckMode ack,
+                        std::function<void(std::vector<Status>)> respond);
 
   /// Range read [start, end) with limit.
   void HandleScan(const std::string& start, const std::string& end, size_t limit,
@@ -191,6 +228,12 @@ class StorageNode {
   /// Applies a write locally and fans out to the replica set of `pid`.
   void ApplyAndReplicate(PartitionId pid, const WalRecord& record, AckMode ack,
                          std::function<void(Status)> respond);
+
+  /// The replication half shared by single and batched writes: fans an
+  /// already-applied record out to pid's secondaries and invokes `respond`
+  /// per `ack` (immediately for kPrimary, on sufficient acks otherwise).
+  void ReplicateAndAck(PartitionId pid, const WalRecord& record, AckMode ack,
+                       std::function<void(Status)> respond);
 
   void EnqueueReplication(PartitionId pid, NodeId to, const WalRecord& record,
                           const std::shared_ptr<WriteWaiter>& waiter);

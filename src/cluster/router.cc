@@ -1,5 +1,7 @@
 #include "cluster/router.h"
 
+#include <map>
+#include <optional>
 #include <utility>
 
 #include "cache/cache_directory.h"
@@ -31,6 +33,23 @@ NodeId Router::ChooseReadReplica(const PartitionInfo& partition, bool pin_primar
     return partition.primary();
   }
   return partition.replicas[rng_.Uniform(partition.replicas.size())];
+}
+
+std::vector<NodeId> Router::ReadCandidates(const PartitionInfo& partition, bool pin_primary) {
+  std::vector<NodeId> candidates;
+  if (partition.replicas.empty()) return candidates;
+  NodeId first = ChooseReadReplica(partition, pin_primary);
+  candidates.push_back(first);
+  if (!pin_primary) {
+    int budget = config_.read_retries;
+    for (NodeId replica : partition.replicas) {
+      if (budget == 0) break;
+      if (replica == first) continue;
+      candidates.push_back(replica);
+      --budget;
+    }
+  }
+  return candidates;
 }
 
 void Router::FinishRead(Time start, bool ok) {
@@ -89,13 +108,17 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
         GetAttempt(key, std::move(candidates), index + 1, start, std::move(callback));
       });
   NodeId self = client_id_;
-  network_->Send(self, target, [this, node, key, target, self, respond]() mutable {
+  int64_t request_bytes = static_cast<int64_t>(key.size()) + 4;
+  network_->Send(self, target, request_bytes,
+                 [this, node, key, target, self, respond]() mutable {
     node->HandleGet(key, [this, node, key, target, self, respond](Result<Record> result) mutable {
       // Snapshot the freshness watermark at serve time, not response time:
       // a write acked while this response is on the wire must not lend the
       // (predecessor) value a fresh staleness lease.
       Time as_of = node->replicated_through(cluster_->partitions()->ForKey(key).id);
-      network_->Send(target, self, [respond, as_of, result = std::move(result)]() mutable {
+      int64_t reply_bytes = result.ok() ? WireSize(*result) : 8;
+      network_->Send(target, self, reply_bytes,
+                     [respond, as_of, result = std::move(result)]() mutable {
         respond(std::move(result), as_of);
       });
     });
@@ -127,24 +150,216 @@ void Router::Get(const std::string& key, bool pin_primary,
     callback(UnavailableError("partition has no replicas"));
     return;
   }
-  std::vector<NodeId> candidates;
-  NodeId first = ChooseReadReplica(partition, pin_primary);
-  candidates.push_back(first);
-  if (!pin_primary) {
-    int budget = config_.read_retries;
-    for (NodeId replica : partition.replicas) {
-      if (budget == 0) break;
-      if (replica == first) continue;
-      candidates.push_back(replica);
-      --budget;
-    }
-  }
-  GetAttempt(key, std::move(candidates), 0, loop_->Now(), std::move(callback));
+  GetAttempt(key, ReadCandidates(partition, pin_primary), 0, loop_->Now(), std::move(callback));
 }
 
 void Router::GetFromReplica(const std::string& key, NodeId replica,
                             std::function<void(Result<Record>)> callback) {
   GetAttempt(key, {replica}, 0, loop_->Now(), std::move(callback));
+}
+
+// ---------------------------------------------------------------- MultiGet
+
+struct Router::MultiGetState {
+  // One in-flight unique key: where it may still be served from, and which
+  // caller slots (duplicates) it fills.
+  struct Fetch {
+    std::string key;
+    std::vector<NodeId> candidates;
+    size_t next_candidate = 0;
+    std::vector<size_t> slots;
+    bool resolved = false;
+  };
+
+  Time start = 0;
+  std::vector<std::optional<Result<Record>>> results;  // caller order
+  std::vector<Fetch> fetches;
+  size_t unresolved = 0;
+  std::function<void(std::vector<Result<Record>>)> callback;
+
+  void Resolve(size_t fetch_id, Result<Record> result) {
+    Fetch& fetch = fetches[fetch_id];
+    if (fetch.resolved) return;
+    fetch.resolved = true;
+    for (size_t slot : fetch.slots) results[slot] = result;
+    --unresolved;
+  }
+};
+
+void Router::FinishMultiGet(const std::shared_ptr<MultiGetState>& state) {
+  // Every logical read in the batch is accounted individually, so the SLA
+  // monitor and Director see the same read volume batched or not.
+  for (const auto& slot : state->results) {
+    bool ok = slot->ok() || IsNotFound(slot->status());
+    FinishRead(state->start, ok);
+  }
+  std::vector<Result<Record>> out;
+  out.reserve(state->results.size());
+  for (auto& slot : state->results) out.push_back(std::move(*slot));
+  state->callback(std::move(out));
+}
+
+void Router::DispatchMultiGet(const std::shared_ptr<MultiGetState>& state,
+                              std::vector<size_t> fetch_ids) {
+  // Group the still-pending fetches by the node that should serve them now.
+  std::map<NodeId, std::vector<size_t>> by_node;
+  for (size_t fetch_id : fetch_ids) {
+    MultiGetState::Fetch& fetch = state->fetches[fetch_id];
+    if (fetch.resolved) continue;
+    bool placed = false;
+    while (fetch.next_candidate < fetch.candidates.size()) {
+      NodeId target = fetch.candidates[fetch.next_candidate];
+      if (cluster_->GetNode(target) != nullptr) {
+        by_node[target].push_back(fetch_id);
+        placed = true;
+        break;
+      }
+      ++fetch.next_candidate;  // unregistered node: skip without a timeout
+    }
+    if (!placed) state->Resolve(fetch_id, UnavailableError("all replicas unreachable"));
+  }
+  if (state->unresolved == 0) {
+    FinishMultiGet(state);
+    return;
+  }
+  for (auto& [target, group] : by_node) {
+    StorageNode* node = cluster_->GetNode(target);
+    std::vector<std::string> batch_keys;
+    int64_t request_bytes = 0;
+    batch_keys.reserve(group.size());
+    for (size_t fetch_id : group) {
+      const std::string& key = state->fetches[fetch_id].key;
+      batch_keys.push_back(key);
+      request_bytes += static_cast<int64_t>(key.size()) + 4;
+    }
+    auto pending = std::make_shared<Pending>();
+    auto respond = [this, state, group](MultiGetReply reply) {
+      // Shed keys (node overload) move to their next replica candidate;
+      // answered keys resolve and populate the cache.
+      std::vector<size_t> retry;
+      for (size_t i = 0; i < group.size(); ++i) {
+        size_t fetch_id = group[i];
+        MultiGetState::Fetch& fetch = state->fetches[fetch_id];
+        if (fetch.resolved) continue;
+        Result<Record>& result = reply.results[i];
+        if (!result.ok() && result.status().code() == StatusCode::kResourceExhausted) {
+          ++fetch.next_candidate;
+          if (fetch.next_candidate >= fetch.candidates.size()) {
+            // Every candidate shed: surface the overload itself (matching
+            // single-Get semantics), not a synthetic unreachability error.
+            state->Resolve(fetch_id, std::move(result));
+          } else {
+            retry.push_back(fetch_id);
+          }
+          continue;
+        }
+        MaybeCacheRead(fetch.key, reply.as_of[i], result);
+        state->Resolve(fetch_id, std::move(result));
+      }
+      if (!retry.empty()) {
+        DispatchMultiGet(state, std::move(retry));
+      } else if (state->unresolved == 0) {
+        FinishMultiGet(state);
+      }
+    };
+    auto guarded = [pending, loop = loop_, respond = std::move(respond)](MultiGetReply reply) {
+      if (pending->done) return;
+      pending->done = true;
+      if (pending->timeout_event != EventLoop::kInvalidEvent) loop->Cancel(pending->timeout_event);
+      respond(std::move(reply));
+    };
+    pending->timeout_event = loop_->ScheduleAfter(
+        config_.request_timeout, [this, state, group, pending]() {
+          if (pending->done) return;
+          pending->done = true;
+          // The node (or the path to it) is unresponsive: move the whole
+          // sub-batch to each key's next replica candidate.
+          std::vector<size_t> retry;
+          for (size_t fetch_id : group) {
+            MultiGetState::Fetch& fetch = state->fetches[fetch_id];
+            if (fetch.resolved) continue;
+            ++fetch.next_candidate;
+            retry.push_back(fetch_id);
+          }
+          if (!retry.empty()) DispatchMultiGet(state, std::move(retry));
+        });
+    NodeId self = client_id_;
+    network_->Send(
+        self, target, request_bytes,
+        [this, node, target, self, batch_keys = std::move(batch_keys),
+         guarded = std::move(guarded)]() mutable {
+          node->HandleMultiGet(
+              batch_keys, [this, target, self, guarded = std::move(guarded)](
+                              MultiGetReply reply) mutable {
+                int64_t reply_bytes = 0;
+                for (const Result<Record>& r : reply.results) {
+                  reply_bytes += r.ok() ? WireSize(*r) : 8;
+                }
+                network_->Send(target, self, reply_bytes,
+                               [guarded = std::move(guarded),
+                                reply = std::move(reply)]() mutable {
+                                 guarded(std::move(reply));
+                               });
+              });
+        });
+  }
+}
+
+void Router::MultiGet(const std::vector<std::string>& keys, bool pin_primary,
+                      std::function<void(std::vector<Result<Record>>)> callback) {
+  if (keys.empty()) {
+    callback({});
+    return;
+  }
+  auto state = std::make_shared<MultiGetState>();
+  state->start = loop_->Now();
+  state->results.resize(keys.size());
+  state->callback = std::move(callback);
+
+  // Single pass over the key set: dedup, serve cache-fresh keys, and compute
+  // each miss's replica candidate list from one ClusterState lookup.
+  bool cache_eligible =
+      cache_ != nullptr && !pin_primary && config_.read_target != ReadTarget::kPrimary;
+  std::map<std::string, size_t> fetch_index;  // key -> fetches index
+  std::map<std::string, size_t> cached_slot;  // cache-hit key -> first slot
+  for (size_t slot = 0; slot < keys.size(); ++slot) {
+    const std::string& key = keys[slot];
+    auto cached_it = cached_slot.find(key);
+    if (cached_it != cached_slot.end()) {
+      state->results[slot] = state->results[cached_it->second];
+      continue;
+    }
+    auto fetch_it = fetch_index.find(key);
+    if (fetch_it != fetch_index.end()) {
+      state->fetches[fetch_it->second].slots.push_back(slot);
+      continue;
+    }
+    if (cache_eligible) {
+      Record cached;
+      if (cache_->LookupPoint(key, loop_->Now(), &cached)) {
+        state->results[slot] = Result<Record>(std::move(cached));
+        cached_slot.emplace(key, slot);
+        continue;
+      }
+    }
+    MultiGetState::Fetch fetch;
+    fetch.key = key;
+    fetch.slots.push_back(slot);
+    fetch.candidates = ReadCandidates(cluster_->partitions()->ForKey(key), pin_primary);
+    fetch_index.emplace(key, state->fetches.size());
+    state->fetches.push_back(std::move(fetch));
+  }
+  state->unresolved = state->fetches.size();
+  if (state->unresolved == 0) {
+    // Every unique key was a cache hit (misses — even unroutable ones —
+    // become fetches): charge one cache service interval, like the
+    // point-read hit path.
+    loop_->ScheduleAfter(cache_->hit_service_time(), [this, state] { FinishMultiGet(state); });
+    return;
+  }
+  std::vector<size_t> all(state->fetches.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  DispatchMultiGet(state, std::move(all));
 }
 
 void Router::Scan(const std::string& start, const std::string& end, size_t limit,
@@ -176,10 +391,16 @@ void Router::Scan(const std::string& start, const std::string& end, size_t limit
         respond(UnavailableError("scan timeout"));
       });
   NodeId self = client_id_;
-  network_->Send(self, target, [this, node, start, end, limit, target, self, respond]() mutable {
+  int64_t request_bytes = static_cast<int64_t>(start.size() + end.size()) + 16;
+  network_->Send(self, target, request_bytes,
+                 [this, node, start, end, limit, target, self, respond]() mutable {
     node->HandleScan(start, end, limit,
                      [this, target, self, respond](Result<std::vector<Record>> rows) mutable {
-                       network_->Send(target, self,
+                       int64_t reply_bytes = 8;
+                       if (rows.ok()) {
+                         for (const Record& row : *rows) reply_bytes += WireSize(row);
+                       }
+                       network_->Send(target, self, reply_bytes,
                                       [respond, rows = std::move(rows)]() mutable {
                                         respond(std::move(rows));
                                       });
@@ -225,13 +446,140 @@ void Router::SendWrite(const WalRecord& record, AckMode ack,
       });
   PartitionId pid = partition.id;
   NodeId self = client_id_;
-  network_->Send(self, target, [this, node, pid, record, ack, target, self, respond]() mutable {
+  network_->Send(self, target, WireSize(record),
+                 [this, node, pid, record, ack, target, self, respond]() mutable {
     node->HandleWrite(pid, record, ack, [this, target, self, respond](Status status) mutable {
-      network_->Send(target, self, [respond, status = std::move(status)]() mutable {
+      network_->Send(target, self, 4, [respond, status = std::move(status)]() mutable {
         respond(std::move(status));
       });
     });
   });
+}
+
+void Router::MultiWrite(std::vector<WriteOp> ops, AckMode ack,
+                        std::function<void(std::vector<Status>)> callback) {
+  if (ops.empty()) {
+    callback({});
+    return;
+  }
+  const size_t n = ops.size();
+  Time started = loop_->Now();
+  Version version{loop_->Now(), client_id_};
+  struct BatchState {
+    std::vector<WriteOp> ops;
+    std::vector<Status> statuses;
+    std::map<std::string, size_t> winner_of;  // key -> winning op index
+    size_t groups_pending = 0;
+    std::function<void(std::vector<Status>)> callback;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->ops = std::move(ops);
+  state->statuses.assign(n, Status::Ok());
+  state->callback = std::move(callback);
+  // Same-key ops coalesce to the last one: the whole batch carries one
+  // version stamp, so "apply in order" degenerates to "last op wins" anyway;
+  // shipping only the winner keeps that outcome instead of letting the
+  // engine's newer-version rule drop the later op as superseded.
+  for (size_t i = 0; i < n; ++i) state->winner_of[state->ops[i].key] = i;
+
+  auto finalize = [this, state, started]() {
+    // Coalesced losers inherit their winner's outcome; then every logical
+    // write is accounted individually, batched or not.
+    for (size_t i = 0; i < state->ops.size(); ++i) {
+      auto it = state->winner_of.find(state->ops[i].key);
+      if (it->second != i) state->statuses[i] = state->statuses[it->second];
+    }
+    for (const Status& status : state->statuses) FinishWrite(started, status.ok());
+    state->callback(std::move(state->statuses));
+  };
+
+  // Group the winning ops by the primary that owns each key.
+  struct Group {
+    std::vector<size_t> op_ids;
+    std::vector<MultiWriteItem> items;
+    int64_t bytes = 0;
+  };
+  std::map<NodeId, Group> groups;
+  for (const auto& [key, op_id] : state->winner_of) {
+    const WriteOp& op = state->ops[op_id];
+    if (key.empty()) {
+      // Per-op validation, as with single writes: one bad op must not fail
+      // (or poison the engine's batch apply for) its siblings.
+      state->statuses[op_id] = InvalidArgumentError("empty key");
+      continue;
+    }
+    const PartitionInfo& partition = cluster_->partitions()->ForKey(key);
+    NodeId target = partition.primary();
+    if (cluster_->GetNode(target) == nullptr) {
+      state->statuses[op_id] = UnavailableError("primary not registered");
+      continue;
+    }
+    MultiWriteItem item;
+    item.pid = partition.id;
+    item.record.type =
+        op.kind == WriteOp::Kind::kPut ? WalRecord::Type::kPut : WalRecord::Type::kDelete;
+    item.record.key = key;
+    if (op.kind == WriteOp::Kind::kPut) item.record.value = op.value;
+    item.record.version = version;
+    Group& group = groups[target];
+    group.bytes += WireSize(item.record);
+    group.op_ids.push_back(op_id);
+    group.items.push_back(std::move(item));
+  }
+  if (groups.empty()) {
+    finalize();
+    return;
+  }
+  state->groups_pending = groups.size();
+
+  for (auto& [target, group] : groups) {
+    StorageNode* node = cluster_->GetNode(target);
+    auto pending = std::make_shared<Pending>();
+    auto respond = [this, state, op_ids = group.op_ids, version, finalize,
+                    pending](std::vector<Status> statuses) {
+      if (pending->done) return;
+      pending->done = true;
+      if (pending->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(pending->timeout_event);
+      for (size_t i = 0; i < op_ids.size(); ++i) {
+        Status status = i < statuses.size() ? std::move(statuses[i])
+                                            : InternalError("short multi-write reply");
+        const WriteOp& op = state->ops[op_ids[i]];
+        // Synchronous cache coherence, same as single writes: refresh or
+        // invalidate before the caller learns the op committed.
+        if (cache_ != nullptr && status.ok()) {
+          if (op.kind == WriteOp::Kind::kPut) {
+            cache_->OnPut(op.key, op.value, version, loop_->Now());
+          } else {
+            cache_->OnDelete(op.key, version, loop_->Now());
+          }
+        }
+        state->statuses[op_ids[i]] = std::move(status);
+      }
+      if (--state->groups_pending == 0) finalize();
+    };
+    pending->timeout_event =
+        loop_->ScheduleAfter(config_.request_timeout, [respond, size = group.op_ids.size()] {
+          // Writes never retry (no idempotence token): the node's whole
+          // sub-batch fails; other nodes' sub-batches are unaffected.
+          respond(std::vector<Status>(size, UnavailableError("write timeout")));
+        });
+    NodeId self = client_id_;
+    network_->Send(self, target, group.bytes,
+                   [this, node, target, self, items = std::move(group.items), ack,
+                    respond = std::move(respond)]() mutable {
+                     node->HandleMultiWrite(
+                         std::move(items), ack,
+                         [this, target, self, respond = std::move(respond)](
+                             std::vector<Status> statuses) mutable {
+                           network_->Send(target, self,
+                                          static_cast<int64_t>(statuses.size()) * 4,
+                                          [respond = std::move(respond),
+                                           statuses = std::move(statuses)]() mutable {
+                                            respond(std::move(statuses));
+                                          });
+                         });
+                   });
+  }
 }
 
 void Router::Put(const std::string& key, const std::string& value, AckMode ack,
@@ -311,13 +659,14 @@ void Router::ConditionalPut(const std::string& key, const std::string& value,
       });
   PartitionId pid = partition.id;
   NodeId self = client_id_;
-  network_->Send(self, target,
+  int64_t request_bytes = static_cast<int64_t>(key.size() + value.size()) + 29;
+  network_->Send(self, target, request_bytes,
                  [this, node, pid, key, value, expected, new_version, ack, target, self,
                   respond]() mutable {
                    node->HandleConditionalPut(
                        pid, key, value, expected, new_version, ack,
                        [this, target, self, respond](Status status) mutable {
-                         network_->Send(target, self,
+                         network_->Send(target, self, 4,
                                         [respond, status = std::move(status)]() mutable {
                                           respond(std::move(status));
                                         });

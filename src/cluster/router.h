@@ -74,6 +74,41 @@ class Router {
   void Get(const std::string& key, bool pin_primary,
            std::function<void(Result<Record>)> callback);
 
+  /// Batched point reads — the scatter-gather hot path for bounded query
+  /// fan-outs. One result per input key, in input order (duplicates allowed;
+  /// fetched once). The key set is partitioned by owning replica in one
+  /// ClusterState pass, cache-fresh keys are served up front, and the
+  /// misses go out as ONE message per storage node. Each sub-batch has its
+  /// own timeout; a failed or shed sub-batch retries its keys on the next
+  /// replica candidate without disturbing the rest of the batch.
+  /// (Deliberate asymmetry with Get: a shed single read surfaces
+  /// kResourceExhausted immediately — overload is its backpressure signal —
+  /// while a batch redirects shed keys, since one hot node must not fail a
+  /// whole fan-out; a key whose every candidate sheds still reports
+  /// kResourceExhausted.) Returned records populate the cache with their
+  /// serve-time watermarks, so the staleness bound holds exactly as on
+  /// single reads.
+  void MultiGet(const std::vector<std::string>& keys, bool pin_primary,
+                std::function<void(std::vector<Result<Record>>)> callback);
+
+  /// One mutation of a batched write (MultiWrite stamps the version).
+  struct WriteOp {
+    enum class Kind { kPut, kDelete };
+    Kind kind = Kind::kPut;
+    std::string key;
+    std::string value;  ///< Ignored for kDelete.
+  };
+
+  /// Batched writes: ops are grouped by primary node and shipped as one
+  /// message per node; each node WAL-logs its sub-batch with one group-
+  /// commit sync. One status per op, in op order. Ops on the same key
+  /// coalesce to the last one (the whole batch carries one version stamp,
+  /// so "apply in order" and "last wins" are the same outcome); the earlier
+  /// ops report the winner's status. Writes do not retry (same contract as
+  /// Put). Acked ops refresh/invalidate the cache before the callback runs.
+  void MultiWrite(std::vector<WriteOp> ops, AckMode ack,
+                  std::function<void(std::vector<Status>)> callback);
+
   /// Range read [start, end) (single-partition ranges only: SCADS query
   /// compilation guarantees bounded ranges; cross-partition scans fan out at
   /// the query layer).
@@ -132,10 +167,22 @@ class Router {
 
   void GetAttempt(const std::string& key, std::vector<NodeId> candidates, size_t index, Time start,
                   std::function<void(Result<Record>)> callback);
+
+  struct MultiGetState;  // scatter-gather bookkeeping (defined in router.cc)
+  /// Groups the given pending fetches by their current replica candidate and
+  /// sends one sub-batch message per node; fetches whose candidates are
+  /// exhausted resolve kUnavailable.
+  void DispatchMultiGet(const std::shared_ptr<MultiGetState>& state,
+                        std::vector<size_t> fetch_ids);
+  void FinishMultiGet(const std::shared_ptr<MultiGetState>& state);
   void FinishRead(Time start, bool ok);
   void FinishWrite(Time start, bool ok);
 
   NodeId ChooseReadReplica(const PartitionInfo& partition, bool pin_primary);
+  /// The ordered replica candidates a read may try: the chosen first target,
+  /// then (for unpinned reads) up to read_retries alternates. Shared by Get
+  /// and MultiGet so single and batched reads pick replicas identically.
+  std::vector<NodeId> ReadCandidates(const PartitionInfo& partition, bool pin_primary);
   void SendWrite(const WalRecord& record, AckMode ack, std::function<void(Status)> callback);
 
   /// Caches `result` if it is a live record. `as_of` is the serving node's

@@ -1,0 +1,85 @@
+#include "common/benchjson.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace scads {
+
+namespace {
+
+std::string QuoteJson(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void BenchJson::BeginRow(const std::string& label) {
+  rows_.push_back(Row{label, {}});
+}
+
+BenchJson::Row& BenchJson::CurrentRow() {
+  if (rows_.empty()) BeginRow("default");  // Add before BeginRow must not UB
+  return rows_.back();
+}
+
+void BenchJson::Add(const std::string& field, int64_t value) {
+  CurrentRow().fields.emplace_back(field, StrFormat("%lld", static_cast<long long>(value)));
+}
+
+void BenchJson::Add(const std::string& field, double value) {
+  CurrentRow().fields.emplace_back(field, StrFormat("%.6g", value));
+}
+
+void BenchJson::Add(const std::string& field, const std::string& value) {
+  CurrentRow().fields.emplace_back(field, QuoteJson(value));
+}
+
+std::string BenchJson::ToJson() const {
+  std::string out = "{\"bench\": " + QuoteJson(name_) + ", \"rows\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"label\": " + QuoteJson(rows_[i].label);
+    for (const auto& [field, literal] : rows_[i].fields) {
+      out += ", " + QuoteJson(field) + ": " + literal;
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status BenchJson::Write(const std::string& dir) const {
+  std::string target_dir = dir;
+  if (target_dir.empty()) {
+    const char* env = std::getenv("SCADS_BENCH_JSON_DIR");
+    target_dir = env != nullptr ? env : ".";
+  }
+  std::string path = target_dir + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return UnavailableError("open " + path);
+  std::string json = ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) return UnavailableError("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace scads

@@ -1,0 +1,56 @@
+// Machine-readable benchmark results. Each claim/figure bench prints its
+// human table as before AND writes a BENCH_<name>.json file so tooling (CI,
+// perf-trajectory dashboards) can diff runs across commits without parsing
+// stdout. Shape:
+//
+//   {"bench": "<name>", "rows": [{"label": "...", "<field>": <value>, ...}]}
+//
+// Values are numbers or strings; rows are one configuration/mode each.
+
+#ifndef SCADS_COMMON_BENCHJSON_H_
+#define SCADS_COMMON_BENCHJSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scads {
+
+/// Collects benchmark rows and writes them as BENCH_<name>.json.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// Starts a new result row; subsequent Add calls attach to it.
+  void BeginRow(const std::string& label);
+
+  void Add(const std::string& field, int64_t value);
+  void Add(const std::string& field, int value) { Add(field, static_cast<int64_t>(value)); }
+  void Add(const std::string& field, double value);
+  void Add(const std::string& field, const std::string& value);
+
+  /// Writes BENCH_<name>.json into `dir` (default: $SCADS_BENCH_JSON_DIR,
+  /// falling back to the working directory).
+  Status Write(const std::string& dir = "") const;
+
+  std::string ToJson() const;
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, std::string>> fields;  // name -> JSON literal
+  };
+
+  /// The row Add attaches to; starts a "default" row when none was begun.
+  Row& CurrentRow();
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_COMMON_BENCHJSON_H_

@@ -171,7 +171,7 @@ void QueryExecutor::ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
           return;
         }
         // Decode friend-of-friend pk pieces from entry keys; exclude self.
-        auto pieces = std::make_shared<std::vector<std::string>>();
+        std::vector<std::string> base_keys;
         for (const Record& entry : *entries) {
           std::string_view key_view = entry.key;
           key_view.remove_prefix(plan.KeyPrefix().size());
@@ -181,28 +181,34 @@ void QueryExecutor::ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
             continue;
           }
           if (fof_piece == self_piece) continue;
-          pieces->emplace_back(fof_piece);
+          base_keys.push_back(BaseRowKeyFromPiece(*target, fof_piece));
         }
-        // Fetch target rows sequentially (bounded by the plan's read
-        // bound), preserving index order.
-        auto rows = std::make_shared<std::vector<Row>>();
-        auto fetch = std::make_shared<std::function<void(size_t)>>();
-        *fetch = [this, target, pieces, rows, fetch,
-                  callback = std::move(callback)](size_t i) mutable {
-          if (i >= pieces->size()) {
-            callback(std::move(*rows));
-            return;
-          }
-          router_->Get(BaseRowKeyFromPiece(*target, (*pieces)[i]), /*pin_primary=*/false,
-                       [target, rows, fetch, i](Result<Record> record) {
-                         if (record.ok()) {
-                           Result<Row> row = DecodeRow(*target, record->value);
-                           if (row.ok()) rows->push_back(std::move(row).value());
-                         }
-                         (*fetch)(i + 1);
-                       });
-        };
-        (*fetch)(0);
+        // Hydrate the bounded base-row set with ONE batched read: the keys
+        // go out as one message per storage node instead of a sequential
+        // round trip each, and results come back in index order.
+        router_->MultiGet(
+            base_keys, /*pin_primary=*/false,
+            [target, callback = std::move(callback)](std::vector<Result<Record>> records) {
+              std::vector<Row> rows;
+              rows.reserve(records.size());
+              for (Result<Record>& record : records) {
+                if (!record.ok()) {
+                  // A dangling index entry (base row deleted) is expected;
+                  // any other failure must surface, not silently shrink the
+                  // result set.
+                  if (IsNotFound(record.status())) continue;
+                  callback(record.status());
+                  return;
+                }
+                Result<Row> row = DecodeRow(*target, record->value);
+                if (!row.ok()) {
+                  callback(row.status());
+                  return;
+                }
+                rows.push_back(std::move(row).value());
+              }
+              callback(std::move(rows));
+            });
       });
 }
 

@@ -54,15 +54,25 @@ std::vector<MaintenanceEntry> IndexMaintainer::MaintenanceTable() const {
   return table;
 }
 
-void IndexMaintainer::PutEntry(const std::string& key, std::string value,
-                               std::function<void(Status)> next) {
-  ++stats_.entries_written;
-  router_->Put(key, std::move(value), AckMode::kPrimary, std::move(next));
-}
-
-void IndexMaintainer::DeleteEntry(const std::string& key, std::function<void(Status)> next) {
-  ++stats_.entries_deleted;
-  router_->Delete(key, AckMode::kPrimary, std::move(next));
+void IndexMaintainer::FlushEntryOps(std::vector<Router::WriteOp> ops,
+                                    std::function<void(Status)> done) {
+  for (const Router::WriteOp& op : ops) {
+    if (op.kind == Router::WriteOp::Kind::kPut) {
+      ++stats_.entries_written;
+    } else {
+      ++stats_.entries_deleted;
+    }
+  }
+  router_->MultiWrite(std::move(ops), AckMode::kPrimary,
+                      [done = std::move(done)](std::vector<Status> statuses) {
+                        for (Status& status : statuses) {
+                          if (!status.ok()) {
+                            done(std::move(status));
+                            return;
+                          }
+                        }
+                        done(Status::Ok());
+                      });
 }
 
 void IndexMaintainer::OnBaseWrite(const std::string& entity, std::optional<Row> old_row,
@@ -144,19 +154,27 @@ void IndexMaintainer::RunSelectionUpdate(const Registered& reg, std::optional<Ro
     new_key = *key;
     new_value = EncodeRow(*target, *new_row);
   }
-  auto put_new = [this, new_key, new_value = std::move(new_value),
-                  done](Status status) mutable {
-    if (!status.ok() || !new_key.has_value()) {
-      done(std::move(status));
-      return;
-    }
-    PutEntry(*new_key, std::move(new_value), std::move(done));
-  };
-  if (old_key.has_value() && old_key != new_key) {
-    DeleteEntry(*old_key, std::move(put_new));
-  } else {
-    put_new(Status::Ok());
+  std::vector<Router::WriteOp> ops;
+  if (new_key.has_value()) {
+    ops.push_back({Router::WriteOp::Kind::kPut, *new_key, std::move(new_value)});
   }
+  if (old_key.has_value() && old_key != new_key) {
+    // The entry moved keys: delete first, put only if the delete committed.
+    // Shipping them concurrently could commit the put while the delete
+    // fails, leaving TWO live entries for one base row — a state the
+    // sequential path could never produce. (Same message count either way:
+    // distinct keys rarely share a primary.)
+    FlushEntryOps({{Router::WriteOp::Kind::kDelete, *old_key, {}}},
+                  [this, ops = std::move(ops), done = std::move(done)](Status status) mutable {
+                    if (!status.ok() || ops.empty()) {
+                      done(std::move(status));
+                      return;
+                    }
+                    FlushEntryOps(std::move(ops), std::move(done));
+                  });
+    return;
+  }
+  FlushEntryOps(std::move(ops), std::move(done));
 }
 
 void IndexMaintainer::RunAdjacencyUpdate(const Registered& reg, std::optional<Row> old_edge,
@@ -164,38 +182,26 @@ void IndexMaintainer::RunAdjacencyUpdate(const Registered& reg, std::optional<Ro
                                          std::function<void(Status)> done) {
   const IndexPlan& plan = reg.plan;
   const EntityDef* edge_entity = catalog_->Get(plan.edge_entity);
-  // Build the four (delete old both directions, insert new both directions)
-  // operations and run them sequentially.
-  auto ops = std::make_shared<std::vector<std::pair<std::string, std::optional<std::string>>>>();
+  // Delete-old + insert-new, both directions, as one batched write. An
+  // unchanged key (old and new edge share endpoints) coalesces inside
+  // MultiWrite to the later put — the same final state the sequential
+  // delete-then-put produced.
+  std::vector<Router::WriteOp> ops;
   if (old_edge.has_value()) {
     std::string a = EndpointPiece(*old_edge, plan.edge_param_field);
     std::string b = EndpointPiece(*old_edge, plan.edge_other_field);
-    ops->emplace_back(AdjacencyEntryKey(plan, a, b), std::nullopt);
-    ops->emplace_back(AdjacencyEntryKey(plan, b, a), std::nullopt);
+    ops.push_back({Router::WriteOp::Kind::kDelete, AdjacencyEntryKey(plan, a, b), {}});
+    ops.push_back({Router::WriteOp::Kind::kDelete, AdjacencyEntryKey(plan, b, a), {}});
   }
   if (new_edge.has_value()) {
     std::string a = EndpointPiece(*new_edge, plan.edge_param_field);
     std::string b = EndpointPiece(*new_edge, plan.edge_other_field);
     std::string value = EncodeRow(*edge_entity, *new_edge);
-    ops->emplace_back(AdjacencyEntryKey(plan, a, b), value);
-    ops->emplace_back(AdjacencyEntryKey(plan, b, a), value);
+    ops.push_back({Router::WriteOp::Kind::kPut, AdjacencyEntryKey(plan, a, b), value});
+    ops.push_back({Router::WriteOp::Kind::kPut, AdjacencyEntryKey(plan, b, a), value});
   }
-  // Sequential executor over ops.
-  auto run = std::make_shared<std::function<void(size_t)>>();
-  *run = [this, ops, run, done = std::move(done)](size_t i) {
-    if (i >= ops->size()) {
-      done(Status::Ok());
-      return;
-    }
-    auto& [key, value] = (*ops)[i];
-    auto next = [run, i](Status) { (*run)(i + 1); };
-    if (value.has_value()) {
-      PutEntry(key, *value, next);
-    } else {
-      DeleteEntry(key, next);
-    }
-  };
-  (*run)(0);
+  // Entry-write failures are tolerated here, as in the sequential path.
+  FlushEntryOps(std::move(ops), [done = std::move(done)](Status) { done(Status::Ok()); });
 }
 
 void IndexMaintainer::RunJoinEdgeUpdate(const Registered& reg, std::optional<Row> old_edge,
@@ -220,42 +226,38 @@ void IndexMaintainer::RunJoinEdgeUpdate(const Registered& reg, std::optional<Row
   if (old_edge.has_value()) add_edge_items(*old_edge, false);
   if (new_edge.has_value()) add_edge_items(*new_edge, true);
 
-  auto run = std::make_shared<std::function<void(size_t)>>();
-  *run = [this, items, run, target, &reg, done = std::move(done)](size_t i) {
-    if (i >= items->size()) {
-      done(Status::Ok());
-      return;
-    }
-    const Item& item = (*items)[i];
-    // Look up the target row to learn its order value (and entry payload).
-    ++stats_.lookups;
-    router_->Get(
-        BaseRowKeyFromPiece(*target, item.target_pk), /*pin_primary=*/true,
-        [this, items, run, target, &reg, i](Result<Record> record) {
+  // One batched (primary-pinned) read hydrates every item's target row —
+  // the order value and entry payload — then all entry mutations flush as
+  // one batched write.
+  std::vector<std::string> row_keys;
+  row_keys.reserve(items->size());
+  for (const Item& item : *items) {
+    row_keys.push_back(BaseRowKeyFromPiece(*target, item.target_pk));
+  }
+  stats_.lookups += static_cast<int64_t>(row_keys.size());
+  router_->MultiGet(
+      row_keys, /*pin_primary=*/true,
+      [this, items, target, &reg, done = std::move(done)](std::vector<Result<Record>> records) {
+        const IndexPlan& plan = reg.plan;
+        std::vector<Router::WriteOp> ops;
+        for (size_t i = 0; i < items->size(); ++i) {
           const Item& item = (*items)[i];
-          const IndexPlan& plan = reg.plan;
-          auto next = [run, i](Status) { (*run)(i + 1); };
-          if (!record.ok()) {
-            // Target row absent: nothing to index (a later target write
-            // will backfill via RunJoinTargetUpdate).
-            next(Status::Ok());
-            return;
-          }
-          Result<Row> row = DecodeRow(*target, record->value);
-          if (!row.ok()) {
-            next(row.status());
-            return;
-          }
+          // Target row absent: nothing to index (a later target write will
+          // backfill via RunJoinTargetUpdate). Decode failures skip the
+          // item, as the sequential path did.
+          if (!records[i].ok()) continue;
+          Result<Row> row = DecodeRow(*target, records[i]->value);
+          if (!row.ok()) continue;
           std::string order_piece = OrderPieceForRow(plan, *row);
           std::string key = JoinEntryKey(plan, item.anchor, order_piece, item.target_pk);
           if (item.insert) {
-            PutEntry(key, EncodeRow(*target, *row), next);
+            ops.push_back({Router::WriteOp::Kind::kPut, std::move(key), EncodeRow(*target, *row)});
           } else {
-            DeleteEntry(key, next);
+            ops.push_back({Router::WriteOp::Kind::kDelete, std::move(key), {}});
           }
-        });
-  };
-  (*run)(0);
+        }
+        FlushEntryOps(std::move(ops), [done = std::move(done)](Status) { done(Status::Ok()); });
+      });
 }
 
 void IndexMaintainer::RunJoinTargetUpdate(const Registered& reg, std::optional<Row> old_row,
@@ -292,9 +294,10 @@ void IndexMaintainer::RunJoinTargetUpdate(const Registered& reg, std::optional<R
             new_row.has_value() ? OrderPieceForRow(plan, *new_row) : std::string();
         std::string new_value =
             new_row.has_value() ? EncodeRow(*target, *new_row) : std::string();
-        // (key, value-or-delete) op list over every neighbor.
-        auto ops =
-            std::make_shared<std::vector<std::pair<std::string, std::optional<std::string>>>>();
+        // Per-neighbor entry mutations, flushed as one batched write. When
+        // the order value is unchanged, the delete and put share a key and
+        // coalesce to the put — the sequential path's final state.
+        std::vector<Router::WriteOp> ops;
         for (const Record& entry : *neighbors) {
           // Key layout: prefix piece(pk) piece(neighbor).
           std::string_view key_view = entry.key;
@@ -306,30 +309,16 @@ void IndexMaintainer::RunJoinTargetUpdate(const Registered& reg, std::optional<R
             continue;
           }
           if (old_row.has_value()) {
-            ops->emplace_back(JoinEntryKey(plan, neighbor_piece, old_order, pk_piece),
-                              std::nullopt);
+            ops.push_back({Router::WriteOp::Kind::kDelete,
+                           JoinEntryKey(plan, neighbor_piece, old_order, pk_piece), {}});
           }
           if (new_row.has_value()) {
-            ops->emplace_back(JoinEntryKey(plan, neighbor_piece, new_order, pk_piece),
-                              new_value);
+            ops.push_back({Router::WriteOp::Kind::kPut,
+                           JoinEntryKey(plan, neighbor_piece, new_order, pk_piece), new_value});
           }
         }
-        if (ops->size() > static_cast<size_t>(plan.update_cost)) ++stats_.budget_overruns;
-        auto run = std::make_shared<std::function<void(size_t)>>();
-        *run = [this, ops, run, done = std::move(done)](size_t i) {
-          if (i >= ops->size()) {
-            done(Status::Ok());
-            return;
-          }
-          auto& [key, value] = (*ops)[i];
-          auto next = [run, i](Status) { (*run)(i + 1); };
-          if (value.has_value()) {
-            PutEntry(key, *value, next);
-          } else {
-            DeleteEntry(key, next);
-          }
-        };
-        (*run)(0);
+        if (ops.size() > static_cast<size_t>(plan.update_cost)) ++stats_.budget_overruns;
+        FlushEntryOps(std::move(ops), [done = std::move(done)](Status) { done(Status::Ok()); });
       });
 }
 
@@ -404,22 +393,21 @@ void IndexMaintainer::RunTwoHopUpdate(const Registered& reg, std::optional<Row> 
                 // Witness deltas: paths of length two gained/lost via this
                 // edge. u-x-y for u in N(x): pairs (u,y) and (y,u); x-y-w
                 // for w in N(y): pairs (x,w) and (w,x).
-                auto deltas = std::make_shared<
-                    std::vector<std::tuple<std::string, std::string, int>>>();
+                std::vector<std::tuple<std::string, std::string, int>> deltas;
                 for (const std::string& u : n_of_x) {
                   if (u == edge.y) continue;
-                  deltas->emplace_back(u, edge.y, edge.delta);
-                  deltas->emplace_back(edge.y, u, edge.delta);
+                  deltas.emplace_back(u, edge.y, edge.delta);
+                  deltas.emplace_back(edge.y, u, edge.delta);
                 }
                 for (const std::string& w : n_of_y) {
                   if (w == edge.x) continue;
-                  deltas->emplace_back(edge.x, w, edge.delta);
-                  deltas->emplace_back(w, edge.x, edge.delta);
+                  deltas.emplace_back(edge.x, w, edge.delta);
+                  deltas.emplace_back(w, edge.x, edge.delta);
                 }
-                if (deltas->size() > static_cast<size_t>(reg.plan.update_cost)) {
+                if (deltas.size() > static_cast<size_t>(reg.plan.update_cost)) {
                   ++stats_.budget_overruns;
                 }
-                ApplyWitnessDeltas(reg, deltas, 0,
+                ApplyWitnessDeltas(reg, std::move(deltas),
                                    [process, e](Status) { (*process)(e + 1); });
               });
         });
@@ -428,39 +416,40 @@ void IndexMaintainer::RunTwoHopUpdate(const Registered& reg, std::optional<Row> 
 }
 
 void IndexMaintainer::ApplyWitnessDeltas(
-    const Registered& reg,
-    std::shared_ptr<std::vector<std::tuple<std::string, std::string, int>>> deltas, size_t index,
+    const Registered& reg, std::vector<std::tuple<std::string, std::string, int>> deltas,
     std::function<void(Status)> done) {
-  if (index >= deltas->size()) {
-    done(Status::Ok());
-    return;
+  // Net delta per entry key. Sequential application was count += delta one
+  // read-modify-write at a time; summing per key first gives the same final
+  // count with ONE batched read and ONE batched write for the whole edge.
+  std::map<std::string, int64_t> net;
+  std::vector<std::string> keys;  // first-appearance order
+  for (const auto& [a, b, delta] : deltas) {
+    if (a == b) continue;
+    std::string key = TwoHopEntryKey(reg.plan, a, b);
+    auto [it, inserted] = net.emplace(std::move(key), 0);
+    if (inserted) keys.push_back(it->first);
+    it->second += delta;
   }
-  const auto& [a, b, delta] = (*deltas)[index];
-  if (a == b) {
-    ApplyWitnessDeltas(reg, deltas, index + 1, std::move(done));
-    return;
-  }
-  std::string key = TwoHopEntryKey(reg.plan, a, b);
-  ++stats_.lookups;
-  int d = delta;
-  router_->Get(key, /*pin_primary=*/true,
-               [this, &reg, deltas, index, key, d,
-                done = std::move(done)](Result<Record> current) mutable {
-                 int64_t count = current.ok() ? DecodeCount(current->value) : 0;
-                 count += d;
-                 auto next = [this, &reg, deltas, index, done = std::move(done)](Status) mutable {
-                   ApplyWitnessDeltas(reg, deltas, index + 1, std::move(done));
-                 };
-                 if (count <= 0) {
-                   if (current.ok()) {
-                     DeleteEntry(key, std::move(next));
-                   } else {
-                     next(Status::Ok());
-                   }
-                 } else {
-                   PutEntry(key, EncodeCount(count), std::move(next));
-                 }
-               });
+  stats_.lookups += static_cast<int64_t>(keys.size());
+  router_->MultiGet(
+      keys, /*pin_primary=*/true,
+      [this, keys, net = std::move(net),
+       done = std::move(done)](std::vector<Result<Record>> current) mutable {
+        std::vector<Router::WriteOp> ops;
+        for (size_t i = 0; i < keys.size(); ++i) {
+          int64_t count = current[i].ok() ? DecodeCount(current[i]->value) : 0;
+          count += net.find(keys[i])->second;
+          if (count <= 0) {
+            if (current[i].ok()) {
+              ops.push_back({Router::WriteOp::Kind::kDelete, keys[i], {}});
+            }
+          } else {
+            ops.push_back({Router::WriteOp::Kind::kPut, keys[i], EncodeCount(count)});
+          }
+        }
+        // Count-entry write failures are tolerated, as before.
+        FlushEntryOps(std::move(ops), [done = std::move(done)](Status) { done(Status::Ok()); });
+      });
 }
 
 }  // namespace scads

@@ -83,15 +83,19 @@ class IndexMaintainer {
   void RunTwoHopUpdate(const Registered& reg, std::optional<Row> old_edge,
                        std::optional<Row> new_edge, std::function<void(Status)> done);
 
-  /// Applies +/-1 witness-count deltas for an edge (a, b) of a two-hop
-  /// plan, sequentially over the (pair, delta) list.
+  /// Applies witness-count deltas for an edge change of a two-hop plan:
+  /// deltas are grouped per entry key, the current counts are read with one
+  /// batched (primary-pinned) MultiGet, and the new counts flush as one
+  /// batched write.
   void ApplyWitnessDeltas(
       const Registered& reg,
-      std::shared_ptr<std::vector<std::tuple<std::string, std::string, int>>> deltas,
-      size_t index, std::function<void(Status)> done);
+      std::vector<std::tuple<std::string, std::string, int>> deltas,
+      std::function<void(Status)> done);
 
-  void PutEntry(const std::string& key, std::string value, std::function<void(Status)> next);
-  void DeleteEntry(const std::string& key, std::function<void(Status)> next);
+  /// Flushes index-entry mutations as one batched write (one message per
+  /// owning primary); done() gets the first per-op failure, or Ok. Callers
+  /// that tolerate entry-write failures wrap `done` to swallow the status.
+  void FlushEntryOps(std::vector<Router::WriteOp> ops, std::function<void(Status)> done);
 
   Duration DeadlineBound(const Registered& reg) const {
     return reg.staleness_bound > 0 ? reg.staleness_bound : kMinute;

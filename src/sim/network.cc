@@ -25,8 +25,11 @@ Duration SimNetwork::SampleLatency(NodeId from, NodeId to) {
   return config_.base_latency + jitter;
 }
 
-void SimNetwork::Send(NodeId from, NodeId to, std::function<void()> deliver) {
+void SimNetwork::Send(NodeId from, NodeId to, int64_t payload_bytes,
+                      std::function<void()> deliver) {
   ++sent_;
+  int64_t wire_bytes = payload_bytes + kMessageOverheadBytes;
+  bytes_sent_ += wire_bytes;
   if (!Connected(from, to)) {
     ++dropped_;
     return;
@@ -36,12 +39,13 @@ void SimNetwork::Send(NodeId from, NodeId to, std::function<void()> deliver) {
     return;
   }
   Duration latency = SampleLatency(from, to);
-  loop_->ScheduleAfter(latency, [this, from, to, fn = std::move(deliver)] {
+  loop_->ScheduleAfter(latency, [this, from, to, wire_bytes, fn = std::move(deliver)] {
     if (!Connected(from, to)) {
       ++dropped_;
       return;
     }
     ++delivered_;
+    bytes_delivered_ += wire_bytes;
     fn();
   });
 }

@@ -34,13 +34,26 @@ struct NetworkConfig {
 /// Message-passing fabric between NodeIds over simulated time.
 class SimNetwork {
  public:
+  /// Fixed per-message framing overhead charged to the byte counters on top
+  /// of the declared payload (transport + RPC headers). Batching N requests
+  /// into one message saves (N-1) of these.
+  static constexpr int64_t kMessageOverheadBytes = 64;
+
   SimNetwork(EventLoop* loop, uint64_t seed, NetworkConfig config = {});
 
   /// Schedules `deliver` to run after a sampled latency, unless the message
   /// is lost or `from`/`to` are in different partition groups at send time.
   /// Partition state is also re-checked at delivery time, so messages in
   /// flight when a partition forms are lost too (matching real TCP resets).
-  void Send(NodeId from, NodeId to, std::function<void()> deliver);
+  /// `payload_bytes` is the application payload size; the byte counters
+  /// charge it plus kMessageOverheadBytes per message, so batching wins show
+  /// up in bytes as well as message counts.
+  void Send(NodeId from, NodeId to, int64_t payload_bytes, std::function<void()> deliver);
+
+  /// Payload-size-agnostic send (control messages; counts overhead only).
+  void Send(NodeId from, NodeId to, std::function<void()> deliver) {
+    Send(from, to, 0, std::move(deliver));
+  }
 
   /// Puts each node into a numbered partition group; nodes in different
   /// groups cannot exchange messages. Unlisted nodes stay in group 0.
@@ -61,6 +74,10 @@ class SimNetwork {
   int64_t sent_count() const { return sent_; }
   int64_t delivered_count() const { return delivered_; }
   int64_t dropped_count() const { return dropped_; }
+  /// Bytes handed to the fabric (payload + per-message overhead), including
+  /// messages later lost; mirrors what a NIC's tx counter would show.
+  int64_t bytes_sent() const { return bytes_sent_; }
+  int64_t bytes_delivered() const { return bytes_delivered_; }
 
  private:
   int GroupOf(NodeId node) const;
@@ -72,6 +89,8 @@ class SimNetwork {
   int64_t sent_ = 0;
   int64_t delivered_ = 0;
   int64_t dropped_ = 0;
+  int64_t bytes_sent_ = 0;
+  int64_t bytes_delivered_ = 0;
 };
 
 }  // namespace scads

@@ -47,6 +47,12 @@ struct Record {
   bool tombstone = false;
 };
 
+/// Wire size of one record as shipped in read responses (byte accounting).
+inline int64_t WireSize(const Record& record) {
+  return static_cast<int64_t>(record.key.size() + record.value.size()) +
+         kRecordWireOverheadBytes;
+}
+
 /// Single-node storage engine. Not thread-safe (one simulated node == one
 /// logical thread).
 class StorageEngine {
@@ -67,6 +73,12 @@ class StorageEngine {
   /// Live value for `key`; kNotFound for absent or tombstoned keys.
   Result<Record> Get(std::string_view key) const;
 
+  /// Batched point reads: one Result per input key, in input order
+  /// (duplicates allowed). Probes run through a single iterator over the
+  /// sorted key set, so consecutive keys reuse the traversal position
+  /// instead of paying a full descent each.
+  std::vector<Result<Record>> MultiGet(const std::vector<std::string>& keys) const;
+
   /// Raw entry including tombstones (replication/anti-entropy uses this).
   std::optional<Record> GetRaw(std::string_view key) const;
 
@@ -82,6 +94,13 @@ class StorageEngine {
   /// Replays a WAL record (recovery path). Applies the same newer-version
   /// rule, so replay is idempotent.
   Status Apply(const WalRecord& record);
+
+  /// Applies a batch of mutations with WAL group commit: all records are
+  /// logged in one sink write and (under wal_sync_every_write) one Sync,
+  /// instead of a sync per record, then applied to the memtable in order.
+  /// The logged bytes are identical to per-record appends, so crash replay
+  /// recovers batched and sequential histories identically.
+  Status ApplyBatch(const std::vector<WalRecord>& records);
 
   /// Creates an engine and replays `records` into it.
   static Result<std::unique_ptr<StorageEngine>> Recover(EngineOptions options,
@@ -101,16 +120,21 @@ class StorageEngine {
   size_t PurgeTombstonesBefore(Time cutoff);
 
   /// Engine counters: puts, puts_superseded, deletes, gets, get_misses,
-  /// scans, scan_rows, wal_appends.
+  /// multigets, scans, scan_rows, wal_appends, wal_batch_syncs.
   const MetricRegistry& metrics() const { return metrics_; }
 
  private:
   Result<bool> Write(std::string_view key, std::string_view value, Version version,
                      bool tombstone);
+  /// Memtable half of Write: version check + assignment, no WAL.
+  Result<bool> ApplyToTable(std::string_view key, std::string_view value, Version version,
+                            bool tombstone);
 
   EngineOptions options_;
   SkipList table_;
-  MetricRegistry metrics_;
+  // Read paths (logically const) still count: counters are observability,
+  // not state, so the registry is mutable rather than const_cast at use.
+  mutable MetricRegistry metrics_;
   size_t live_count_ = 0;
 };
 

@@ -108,6 +108,27 @@ void SkipList::Iterator::Seek(std::string_view target) {
   node_ = list_->FindGreaterOrEqual(target, nullptr);
 }
 
+void SkipList::Iterator::SeekForward(std::string_view target) {
+  if (node_ == nullptr) {
+    Seek(target);
+    return;
+  }
+  const Node* node = static_cast<const Node*>(node_);
+  if (node->key() >= target) return;  // already at or past it
+  // Dense probe sets resolve within a few links; sparse ones fall back to a
+  // full descent so one far-away key cannot cost a linear walk.
+  constexpr int kMaxLinearSteps = 16;
+  for (int step = 0; step < kMaxLinearSteps; ++step) {
+    const Node* next = node->next[0];
+    if (next == nullptr || next->key() >= target) {
+      node_ = next;
+      return;
+    }
+    node = next;
+  }
+  Seek(target);
+}
+
 void SkipList::Iterator::SeekToFirst() { node_ = list_->head_->next[0]; }
 
 void SkipList::Iterator::Next() {

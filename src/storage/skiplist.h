@@ -60,6 +60,12 @@ class SkipList {
     bool Valid() const { return node_ != nullptr; }
     /// Positions at the first key >= `target`.
     void Seek(std::string_view target);
+    /// Like Seek, but reuses the current position: when `target` is at or
+    /// ahead of it, walks forward a bounded number of level-0 steps before
+    /// falling back to a full Seek. Probing a sorted key set through one
+    /// iterator this way touches each intervening node at most once instead
+    /// of paying a root-to-leaf descent per key.
+    void SeekForward(std::string_view target);
     void SeekToFirst();
     void Next();
     std::string_view key() const;

@@ -74,14 +74,26 @@ Result<WalRecord> WalWriter::DecodePayload(std::string_view payload) {
   return record;
 }
 
+namespace {
+void AppendFrame(std::string* out, const WalRecord& record) {
+  std::string payload = WalWriter::EncodePayload(record);
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  PutFixed32(out, Crc32c(payload));
+  out->append(payload);
+}
+}  // namespace
+
 Status WalWriter::Append(const WalRecord& record) {
-  std::string payload = EncodePayload(record);
   std::string frame;
-  frame.reserve(payload.size() + 8);
-  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
-  PutFixed32(&frame, Crc32c(payload));
-  frame.append(payload);
+  AppendFrame(&frame, record);
   return sink_->Append(frame);
+}
+
+Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
+  if (records.empty()) return Status::Ok();
+  std::string blob;
+  for (const WalRecord& record : records) AppendFrame(&blob, record);
+  return sink_->Append(blob);
 }
 
 Result<std::vector<WalRecord>> ReadWal(std::string_view log_bytes) {

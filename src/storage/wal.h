@@ -31,6 +31,18 @@ struct WalRecord {
   }
 };
 
+/// Per-record framing beyond key and value bytes: type byte + version
+/// (u64 timestamp + u32 writer). Shared by every WireSize overload so the
+/// byte accounting cannot drift between request and reply directions.
+inline constexpr int64_t kRecordWireOverheadBytes = 13;
+
+/// Wire size of one record as shipped in request/replication payloads
+/// (the network layer's byte accounting).
+inline int64_t WireSize(const WalRecord& record) {
+  return static_cast<int64_t>(record.key.size() + record.value.size()) +
+         kRecordWireOverheadBytes;
+}
+
 /// Destination for encoded log blobs.
 class WalSink {
  public:
@@ -88,6 +100,14 @@ class WalWriter {
 
   /// Appends one record (framed as [u32 payload_len][u32 crc32c][payload]).
   Status Append(const WalRecord& record);
+
+  /// Group commit: frames every record exactly as per-record Append would
+  /// (byte-identical log, so recovery cannot tell batched and sequential
+  /// appends apart) but hands the sink one concatenated blob — one write,
+  /// and the caller pays one Sync for the whole batch instead of one per
+  /// record.
+  Status AppendBatch(const std::vector<WalRecord>& records);
+
   Status Sync() { return sink_->Sync(); }
 
   /// Encodes just the payload (shared with the replication stream).
