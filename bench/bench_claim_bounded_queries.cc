@@ -15,10 +15,12 @@
 #include "query/parser.h"
 #include "query/planner.h"
 #include "query/schema.h"
+#include "common/benchjson.h"
 
 using namespace scads;  // NOLINT: benchmark brevity
 
 int main() {
+  BenchJson json("claim_bounded_queries");
   std::printf("=== CLAIM-O(K): bounded-query admission control ===\n\n");
 
   Catalog catalog;
@@ -98,10 +100,13 @@ int main() {
   std::printf("%-42s %-8s %s\n", "query", "verdict", "bound / reason");
   int correct = 0;
   for (const Case& test_case : cases) {
+    json.BeginRow(test_case.name);
+    json.Add("expected", test_case.expect_accept ? "ACCEPT" : "REJECT");
     auto ast = ParseQueryTemplate(test_case.sql);
     if (!ast.ok()) {
       std::printf("%-42s %-8s parse error: %s\n", test_case.name, "REJECT",
                   ast.status().ToString().c_str());
+      json.Add("verdict", "REJECT");
       correct += !test_case.expect_accept;
       continue;
     }
@@ -112,16 +117,21 @@ int main() {
         std::printf("%-42s %-8s reads <= %lld rows, update cost <= %lld\n", test_case.name,
                     "ACCEPT", static_cast<long long>(bounds->read_rows),
                     static_cast<long long>(plan->main().update_cost));
+        json.Add("verdict", "ACCEPT");
+        json.Add("read_rows", bounds->read_rows);
+        json.Add("update_cost", plan->main().update_cost);
         correct += test_case.expect_accept;
         continue;
       }
       std::printf("%-42s %-8s %s\n", test_case.name, "REJECT",
                   std::string(plan.status().message()).c_str());
+      json.Add("verdict", "REJECT");
       correct += !test_case.expect_accept;
       continue;
     }
     std::printf("%-42s %-8s %s\n", test_case.name, "REJECT",
                 std::string(bounds.status().message()).c_str());
+    json.Add("verdict", "REJECT");
     correct += !test_case.expect_accept;
   }
   std::printf("\npaper claim: queries are checked against the scaling rules ahead of\n"
@@ -129,5 +139,10 @@ int main() {
   std::printf("verdicts matching expectation: %d / %zu\n", correct, cases.size());
   bool shape_holds = correct == static_cast<int>(cases.size());
   std::printf("shape check: %s\n", shape_holds ? "PASS" : "FAIL");
+  json.BeginRow("summary");
+  json.Add("correct", correct);
+  json.Add("cases", static_cast<int64_t>(cases.size()));
+  json.Add("shape_check", shape_holds ? "PASS" : "FAIL");
+  (void)json.Write();
   return shape_holds ? 0 : 1;
 }

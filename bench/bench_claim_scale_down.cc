@@ -21,6 +21,7 @@
 #include "sim/network.h"
 #include "workload/driver.h"
 #include "workload/traffic.h"
+#include "common/benchjson.h"
 
 using namespace scads;  // NOLINT: benchmark brevity
 
@@ -110,6 +111,7 @@ RunOutcome RunDiurnal(bool elastic, int static_fleet_size) {
 }  // namespace
 
 int main() {
+  BenchJson json("claim_scale_down");
   std::printf("=== CLAIM-UPDOWN: the economics of scaling down (48h diurnal) ===\n\n");
   std::printf("run A: elastic fleet (Director scales both directions)\n");
   RunOutcome elastic = RunDiurnal(/*elastic=*/true, 0);
@@ -140,5 +142,20 @@ int main() {
                      elastic.violations <= fixed.violations + elastic.windows / 20;
   std::printf("shape check (>=30%% saved at comparable SLA): %s\n",
               shape_holds ? "PASS" : "FAIL");
+
+  for (const auto& [label, outcome] : {std::pair<const char*, const RunOutcome&>{"elastic", elastic},
+                                       {"static_peak", fixed}}) {
+    json.BeginRow(label);
+    json.Add("trough_fleet", outcome.trough_fleet);
+    json.Add("peak_fleet", outcome.peak_fleet);
+    json.Add("machine_hours", outcome.machine_hours);
+    json.Add("cost_micros", outcome.cost_micros);
+    json.Add("sla_violations", outcome.violations);
+    json.Add("sla_windows", outcome.windows);
+  }
+  json.BeginRow("summary");
+  json.Add("savings_pct", savings);
+  json.Add("shape_check", shape_holds ? "PASS" : "FAIL");
+  (void)json.Write();
   return shape_holds ? 0 : 1;
 }

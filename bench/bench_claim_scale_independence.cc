@@ -19,6 +19,7 @@
 #include "baseline/appside.h"
 #include "core/scads.h"
 #include "workload/social_graph.h"
+#include "common/benchjson.h"
 
 using namespace scads;  // NOLINT: benchmark brevity
 
@@ -123,6 +124,7 @@ Sample RunAtScale(int64_t users) {
 }  // namespace
 
 int main() {
+  BenchJson json("claim_scale_independence");
   std::printf("=== CLAIM-SI: scale independence — query cost vs. user count ===\n\n");
   std::printf("%8s %12s %12s %12s %18s\n", "users", "scads(ms)", "adhoc(ms)", "appside(ms)",
               "adhoc rows scanned");
@@ -133,6 +135,12 @@ int main() {
     std::printf("%8lld %12.2f %12.2f %12.2f %18lld\n", static_cast<long long>(s.users),
                 s.scads_ms, s.adhoc_ms, s.appside_ms,
                 static_cast<long long>(s.adhoc_rows_scanned));
+    json.BeginRow("users_" + std::to_string(users));
+    json.Add("users", s.users);
+    json.Add("scads_ms", s.scads_ms);
+    json.Add("adhoc_ms", s.adhoc_ms);
+    json.Add("appside_ms", s.appside_ms);
+    json.Add("adhoc_rows_scanned", s.adhoc_rows_scanned);
   }
   const Sample& first = samples.front();
   const Sample& last = samples.back();
@@ -147,5 +155,10 @@ int main() {
   bool shape_holds = scads_growth < 2.0 && adhoc_growth > 4.0;
   std::printf("\nshape check (SCADS flat <2x, ad-hoc grows >4x): %s\n",
               shape_holds ? "PASS" : "FAIL");
+  json.BeginRow("summary");
+  json.Add("scads_growth", scads_growth);
+  json.Add("adhoc_growth", adhoc_growth);
+  json.Add("shape_check", shape_holds ? "PASS" : "FAIL");
+  (void)json.Write();
   return shape_holds ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "index/update_queue.h"
 #include "sim/event_loop.h"
+#include "common/benchjson.h"
 
 using namespace scads;  // NOLINT: benchmark brevity
 
@@ -73,6 +74,7 @@ Outcome RunBurst(QueuePolicy policy) {
 }  // namespace
 
 int main() {
+  BenchJson json("claim_update_priority");
   std::printf("=== CLAIM-LAG: deadline-priority update queue vs FIFO ===\n\n");
   std::printf("burst: 40k index updates in 60s against a 200/s drain rate;\n");
   std::printf("10%% carry a 2s staleness bound, 90%% a 5min bound.\n\n");
@@ -98,5 +100,17 @@ int main() {
   std::printf("shape check (deadline cuts tight-bound misses >10x without\n"
               "sacrificing the loose class): %s\n",
               shape_holds ? "PASS" : "FAIL");
+  for (const auto& [label, outcome] : {std::pair<const char*, const Outcome&>{"deadline", deadline},
+                                       {"fifo", fifo}}) {
+    json.BeginRow(label);
+    json.Add("tight_misses", outcome.tight_misses);
+    json.Add("tight_total", outcome.tight_total);
+    json.Add("tight_p99_lag_us", outcome.tight_p99_lag);
+    json.Add("loose_misses", outcome.loose_misses);
+    json.Add("loose_total", outcome.loose_total);
+  }
+  json.BeginRow("summary");
+  json.Add("shape_check", shape_holds ? "PASS" : "FAIL");
+  (void)json.Write();
   return shape_holds ? 0 : 1;
 }

@@ -1,7 +1,9 @@
 // Quickstart: the smallest complete SCADS program.
 //
-// Defines a schema with a fan-out cap, registers one bounded query,
-// starts a three-node simulated deployment, writes rows, and queries them.
+// Defines a schema with a fan-out cap, registers bounded queries (one with
+// per-template STALENESS/DEADLINE bounds), starts a three-node simulated
+// deployment, writes rows, and queries them — including a per-request
+// RequestOptions override.
 //
 //   $ ./examples/quickstart
 
@@ -56,6 +58,19 @@ int main() {
   std::printf("query accepted; worst-case rows touched: %lld\n",
               static_cast<long long>(bounds->read_rows));
 
+  // 3b. Per-template bounds: this profile lookup promises its callers at
+  //     most 1s-stale data and sheds with kDeadlineExceeded past 50ms.
+  //     (WITH STALENESS looser than the deployment spec is a registration
+  //     error — a template cannot weaken the deployment-wide guarantee.)
+  Result<QueryBounds> profile_bounds = db->RegisterQuery(
+      "profile",
+      "SELECT p.* FROM profiles p WHERE p.user_id = <user_id> "
+      "WITH STALENESS 1s, DEADLINE 50ms");
+  if (!profile_bounds.ok()) {
+    std::fprintf(stderr, "rejected: %s\n", profile_bounds.status().ToString().c_str());
+    return 1;
+  }
+
   if (Status started = db->Start(); !started.ok()) {
     std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
     return 1;
@@ -99,6 +114,22 @@ int main() {
                 static_cast<long long>(db->metrics()->CounterValue("cache.point.hits")),
                 static_cast<long long>(db->metrics()->CounterValue("cache.scan.hits")));
   }
+
+  // 7. Per-request overrides: the same read, but demanding at most 500ms of
+  //    staleness within a 10ms budget. RequestOptions rides on every data-
+  //    plane call; unset fields inherit the template's WITH bounds, then
+  //    the deployment spec.
+  RequestOptions fresh_and_fast;
+  fresh_and_fast.max_staleness = 500 * kMillisecond;
+  fresh_and_fast.deadline = 10 * kMillisecond;
+  Result<std::vector<Row>> bob =
+      db->QuerySync("profile", {{"user_id", Value(int64_t{2})}}, fresh_and_fast);
+  if (bob.ok() && !bob->empty()) {
+    std::printf("\nfresh-and-fast profile read: %s\n", (*bob)[0].GetString("name").c_str());
+  } else {
+    std::printf("\nfresh-and-fast profile read shed: %s\n", bob.status().ToString().c_str());
+  }
+  std::printf("\nper-template SLA ledger:\n%s", db->template_sla()->ToString().c_str());
 
   std::printf("\nindex maintenance table (paper Figure 3):\n%s",
               db->RenderMaintenanceTable().c_str());

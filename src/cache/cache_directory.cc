@@ -14,6 +14,7 @@ CacheDirectory::CacheDirectory(CacheConfig config, Duration staleness_bound,
       point_hits_(metrics->GetCounter("cache.point.hits")),
       point_misses_(metrics->GetCounter("cache.point.misses")),
       point_stale_rejects_(metrics->GetCounter("cache.point.stale_rejects")),
+      point_version_bypasses_(metrics->GetCounter("cache.point.version_bypasses")),
       point_invalidations_(metrics->GetCounter("cache.point.invalidations")),
       point_refreshes_(metrics->GetCounter("cache.point.refreshes")),
       scan_hits_(metrics->GetCounter("cache.scan.hits")),
@@ -21,10 +22,23 @@ CacheDirectory::CacheDirectory(CacheConfig config, Duration staleness_bound,
       scan_stale_rejects_(metrics->GetCounter("cache.scan.stale_rejects")),
       scan_invalidations_(metrics->GetCounter("cache.scan.invalidations")) {}
 
-bool CacheDirectory::LookupPoint(const std::string& key, Time now, Record* out) {
+Duration CacheDirectory::EffectiveBound(const RequestOptions& options) const {
+  return options.EffectiveStaleness(bound_);
+}
+
+Duration CacheDirectory::RetainBound(Duration effective) const {
+  // 0 = unbounded on either side wins; otherwise entries survive up to the
+  // laxer of the deployment bound and this request's bound.
+  if (bound_ == 0 || effective == 0) return 0;
+  return std::max(bound_, effective);
+}
+
+bool CacheDirectory::LookupPoint(const std::string& key, Time now, const RequestOptions& options,
+                                 Record* out) {
   if (!config_.enabled) return false;
+  Duration effective = EffectiveBound(options);
   CacheEntry entry;
-  switch (points_.Lookup(key, now, bound_, &entry)) {
+  switch (points_.Lookup(key, now, effective, &entry, RetainBound(effective))) {
     case CacheLookup::kMiss:
       point_misses_->Increment();
       return false;
@@ -33,6 +47,13 @@ bool CacheDirectory::LookupPoint(const std::string& key, Time now, Record* out) 
       return false;
     case CacheLookup::kHit:
       break;
+  }
+  // Session floor: a hit below the request's version token is not this
+  // session's view of the key — fall through to storage (keep the entry:
+  // it still serves unpinned requests).
+  if (options.min_version.has_value() && entry.version < *options.min_version) {
+    point_version_bypasses_->Increment();
+    return false;
   }
   point_hits_->Increment();
   TrackHotKey(key);
@@ -50,9 +71,17 @@ void CacheDirectory::StorePoint(const std::string& key, std::string_view value,
 }
 
 bool CacheDirectory::LookupScan(const std::string& prefix, size_t limit, Time now,
-                                std::vector<Record>* out) {
+                                const RequestOptions& options, std::vector<Record>* out) {
   if (!scan_caching()) return false;
-  switch (scans_.Lookup(prefix, limit, now, bound_, out)) {
+  // A session version floor cannot be checked per covered key against a
+  // whole cached result set — bypass the scan cache conservatively so
+  // read-your-writes holds on the scan path too.
+  if (options.min_version.has_value()) {
+    scan_misses_->Increment();
+    return false;
+  }
+  Duration effective = EffectiveBound(options);
+  switch (scans_.Lookup(prefix, limit, now, effective, out, RetainBound(effective))) {
     case CacheLookup::kMiss:
       scan_misses_->Increment();
       return false;

@@ -26,6 +26,7 @@
 
 #include "cache/read_cache.h"
 #include "common/metrics.h"
+#include "common/request_options.h"
 #include "common/types.h"
 #include "storage/engine.h"
 
@@ -50,8 +51,17 @@ class CacheDirectory {
 
   /// Fresh cache hit for `key`? On true, `out` holds the record (never a
   /// tombstone) and the hit is charged to the hot-key signal. Stale entries
-  /// are rejected and dropped (counted under cache.point.stale_rejects).
-  bool LookupPoint(const std::string& key, Time now, Record* out);
+  /// are rejected (counted under cache.point.stale_rejects) and dropped —
+  /// but only when they are also past the deployment bound; an entry merely
+  /// too old for a tighter per-request bound stays cached for laxer
+  /// requests. `options` governs the effective staleness bound and the
+  /// session version floor: a hit older than options.min_version is
+  /// bypassed (cache.point.version_bypasses) so read-your-writes holds on
+  /// cache hits too.
+  bool LookupPoint(const std::string& key, Time now, const RequestOptions& options, Record* out);
+  bool LookupPoint(const std::string& key, Time now, Record* out) {
+    return LookupPoint(key, now, RequestOptions{}, out);
+  }
 
   /// Populates the point cache from a successful storage read. `as_of` is
   /// the instant the value is provably no staler than (the serving
@@ -59,8 +69,13 @@ class CacheDirectory {
   void StorePoint(const std::string& key, std::string_view value, const Version& version,
                   Time as_of);
 
-  /// Fresh cached result for the bounded scan (prefix, limit)?
-  bool LookupScan(const std::string& prefix, size_t limit, Time now, std::vector<Record>* out);
+  /// Fresh cached result for the bounded scan (prefix, limit)? `options`
+  /// supplies the effective staleness bound, as in LookupPoint.
+  bool LookupScan(const std::string& prefix, size_t limit, Time now,
+                  const RequestOptions& options, std::vector<Record>* out);
+  bool LookupScan(const std::string& prefix, size_t limit, Time now, std::vector<Record>* out) {
+    return LookupScan(prefix, limit, now, RequestOptions{}, out);
+  }
 
   /// Scan lease: call BeginScan before issuing the storage scan and
   /// EndScan when it completes. EndScan returns false when a write covered
@@ -126,9 +141,15 @@ class CacheDirectory {
   uint64_t next_scan_token_ = 1;
   std::vector<PendingScan> pending_scans_;
 
+  /// Serving bound for `options` plus the retention bound entries are
+  /// dropped past (never tighter than the deployment bound).
+  Duration EffectiveBound(const RequestOptions& options) const;
+  Duration RetainBound(Duration effective) const;
+
   Counter* point_hits_;
   Counter* point_misses_;
   Counter* point_stale_rejects_;
+  Counter* point_version_bypasses_;
   Counter* point_invalidations_;
   Counter* point_refreshes_;
   Counter* scan_hits_;

@@ -31,15 +31,19 @@ ReadCache::Shard* ReadCache::ShardFor(const std::string& key) {
 }
 
 CacheLookup ReadCache::Lookup(const std::string& key, Time now, Duration bound,
-                              CacheEntry* out) {
+                              CacheEntry* out, std::optional<Duration> retain_bound) {
   Shard* shard = ShardFor(key);
   auto it = shard->index.find(key);
   if (it == shard->index.end()) return CacheLookup::kMiss;
   if (!WithinBound(now, it->second->entry.as_of, bound)) {
     bool was_marker = it->second->entry.invalidated;
-    shard->bytes -= it->second->bytes;
-    shard->lru.erase(it->second);
-    shard->index.erase(it);
+    // Drop only entries past the retain bound; an entry merely too old for
+    // this request's tighter bound stays servable for laxer requests.
+    if (!WithinBound(now, it->second->entry.as_of, retain_bound.value_or(bound))) {
+      shard->bytes -= it->second->bytes;
+      shard->lru.erase(it->second);
+      shard->index.erase(it);
+    }
     // An aged-out marker is bookkeeping, not a rejected value.
     return was_marker ? CacheLookup::kMiss : CacheLookup::kStale;
   }
@@ -153,11 +157,14 @@ std::string ScanCache::CacheKey(std::string_view prefix, size_t limit) {
 }
 
 CacheLookup ScanCache::Lookup(const std::string& prefix, size_t limit, Time now, Duration bound,
-                              std::vector<Record>* out) {
+                              std::vector<Record>* out,
+                              std::optional<Duration> retain_bound) {
   auto it = index_.find(CacheKey(prefix, limit));
   if (it == index_.end()) return CacheLookup::kMiss;
   if (!WithinBound(now, it->second->as_of, bound)) {
-    EraseNode(it->second);
+    if (!WithinBound(now, it->second->as_of, retain_bound.value_or(bound))) {
+      EraseNode(it->second);
+    }
     return CacheLookup::kStale;
   }
   lru_.splice(lru_.begin(), lru_, it->second);

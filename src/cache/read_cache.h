@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <list>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -85,7 +86,12 @@ class ReadCache {
 
   /// Looks up `key`; on kHit copies the entry into `out` and marks it most
   /// recently used. `bound` 0 = no staleness bound (entries never expire).
-  CacheLookup Lookup(const std::string& key, Time now, Duration bound, CacheEntry* out);
+  /// `retain_bound` (default: `bound`) governs eviction separately from
+  /// serving: an entry too old for this request's bound but still within
+  /// `retain_bound` reports kStale without being dropped, so one
+  /// tight-bounded request cannot purge entries other requests may serve.
+  CacheLookup Lookup(const std::string& key, Time now, Duration bound, CacheEntry* out,
+                     std::optional<Duration> retain_bound = std::nullopt);
 
   /// Inserts or refreshes `key`. An existing entry with a strictly newer
   /// version wins over the incoming value (a read returning via a lagging
@@ -137,8 +143,11 @@ class ScanCache {
  public:
   ScanCache(size_t capacity_bytes, Counter* evictions = nullptr);
 
+  /// `retain_bound`: as in ReadCache::Lookup — serve under `bound`, drop
+  /// only past `retain_bound`.
   CacheLookup Lookup(const std::string& prefix, size_t limit, Time now, Duration bound,
-                     std::vector<Record>* out);
+                     std::vector<Record>* out,
+                     std::optional<Duration> retain_bound = std::nullopt);
 
   void Insert(const std::string& prefix, size_t limit, const std::vector<Record>& records,
               Time as_of);

@@ -16,6 +16,7 @@ void RouterWindow::MergeFrom(const RouterWindow& other) {
   reads_failed += other.reads_failed;
   writes_ok += other.writes_ok;
   writes_failed += other.writes_failed;
+  deadline_exceeded += other.deadline_exceeded;
 }
 
 Router::Router(NodeId client_id, EventLoop* loop, SimNetwork* network, ClusterState* cluster,
@@ -27,21 +28,32 @@ Router::Router(NodeId client_id, EventLoop* loop, SimNetwork* network, ClusterSt
       config_(config),
       rng_(seed) {}
 
-NodeId Router::ChooseReadReplica(const PartitionInfo& partition, bool pin_primary) {
-  if (pin_primary || config_.read_target == ReadTarget::kPrimary ||
-      partition.replicas.size() == 1) {
+NodeId Router::ChooseReadReplica(const PartitionInfo& partition,
+                                 const RequestOptions& options) {
+  if (options.read_mode == ReadMode::kPrimaryOnly || partition.replicas.size() == 1) {
+    return partition.primary();
+  }
+  // An explicit kAnyReplica outranks a primary-reading deployment config —
+  // the caller is trading freshness for load spreading on purpose.
+  if (options.read_mode != ReadMode::kAnyReplica &&
+      config_.read_target == ReadTarget::kPrimary) {
     return partition.primary();
   }
   return partition.replicas[rng_.Uniform(partition.replicas.size())];
 }
 
-std::vector<NodeId> Router::ReadCandidates(const PartitionInfo& partition, bool pin_primary) {
+std::vector<NodeId> Router::ReadCandidates(const PartitionInfo& partition,
+                                           const RequestOptions& options) {
   std::vector<NodeId> candidates;
   if (partition.replicas.empty()) return candidates;
-  NodeId first = ChooseReadReplica(partition, pin_primary);
+  bool pin_primary = options.read_mode == ReadMode::kPrimaryOnly;
+  NodeId first = ChooseReadReplica(partition, options);
   candidates.push_back(first);
   if (!pin_primary) {
-    int budget = config_.read_retries;
+    // Low-priority reads shed instead of retrying: under failure they give
+    // up their replica alternates so the retry load lands on interactive
+    // traffic's side of the fleet, not on already-degraded nodes.
+    int budget = options.priority == RequestPriority::kLow ? 0 : config_.read_retries;
     for (NodeId replica : partition.replicas) {
       if (budget == 0) break;
       if (replica == first) continue;
@@ -70,13 +82,48 @@ void Router::FinishWrite(Time start, bool ok) {
   }
 }
 
+Duration Router::ClampedTimeout(const RequestOptions& options, Time now,
+                                bool* budget_bound) const {
+  Duration timeout = options.ClampTimeout(config_.request_timeout, now);
+  *budget_bound = timeout < config_.request_timeout;
+  return timeout;
+}
+
+Status Router::TimeoutStatus(bool budget_bound, std::string_view what) {
+  if (budget_bound) {
+    return DeadlineExceededError(std::string(what) + ": deadline budget exhausted");
+  }
+  return UnavailableError(std::string(what) + " timeout");
+}
+
+void Router::ShedRead(Time start, std::string_view what,
+                      const std::function<void(Result<Record>)>& callback) {
+  FinishRead(start, false);
+  ++window_.deadline_exceeded;
+  callback(TimeoutStatus(/*budget_bound=*/true, what));
+}
+
+void Router::ShedWrite(Time start, std::string_view what,
+                       const std::function<void(Status)>& callback) {
+  FinishWrite(start, false);
+  ++window_.deadline_exceeded;
+  callback(TimeoutStatus(/*budget_bound=*/true, what));
+}
+
 void Router::MaybeCacheRead(const std::string& key, Time as_of, const Result<Record>& result) {
   if (cache_ == nullptr || !result.ok() || result->tombstone) return;
   cache_->StorePoint(key, result->value, result->version, as_of);
 }
 
 void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, size_t index,
-                        Time start, std::function<void(Result<Record>)> callback) {
+                        Time start, RequestOptions options,
+                        std::function<void(Result<Record>)> callback) {
+  // Budget check precedes the candidate check: a retry whose budget is gone
+  // sheds with the deadline error, not a synthetic unreachability error.
+  if (options.Expired(loop_->Now())) {
+    ShedRead(start, "read", callback);
+    return;
+  }
   if (index >= candidates.size()) {
     FinishRead(start, false);
     callback(UnavailableError("all replicas unreachable"));
@@ -85,7 +132,8 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
   NodeId target = candidates[index];
   StorageNode* node = cluster_->GetNode(target);
   if (node == nullptr) {
-    GetAttempt(key, std::move(candidates), index + 1, start, std::move(callback));
+    GetAttempt(key, std::move(candidates), index + 1, start, std::move(options),
+               std::move(callback));
     return;
   }
   auto state = std::make_shared<Pending>();
@@ -99,13 +147,16 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
     MaybeCacheRead(key, as_of, result);
     callback(std::move(result));
   };
+  // Each attempt may wait at most the remaining deadline budget; the retry
+  // it hands off to then sees an expired budget and sheds.
   state->timeout_event = loop_->ScheduleAfter(
-      config_.request_timeout,
-      [this, state, key, candidates, index, start, callback]() mutable {
+      options.ClampTimeout(config_.request_timeout, loop_->Now()),
+      [this, state, key, candidates, index, start, options, callback]() mutable {
         if (state->done) return;
         state->done = true;
         // Try the next replica; the attempt budget is candidates.size().
-        GetAttempt(key, std::move(candidates), index + 1, start, std::move(callback));
+        GetAttempt(key, std::move(candidates), index + 1, start, std::move(options),
+                   std::move(callback));
       });
   NodeId self = client_id_;
   int64_t request_bytes = static_cast<int64_t>(key.size()) + 4;
@@ -125,15 +176,36 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
   });
 }
 
-void Router::Get(const std::string& key, bool pin_primary,
+bool Router::CacheEligible(const RequestOptions& options) const {
+  if (cache_ == nullptr) return false;
+  switch (options.read_mode) {
+    case ReadMode::kCacheOk:
+      return true;
+    // Pinned/replica reads (session fallbacks, read-modify-write) always
+    // reach a storage node, and a deployment configured for primary-only
+    // reads opted for freshness over load spreading — honor that too.
+    case ReadMode::kDefault:
+      return config_.read_target != ReadTarget::kPrimary;
+    case ReadMode::kAnyReplica:
+    case ReadMode::kPrimaryOnly:
+      return false;
+  }
+  return false;
+}
+
+void Router::Get(const std::string& key, RequestOptions options,
                  std::function<void(Result<Record>)> callback) {
-  // Cache hot path: serve staleness-fresh entries without touching a
-  // storage node. Pinned reads (session guarantees, read-modify-write)
-  // always go to the primary, and a deployment configured for primary-only
-  // reads opted for freshness over load spreading — honor that too.
-  if (cache_ != nullptr && !pin_primary && config_.read_target != ReadTarget::kPrimary) {
+  options.Arm(loop_->Now());
+  if (options.Expired(loop_->Now())) {
+    ShedRead(loop_->Now(), "read", callback);
+    return;
+  }
+  // Cache hot path: serve entries fresh under the *request's* effective
+  // staleness bound (and at or above its session version floor) without
+  // touching a storage node.
+  if (CacheEligible(options)) {
     Record cached;
-    if (cache_->LookupPoint(key, loop_->Now(), &cached)) {
+    if (cache_->LookupPoint(key, loop_->Now(), options, &cached)) {
       Time start = loop_->Now();
       loop_->ScheduleAfter(cache_->hit_service_time(),
                            [this, start, cached = std::move(cached),
@@ -150,12 +222,21 @@ void Router::Get(const std::string& key, bool pin_primary,
     callback(UnavailableError("partition has no replicas"));
     return;
   }
-  GetAttempt(key, ReadCandidates(partition, pin_primary), 0, loop_->Now(), std::move(callback));
+  GetAttempt(key, ReadCandidates(partition, options), 0, loop_->Now(), std::move(options),
+             std::move(callback));
 }
 
-void Router::GetFromReplica(const std::string& key, NodeId replica,
+void Router::Get(const std::string& key, bool pin_primary,
+                 std::function<void(Result<Record>)> callback) {
+  RequestOptions options;
+  options.read_mode = pin_primary ? ReadMode::kPrimaryOnly : ReadMode::kDefault;
+  Get(key, std::move(options), std::move(callback));
+}
+
+void Router::GetFromReplica(const std::string& key, NodeId replica, RequestOptions options,
                             std::function<void(Result<Record>)> callback) {
-  GetAttempt(key, {replica}, 0, loop_->Now(), std::move(callback));
+  options.Arm(loop_->Now());
+  GetAttempt(key, {replica}, 0, loop_->Now(), std::move(options), std::move(callback));
 }
 
 // ---------------------------------------------------------------- MultiGet
@@ -172,6 +253,7 @@ struct Router::MultiGetState {
   };
 
   Time start = 0;
+  RequestOptions options;  // shared deadline budget for the whole fan-out
   std::vector<std::optional<Result<Record>>> results;  // caller order
   std::vector<Fetch> fetches;
   size_t unresolved = 0;
@@ -192,6 +274,7 @@ void Router::FinishMultiGet(const std::shared_ptr<MultiGetState>& state) {
   for (const auto& slot : state->results) {
     bool ok = slot->ok() || IsNotFound(slot->status());
     FinishRead(state->start, ok);
+    if (!ok && IsDeadlineExceeded(slot->status())) ++window_.deadline_exceeded;
   }
   std::vector<Result<Record>> out;
   out.reserve(state->results.size());
@@ -201,6 +284,17 @@ void Router::FinishMultiGet(const std::shared_ptr<MultiGetState>& state) {
 
 void Router::DispatchMultiGet(const std::shared_ptr<MultiGetState>& state,
                               std::vector<size_t> fetch_ids) {
+  // Budget-exhausted shedding mid-fan-out: keys already answered keep their
+  // results; everything still pending (first dispatch or a redirect after a
+  // timed-out/shed sub-batch) resolves kDeadlineExceeded.
+  if (state->options.Expired(loop_->Now())) {
+    for (size_t fetch_id : fetch_ids) {
+      state->Resolve(fetch_id,
+                     DeadlineExceededError("multiget: deadline budget exhausted mid-fan-out"));
+    }
+    if (state->unresolved == 0) FinishMultiGet(state);
+    return;
+  }
   // Group the still-pending fetches by the node that should serve them now.
   std::map<NodeId, std::vector<size_t>> by_node;
   for (size_t fetch_id : fetch_ids) {
@@ -269,7 +363,8 @@ void Router::DispatchMultiGet(const std::shared_ptr<MultiGetState>& state,
       respond(std::move(reply));
     };
     pending->timeout_event = loop_->ScheduleAfter(
-        config_.request_timeout, [this, state, group, pending]() {
+        state->options.ClampTimeout(config_.request_timeout, loop_->Now()),
+        [this, state, group, pending]() {
           if (pending->done) return;
           pending->done = true;
           // The node (or the path to it) is unresponsive: move the whole
@@ -305,21 +400,29 @@ void Router::DispatchMultiGet(const std::shared_ptr<MultiGetState>& state,
   }
 }
 
-void Router::MultiGet(const std::vector<std::string>& keys, bool pin_primary,
+void Router::MultiGet(const std::vector<std::string>& keys, RequestOptions options,
                       std::function<void(std::vector<Result<Record>>)> callback) {
   if (keys.empty()) {
     callback({});
     return;
   }
+  options.Arm(loop_->Now());
   auto state = std::make_shared<MultiGetState>();
   state->start = loop_->Now();
+  state->options = options;
   state->results.resize(keys.size());
   state->callback = std::move(callback);
+  if (options.Expired(loop_->Now())) {
+    for (auto& slot : state->results) {
+      slot = Result<Record>(DeadlineExceededError("multiget: deadline budget exhausted"));
+    }
+    FinishMultiGet(state);
+    return;
+  }
 
   // Single pass over the key set: dedup, serve cache-fresh keys, and compute
   // each miss's replica candidate list from one ClusterState lookup.
-  bool cache_eligible =
-      cache_ != nullptr && !pin_primary && config_.read_target != ReadTarget::kPrimary;
+  bool cache_eligible = CacheEligible(options);
   std::map<std::string, size_t> fetch_index;  // key -> fetches index
   std::map<std::string, size_t> cached_slot;  // cache-hit key -> first slot
   for (size_t slot = 0; slot < keys.size(); ++slot) {
@@ -336,7 +439,7 @@ void Router::MultiGet(const std::vector<std::string>& keys, bool pin_primary,
     }
     if (cache_eligible) {
       Record cached;
-      if (cache_->LookupPoint(key, loop_->Now(), &cached)) {
+      if (cache_->LookupPoint(key, loop_->Now(), options, &cached)) {
         state->results[slot] = Result<Record>(std::move(cached));
         cached_slot.emplace(key, slot);
         continue;
@@ -345,7 +448,7 @@ void Router::MultiGet(const std::vector<std::string>& keys, bool pin_primary,
     MultiGetState::Fetch fetch;
     fetch.key = key;
     fetch.slots.push_back(slot);
-    fetch.candidates = ReadCandidates(cluster_->partitions()->ForKey(key), pin_primary);
+    fetch.candidates = ReadCandidates(cluster_->partitions()->ForKey(key), options);
     fetch_index.emplace(key, state->fetches.size());
     state->fetches.push_back(std::move(fetch));
   }
@@ -362,16 +465,30 @@ void Router::MultiGet(const std::vector<std::string>& keys, bool pin_primary,
   DispatchMultiGet(state, std::move(all));
 }
 
+void Router::MultiGet(const std::vector<std::string>& keys, bool pin_primary,
+                      std::function<void(std::vector<Result<Record>>)> callback) {
+  RequestOptions options;
+  options.read_mode = pin_primary ? ReadMode::kPrimaryOnly : ReadMode::kDefault;
+  MultiGet(keys, std::move(options), std::move(callback));
+}
+
 void Router::Scan(const std::string& start, const std::string& end, size_t limit,
-                  std::function<void(Result<std::vector<Record>>)> callback) {
+                  RequestOptions options, std::function<void(Result<std::vector<Record>>)> callback) {
   Time started = loop_->Now();
+  options.Arm(started);
+  if (options.Expired(started)) {
+    FinishRead(started, false);
+    ++window_.deadline_exceeded;
+    callback(DeadlineExceededError("scan: deadline budget exhausted"));
+    return;
+  }
   const PartitionInfo& partition = cluster_->partitions()->ForKey(start);
   if (!end.empty() && !(partition.end.empty() || end <= partition.end)) {
     FinishRead(started, false);
     callback(InvalidArgumentError("scan range spans partitions; fan out at the query layer"));
     return;
   }
-  NodeId target = ChooseReadReplica(partition, /*pin_primary=*/false);
+  NodeId target = ChooseReadReplica(partition, options);
   StorageNode* node = cluster_->GetNode(target);
   if (node == nullptr) {
     FinishRead(started, false);
@@ -384,11 +501,14 @@ void Router::Scan(const std::string& start, const std::string& end, size_t limit
     state->done = true;
     if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
     FinishRead(started, result.ok());
+    if (!result.ok() && IsDeadlineExceeded(result.status())) ++window_.deadline_exceeded;
     callback(std::move(result));
   };
+  bool budget_bound = false;
+  Duration timeout = ClampedTimeout(options, started, &budget_bound);
   state->timeout_event =
-      loop_->ScheduleAfter(config_.request_timeout, [respond]() mutable {
-        respond(UnavailableError("scan timeout"));
+      loop_->ScheduleAfter(timeout, [respond, budget_bound]() mutable {
+        respond(TimeoutStatus(budget_bound, "scan"));
       });
   NodeId self = client_id_;
   int64_t request_bytes = static_cast<int64_t>(start.size() + end.size()) + 16;
@@ -408,9 +528,13 @@ void Router::Scan(const std::string& start, const std::string& end, size_t limit
   });
 }
 
-void Router::SendWrite(const WalRecord& record, AckMode ack,
+void Router::SendWrite(const WalRecord& record, AckMode ack, const RequestOptions& options,
                        std::function<void(Status)> callback) {
   Time started = loop_->Now();
+  if (options.Expired(started)) {
+    ShedWrite(started, "write", callback);
+    return;
+  }
   const PartitionInfo& partition = cluster_->partitions()->ForKey(record.key);
   NodeId target = partition.primary();
   StorageNode* node = cluster_->GetNode(target);
@@ -428,6 +552,7 @@ void Router::SendWrite(const WalRecord& record, AckMode ack,
     state->done = true;
     if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
     FinishWrite(started, status.ok());
+    if (!status.ok() && IsDeadlineExceeded(status)) ++window_.deadline_exceeded;
     // Synchronous cache coherence: the entry is refreshed/invalidated
     // before the client learns the write committed, so no later read
     // through this router can see the predecessor value from cache.
@@ -440,9 +565,12 @@ void Router::SendWrite(const WalRecord& record, AckMode ack,
     }
     callback(std::move(status));
   };
+  bool budget_bound = false;
+  Duration timeout = ClampedTimeout(options, started, &budget_bound);
   state->timeout_event =
-      loop_->ScheduleAfter(config_.request_timeout, [respond]() mutable {
-        respond(UnavailableError("write timeout"));
+      loop_->ScheduleAfter(timeout, [respond, budget_bound]() mutable {
+        // Writes never retry (no idempotence token).
+        respond(TimeoutStatus(budget_bound, "write"));
       });
   PartitionId pid = partition.id;
   NodeId self = client_id_;
@@ -456,7 +584,7 @@ void Router::SendWrite(const WalRecord& record, AckMode ack,
   });
 }
 
-void Router::MultiWrite(std::vector<WriteOp> ops, AckMode ack,
+void Router::MultiWrite(std::vector<WriteOp> ops, AckMode ack, RequestOptions options,
                         std::function<void(std::vector<Status>)> callback) {
   if (ops.empty()) {
     callback({});
@@ -464,6 +592,18 @@ void Router::MultiWrite(std::vector<WriteOp> ops, AckMode ack,
   }
   const size_t n = ops.size();
   Time started = loop_->Now();
+  options.Arm(started);
+  if (options.Expired(started)) {
+    std::vector<Status> shed;
+    shed.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      FinishWrite(started, false);
+      ++window_.deadline_exceeded;
+      shed.push_back(TimeoutStatus(/*budget_bound=*/true, "multiwrite"));
+    }
+    callback(std::move(shed));
+    return;
+  }
   Version version{loop_->Now(), client_id_};
   struct BatchState {
     std::vector<WriteOp> ops;
@@ -489,7 +629,10 @@ void Router::MultiWrite(std::vector<WriteOp> ops, AckMode ack,
       auto it = state->winner_of.find(state->ops[i].key);
       if (it->second != i) state->statuses[i] = state->statuses[it->second];
     }
-    for (const Status& status : state->statuses) FinishWrite(started, status.ok());
+    for (const Status& status : state->statuses) {
+      FinishWrite(started, status.ok());
+      if (!status.ok() && IsDeadlineExceeded(status)) ++window_.deadline_exceeded;
+    }
     state->callback(std::move(state->statuses));
   };
 
@@ -557,11 +700,13 @@ void Router::MultiWrite(std::vector<WriteOp> ops, AckMode ack,
       }
       if (--state->groups_pending == 0) finalize();
     };
+    bool budget_bound = false;
+    Duration timeout = ClampedTimeout(options, loop_->Now(), &budget_bound);
     pending->timeout_event =
-        loop_->ScheduleAfter(config_.request_timeout, [respond, size = group.op_ids.size()] {
+        loop_->ScheduleAfter(timeout, [respond, budget_bound, size = group.op_ids.size()] {
           // Writes never retry (no idempotence token): the node's whole
           // sub-batch fails; other nodes' sub-batches are unaffected.
-          respond(std::vector<Status>(size, UnavailableError("write timeout")));
+          respond(std::vector<Status>(size, TimeoutStatus(budget_bound, "write")));
         });
     NodeId self = client_id_;
     network_->Send(self, target, group.bytes,
@@ -583,22 +728,24 @@ void Router::MultiWrite(std::vector<WriteOp> ops, AckMode ack,
 }
 
 void Router::Put(const std::string& key, const std::string& value, AckMode ack,
-                 std::function<void(Status)> callback) {
-  PutWithVersion(key, value, ack,
+                 RequestOptions options, std::function<void(Status)> callback) {
+  PutWithVersion(key, value, ack, std::move(options),
                  [callback = std::move(callback)](Result<Version> result) {
                    callback(result.ok() ? Status::Ok() : result.status());
                  });
 }
 
 void Router::PutWithVersion(const std::string& key, const std::string& value, AckMode ack,
+                            RequestOptions options,
                             std::function<void(Result<Version>)> callback) {
+  options.Arm(loop_->Now());
   WalRecord record;
   record.type = WalRecord::Type::kPut;
   record.key = key;
   record.value = value;
   record.version = Version{loop_->Now(), client_id_};
   Version stamped = record.version;
-  SendWrite(record, ack, [stamped, callback = std::move(callback)](Status status) {
+  SendWrite(record, ack, options, [stamped, callback = std::move(callback)](Status status) {
     if (status.ok()) {
       callback(stamped);
     } else {
@@ -607,21 +754,23 @@ void Router::PutWithVersion(const std::string& key, const std::string& value, Ac
   });
 }
 
-void Router::Delete(const std::string& key, AckMode ack, std::function<void(Status)> callback) {
-  DeleteWithVersion(key, ack,
+void Router::Delete(const std::string& key, AckMode ack, RequestOptions options,
+                    std::function<void(Status)> callback) {
+  DeleteWithVersion(key, ack, std::move(options),
                     [callback = std::move(callback)](Result<Version> result) {
                       callback(result.ok() ? Status::Ok() : result.status());
                     });
 }
 
-void Router::DeleteWithVersion(const std::string& key, AckMode ack,
+void Router::DeleteWithVersion(const std::string& key, AckMode ack, RequestOptions options,
                                std::function<void(Result<Version>)> callback) {
+  options.Arm(loop_->Now());
   WalRecord record;
   record.type = WalRecord::Type::kDelete;
   record.key = key;
   record.version = Version{loop_->Now(), client_id_};
   Version stamped = record.version;
-  SendWrite(record, ack, [stamped, callback = std::move(callback)](Status status) {
+  SendWrite(record, ack, options, [stamped, callback = std::move(callback)](Status status) {
     if (status.ok()) {
       callback(stamped);
     } else {
@@ -632,8 +781,13 @@ void Router::DeleteWithVersion(const std::string& key, AckMode ack,
 
 void Router::ConditionalPut(const std::string& key, const std::string& value,
                             std::optional<Version> expected, AckMode ack,
-                            std::function<void(Status)> callback) {
+                            RequestOptions options, std::function<void(Status)> callback) {
   Time started = loop_->Now();
+  options.Arm(started);
+  if (options.Expired(started)) {
+    ShedWrite(started, "conditional put", callback);
+    return;
+  }
   const PartitionInfo& partition = cluster_->partitions()->ForKey(key);
   NodeId target = partition.primary();
   StorageNode* node = cluster_->GetNode(target);
@@ -650,12 +804,15 @@ void Router::ConditionalPut(const std::string& key, const std::string& value,
     if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
     // kAborted is an answered request: the system worked, the CAS lost.
     FinishWrite(started, status.ok() || IsAborted(status));
+    if (!status.ok() && IsDeadlineExceeded(status)) ++window_.deadline_exceeded;
     if (cache_ != nullptr && status.ok()) cache_->OnPut(key, value, new_version, loop_->Now());
     callback(std::move(status));
   };
+  bool budget_bound = false;
+  Duration timeout = ClampedTimeout(options, started, &budget_bound);
   state->timeout_event =
-      loop_->ScheduleAfter(config_.request_timeout, [respond]() mutable {
-        respond(UnavailableError("write timeout"));
+      loop_->ScheduleAfter(timeout, [respond, budget_bound]() mutable {
+        respond(TimeoutStatus(budget_bound, "write"));
       });
   PartitionId pid = partition.id;
   NodeId self = client_id_;

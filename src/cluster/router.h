@@ -11,11 +11,13 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/cluster_state.h"
 #include "cluster/node.h"
 #include "common/histogram.h"
+#include "common/request_options.h"
 #include "common/rng.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
@@ -48,6 +50,10 @@ struct RouterWindow {
   int64_t reads_failed = 0;  ///< Timeout/unavailable/shed (NotFound is ok).
   int64_t writes_ok = 0;
   int64_t writes_failed = 0;
+  /// Requests shed because their deadline budget ran out (subset of the
+  /// *_failed counts above). The overload signal the SLA monitor and
+  /// Director read.
+  int64_t deadline_exceeded = 0;
 
   void MergeFrom(const RouterWindow& other);
 };
@@ -60,6 +66,9 @@ class Router {
 
   NodeId client_id() const { return client_id_; }
   RouterConfig* mutable_config() { return &config_; }
+  /// The simulation clock this router runs on (session/write-policy layers
+  /// use it to arm a RequestOptions budget at their own entry point).
+  EventLoop* loop() const { return loop_; }
 
   /// Attaches the staleness-aware read cache. Non-pinned point reads are
   /// then answered from cache when the entry's age is within the spec's
@@ -69,8 +78,19 @@ class Router {
   void set_cache(CacheDirectory* cache) { cache_ = cache; }
   CacheDirectory* cache() { return cache_; }
 
-  /// Point read. Replica choice follows config.read_target; `pin_primary`
-  /// forces the primary (used by serializable reads and session guarantees).
+  /// Point read under a per-request context. `options.read_mode` picks the
+  /// serving tier (cache / any replica / pinned primary), the effective
+  /// staleness bound and session version floor govern cache admission, and
+  /// the deadline budget bounds the whole attempt chain: each network
+  /// attempt's timeout is clamped to the remaining budget, the next replica
+  /// is tried only while budget remains, and an exhausted budget sheds with
+  /// kDeadlineExceeded (counted in RouterWindow::deadline_exceeded).
+  /// kLow-priority reads skip replica retries (shed-first under failure).
+  void Get(const std::string& key, RequestOptions options,
+           std::function<void(Result<Record>)> callback);
+
+  /// Deprecated pre-options shim: `pin_primary` maps to
+  /// ReadMode::kPrimaryOnly. Migrate to the RequestOptions form.
   void Get(const std::string& key, bool pin_primary,
            std::function<void(Result<Record>)> callback);
 
@@ -88,6 +108,15 @@ class Router {
   /// kResourceExhausted.) Returned records populate the cache with their
   /// serve-time watermarks, so the staleness bound holds exactly as on
   /// single reads.
+  /// The options-taking core: the fan-out shares one deadline budget —
+  /// per-node sub-batch timeouts are clamped to the remaining budget, a
+  /// shed/failed sub-batch redirects only while budget remains, and keys
+  /// still unresolved at expiry resolve kDeadlineExceeded (budget-exhausted
+  /// shedding mid-fan-out).
+  void MultiGet(const std::vector<std::string>& keys, RequestOptions options,
+                std::function<void(std::vector<Result<Record>>)> callback);
+
+  /// Deprecated pre-options shim (pin_primary -> ReadMode::kPrimaryOnly).
   void MultiGet(const std::vector<std::string>& keys, bool pin_primary,
                 std::function<void(std::vector<Result<Record>>)> callback);
 
@@ -106,43 +135,77 @@ class Router {
   /// so "apply in order" and "last wins" are the same outcome); the earlier
   /// ops report the winner's status. Writes do not retry (same contract as
   /// Put). Acked ops refresh/invalidate the cache before the callback runs.
-  void MultiWrite(std::vector<WriteOp> ops, AckMode ack,
+  void MultiWrite(std::vector<WriteOp> ops, AckMode ack, RequestOptions options,
                   std::function<void(std::vector<Status>)> callback);
+  void MultiWrite(std::vector<WriteOp> ops, AckMode ack,
+                  std::function<void(std::vector<Status>)> callback) {
+    MultiWrite(std::move(ops), ack, RequestOptions{}, std::move(callback));
+  }
 
   /// Range read [start, end) (single-partition ranges only: SCADS query
   /// compilation guarantees bounded ranges; cross-partition scans fan out at
   /// the query layer).
   void Scan(const std::string& start, const std::string& end, size_t limit,
-            std::function<void(Result<std::vector<Record>>)> callback);
+            RequestOptions options, std::function<void(Result<std::vector<Record>>)> callback);
+  void Scan(const std::string& start, const std::string& end, size_t limit,
+            std::function<void(Result<std::vector<Record>>)> callback) {
+    Scan(start, end, limit, RequestOptions{}, std::move(callback));
+  }
 
   /// Write with the given ack mode. The version is stamped here:
   /// {loop->Now(), client_id} — last-write-wins order is wall-clock time,
   /// writer id breaks ties.
   void Put(const std::string& key, const std::string& value, AckMode ack,
-           std::function<void(Status)> callback);
+           RequestOptions options, std::function<void(Status)> callback);
+  void Put(const std::string& key, const std::string& value, AckMode ack,
+           std::function<void(Status)> callback) {
+    Put(key, value, ack, RequestOptions{}, std::move(callback));
+  }
 
   /// Like Put, but reports the stamped version on success (session
   /// guarantees keep it as their token).
   void PutWithVersion(const std::string& key, const std::string& value, AckMode ack,
-                      std::function<void(Result<Version>)> callback);
+                      RequestOptions options, std::function<void(Result<Version>)> callback);
+  void PutWithVersion(const std::string& key, const std::string& value, AckMode ack,
+                      std::function<void(Result<Version>)> callback) {
+    PutWithVersion(key, value, ack, RequestOptions{}, std::move(callback));
+  }
 
   /// Tombstone write.
-  void Delete(const std::string& key, AckMode ack, std::function<void(Status)> callback);
+  void Delete(const std::string& key, AckMode ack, RequestOptions options,
+              std::function<void(Status)> callback);
+  void Delete(const std::string& key, AckMode ack, std::function<void(Status)> callback) {
+    Delete(key, ack, RequestOptions{}, std::move(callback));
+  }
 
   /// Like Delete, but reports the stamped version on success.
-  void DeleteWithVersion(const std::string& key, AckMode ack,
+  void DeleteWithVersion(const std::string& key, AckMode ack, RequestOptions options,
                          std::function<void(Result<Version>)> callback);
+  void DeleteWithVersion(const std::string& key, AckMode ack,
+                         std::function<void(Result<Version>)> callback) {
+    DeleteWithVersion(key, ack, RequestOptions{}, std::move(callback));
+  }
 
   /// Compare-and-set (serializable writes). `expected` empty = "must not
   /// exist".
   void ConditionalPut(const std::string& key, const std::string& value,
-                      std::optional<Version> expected, AckMode ack,
+                      std::optional<Version> expected, AckMode ack, RequestOptions options,
                       std::function<void(Status)> callback);
+  void ConditionalPut(const std::string& key, const std::string& value,
+                      std::optional<Version> expected, AckMode ack,
+                      std::function<void(Status)> callback) {
+    ConditionalPut(key, value, expected, ack, RequestOptions{}, std::move(callback));
+  }
 
   /// Read directly from a chosen replica (consistency layer uses this for
-  /// staleness-bounded and availability-prioritized reads).
-  void GetFromReplica(const std::string& key, NodeId replica,
+  /// staleness-bounded and availability-prioritized reads). The options
+  /// deadline bounds the single attempt; no other replica is tried.
+  void GetFromReplica(const std::string& key, NodeId replica, RequestOptions options,
                       std::function<void(Result<Record>)> callback);
+  void GetFromReplica(const std::string& key, NodeId replica,
+                      std::function<void(Result<Record>)> callback) {
+    GetFromReplica(key, replica, RequestOptions{}, std::move(callback));
+  }
 
   /// Records a read that was served from cache outside the Router (the
   /// staleness controller's hit path), so RouterWindow — the SLA monitor's
@@ -166,24 +229,44 @@ class Router {
                                              std::function<Result<T>()> timeout_result);
 
   void GetAttempt(const std::string& key, std::vector<NodeId> candidates, size_t index, Time start,
-                  std::function<void(Result<Record>)> callback);
+                  RequestOptions options, std::function<void(Result<Record>)> callback);
 
   struct MultiGetState;  // scatter-gather bookkeeping (defined in router.cc)
   /// Groups the given pending fetches by their current replica candidate and
   /// sends one sub-batch message per node; fetches whose candidates are
-  /// exhausted resolve kUnavailable.
+  /// exhausted resolve kUnavailable, and an exhausted deadline budget
+  /// resolves everything still pending kDeadlineExceeded.
   void DispatchMultiGet(const std::shared_ptr<MultiGetState>& state,
                         std::vector<size_t> fetch_ids);
   void FinishMultiGet(const std::shared_ptr<MultiGetState>& state);
   void FinishRead(Time start, bool ok);
   void FinishWrite(Time start, bool ok);
+  /// Fails a read with kDeadlineExceeded, counting the shed.
+  void ShedRead(Time start, std::string_view what,
+                const std::function<void(Result<Record>)>& callback);
+  /// Write-side twin of ShedRead (invokes `callback` synchronously).
+  void ShedWrite(Time start, std::string_view what,
+                 const std::function<void(Status)>& callback);
 
-  NodeId ChooseReadReplica(const PartitionInfo& partition, bool pin_primary);
+  /// May this request be answered from the attached cache?
+  bool CacheEligible(const RequestOptions& options) const;
+
+  /// The configured timeout clamped to the remaining budget. `*budget_bound`
+  /// reports whether the budget was the binding constraint — a fired
+  /// timeout is then the deadline expiring, not a lost node.
+  Duration ClampedTimeout(const RequestOptions& options, Time now, bool* budget_bound) const;
+  /// The status a fired timeout should carry (see ClampedTimeout).
+  static Status TimeoutStatus(bool budget_bound, std::string_view what);
+
+  NodeId ChooseReadReplica(const PartitionInfo& partition, const RequestOptions& options);
   /// The ordered replica candidates a read may try: the chosen first target,
-  /// then (for unpinned reads) up to read_retries alternates. Shared by Get
+  /// then (for unpinned reads) up to read_retries alternates — none for
+  /// kLow-priority requests, which shed instead of retrying. Shared by Get
   /// and MultiGet so single and batched reads pick replicas identically.
-  std::vector<NodeId> ReadCandidates(const PartitionInfo& partition, bool pin_primary);
-  void SendWrite(const WalRecord& record, AckMode ack, std::function<void(Status)> callback);
+  std::vector<NodeId> ReadCandidates(const PartitionInfo& partition,
+                                     const RequestOptions& options);
+  void SendWrite(const WalRecord& record, AckMode ack, const RequestOptions& options,
+                 std::function<void(Status)> callback);
 
   /// Caches `result` if it is a live record. `as_of` is the serving node's
   /// replication watermark snapshotted when it served the read.

@@ -5,9 +5,9 @@
 namespace scads {
 
 void SessionClient::Put(const std::string& key, const std::string& value, AckMode ack,
-                        std::function<void(Status)> callback) {
+                        RequestOptions options, std::function<void(Status)> callback) {
   router_->PutWithVersion(
-      key, value, ack,
+      key, value, ack, std::move(options),
       [this, key, callback = std::move(callback)](Result<Version> result) {
         if (result.ok() && guarantees_.read_your_writes) {
           write_tokens_[key] = WriteToken{*result, /*was_delete=*/false};
@@ -16,10 +16,10 @@ void SessionClient::Put(const std::string& key, const std::string& value, AckMod
       });
 }
 
-void SessionClient::Delete(const std::string& key, AckMode ack,
+void SessionClient::Delete(const std::string& key, AckMode ack, RequestOptions options,
                            std::function<void(Status)> callback) {
   router_->DeleteWithVersion(
-      key, ack,
+      key, ack, std::move(options),
       [this, key, callback = std::move(callback)](Result<Version> result) {
         if (result.ok() && guarantees_.read_your_writes) {
           write_tokens_[key] = WriteToken{*result, /*was_delete=*/true};
@@ -63,9 +63,42 @@ void SessionClient::RecordObservation(const std::string& key, const Result<Recor
   }
 }
 
-void SessionClient::Get(const std::string& key, std::function<void(Result<Record>)> callback) {
-  router_->Get(key, /*pin_primary=*/false,
-               [this, key, callback = std::move(callback)](Result<Record> result) mutable {
+std::optional<Version> SessionClient::VersionFloor(const std::string& key) const {
+  std::optional<Version> floor;
+  if (guarantees_.read_your_writes) {
+    auto it = write_tokens_.find(key);
+    if (it != write_tokens_.end()) floor = it->second.version;
+  }
+  if (guarantees_.monotonic_reads) {
+    auto it = read_tokens_.find(key);
+    if (it != read_tokens_.end() && (!floor.has_value() || *floor < it->second)) {
+      floor = it->second;
+    }
+  }
+  return floor;
+}
+
+void SessionClient::Get(const std::string& key, RequestOptions options,
+                        std::function<void(Result<Record>)> callback) {
+  // Arm here so one budget spans the replica read AND the primary-pinned
+  // fallback below — the fallback must not get a fresh full budget.
+  options.Arm(router_->loop()->Now());
+  // Tighten-only, as at the Scads facade: a looser override must not
+  // weaken the deployment-wide staleness guarantee.
+  if (spec_staleness_ > 0 && options.max_staleness.has_value() &&
+      *options.max_staleness > spec_staleness_) {
+    options.max_staleness = spec_staleness_;
+  }
+  // Pin the session token into the request: the cache bypasses entries (and
+  // replicas re-verify via SatisfiesTokens) below this floor.
+  std::optional<Version> floor = VersionFloor(key);
+  if (floor.has_value() &&
+      (!options.min_version.has_value() || *options.min_version < *floor)) {
+    options.min_version = floor;
+  }
+  router_->Get(key, options,
+               [this, key, options, callback = std::move(callback)](
+                   Result<Record> result) mutable {
                  if (SatisfiesTokens(key, result)) {
                    ++first_try_;
                    RecordObservation(key, result);
@@ -75,7 +108,9 @@ void SessionClient::Get(const std::string& key, std::function<void(Result<Record
                  // Stale replica: fall back to the primary, which serializes
                  // writes and therefore always satisfies both guarantees.
                  ++fallbacks_;
-                 router_->Get(key, /*pin_primary=*/true,
+                 RequestOptions pinned = std::move(options);
+                 pinned.read_mode = ReadMode::kPrimaryOnly;
+                 router_->Get(key, std::move(pinned),
                               [this, key, callback = std::move(callback)](
                                   Result<Record> fresh) mutable {
                                 RecordObservation(key, fresh);

@@ -11,10 +11,12 @@
 #define SCADS_CONSISTENCY_SESSION_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "cluster/router.h"
+#include "common/request_options.h"
 #include "consistency/spec.h"
 
 namespace scads {
@@ -22,19 +24,39 @@ namespace scads {
 /// One user session with configurable guarantees.
 class SessionClient {
  public:
-  SessionClient(Router* router, SessionGuarantees guarantees)
-      : router_(router), guarantees_(guarantees) {}
+  /// `spec_staleness` is the deployment spec's bound (0 = unbounded); like
+  /// the Scads facade, session reads clamp a looser per-request override
+  /// to it (tighten-only).
+  SessionClient(Router* router, SessionGuarantees guarantees, Duration spec_staleness = 0)
+      : router_(router), guarantees_(guarantees), spec_staleness_(spec_staleness) {}
 
-  /// Write; on success the session remembers the committed version.
+  /// Write; on success the session remembers the committed version. The
+  /// options deadline budget bounds the write.
   void Put(const std::string& key, const std::string& value, AckMode ack,
-           std::function<void(Status)> callback);
+           RequestOptions options, std::function<void(Status)> callback);
+  void Put(const std::string& key, const std::string& value, AckMode ack,
+           std::function<void(Status)> callback) {
+    Put(key, value, ack, RequestOptions{}, std::move(callback));
+  }
 
   /// Delete; the session remembers the tombstone version.
-  void Delete(const std::string& key, AckMode ack, std::function<void(Status)> callback);
+  void Delete(const std::string& key, AckMode ack, RequestOptions options,
+              std::function<void(Status)> callback);
+  void Delete(const std::string& key, AckMode ack, std::function<void(Status)> callback) {
+    Delete(key, ack, RequestOptions{}, std::move(callback));
+  }
 
-  /// Read honouring the session guarantees. May cost a second, primary-
-  /// pinned request when a replica served stale data.
-  void Get(const std::string& key, std::function<void(Result<Record>)> callback);
+  /// Read honouring the session guarantees. The session's version token is
+  /// pinned into options.min_version, so a cached entry older than this
+  /// session's latest observed write is *bypassed* (served from storage)
+  /// rather than violating read-your-writes — guarantees hold on cache hits
+  /// too, with no second request. A replica that still serves stale data
+  /// costs one primary-pinned fallback, as before.
+  void Get(const std::string& key, RequestOptions options,
+           std::function<void(Result<Record>)> callback);
+  void Get(const std::string& key, std::function<void(Result<Record>)> callback) {
+    Get(key, RequestOptions{}, std::move(callback));
+  }
 
   /// How many reads needed the primary fallback (stale replica answers).
   int64_t guarantee_fallbacks() const { return fallbacks_; }
@@ -49,9 +71,12 @@ class SessionClient {
 
   bool SatisfiesTokens(const std::string& key, const Result<Record>& result) const;
   void RecordObservation(const std::string& key, const Result<Record>& result);
+  /// The version floor this session's guarantees impose on reads of `key`.
+  std::optional<Version> VersionFloor(const std::string& key) const;
 
   Router* router_;
   SessionGuarantees guarantees_;
+  Duration spec_staleness_;
   std::unordered_map<std::string, WriteToken> write_tokens_;
   std::unordered_map<std::string, Version> read_tokens_;
   int64_t fallbacks_ = 0;

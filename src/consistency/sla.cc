@@ -29,9 +29,50 @@ SlaReport SlaMonitor::Evaluate(const RouterWindow& window, Time now) {
         static_cast<double>(window.reads_ok + window.writes_ok) / static_cast<double>(total);
     report.availability_ok = report.availability >= sla_.min_availability;
   }
+  report.deadline_exceeded = window.deadline_exceeded;
   ++windows_;
   if (!report.ok()) ++violations_;
   return report;
+}
+
+void TemplateSlaAccountant::RegisterTemplate(const std::string& name, Duration deadline,
+                                             Duration staleness) {
+  TemplateStats& stats = stats_[name];
+  stats.deadline = deadline;
+  stats.staleness = staleness;
+}
+
+void TemplateSlaAccountant::Record(const std::string& name, const Status& status) {
+  TemplateStats& stats = stats_[name];
+  ++stats.issued;
+  if (status.ok()) {
+    ++stats.ok;
+  } else if (IsDeadlineExceeded(status)) {
+    ++stats.deadline_exceeded;
+  } else {
+    ++stats.other_failures;
+  }
+}
+
+TemplateSlaAccountant::TemplateStats TemplateSlaAccountant::stats(
+    const std::string& name) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? TemplateStats{} : it->second;
+}
+
+std::string TemplateSlaAccountant::ToString() const {
+  std::string out;
+  for (const auto& [name, stats] : stats_) {
+    out += StrFormat("%-24s deadline=%-8s staleness=%-8s issued=%lld ok=%lld "
+                     "deadline_exceeded=%lld failed=%lld\n",
+                     name.c_str(),
+                     stats.deadline > 0 ? FormatDuration(stats.deadline).c_str() : "-",
+                     stats.staleness > 0 ? FormatDuration(stats.staleness).c_str() : "-",
+                     static_cast<long long>(stats.issued), static_cast<long long>(stats.ok),
+                     static_cast<long long>(stats.deadline_exceeded),
+                     static_cast<long long>(stats.other_failures));
+  }
+  return out;
 }
 
 }  // namespace scads

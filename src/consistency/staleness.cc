@@ -7,26 +7,34 @@
 
 namespace scads {
 
-NodeId StalenessController::FreshEnoughReplica(const PartitionInfo& partition) const {
+NodeId StalenessController::FreshEnoughReplica(const PartitionInfo& partition,
+                                               Duration bound) const {
   Time now = loop_->Now();
   for (size_t i = 1; i < partition.replicas.size(); ++i) {
     NodeId id = partition.replicas[i];
     StorageNode* node = cluster_->GetNode(id);
     if (node == nullptr || !cluster_->IsAlive(id)) continue;
     Time watermark = node->replicated_through(partition.id);
-    if (bound_ == 0 || now - watermark <= bound_) return id;
+    if (bound == 0 || now - watermark <= bound) return id;
   }
   return kInvalidNode;
 }
 
-void StalenessController::Get(const std::string& key,
+void StalenessController::Get(const std::string& key, RequestOptions options,
                               std::function<void(Result<Record>)> callback) {
-  // Cache first: an entry whose age is within the bound is as good as a
-  // fresh-enough replica, minus the two network hops.
-  if (cache_ != nullptr) {
+  options.Arm(loop_->Now());
+  // Explicit primary pin: no replica/cache reasoning to do here.
+  if (options.read_mode == ReadMode::kPrimaryOnly) {
+    router_->Get(key, std::move(options), std::move(callback));
+    return;
+  }
+  Duration bound = options.EffectiveStaleness(bound_);
+  // Cache first: an entry whose age is within the *request's* bound is as
+  // good as a fresh-enough replica, minus the two network hops.
+  if (cache_ != nullptr && options.read_mode != ReadMode::kAnyReplica) {
     Record cached;
     Time start = loop_->Now();
-    if (cache_->LookupPoint(key, start, &cached)) {
+    if (cache_->LookupPoint(key, start, options, &cached)) {
       ++stats_.cache_hits;
       loop_->ScheduleAfter(cache_->hit_service_time(),
                            [this, start, cached = std::move(cached),
@@ -39,19 +47,29 @@ void StalenessController::Get(const std::string& key,
     }
   }
   const PartitionInfo& partition = cluster_->partitions()->ForKey(key);
-  NodeId replica = FreshEnoughReplica(partition);
+  NodeId replica = FreshEnoughReplica(partition, bound);
   if (replica != kInvalidNode) {
     ++stats_.fresh_replica_reads;
-    router_->GetFromReplica(key, replica, std::move(callback));
+    router_->GetFromReplica(key, replica, std::move(options), std::move(callback));
     return;
   }
-  // No secondary can prove freshness: escalate to the primary (always
-  // current). If that fails, the declared priority order decides.
+  // No secondary can prove freshness under the effective bound: escalate to
+  // the primary (always current). If that fails, the declared priority
+  // order decides.
   ++stats_.primary_escalations;
+  RequestOptions pinned = options;
+  pinned.read_mode = ReadMode::kPrimaryOnly;
   router_->Get(
-      key, /*pin_primary=*/true,
-      [this, key, callback = std::move(callback)](Result<Record> result) mutable {
+      key, std::move(pinned),
+      [this, key, options = std::move(options),
+       callback = std::move(callback)](Result<Record> result) mutable {
         if (result.ok() || IsNotFound(result.status())) {
+          callback(std::move(result));
+          return;
+        }
+        // An exhausted deadline budget is terminal: the fallback read would
+        // only arrive after the deadline anyway.
+        if (IsDeadlineExceeded(result.status())) {
           callback(std::move(result));
           return;
         }
@@ -77,7 +95,7 @@ void StalenessController::Get(const std::string& key,
           return;
         }
         ++stats_.stale_served;
-        router_->GetFromReplica(key, fallback, std::move(callback));
+        router_->GetFromReplica(key, fallback, std::move(options), std::move(callback));
       });
 }
 

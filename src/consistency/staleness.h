@@ -17,6 +17,7 @@
 
 #include "cluster/cluster_state.h"
 #include "cluster/router.h"
+#include "common/request_options.h"
 #include "consistency/spec.h"
 #include "sim/event_loop.h"
 
@@ -49,18 +50,28 @@ class StalenessController {
   /// watermark check below does, so the freshness guarantee is unchanged).
   void set_cache(CacheDirectory* cache) { cache_ = cache; }
 
-  /// Reads `key` under the staleness bound. The result's freshness
-  /// guarantee: unless stats().stale_served counted it, the value reflects
-  /// every write older than the bound.
-  void Get(const std::string& key, std::function<void(Result<Record>)> callback);
+  /// Reads `key` under the *request's* effective staleness bound (the
+  /// options override when present, the spec bound otherwise). The result's
+  /// freshness guarantee: unless stats().stale_served counted it, the value
+  /// reflects every write older than that bound. The options deadline
+  /// budget bounds the whole escalation chain; an exhausted budget surfaces
+  /// kDeadlineExceeded without the availability-first fallback (the budget
+  /// is gone either way — shed, don't pile on).
+  void Get(const std::string& key, RequestOptions options,
+           std::function<void(Result<Record>)> callback);
+
+  /// Deprecated pre-options shim.
+  void Get(const std::string& key, std::function<void(Result<Record>)> callback) {
+    Get(key, RequestOptions{}, std::move(callback));
+  }
 
   const StalenessStats& stats() const { return stats_; }
   Duration bound() const { return bound_; }
 
  private:
-  /// A replica (non-primary) whose watermark satisfies the bound, or
+  /// A replica (non-primary) whose watermark satisfies `bound`, or
   /// kInvalidNode.
-  NodeId FreshEnoughReplica(const PartitionInfo& partition) const;
+  NodeId FreshEnoughReplica(const PartitionInfo& partition, Duration bound) const;
 
   EventLoop* loop_;
   Router* router_;

@@ -7,34 +7,42 @@
 namespace scads {
 
 void WritePolicy::Put(const std::string& key, const std::string& value, AckMode ack,
-                      std::function<void(Status)> callback) {
+                      RequestOptions options, std::function<void(Status)> callback) {
   ++stats_.writes_attempted;
+  // Arm here so one budget spans the read, the CAS, and every retry — a
+  // retry attempt must not re-arm a fresh budget.
+  options.Arm(router_->loop()->Now());
   switch (mode_) {
     case WriteConsistency::kLastWriteWins:
-      router_->Put(key, value, ack, [this, callback = std::move(callback)](Status status) {
+      router_->Put(key, value, ack, std::move(options),
+                   [this, callback = std::move(callback)](Status status) {
         if (status.ok()) ++stats_.writes_committed;
         callback(std::move(status));
       });
       return;
     case WriteConsistency::kSerializable:
-      SerializableAttempt(key, value, ack, max_retries_, std::move(callback));
+      SerializableAttempt(key, value, ack, std::move(options), max_retries_,
+                          std::move(callback));
       return;
     case WriteConsistency::kMergeFunction:
       SCADS_CHECK(merge_ != nullptr);
-      MergeAttempt(key, value, ack, max_retries_, std::move(callback));
+      MergeAttempt(key, value, ack, std::move(options), max_retries_, std::move(callback));
       return;
   }
 }
 
 void WritePolicy::SerializableAttempt(const std::string& key, const std::string& value,
-                                      AckMode ack, int attempts_left,
+                                      AckMode ack, RequestOptions options, int attempts_left,
                                       std::function<void(Status)> callback) {
   // Serializable writes are CAS against the version this writer last saw;
-  // we read from the primary, then install conditioned on that version.
+  // we read from the primary, then install conditioned on that version. The
+  // options deadline budget spans the read, the CAS, and every retry.
+  RequestOptions read_options = options;
+  read_options.read_mode = ReadMode::kPrimaryOnly;
   router_->Get(
-      key, /*pin_primary=*/true,
-      [this, key, value, ack, attempts_left, callback = std::move(callback)](
-          Result<Record> current) mutable {
+      key, std::move(read_options),
+      [this, key, value, ack, options = std::move(options), attempts_left,
+       callback = std::move(callback)](Result<Record> current) mutable {
         std::optional<Version> expected;
         if (current.ok()) {
           expected = current->version;
@@ -43,8 +51,8 @@ void WritePolicy::SerializableAttempt(const std::string& key, const std::string&
           return;
         }
         router_->ConditionalPut(
-            key, value, expected, ack,
-            [this, key, value, ack, attempts_left,
+            key, value, expected, ack, options,
+            [this, key, value, ack, options, attempts_left,
              callback = std::move(callback)](Status status) mutable {
               if (status.ok()) {
                 ++stats_.writes_committed;
@@ -53,7 +61,8 @@ void WritePolicy::SerializableAttempt(const std::string& key, const std::string&
               }
               if (IsAborted(status) && attempts_left > 0) {
                 ++stats_.conflicts_retried;
-                SerializableAttempt(key, value, ack, attempts_left - 1, std::move(callback));
+                SerializableAttempt(key, value, ack, std::move(options), attempts_left - 1,
+                                    std::move(callback));
                 return;
               }
               if (IsAborted(status)) ++stats_.conflicts_failed;
@@ -63,11 +72,14 @@ void WritePolicy::SerializableAttempt(const std::string& key, const std::string&
 }
 
 void WritePolicy::MergeAttempt(const std::string& key, const std::string& value, AckMode ack,
-                               int attempts_left, std::function<void(Status)> callback) {
+                               RequestOptions options, int attempts_left,
+                               std::function<void(Status)> callback) {
+  RequestOptions read_options = options;
+  read_options.read_mode = ReadMode::kPrimaryOnly;
   router_->Get(
-      key, /*pin_primary=*/true,
-      [this, key, value, ack, attempts_left, callback = std::move(callback)](
-          Result<Record> current) mutable {
+      key, std::move(read_options),
+      [this, key, value, ack, options = std::move(options), attempts_left,
+       callback = std::move(callback)](Result<Record> current) mutable {
         std::optional<Version> expected;
         std::string to_write = value;
         if (current.ok()) {
@@ -79,8 +91,8 @@ void WritePolicy::MergeAttempt(const std::string& key, const std::string& value,
           return;
         }
         router_->ConditionalPut(
-            key, to_write, expected, ack,
-            [this, key, value, ack, attempts_left,
+            key, to_write, expected, ack, options,
+            [this, key, value, ack, options, attempts_left,
              callback = std::move(callback)](Status status) mutable {
               if (status.ok()) {
                 ++stats_.writes_committed;
@@ -91,7 +103,8 @@ void WritePolicy::MergeAttempt(const std::string& key, const std::string& value,
                 // Someone raced us: re-read, re-merge, retry. No update is
                 // lost — the merge folds our value into the newer state.
                 ++stats_.conflicts_retried;
-                MergeAttempt(key, value, ack, attempts_left - 1, std::move(callback));
+                MergeAttempt(key, value, ack, std::move(options), attempts_left - 1,
+                             std::move(callback));
                 return;
               }
               if (IsAborted(status)) ++stats_.conflicts_failed;

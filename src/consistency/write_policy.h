@@ -38,18 +38,25 @@ class WritePolicy {
   /// Writes `value` to `key` under the policy. For kSerializable the write
   /// fails with kAborted when it loses the race `max_retries` times; for
   /// kMergeFunction the merge loop retries until the CAS lands (or budget
-  /// exhausts).
+  /// exhausts). The options deadline budget spans the whole loop — read,
+  /// CAS, and retries — so a bounded write cannot spiral under contention.
   void Put(const std::string& key, const std::string& value, AckMode ack,
-           std::function<void(Status)> callback);
+           RequestOptions options, std::function<void(Status)> callback);
+  void Put(const std::string& key, const std::string& value, AckMode ack,
+           std::function<void(Status)> callback) {
+    Put(key, value, ack, RequestOptions{}, std::move(callback));
+  }
 
   const WritePolicyStats& stats() const { return stats_; }
   WriteConsistency mode() const { return mode_; }
 
  private:
   void SerializableAttempt(const std::string& key, const std::string& value, AckMode ack,
-                           int attempts_left, std::function<void(Status)> callback);
+                           RequestOptions options, int attempts_left,
+                           std::function<void(Status)> callback);
   void MergeAttempt(const std::string& key, const std::string& value, AckMode ack,
-                    int attempts_left, std::function<void(Status)> callback);
+                    RequestOptions options, int attempts_left,
+                    std::function<void(Status)> callback);
 
   Router* router_;
   WriteConsistency mode_;

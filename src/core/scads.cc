@@ -11,6 +11,15 @@ namespace {
 constexpr NodeId kRouterClientId = 1 << 20;  // outside the instance id range
 }  // namespace
 
+void Scads::ClampStaleness(RequestOptions* options) const {
+  // Tighten-only: an ad-hoc override looser than the deployment spec would
+  // bypass the guarantee RegisterQuery's WITH-clause validation protects.
+  if (spec_.max_staleness > 0 && options->max_staleness.has_value() &&
+      *options->max_staleness > spec_.max_staleness) {
+    options->max_staleness = spec_.max_staleness;
+  }
+}
+
 Scads::Scads(ScadsOptions options)
     : options_(options),
       loop_(),
@@ -76,14 +85,33 @@ Result<QueryBounds> Scads::RegisterQuery(const std::string& name, const std::str
   if (queries_.count(name) > 0) return AlreadyExistsError(name);
   Result<QueryTemplate> ast = ParseQueryTemplate(sql);
   if (!ast.ok()) return ast.status();
+  // Per-template bounds are validated against the deployment spec at
+  // registration — the PIQL discipline: a template cannot promise its
+  // callers less staleness enforcement than the deployment guarantees, so a
+  // WITH STALENESS looser than the spec's bound is a registration error.
+  if (ast->staleness_bound.has_value() && spec_.max_staleness > 0 &&
+      *ast->staleness_bound > spec_.max_staleness) {
+    return InvalidArgumentError(StrFormat(
+        "WITH STALENESS %s exceeds the deployment spec bound %s",
+        FormatDuration(*ast->staleness_bound).c_str(),
+        FormatDuration(spec_.max_staleness).c_str()));
+  }
   Result<QueryBounds> bounds = AnalyzeTemplate(catalog_, *ast);
   if (!bounds.ok()) return bounds.status();
   Result<QueryPlan> plan = PlanQuery(catalog_, name, *ast, *bounds);
   if (!plan.ok()) return plan.status();
   for (const IndexPlan& index_plan : plan->plans) {
-    SCADS_RETURN_IF_ERROR(maintainer_->RegisterPlan(
-        index_plan, spec_.max_staleness > 0 ? spec_.max_staleness : kMinute));
+    // Index freshness targets the tighter of the template's own staleness
+    // bound and the deployment spec, so a WITH STALENESS 1s template gets
+    // its index maintained to 1s, not the deployment-wide default.
+    Duration freshness = spec_.max_staleness > 0 ? spec_.max_staleness : kMinute;
+    if (ast->staleness_bound.has_value() && *ast->staleness_bound < freshness) {
+      freshness = *ast->staleness_bound;
+    }
+    SCADS_RETURN_IF_ERROR(maintainer_->RegisterPlan(index_plan, freshness));
   }
+  template_sla_.RegisterTemplate(name, ast->deadline.value_or(0),
+                                 ast->staleness_bound.value_or(0));
   QueryBounds out = *bounds;
   queries_.emplace(name, std::move(plan).value());
   return out;
@@ -158,7 +186,7 @@ void Scads::DrainIndexQueue(Duration max_wait) {
   loop_.RunFor(100 * kMillisecond);
 }
 
-void Scads::PutRow(const std::string& entity_name, const Row& row,
+void Scads::PutRow(const std::string& entity_name, const Row& row, RequestOptions options,
                    std::function<void(Status)> callback) {
   const EntityDef* entity = catalog_.Get(entity_name);
   if (entity == nullptr) {
@@ -170,10 +198,14 @@ void Scads::PutRow(const std::string& entity_name, const Row& row,
     callback(key.status());
     return;
   }
+  // One budget spans the whole read-modify-write chain.
+  options.Arm(loop_.Now());
   // Read the old image (index maintenance needs it), then write through the
   // spec's write policy, then fan out maintenance.
-  router_->Get(*key, /*pin_primary=*/true,
-               [this, entity, row, key = *key,
+  RequestOptions read_options = options;
+  read_options.read_mode = ReadMode::kPrimaryOnly;
+  router_->Get(*key, std::move(read_options),
+               [this, entity, row, key = *key, options = std::move(options),
                 callback = std::move(callback)](Result<Record> old_record) mutable {
                  std::optional<Row> old_row;
                  if (old_record.ok()) {
@@ -182,6 +214,7 @@ void Scads::PutRow(const std::string& entity_name, const Row& row,
                  }
                  write_policy_->Put(
                      key, EncodeRow(*entity, row), durability_plan_.ack_mode,
+                     std::move(options),
                      [this, entity, row, old_row = std::move(old_row),
                       callback = std::move(callback)](Status status) mutable {
                        if (status.ok()) {
@@ -192,7 +225,7 @@ void Scads::PutRow(const std::string& entity_name, const Row& row,
                });
 }
 
-void Scads::DeleteRow(const std::string& entity_name, const Row& row,
+void Scads::DeleteRow(const std::string& entity_name, const Row& row, RequestOptions options,
                       std::function<void(Status)> callback) {
   const EntityDef* entity = catalog_.Get(entity_name);
   if (entity == nullptr) {
@@ -204,15 +237,18 @@ void Scads::DeleteRow(const std::string& entity_name, const Row& row,
     callback(key.status());
     return;
   }
-  router_->Get(*key, /*pin_primary=*/true,
-               [this, entity, key = *key,
+  options.Arm(loop_.Now());
+  RequestOptions read_options = options;
+  read_options.read_mode = ReadMode::kPrimaryOnly;
+  router_->Get(*key, std::move(read_options),
+               [this, entity, key = *key, options = std::move(options),
                 callback = std::move(callback)](Result<Record> old_record) mutable {
                  std::optional<Row> old_row;
                  if (old_record.ok()) {
                    Result<Row> decoded = DecodeRow(*entity, old_record->value);
                    if (decoded.ok()) old_row = std::move(decoded).value();
                  }
-                 router_->Delete(key, durability_plan_.ack_mode,
+                 router_->Delete(key, durability_plan_.ack_mode, std::move(options),
                                  [this, entity, old_row = std::move(old_row),
                                   callback = std::move(callback)](Status status) mutable {
                                    if (status.ok() && old_row.has_value()) {
@@ -224,7 +260,7 @@ void Scads::DeleteRow(const std::string& entity_name, const Row& row,
                });
 }
 
-void Scads::GetRow(const std::string& entity_name, const Row& key_row,
+void Scads::GetRow(const std::string& entity_name, const Row& key_row, RequestOptions options,
                    std::function<void(Result<Row>)> callback) {
   const EntityDef* entity = catalog_.Get(entity_name);
   if (entity == nullptr) {
@@ -236,7 +272,10 @@ void Scads::GetRow(const std::string& entity_name, const Row& key_row,
     callback(key.status());
     return;
   }
-  staleness_->Get(*key, [entity, callback = std::move(callback)](Result<Record> record) {
+  options.Arm(loop_.Now());
+  ClampStaleness(&options);
+  staleness_->Get(*key, std::move(options),
+                  [entity, callback = std::move(callback)](Result<Record> record) {
     if (!record.ok()) {
       callback(record.status());
       return;
@@ -245,18 +284,37 @@ void Scads::GetRow(const std::string& entity_name, const Row& key_row,
   });
 }
 
-void Scads::Query(const std::string& name, const ParamMap& params,
+void Scads::Query(const std::string& name, const ParamMap& params, RequestOptions options,
                   std::function<void(Result<std::vector<Row>>)> callback) {
   auto it = queries_.find(name);
   if (it == queries_.end()) {
     callback(NotFoundError("query " + name));
     return;
   }
-  executor_->Execute(it->second, params, std::move(callback));
+  // The template's WITH-clause bounds are the defaults; explicit caller
+  // options win. Arm after merging so the template deadline becomes a real
+  // budget from this call's entry.
+  const QueryTemplate& ast = it->second.ast;
+  if (!options.max_staleness.has_value() && ast.staleness_bound.has_value()) {
+    options.max_staleness = ast.staleness_bound;
+  }
+  if (options.deadline == 0 && options.deadline_at == 0 && ast.deadline.has_value()) {
+    options.deadline = *ast.deadline;
+  }
+  options.Arm(loop_.Now());
+  ClampStaleness(&options);
+  // Every execution lands in the per-template SLA ledger — notably the
+  // kDeadlineExceeded sheds the deadline budget produces.
+  auto accounted = [this, name, callback = std::move(callback)](
+                       Result<std::vector<Row>> rows) mutable {
+    template_sla_.Record(name, rows.ok() ? Status::Ok() : rows.status());
+    callback(std::move(rows));
+  };
+  executor_->Execute(it->second, params, std::move(options), std::move(accounted));
 }
 
 std::unique_ptr<SessionClient> Scads::NewSession() {
-  return std::make_unique<SessionClient>(router_.get(), spec_.session);
+  return std::make_unique<SessionClient>(router_.get(), spec_.session, spec_.max_staleness);
 }
 
 std::string Scads::RenderMaintenanceTable() const {
@@ -284,28 +342,36 @@ T Scads::AwaitSync(std::function<void(std::function<void(T)>)> start, Duration m
   return std::move(*box->value);
 }
 
-Status Scads::PutRowSync(const std::string& entity, const Row& row) {
+Status Scads::PutRowSync(const std::string& entity, const Row& row, RequestOptions options) {
   return AwaitSync<Status>(
-      [&](std::function<void(Status)> done) { PutRow(entity, row, std::move(done)); },
+      [&](std::function<void(Status)> done) {
+        PutRow(entity, row, std::move(options), std::move(done));
+      },
       kMinute);
 }
 
-Status Scads::DeleteRowSync(const std::string& entity, const Row& row) {
+Status Scads::DeleteRowSync(const std::string& entity, const Row& row, RequestOptions options) {
   return AwaitSync<Status>(
-      [&](std::function<void(Status)> done) { DeleteRow(entity, row, std::move(done)); },
+      [&](std::function<void(Status)> done) {
+        DeleteRow(entity, row, std::move(options), std::move(done));
+      },
       kMinute);
 }
 
-Result<Row> Scads::GetRowSync(const std::string& entity, const Row& key_row) {
+Result<Row> Scads::GetRowSync(const std::string& entity, const Row& key_row,
+                              RequestOptions options) {
   return AwaitSync<Result<Row>>(
-      [&](std::function<void(Result<Row>)> done) { GetRow(entity, key_row, std::move(done)); },
+      [&](std::function<void(Result<Row>)> done) {
+        GetRow(entity, key_row, std::move(options), std::move(done));
+      },
       kMinute);
 }
 
-Result<std::vector<Row>> Scads::QuerySync(const std::string& name, const ParamMap& params) {
+Result<std::vector<Row>> Scads::QuerySync(const std::string& name, const ParamMap& params,
+                                          RequestOptions options) {
   return AwaitSync<Result<std::vector<Row>>>(
       [&](std::function<void(Result<std::vector<Row>>)> done) {
-        Query(name, params, std::move(done));
+        Query(name, params, std::move(options), std::move(done));
       },
       kMinute);
 }

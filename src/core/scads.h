@@ -11,10 +11,13 @@
 //   options.consistency_spec = "staleness: 10s\nwrites: last_write_wins\n";
 //   auto scads = Scads::Create(options);
 //   (*scads)->DefineEntity(...);
-//   (*scads)->RegisterQuery("friends", "SELECT p.* FROM ...");
+//   (*scads)->RegisterQuery("friends", "SELECT p.* FROM ... WITH DEADLINE 50ms");
 //   (*scads)->Start();
-//   (*scads)->PutRowSync("profiles", row);
-//   auto rows = (*scads)->QuerySync("friends", {{"user_id", Value(7)}});
+//   (*scads)->PutRowSync("profiles", row, RequestOptions{});
+//   RequestOptions fresh;                       // per-request dial
+//   fresh.max_staleness = 500 * kMillisecond;   // tighter than the spec
+//   fresh.deadline = 10 * kMillisecond;         // total latency budget
+//   auto rows = (*scads)->QuerySync("friends", {{"user_id", Value(7)}}, fresh);
 
 #ifndef SCADS_CORE_SCADS_H_
 #define SCADS_CORE_SCADS_H_
@@ -113,26 +116,69 @@ class Scads {
   void DrainIndexQueue(Duration max_wait = 5 * kMinute);
 
   // --- data plane ----------------------------------------------------------
+  //
+  // Every operation takes a RequestOptions context: staleness override,
+  // read mode, deadline budget, session version floor, priority (see
+  // common/request_options.h). The options-taking async methods are the
+  // core; each *Sync form is the same call through one generic wrapper that
+  // pumps the simulation until the callback fires. The options-less
+  // overloads are deprecated shims (RequestOptions{} reproduces the old
+  // behaviour exactly) kept so callers migrate incrementally.
 
   /// Upserts a row (write policy per the consistency spec) and triggers
-  /// index maintenance.
-  void PutRow(const std::string& entity, const Row& row, std::function<void(Status)> callback);
-  Status PutRowSync(const std::string& entity, const Row& row);
+  /// index maintenance. The deadline budget spans the read-modify-write.
+  void PutRow(const std::string& entity, const Row& row, RequestOptions options,
+              std::function<void(Status)> callback);
+  Status PutRowSync(const std::string& entity, const Row& row, RequestOptions options);
 
   /// Deletes a row by its key fields.
-  void DeleteRow(const std::string& entity, const Row& row,
+  void DeleteRow(const std::string& entity, const Row& row, RequestOptions options,
                  std::function<void(Status)> callback);
-  Status DeleteRowSync(const std::string& entity, const Row& row);
+  Status DeleteRowSync(const std::string& entity, const Row& row, RequestOptions options);
 
-  /// Point-reads a row by key under the staleness bound.
-  void GetRow(const std::string& entity, const Row& key_row,
+  /// Point-reads a row by key under the request's effective staleness
+  /// bound (the per-request override when present, the spec bound
+  /// otherwise).
+  void GetRow(const std::string& entity, const Row& key_row, RequestOptions options,
               std::function<void(Result<Row>)> callback);
-  Result<Row> GetRowSync(const std::string& entity, const Row& key_row);
+  Result<Row> GetRowSync(const std::string& entity, const Row& key_row, RequestOptions options);
 
-  /// Executes a registered query.
-  void Query(const std::string& name, const ParamMap& params,
+  /// Executes a registered query. Per-template bounds from the WITH clause
+  /// are the defaults; explicit `options` fields override them. Outcomes
+  /// are accounted per template in template_sla().
+  void Query(const std::string& name, const ParamMap& params, RequestOptions options,
              std::function<void(Result<std::vector<Row>>)> callback);
-  Result<std::vector<Row>> QuerySync(const std::string& name, const ParamMap& params);
+  Result<std::vector<Row>> QuerySync(const std::string& name, const ParamMap& params,
+                                     RequestOptions options);
+
+  // Deprecated pre-options shims.
+  void PutRow(const std::string& entity, const Row& row, std::function<void(Status)> callback) {
+    PutRow(entity, row, RequestOptions{}, std::move(callback));
+  }
+  Status PutRowSync(const std::string& entity, const Row& row) {
+    return PutRowSync(entity, row, RequestOptions{});
+  }
+  void DeleteRow(const std::string& entity, const Row& row,
+                 std::function<void(Status)> callback) {
+    DeleteRow(entity, row, RequestOptions{}, std::move(callback));
+  }
+  Status DeleteRowSync(const std::string& entity, const Row& row) {
+    return DeleteRowSync(entity, row, RequestOptions{});
+  }
+  void GetRow(const std::string& entity, const Row& key_row,
+              std::function<void(Result<Row>)> callback) {
+    GetRow(entity, key_row, RequestOptions{}, std::move(callback));
+  }
+  Result<Row> GetRowSync(const std::string& entity, const Row& key_row) {
+    return GetRowSync(entity, key_row, RequestOptions{});
+  }
+  void Query(const std::string& name, const ParamMap& params,
+             std::function<void(Result<std::vector<Row>>)> callback) {
+    Query(name, params, RequestOptions{}, std::move(callback));
+  }
+  Result<std::vector<Row>> QuerySync(const std::string& name, const ParamMap& params) {
+    return QuerySync(name, params, RequestOptions{});
+  }
 
   /// New client session honouring the spec's session guarantees.
   std::unique_ptr<SessionClient> NewSession();
@@ -152,6 +198,9 @@ class Scads {
   Director* director() { return director_.get(); }
   WritePolicy* write_policy() { return write_policy_.get(); }
   StalenessController* staleness() { return staleness_.get(); }
+  /// Per-query-template SLA ledger (issued / ok / deadline_exceeded per
+  /// registered template, with its WITH-clause bounds).
+  TemplateSlaAccountant* template_sla() { return &template_sla_; }
   CacheDirectory* cache() { return cache_.get(); }
   /// Deployment-wide registry (cache.point.* / cache.scan.* counters live
   /// here; per-engine counters stay on the nodes).
@@ -166,6 +215,10 @@ class Scads {
 
  private:
   explicit Scads(ScadsOptions options);
+
+  /// Tighten-only enforcement: an options staleness override looser than
+  /// the deployment spec is clamped to the spec bound.
+  void ClampStaleness(RequestOptions* options) const;
 
   StorageNode* MakeNode(NodeId id);
   template <typename T>
@@ -182,6 +235,7 @@ class Scads {
   DurabilityPlan durability_plan_;
   UpdateQueue update_queue_;
   MetricRegistry metrics_;
+  TemplateSlaAccountant template_sla_;
 
   std::unique_ptr<CacheDirectory> cache_;
   std::unique_ptr<Router> router_;

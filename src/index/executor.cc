@@ -11,10 +11,13 @@
 namespace scads {
 
 void QueryExecutor::ScanPrefix(const std::string& prefix, size_t limit,
+                               const RequestOptions& options,
                                std::function<void(Result<std::vector<Record>>)> callback) {
-  if (cache_ != nullptr && loop_ != nullptr && cache_->scan_caching()) {
+  if (cache_ != nullptr && loop_ != nullptr && cache_->scan_caching() &&
+      options.read_mode != ReadMode::kAnyReplica &&
+      options.read_mode != ReadMode::kPrimaryOnly) {
     auto cached = std::make_shared<std::vector<Record>>();
-    if (cache_->LookupScan(prefix, limit, loop_->Now(), cached.get())) {
+    if (cache_->LookupScan(prefix, limit, loop_->Now(), options, cached.get())) {
       loop_->ScheduleAfter(cache_->hit_service_time(),
                            [cached, callback = std::move(callback)]() mutable {
                              callback(std::move(*cached));
@@ -27,7 +30,7 @@ void QueryExecutor::ScanPrefix(const std::string& prefix, size_t limit,
     // mid-scan (it would be the predecessor of an acknowledged write).
     Time issued = loop_->Now();
     uint64_t lease = cache_->BeginScan(prefix);
-    MultiScanPrefix(router_, cluster_, prefix, limit,
+    MultiScanPrefix(router_, cluster_, prefix, limit, options,
                     [this, prefix, limit, issued, lease,
                      callback = std::move(callback)](Result<std::vector<Record>> entries) mutable {
                       bool clean = cache_->EndScan(lease);
@@ -38,7 +41,7 @@ void QueryExecutor::ScanPrefix(const std::string& prefix, size_t limit,
                     });
     return;
   }
-  MultiScanPrefix(router_, cluster_, prefix, limit, std::move(callback));
+  MultiScanPrefix(router_, cluster_, prefix, limit, options, std::move(callback));
 }
 
 Result<Value> QueryExecutor::BindParam(const ParamMap& params, const std::string& name) const {
@@ -50,8 +53,10 @@ Result<Value> QueryExecutor::BindParam(const ParamMap& params, const std::string
 }
 
 void QueryExecutor::Execute(const QueryPlan& plan, const ParamMap& params,
+                            RequestOptions options,
                             std::function<void(Result<std::vector<Row>>)> callback) {
   ++executions_;
+  if (loop_ != nullptr) options.Arm(loop_->Now());
   auto counted = [this, callback = std::move(callback)](Result<std::vector<Row>> rows) {
     if (rows.ok()) rows_returned_ += static_cast<int64_t>(rows->size());
     callback(std::move(rows));
@@ -59,21 +64,22 @@ void QueryExecutor::Execute(const QueryPlan& plan, const ParamMap& params,
   const IndexPlan& main = plan.main();
   switch (main.shape) {
     case QueryShape::kPointLookup:
-      ExecutePointLookup(main, params, std::move(counted));
+      ExecutePointLookup(main, params, options, std::move(counted));
       return;
     case QueryShape::kSelection:
     case QueryShape::kJoin:
     case QueryShape::kAdjacency:
-      ExecuteIndexScan(main, params, std::move(counted));
+      ExecuteIndexScan(main, params, options, std::move(counted));
       return;
     case QueryShape::kTwoHop:
-      ExecuteTwoHop(main, params, std::move(counted));
+      ExecuteTwoHop(main, params, options, std::move(counted));
       return;
   }
   counted(InternalError("unhandled query shape"));
 }
 
 void QueryExecutor::ExecutePointLookup(const IndexPlan& plan, const ParamMap& params,
+                                       const RequestOptions& options,
                                        std::function<void(Result<std::vector<Row>>)> callback) {
   const EntityDef* entity = catalog_->Get(plan.target_entity);
   Row key_row;
@@ -90,7 +96,7 @@ void QueryExecutor::ExecutePointLookup(const IndexPlan& plan, const ParamMap& pa
     callback(key.status());
     return;
   }
-  router_->Get(*key, /*pin_primary=*/false,
+  router_->Get(*key, options,
                [entity, callback = std::move(callback)](Result<Record> record) {
                  if (!record.ok()) {
                    if (IsNotFound(record.status())) {
@@ -110,6 +116,7 @@ void QueryExecutor::ExecutePointLookup(const IndexPlan& plan, const ParamMap& pa
 }
 
 void QueryExecutor::ExecuteIndexScan(const IndexPlan& plan, const ParamMap& params,
+                                     const RequestOptions& options,
                                      std::function<void(Result<std::vector<Row>>)> callback) {
   const EntityDef* entity = catalog_->Get(plan.target_entity);
   std::string prefix = plan.KeyPrefix();
@@ -131,7 +138,7 @@ void QueryExecutor::ExecuteIndexScan(const IndexPlan& plan, const ParamMap& para
     AppendKeyPiece(&prefix, EncodeKeyValue(*anchor));
   }
   size_t limit = plan.limit.has_value() ? static_cast<size_t>(*plan.limit) : 0;
-  ScanPrefix(prefix, limit,
+  ScanPrefix(prefix, limit, options,
              [entity, callback = std::move(callback)](Result<std::vector<Record>> entries) {
                if (!entries.ok()) {
                  callback(entries.status());
@@ -152,6 +159,7 @@ void QueryExecutor::ExecuteIndexScan(const IndexPlan& plan, const ParamMap& para
 }
 
 void QueryExecutor::ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
+                                  const RequestOptions& options,
                                   std::function<void(Result<std::vector<Row>>)> callback) {
   const EntityDef* target = catalog_->Get(plan.target_entity);
   Result<Value> anchor = BindParam(params, plan.edge_param_name);
@@ -163,8 +171,8 @@ void QueryExecutor::ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
   size_t limit = plan.limit.has_value() ? static_cast<size_t>(*plan.limit) : 0;
   std::string self_piece = EncodeKeyValue(*anchor);
   ScanPrefix(
-      prefix, limit,
-      [this, target, plan, self_piece,
+      prefix, limit, options,
+      [this, target, plan, self_piece, options,
        callback = std::move(callback)](Result<std::vector<Record>> entries) mutable {
         if (!entries.ok()) {
           callback(entries.status());
@@ -185,9 +193,10 @@ void QueryExecutor::ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
         }
         // Hydrate the bounded base-row set with ONE batched read: the keys
         // go out as one message per storage node instead of a sequential
-        // round trip each, and results come back in index order.
+        // round trip each, and results come back in index order. The
+        // hydration inherits whatever deadline budget the scan left over.
         router_->MultiGet(
-            base_keys, /*pin_primary=*/false,
+            base_keys, options,
             [target, callback = std::move(callback)](std::vector<Result<Record>> records) {
               std::vector<Row> rows;
               rows.reserve(records.size());

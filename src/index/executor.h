@@ -15,6 +15,7 @@
 
 #include "cluster/cluster_state.h"
 #include "cluster/router.h"
+#include "common/request_options.h"
 #include "query/planner.h"
 #include "query/schema.h"
 #include "sim/event_loop.h"
@@ -42,26 +43,38 @@ class QueryExecutor {
     loop_ = loop;
   }
 
-  /// Runs the main plan of `plan` with `params`; returns target-entity rows
-  /// in index order. kInvalidArgument when a parameter is missing.
-  void Execute(const QueryPlan& plan, const ParamMap& params,
+  /// Runs the main plan of `plan` with `params` under the request context;
+  /// returns target-entity rows in index order. kInvalidArgument when a
+  /// parameter is missing. The options staleness bound governs scan/point
+  /// cache admission, and the deadline budget spans the whole plan — index
+  /// scan plus (for two-hop) the hydration MultiGet.
+  void Execute(const QueryPlan& plan, const ParamMap& params, RequestOptions options,
                std::function<void(Result<std::vector<Row>>)> callback);
+
+  /// Deprecated pre-options shim.
+  void Execute(const QueryPlan& plan, const ParamMap& params,
+               std::function<void(Result<std::vector<Row>>)> callback) {
+    Execute(plan, params, RequestOptions{}, std::move(callback));
+  }
 
   int64_t executions() const { return executions_; }
   int64_t rows_returned() const { return rows_returned_; }
 
  private:
   void ExecutePointLookup(const IndexPlan& plan, const ParamMap& params,
+                          const RequestOptions& options,
                           std::function<void(Result<std::vector<Row>>)> callback);
   void ExecuteIndexScan(const IndexPlan& plan, const ParamMap& params,
+                        const RequestOptions& options,
                         std::function<void(Result<std::vector<Row>>)> callback);
   void ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
+                     const RequestOptions& options,
                      std::function<void(Result<std::vector<Row>>)> callback);
 
   Result<Value> BindParam(const ParamMap& params, const std::string& name) const;
 
   /// MultiScanPrefix with the scan-result cache in front (when attached).
-  void ScanPrefix(const std::string& prefix, size_t limit,
+  void ScanPrefix(const std::string& prefix, size_t limit, const RequestOptions& options,
                   std::function<void(Result<std::vector<Record>>)> callback);
 
   Router* router_;

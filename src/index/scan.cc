@@ -10,63 +10,80 @@ namespace scads {
 namespace {
 
 struct MultiScanState {
-  Router* router;
-  ClusterState* cluster;
-  std::string end;  // overall exclusive end ("" = unbounded)
-  size_t limit;
-  std::vector<Record> rows;
+  size_t limit = 0;
+  // One slot per sub-range, filled as scans land; merged in range order so
+  // concurrency never reorders keys.
+  std::vector<std::optional<Result<std::vector<Record>>>> slices;
+  size_t pending = 0;
   std::function<void(Result<std::vector<Record>>)> callback;
 };
 
-void ScanFrom(std::shared_ptr<MultiScanState> state, std::string cursor) {
-  // Determine the partition holding `cursor` and scan to the nearer of the
-  // partition end or the overall end.
-  const PartitionInfo& partition = state->cluster->partitions()->ForKey(cursor);
-  std::string sub_end = partition.end;
-  bool is_last;
-  if (state->end.empty()) {
-    is_last = sub_end.empty();
-  } else if (sub_end.empty() || state->end <= sub_end) {
-    sub_end = state->end;
-    is_last = true;
-  } else {
-    is_last = false;
+void FinishMultiScan(const std::shared_ptr<MultiScanState>& state) {
+  std::vector<Record> rows;
+  for (auto& slice : state->slices) {
+    // Once the limit is satisfied the answer is complete — failures in
+    // trailing sub-ranges are irrelevant (the sequential stitcher never
+    // contacted them at all).
+    if (state->limit != 0 && rows.size() >= state->limit) break;
+    // Otherwise the first failing sub-range in key order decides the
+    // error: a caller cannot use a result with a hole in the middle.
+    if (!slice->ok()) {
+      state->callback(slice->status());
+      return;
+    }
+    for (Record& record : **slice) {
+      if (state->limit != 0 && rows.size() >= state->limit) break;
+      rows.push_back(std::move(record));
+    }
   }
-  size_t remaining = state->limit == 0 ? 0 : state->limit - state->rows.size();
-  state->router->Scan(
-      cursor, sub_end, remaining,
-      [state, sub_end, is_last](Result<std::vector<Record>> result) mutable {
-        if (!result.ok()) {
-          state->callback(result.status());
-          return;
-        }
-        for (Record& record : *result) state->rows.push_back(std::move(record));
-        bool hit_limit = state->limit != 0 && state->rows.size() >= state->limit;
-        if (is_last || hit_limit || sub_end.empty()) {
-          state->callback(std::move(state->rows));
-          return;
-        }
-        ScanFrom(state, sub_end);  // continue in the next partition
-      });
+  state->callback(std::move(rows));
 }
 
 }  // namespace
 
 void MultiScan(Router* router, ClusterState* cluster, const std::string& start,
-               const std::string& end, size_t limit,
+               const std::string& end, size_t limit, RequestOptions options,
                std::function<void(Result<std::vector<Record>>)> callback) {
+  // Enumerate the partition sub-ranges covering [start, end) up front, then
+  // fan every sub-scan out concurrently; results stitch back in range order.
+  std::vector<std::pair<std::string, std::string>> ranges;
+  std::string cursor = start;
+  for (;;) {
+    const PartitionInfo& partition = cluster->partitions()->ForKey(cursor);
+    std::string sub_end = partition.end;
+    bool is_last;
+    if (end.empty()) {
+      is_last = sub_end.empty();
+    } else if (sub_end.empty() || end <= sub_end) {
+      sub_end = end;
+      is_last = true;
+    } else {
+      is_last = false;
+    }
+    ranges.emplace_back(cursor, sub_end);
+    if (is_last || sub_end.empty()) break;
+    cursor = sub_end;
+  }
+
   auto state = std::make_shared<MultiScanState>();
-  state->router = router;
-  state->cluster = cluster;
-  state->end = end;
   state->limit = limit;
+  state->slices.resize(ranges.size());
+  state->pending = ranges.size();
   state->callback = std::move(callback);
-  ScanFrom(state, start);
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    router->Scan(ranges[i].first, ranges[i].second, limit, options,
+                 [state, i](Result<std::vector<Record>> result) {
+                   state->slices[i] = std::move(result);
+                   if (--state->pending == 0) FinishMultiScan(state);
+                 });
+  }
 }
 
 void MultiScanPrefix(Router* router, ClusterState* cluster, const std::string& prefix,
-                     size_t limit, std::function<void(Result<std::vector<Record>>)> callback) {
-  MultiScan(router, cluster, prefix, PrefixSuccessor(prefix), limit, std::move(callback));
+                     size_t limit, RequestOptions options,
+                     std::function<void(Result<std::vector<Record>>)> callback) {
+  MultiScan(router, cluster, prefix, PrefixSuccessor(prefix), limit, std::move(options),
+            std::move(callback));
 }
 
 }  // namespace scads

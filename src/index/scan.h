@@ -1,8 +1,14 @@
 // Multi-partition range scan: splits [start, end) along partition
-// boundaries and issues one Router::Scan per sub-range, concatenating
-// results in key order. Index slices are bounded, but nothing forces them
-// to respect partition boundaries — this helper makes range reads correct
-// regardless of how the rebalancer has split the keyspace.
+// boundaries and fans the sub-range Router::Scans out *concurrently*,
+// stitching results back in key order — wall-clock is one scan round trip,
+// not one per partition crossed. Index slices are bounded, but nothing
+// forces them to respect partition boundaries — this helper makes range
+// reads correct regardless of how the rebalancer has split the keyspace.
+//
+// Limit semantics under parallelism: each sub-scan carries the full
+// remaining limit (a sub-range cannot know how many rows its predecessors
+// produce), and the merged result is truncated to `limit` — correct, at the
+// cost of bounded over-fetch on the trailing partitions.
 
 #ifndef SCADS_INDEX_SCAN_H_
 #define SCADS_INDEX_SCAN_H_
@@ -13,17 +19,32 @@
 
 #include "cluster/cluster_state.h"
 #include "cluster/router.h"
+#include "common/request_options.h"
 
 namespace scads {
 
-/// Scans [start, end) across partitions; `limit` 0 = unlimited.
+/// Scans [start, end) across partitions; `limit` 0 = unlimited. The options
+/// deadline budget is shared by the whole fan-out (sub-scans run
+/// concurrently, so the budget is wall-clock, not additive); the first
+/// failing sub-range in key order decides the error.
 void MultiScan(Router* router, ClusterState* cluster, const std::string& start,
-               const std::string& end, size_t limit,
+               const std::string& end, size_t limit, RequestOptions options,
                std::function<void(Result<std::vector<Record>>)> callback);
+inline void MultiScan(Router* router, ClusterState* cluster, const std::string& start,
+                      const std::string& end, size_t limit,
+                      std::function<void(Result<std::vector<Record>>)> callback) {
+  MultiScan(router, cluster, start, end, limit, RequestOptions{}, std::move(callback));
+}
 
 /// Scans every key with `prefix`.
 void MultiScanPrefix(Router* router, ClusterState* cluster, const std::string& prefix,
-                     size_t limit, std::function<void(Result<std::vector<Record>>)> callback);
+                     size_t limit, RequestOptions options,
+                     std::function<void(Result<std::vector<Record>>)> callback);
+inline void MultiScanPrefix(Router* router, ClusterState* cluster, const std::string& prefix,
+                            size_t limit,
+                            std::function<void(Result<std::vector<Record>>)> callback) {
+  MultiScanPrefix(router, cluster, prefix, limit, RequestOptions{}, std::move(callback));
+}
 
 }  // namespace scads
 

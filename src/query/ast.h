@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/types.h"
+
 namespace scads {
 
 /// "FROM friendships f" — table plus alias (alias defaults to the name).
@@ -70,6 +72,12 @@ struct QueryTemplate {
   std::optional<FieldRef> order_by;
   bool descending = false;
   std::optional<int64_t> limit;
+  /// Per-template bounds from the WITH clause ("WITH STALENESS 5s,
+  /// DEADLINE 50ms"): every execution of this template runs under these
+  /// RequestOptions defaults unless the caller overrides them. Validated
+  /// against the deployment spec at registration.
+  std::optional<Duration> staleness_bound;
+  std::optional<Duration> deadline;
   /// Original text (diagnostics).
   std::string text;
 

@@ -1,6 +1,7 @@
 #include "query/parser.h"
 
 #include <cctype>
+#include <limits>
 #include <vector>
 
 #include "common/strings.h"
@@ -185,6 +186,35 @@ class Parser {
       Advance();
     }
 
+    // WITH STALENESS 5s, DEADLINE 50ms — per-template execution bounds.
+    if (PeekKeyword("with")) {
+      Advance();
+      for (;;) {
+        if (PeekKeyword("staleness")) {
+          Advance();
+          if (out.staleness_bound.has_value()) return Error("duplicate STALENESS bound");
+          Result<Duration> bound = ParseDurationLiteral();
+          if (!bound.ok()) return bound.status();
+          if (*bound <= 0) return Error("STALENESS must be positive");
+          out.staleness_bound = *bound;
+        } else if (PeekKeyword("deadline")) {
+          Advance();
+          if (out.deadline.has_value()) return Error("duplicate DEADLINE bound");
+          Result<Duration> bound = ParseDurationLiteral();
+          if (!bound.ok()) return bound.status();
+          if (*bound <= 0) return Error("DEADLINE must be positive");
+          out.deadline = *bound;
+        } else {
+          return Error("expected STALENESS or DEADLINE in WITH clause");
+        }
+        if (Peek().type == TokenType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+
     if (Peek().type != TokenType::kEnd) {
       return Error(StrFormat("unexpected trailing token '%s'", Peek().text.c_str()));
     }
@@ -224,6 +254,37 @@ class Parser {
         StrFormat("%s (at offset %zu)", message.c_str(), Peek().position));
   }
 
+  /// "50ms" lexes as integer 50 then identifier "ms"; units us/ms/s/m/h.
+  Result<Duration> ParseDurationLiteral() {
+    if (Peek().type != TokenType::kInteger) return Error("expected a duration (e.g. 50ms)");
+    // A day is < 2^37 us; anything past 12 digits cannot be a sane bound
+    // (and would overflow stoll / the unit multiply below).
+    if (Peek().text.size() > 12) return Error("duration out of range");
+    int64_t count = std::stoll(Peek().text);
+    Advance();
+    if (Peek().type != TokenType::kIdent) return Error("expected a duration unit (us/ms/s/m/h)");
+    std::string unit = AsciiLower(Peek().text);
+    Duration scale;
+    if (unit == "us") {
+      scale = kMicrosecond;
+    } else if (unit == "ms") {
+      scale = kMillisecond;
+    } else if (unit == "s") {
+      scale = kSecond;
+    } else if (unit == "m") {
+      scale = kMinute;
+    } else if (unit == "h") {
+      scale = kHour;
+    } else {
+      return Error(StrFormat("unknown duration unit '%s'", Peek().text.c_str()));
+    }
+    if (count > std::numeric_limits<Duration>::max() / scale) {
+      return Error("duration out of range");
+    }
+    Advance();
+    return count * scale;
+  }
+
   Result<FieldRef> ParseFieldStar() {
     // ident '.' '*'
     if (Peek().type != TokenType::kIdent) return Error("expected alias in SELECT");
@@ -245,7 +306,7 @@ class Parser {
     if (Peek().type == TokenType::kIdent) {
       std::string lower = AsciiLower(Peek().text);
       if (lower != "join" && lower != "on" && lower != "where" && lower != "order" &&
-          lower != "limit" && lower != "and" && lower != "or") {
+          lower != "limit" && lower != "and" && lower != "or" && lower != "with") {
         ref.alias = Peek().text;
         Advance();
       }

@@ -7,6 +7,9 @@
 //              [WHERE orgroup (AND orgroup)*]
 //              [ORDER BY fieldref [ASC|DESC]]
 //              [LIMIT integer]
+//              [WITH bound (',' bound)*]
+//   bound   := STALENESS duration | DEADLINE duration
+//   duration:= integer ('us'|'ms'|'s'|'m'|'h')
 //   orgroup := pred (OR pred)*
 //   pred    := fieldref op ('<' ident '>' | fieldref)
 //   op      := '=' | '<' | '>' | '<=' | '>='

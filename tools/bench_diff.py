@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Diff two directories of BENCH_*.json results (previous vs current).
+
+Usage: bench_diff.py PREV_DIR CURR_DIR [--fail-over PCT]
+
+Each BENCH_<name>.json has the shape
+    {"bench": "<name>", "rows": [{"label": "...", "<field>": <value>, ...}]}
+(src/common/benchjson.h). Rows are matched by label, fields by name;
+numeric fields report absolute and relative deltas, string fields report
+changes (e.g. a shape_check flipping PASS -> FAIL).
+
+Exit code is 0 unless --fail-over is given and some numeric field moved by
+more than PCT percent in either direction (the simulator is deterministic,
+so any drift is signal worth a look — the tool cannot know which direction
+is "worse" for a given metric); fields named *_check that flip away from
+"PASS" always fail. Missing PREV_DIR (first run / cold cache) is not an
+error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_results(directory: Path):
+    results = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"  ! unreadable {path.name}: {err}")
+            continue
+        rows = {}
+        for row in data.get("rows", []):
+            rows[row.get("label", "default")] = row
+        results[data.get("bench", path.stem)] = rows
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("prev_dir", type=Path)
+    parser.add_argument("curr_dir", type=Path)
+    parser.add_argument("--fail-over", type=float, default=None, metavar="PCT",
+                        help="exit 1 when a numeric field moves by more than PCT%% "
+                             "in either direction, or a *_check flips from PASS")
+    args = parser.parse_args()
+
+    if not args.curr_dir.is_dir():
+        print(f"current results dir {args.curr_dir} missing", file=sys.stderr)
+        return 2
+    if not args.prev_dir.is_dir():
+        print(f"no previous results at {args.prev_dir} (first run?) — nothing to diff")
+        return 0
+
+    prev = load_results(args.prev_dir)
+    curr = load_results(args.curr_dir)
+    regressions = []
+
+    for bench, rows in sorted(curr.items()):
+        prev_rows = prev.get(bench)
+        if prev_rows is None:
+            print(f"{bench}: new bench (no previous results)")
+            continue
+        print(f"{bench}:")
+        for label, row in rows.items():
+            prev_row = prev_rows.get(label)
+            if prev_row is None:
+                print(f"  {label}: new row")
+                continue
+            for field, value in row.items():
+                if field == "label":
+                    continue
+                old = prev_row.get(field)
+                if old is None:
+                    print(f"  {label}.{field}: new field = {value}")
+                elif isinstance(value, (int, float)) and isinstance(old, (int, float)):
+                    if value == old:
+                        continue
+                    pct = 100.0 * (value - old) / old if old else float("inf")
+                    print(f"  {label}.{field}: {old} -> {value} ({pct:+.1f}%)")
+                    if args.fail_over is not None and abs(pct) > args.fail_over:
+                        regressions.append(f"{bench}/{label}.{field} moved {pct:+.1f}%")
+                elif value != old:
+                    print(f"  {label}.{field}: {old!r} -> {value!r}")
+                    if field.endswith("_check") and value != "PASS":
+                        regressions.append(f"{bench}/{label}.{field} flipped to {value!r}")
+        # Rows that disappeared are worth a line too.
+        for label in prev_rows:
+            if label not in rows:
+                print(f"  {label}: row removed")
+
+    for bench in prev:
+        if bench not in curr:
+            print(f"{bench}: bench removed")
+
+    if regressions:
+        print("\nOVER-THRESHOLD CHANGES:")
+        for regression in regressions:
+            print(f"  {regression}")
+        return 1
+    print("\nno changes over threshold" if args.fail_over is not None else "\ndiff complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
