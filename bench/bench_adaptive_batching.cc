@@ -1,0 +1,189 @@
+// ADAPTIVE-BATCH: load-adaptive sub-batch sizing vs fixed batching under
+// skewed overload.
+//
+// One node of a four-node fleet runs at 90% background utilization (the
+// skew a viral hot range produces between Director rebalances). A stream
+// of 160-key MultiGet fan-outs crosses every node. Fixed batching ships
+// each node ONE sub-batch — at the hot node that is a large service lump,
+// and at a busy server the queueing delay a request suffers scales with
+// the lump it arrives in, so every fan-out eats the hot node's heavy tail.
+// Adaptive sizing reads the per-node load signal (ClusterState::NodeLoad)
+// and caps the hot node's sub-batches near min_sub_batch while idle nodes
+// keep amortized full-size batches: many small lumps have a far lighter
+// maximum than one big one, which is exactly the fan-out's completion time.
+//
+// Shape claim: adaptive sizing cuts fan-out p99 by >= 1.5x (measured well
+// above 2x) at equal result correctness, trading a modest message increase
+// confined to the overloaded node.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/node.h"
+#include "cluster/router.h"
+#include "common/benchjson.h"
+#include "common/rng.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+using namespace scads;  // NOLINT: benchmark brevity
+
+namespace {
+
+constexpr int kNodes = 4;
+constexpr int kKeySpace = 20000;
+constexpr int kFanouts = 400;
+constexpr size_t kKeysPerFanout = 160;
+constexpr Duration kFanoutInterval = 5 * kMillisecond;
+constexpr double kHotUtilization = 0.90;
+
+// Spread keys over the 2-byte prefix space CreateUniform partitions on.
+std::string KeyOf(uint64_t i) {
+  uint32_t spread = static_cast<uint32_t>(i * 2654435761u) & 0xffff;
+  std::string key;
+  key.push_back(static_cast<char>((spread >> 8) & 0xff));
+  key.push_back(static_cast<char>(spread & 0xff));
+  key += ":k";
+  key += std::to_string(i);
+  return key;
+}
+
+struct Outcome {
+  Duration p50 = 0;
+  Duration p99 = 0;
+  int64_t reads_ok = 0;
+  int64_t reads_failed = 0;
+  int64_t values_seen = 0;
+  int64_t messages = 0;
+  int64_t hot_node_sub_batches = 0;
+  int64_t hot_node_sheds = 0;
+};
+
+Outcome RunScenario(bool adaptive) {
+  EventLoop loop;
+  SimNetwork network(&loop, 21);
+  ClusterState cluster;
+  RouterConfig router_config;
+  // Long timeout: this scenario studies queueing latency, not failover.
+  router_config.request_timeout = 2 * kSecond;
+  router_config.adaptive_batch.enabled = adaptive;
+  Router router(1 << 20, &loop, &network, &cluster, router_config, 22);
+
+  NodeConfig node_config;
+  node_config.watermark_heartbeat = 0;  // rf=1: no replication streams
+  std::map<NodeId, std::unique_ptr<StorageNode>> nodes;
+  std::vector<NodeId> ids;
+  for (NodeId id = 1; id <= kNodes; ++id) {
+    nodes[id] = std::make_unique<StorageNode>(id, &loop, &network, &cluster, node_config,
+                                              100 + static_cast<uint64_t>(id));
+    (void)cluster.AddNode(id, nodes[id].get());
+    ids.push_back(id);
+  }
+  cluster.set_partitions(std::move(PartitionMap::CreateUniform(64, ids, 1)).value());
+
+  // Seed every key directly into its primary's engine (setup, not traffic).
+  for (int i = 0; i < kKeySpace; ++i) {
+    std::string key = KeyOf(static_cast<uint64_t>(i));
+    NodeId primary = cluster.partitions()->ForKey(key).primary();
+    (void)cluster.GetNode(primary)->engine()->Put(key, "v" + std::to_string(i),
+                                                  Version{1, 0});
+  }
+
+  // The skew: one node saturated by unsampled background traffic.
+  const NodeId hot = 1;
+  nodes[hot]->SetBackgroundLoad(kHotUtilization, 0);
+
+  // Identical key sequences across both runs (same seed, same draw order).
+  Rng rng(23);
+  Outcome outcome;
+  int64_t hot_messages_before = network.sent_to(hot);
+  for (int f = 0; f < kFanouts; ++f) {
+    Time at = static_cast<Time>(f) * kFanoutInterval;
+    std::vector<std::string> keys;
+    keys.reserve(kKeysPerFanout);
+    for (size_t k = 0; k < kKeysPerFanout; ++k) {
+      keys.push_back(KeyOf(rng.Uniform(kKeySpace)));
+    }
+    loop.ScheduleAt(at, [&router, &outcome, keys = std::move(keys)] {
+      router.MultiGet(keys, RequestOptions{},
+                      [&outcome](std::vector<Result<Record>> results) {
+                        for (const Result<Record>& r : results) {
+                          if (r.ok()) ++outcome.values_seen;
+                        }
+                      });
+    });
+  }
+  loop.RunFor(static_cast<Duration>(kFanouts) * kFanoutInterval + 10 * kSecond);
+
+  RouterWindow window = router.TakeWindow();
+  outcome.p50 = window.read_latency.ValueAtQuantile(0.50);
+  outcome.p99 = window.read_latency.ValueAtQuantile(0.99);
+  outcome.reads_ok = window.reads_ok;
+  outcome.reads_failed = window.reads_failed;
+  outcome.messages = network.sent_count();
+  outcome.hot_node_sub_batches = network.sent_to(hot) - hot_messages_before;
+  outcome.hot_node_sheds = nodes[hot]->stats().ops_shed;
+  return outcome;
+}
+
+void PrintRow(const char* label, const Outcome& o) {
+  std::printf("%-10s %9s %9s %9lld %7lld %9lld %11lld\n", label,
+              FormatDuration(o.p50).c_str(), FormatDuration(o.p99).c_str(),
+              static_cast<long long>(o.reads_ok), static_cast<long long>(o.reads_failed),
+              static_cast<long long>(o.messages),
+              static_cast<long long>(o.hot_node_sub_batches));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ADAPTIVE-BATCH: load-adaptive sub-batch sizing under skew ===\n\n");
+  std::printf("fleet: %d nodes, node %d at %.0f%% background utilization;\n", kNodes, 1,
+              100.0 * kHotUtilization);
+  std::printf("traffic: %d MultiGets of %zu keys, one per %s.\n\n", kFanouts, kKeysPerFanout,
+              FormatDuration(kFanoutInterval).c_str());
+
+  Outcome fixed = RunScenario(/*adaptive=*/false);
+  Outcome adaptive = RunScenario(/*adaptive=*/true);
+
+  std::printf("%-10s %9s %9s %9s %7s %9s %11s\n", "mode", "p50", "p99", "reads_ok", "failed",
+              "messages", "hot_batches");
+  PrintRow("fixed", fixed);
+  PrintRow("adaptive", adaptive);
+
+  double speedup = adaptive.p99 > 0
+                       ? static_cast<double>(fixed.p99) / static_cast<double>(adaptive.p99)
+                       : 0.0;
+  std::printf("\nfixed ships the hot node one big service lump per fan-out; adaptive\n"
+              "caps its sub-batches near min_sub_batch, so the fan-out completion\n"
+              "tail tracks max-of-small-lumps instead of one heavy draw.\n");
+  std::printf("p99 %s -> %s (%.1fx), identical results: %s\n",
+              FormatDuration(fixed.p99).c_str(), FormatDuration(adaptive.p99).c_str(), speedup,
+              fixed.values_seen == adaptive.values_seen ? "yes" : "NO");
+
+  bool shape_holds = speedup >= 1.5 && fixed.values_seen == adaptive.values_seen &&
+                     adaptive.reads_failed == 0 && fixed.reads_failed == 0;
+  std::printf("shape check (adaptive p99 >= 1.5x better, equal results, no failures): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+
+  BenchJson json("adaptive_batching");
+  for (const auto& [label, o] :
+       {std::pair<const char*, const Outcome&>{"fixed", fixed}, {"adaptive", adaptive}}) {
+    json.BeginRow(label);
+    json.Add("p50_us", o.p50);
+    json.Add("p99_us", o.p99);
+    json.Add("reads_ok", o.reads_ok);
+    json.Add("reads_failed", o.reads_failed);
+    json.Add("messages", o.messages);
+    json.Add("hot_node_sub_batches", o.hot_node_sub_batches);
+    json.Add("hot_node_sheds", o.hot_node_sheds);
+  }
+  json.BeginRow("summary");
+  json.Add("p99_speedup", speedup);
+  json.Add("shape_check", shape_holds ? "PASS" : "FAIL");
+  (void)json.Write();
+  return shape_holds ? 0 : 1;
+}

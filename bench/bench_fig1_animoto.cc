@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "cluster/cluster_state.h"
+#include "common/benchjson.h"
 #include "cluster/node.h"
 #include "cluster/rebalancer.h"
 #include "cluster/router.h"
@@ -116,5 +117,15 @@ int main() {
               FormatMoneyMicros(cloud.TotalCostMicros(loop.Now())).c_str());
   bool shape_holds = peak >= 3000;
   std::printf("shape check (peak >= 3000 nodes): %s\n", shape_holds ? "PASS" : "FAIL");
+  BenchJson json("fig1_animoto");
+  json.BeginRow("summary");
+  json.Add("peak_fleet", peak);
+  json.Add("sla_violation_windows", violation_windows);
+  json.Add("total_windows", total_windows);
+  json.Add("scale_ups", director.scale_ups());
+  json.Add("machine_hours_billed", cloud.TotalBilledPeriods(loop.Now()));
+  json.Add("bill_micros", cloud.TotalCostMicros(loop.Now()));
+  json.Add("shape_check", shape_holds ? "PASS" : "FAIL");
+  (void)json.Write();
   return shape_holds ? 0 : 1;
 }

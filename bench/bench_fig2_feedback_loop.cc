@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "cluster/cluster_state.h"
+#include "common/benchjson.h"
 #include "cluster/node.h"
 #include "cluster/rebalancer.h"
 #include "cluster/router.h"
@@ -132,5 +133,16 @@ int main() {
               reactive.violation_windows, with_ml.violation_windows);
   bool shape_holds = with_ml.violation_windows <= reactive.violation_windows;
   std::printf("shape check (ML <= reactive violations): %s\n", shape_holds ? "PASS" : "FAIL");
+  BenchJson json("fig2_feedback_loop");
+  for (const auto& [label, run] :
+       {std::pair<const char*, const RunResult&>{"with_ml", with_ml}, {"reactive", reactive}}) {
+    json.BeginRow(label);
+    json.Add("violation_windows", run.violation_windows);
+    json.Add("total_windows", run.total_windows);
+    json.Add("peak_fleet", run.peak_fleet);
+  }
+  json.BeginRow("summary");
+  json.Add("shape_check", shape_holds ? "PASS" : "FAIL");
+  (void)json.Write();
   return shape_holds ? 0 : 1;
 }

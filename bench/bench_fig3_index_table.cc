@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/benchjson.h"
 #include "core/scads.h"
 
 using namespace scads;  // NOLINT: benchmark brevity
@@ -112,5 +113,16 @@ int main() {
   bool shape_holds = ordered_ok && after_bday.budget_overruns == 0;
   std::printf("shape check (Figure-3 rows present, cascade bounded, query sees it): %s\n",
               shape_holds ? "PASS" : "FAIL");
+  BenchJson json("fig3_index_table");
+  json.BeginRow("friendship_cascade");
+  json.Add("tasks_enqueued", after_edges.tasks_enqueued);
+  json.Add("entries_written", entries_before);
+  json.Add("lookups", after_edges.lookups);
+  json.BeginRow("birthday_change");
+  json.Add("additional_entries", after_bday.entries_written - entries_before);
+  json.Add("budget_overruns", after_bday.budget_overruns);
+  json.BeginRow("summary");
+  json.Add("shape_check", shape_holds ? "PASS" : "FAIL");
+  (void)json.Write();
   return shape_holds ? 0 : 1;
 }

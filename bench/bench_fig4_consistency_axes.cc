@@ -12,6 +12,7 @@
 #include <string>
 
 #include "cluster/node.h"
+#include "common/benchjson.h"
 #include "consistency/durability.h"
 #include "consistency/session.h"
 #include "consistency/spec.h"
@@ -226,5 +227,15 @@ int main() {
   std::printf("%-20s %s\n", "durability SLA", durability ? "PASS" : "FAIL");
   bool all = performance && writes && reads && sessions && durability;
   std::printf("\nshape check (every axis enforced): %s\n", all ? "PASS" : "FAIL");
+  BenchJson json("fig4_consistency_axes");
+  json.BeginRow("axes");
+  json.Add("performance_check", performance ? "PASS" : "FAIL");
+  json.Add("write_consistency_check", writes ? "PASS" : "FAIL");
+  json.Add("read_consistency_check", reads ? "PASS" : "FAIL");
+  json.Add("session_guarantees_check", sessions ? "PASS" : "FAIL");
+  json.Add("durability_check", durability ? "PASS" : "FAIL");
+  json.BeginRow("summary");
+  json.Add("shape_check", all ? "PASS" : "FAIL");
+  (void)json.Write();
   return all ? 0 : 1;
 }

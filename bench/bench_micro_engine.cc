@@ -7,7 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <vector>
 
+#include "common/benchjson.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "sim/event_loop.h"
@@ -151,7 +153,55 @@ void BM_EventLoopDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopDispatch);
 
+// benchmark <= 1.7 reports failures via Run::error_occurred; 1.8+ replaced
+// it with Run::skipped. Probe the member in a dependent context so both
+// versions compile.
+template <typename RunT>
+bool RunWasSkipped(const RunT& run) {
+  if constexpr (requires { run.skipped; }) {
+    return static_cast<bool>(run.skipped);
+  } else {
+    return run.error_occurred;
+  }
+}
+
+// Console output as usual, plus each run collected into BENCH_micro_engine
+// .json so CI can diff the substrate microbenchmarks like every other
+// bench. These are wall-clock timings (the only non-simulated bench), so
+// the CI regression gate treats them as informational, not gated.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonExportReporter(BenchJson* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (RunWasSkipped(run)) continue;
+      json_->BeginRow(run.benchmark_name());
+      json_->Add("real_time_per_iter_ns", run.GetAdjustedRealTime());
+      json_->Add("cpu_time_per_iter_ns", run.GetAdjustedCPUTime());
+      json_->Add("iterations", static_cast<int64_t>(run.iterations));
+      for (const char* counter : {"items_per_second", "bytes_per_second"}) {
+        auto it = run.counters.find(counter);
+        if (it != run.counters.end()) json_->Add(counter, static_cast<double>(it->second));
+      }
+    }
+  }
+
+ private:
+  BenchJson* json_;
+};
+
 }  // namespace
 }  // namespace scads
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  scads::BenchJson json("micro_engine");
+  scads::JsonExportReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  (void)json.Write();
+  return 0;
+}

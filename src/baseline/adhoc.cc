@@ -55,7 +55,11 @@ void AdHocExecutor::FriendsByBirthday(int64_t user,
               // Phase 2: per-friend profile lookups, then app-side sort.
               auto rows = std::make_shared<std::vector<Row>>();
               auto fetch = std::make_shared<std::function<void(size_t)>>();
-              *fetch = [this, profiles, friends, rows, fetch,
+              // The driver captures itself weakly (a strong self-capture
+              // would be a shared_ptr cycle and leak); each pending
+              // continuation holds the strong reference instead.
+              std::weak_ptr<std::function<void(size_t)>> weak_fetch = fetch;
+              *fetch = [this, profiles, friends, rows, weak_fetch,
                         callback = std::move(callback)](size_t i) mutable {
                 if (i >= friends->size()) {
                   std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
@@ -67,6 +71,7 @@ void AdHocExecutor::FriendsByBirthday(int64_t user,
                 Row key_row;
                 key_row.SetInt("user_id", (*friends)[i]);
                 auto key = EncodePrimaryKey(*profiles, key_row);
+                auto fetch = weak_fetch.lock();
                 if (!key.ok()) {
                   (*fetch)(i + 1);
                   return;

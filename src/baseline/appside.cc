@@ -57,7 +57,10 @@ void AppSideJoinClient::FriendsByBirthday(
         // One GET per friend, sequentially — each pays a full round trip.
         auto rows = std::make_shared<std::vector<Row>>();
         auto fetch = std::make_shared<std::function<void(size_t)>>();
-        *fetch = [this, profiles, ids, rows, fetch,
+        // Weak self-capture: the pending continuations hold the strong
+        // reference (a strong self-capture would leak the cycle).
+        std::weak_ptr<std::function<void(size_t)>> weak_fetch = fetch;
+        *fetch = [this, profiles, ids, rows, weak_fetch,
                   callback = std::move(callback)](size_t i) mutable {
           if (i >= ids->size()) {
             std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
@@ -69,6 +72,7 @@ void AppSideJoinClient::FriendsByBirthday(
           Row key_row;
           key_row.SetInt("user_id", (*ids)[i]);
           auto key = EncodePrimaryKey(*profiles, key_row);
+          auto fetch = weak_fetch.lock();
           if (!key.ok()) {
             (*fetch)(i + 1);
             return;

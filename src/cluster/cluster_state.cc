@@ -1,5 +1,6 @@
 #include "cluster/cluster_state.h"
 
+#include "cluster/node.h"
 #include "common/strings.h"
 
 namespace scads {
@@ -28,6 +29,14 @@ bool ClusterState::IsAlive(NodeId id) const {
 StorageNode* ClusterState::GetNode(NodeId id) const {
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.node;
+}
+
+NodeLoadSignal ClusterState::NodeLoad(NodeId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second.alive || it->second.node == nullptr) {
+    return NodeLoadSignal{};
+  }
+  return it->second.node->load_signal();
 }
 
 std::vector<NodeId> ClusterState::AliveNodes() const {

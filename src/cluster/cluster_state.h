@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/partition.h"
+#include "common/load_signal.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -37,6 +38,13 @@ class ClusterState {
 
   std::vector<NodeId> AliveNodes() const;
   size_t node_count() const { return nodes_.size(); }
+
+  /// The node's exported load signal (zero signal for unknown or dead
+  /// nodes — an unreachable node is not a batching target anyway). The
+  /// Router sizes sub-batches from this; the Director reads it for
+  /// overload. In a real deployment this would ride on the gossip that
+  /// already carries liveness.
+  NodeLoadSignal NodeLoad(NodeId id) const;
 
   PartitionMap* partitions() { return &partitions_; }
   const PartitionMap& partitions() const { return partitions_; }

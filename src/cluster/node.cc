@@ -10,6 +10,8 @@ namespace scads {
 
 namespace {
 constexpr Duration kMaxRetryDelay = kSecond;
+// Smoothing factor for the load-signal EWMAs (sojourn, shed fraction).
+constexpr double kLoadEwmaAlpha = 0.2;
 
 int AcksNeeded(AckMode ack, size_t replica_count) {
   switch (ack) {
@@ -81,17 +83,42 @@ void StorageNode::InjectBackgroundLoad(Duration service_demand) {
   stats_.busy_micros += charged;
 }
 
-std::optional<Duration> StorageNode::Admit(Duration service) {
+std::optional<Duration> StorageNode::Admit(Duration service, RequestPriority priority,
+                                           bool client) {
   Time now = loop_->Now();
   Duration wait = std::max<Duration>(0, busy_until_ - now);
+  const int pclass = static_cast<int>(priority);
+  auto shed = [this, pclass, client]() {
+    ++stats_.ops_shed;
+    if (client) {
+      ++stats_.shed_by_priority[pclass];
+    } else {
+      ++stats_.replication_sheds;
+    }
+    shed_ewma_ += kLoadEwmaAlpha * (1.0 - shed_ewma_);
+  };
+  // Priority shed order: kLow gives up well before the hard cap, so an
+  // overloaded node clears background work while kNormal/kHigh still queue.
+  Duration shed_at = config_.max_queue_delay;
+  if (priority == RequestPriority::kLow) {
+    shed_at = static_cast<Duration>(static_cast<double>(config_.max_queue_delay) *
+                                    config_.low_priority_shed_fraction);
+  }
   // Background (unsampled) traffic: M/M/1-style delay rising steeply as
   // utilization approaches 1; past saturation the overload fraction sheds.
   double rho = background_utilization_;
   if (rho > 0) {
     if (rho >= 0.99) {
+      // Saturated: kLow sheds outright, kNormal survives an admission
+      // lottery matching remaining capacity, kHigh is always queued (it
+      // still pays the heavy wait below).
+      if (priority == RequestPriority::kLow) {
+        shed();
+        return std::nullopt;
+      }
       double admit_probability = 1.0 / std::max(1.01, rho);
-      if (!rng_.Bernoulli(admit_probability)) {
-        ++stats_.ops_shed;
+      if (priority != RequestPriority::kHigh && !rng_.Bernoulli(admit_probability)) {
+        shed();
         return std::nullopt;
       }
       wait += config_.max_queue_delay / 2 +
@@ -102,15 +129,27 @@ std::optional<Duration> StorageNode::Admit(Duration service) {
       if (mean_wait >= 1.0) wait += static_cast<Duration>(rng_.Exponential(mean_wait));
     }
   }
-  if (wait > config_.max_queue_delay) {
-    ++stats_.ops_shed;
+  if (wait > shed_at) {
+    shed();
     return std::nullopt;
   }
   busy_until_ = std::max(busy_until_, now) + service;
   stats_.busy_micros += service;
+  if (client) ++stats_.admitted_by_priority[pclass];
   Duration sojourn = wait + service;
   sojourn_.Record(sojourn);
+  ewma_sojourn_ += kLoadEwmaAlpha * (static_cast<double>(sojourn) - ewma_sojourn_);
+  shed_ewma_ *= 1.0 - kLoadEwmaAlpha;
   return sojourn;
+}
+
+NodeLoadSignal StorageNode::load_signal() const {
+  NodeLoadSignal signal;
+  signal.queue_delay = queue_delay();
+  signal.ewma_sojourn = static_cast<Duration>(ewma_sojourn_);
+  signal.utilization = background_utilization_;
+  signal.shed_fraction = shed_ewma_;
+  return signal;
 }
 
 void StorageNode::SetBackgroundLoad(double utilization, Duration busy_account) {
@@ -122,10 +161,10 @@ void StorageNode::SetBackgroundLoad(double utilization, Duration busy_account) {
                                                    std::max(1.0, utilization)));
 }
 
-void StorageNode::HandleGet(const std::string& key,
+void StorageNode::HandleGet(const std::string& key, RequestPriority priority,
                             std::function<void(Result<Record>)> respond) {
   if (!alive_) return;
-  std::optional<Duration> sojourn = Admit(config_.get_service_time);
+  std::optional<Duration> sojourn = Admit(config_.get_service_time, priority);
   if (!sojourn.has_value()) {
     respond(ResourceExhaustedError("node overloaded"));
     return;
@@ -138,13 +177,14 @@ void StorageNode::HandleGet(const std::string& key,
 }
 
 void StorageNode::HandleMultiGet(const std::vector<std::string>& keys,
+                                 RequestPriority priority,
                                  std::function<void(MultiGetReply)> respond) {
   if (!alive_) return;
   Duration service =
       config_.get_service_time +
       config_.multiget_service_per_key *
           static_cast<Duration>(keys.empty() ? 0 : keys.size() - 1);
-  std::optional<Duration> sojourn = Admit(service);
+  std::optional<Duration> sojourn = Admit(service, priority);
   if (!sojourn.has_value()) {
     // Shed the whole batch, per key, so the router can redirect it.
     MultiGetReply reply;
@@ -170,6 +210,7 @@ void StorageNode::HandleMultiGet(const std::vector<std::string>& keys,
 }
 
 void StorageNode::HandleMultiWrite(std::vector<MultiWriteItem> items, AckMode ack,
+                                   RequestPriority priority,
                                    std::function<void(std::vector<Status>)> respond) {
   if (!alive_) return;
   if (items.empty()) {
@@ -179,7 +220,7 @@ void StorageNode::HandleMultiWrite(std::vector<MultiWriteItem> items, AckMode ac
   Duration service = config_.put_service_time +
                      config_.multiwrite_service_per_record *
                          static_cast<Duration>(items.size() - 1);
-  std::optional<Duration> sojourn = Admit(service);
+  std::optional<Duration> sojourn = Admit(service, priority);
   if (!sojourn.has_value()) {
     respond(std::vector<Status>(items.size(), ResourceExhaustedError("node overloaded")));
     return;
@@ -222,12 +263,13 @@ void StorageNode::HandleMultiWrite(std::vector<MultiWriteItem> items, AckMode ac
 }
 
 void StorageNode::HandleScan(const std::string& start, const std::string& end, size_t limit,
+                             RequestPriority priority,
                              std::function<void(Result<std::vector<Record>>)> respond) {
   if (!alive_) return;
   // Service cost depends on rows returned; we charge after execution by
   // first paying the base, running, then paying per-row (approximating a
   // cursor that streams rows while holding the executor).
-  std::optional<Duration> sojourn = Admit(config_.scan_service_base);
+  std::optional<Duration> sojourn = Admit(config_.scan_service_base, priority);
   if (!sojourn.has_value()) {
     respond(ResourceExhaustedError("node overloaded"));
     return;
@@ -282,9 +324,9 @@ void StorageNode::ApplyAndReplicate(PartitionId pid, const WalRecord& record, Ac
 }
 
 void StorageNode::HandleWrite(PartitionId pid, const WalRecord& record, AckMode ack,
-                              std::function<void(Status)> respond) {
+                              RequestPriority priority, std::function<void(Status)> respond) {
   if (!alive_) return;
-  std::optional<Duration> sojourn = Admit(config_.put_service_time);
+  std::optional<Duration> sojourn = Admit(config_.put_service_time, priority);
   if (!sojourn.has_value()) {
     respond(ResourceExhaustedError("node overloaded"));
     return;
@@ -299,9 +341,10 @@ void StorageNode::HandleWrite(PartitionId pid, const WalRecord& record, AckMode 
 void StorageNode::HandleConditionalPut(PartitionId pid, const std::string& key,
                                        const std::string& value, std::optional<Version> expected,
                                        Version new_version, AckMode ack,
+                                       RequestPriority priority,
                                        std::function<void(Status)> respond) {
   if (!alive_) return;
-  std::optional<Duration> sojourn = Admit(config_.put_service_time);
+  std::optional<Duration> sojourn = Admit(config_.put_service_time, priority);
   if (!sojourn.has_value()) {
     respond(ResourceExhaustedError("node overloaded"));
     return;
@@ -418,7 +461,8 @@ void StorageNode::HandleReplicate(PartitionId pid, NodeId from, uint64_t first_s
   if (!alive_) return;
   Duration service =
       config_.replicate_service_per_record * std::max<Duration>(1, static_cast<Duration>(records.size()));
-  std::optional<Duration> sojourn = Admit(service);
+  std::optional<Duration> sojourn =
+      Admit(service, RequestPriority::kNormal, /*client=*/false);
   if (!sojourn.has_value()) return;  // shed; primary will retransmit
   loop_->ScheduleAfter(*sojourn, [this, pid, from, first_seq, records = std::move(records),
                                   watermark] {

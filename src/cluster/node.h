@@ -23,6 +23,8 @@
 
 #include "cluster/cluster_state.h"
 #include "common/histogram.h"
+#include "common/load_signal.h"
+#include "common/request_options.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -57,6 +59,11 @@ struct NodeConfig {
   /// Overload shedding: requests that would wait longer than this are
   /// rejected immediately with kResourceExhausted.
   Duration max_queue_delay = 2 * kSecond;
+  /// Priority admission: kLow work is shed once the queue backlog exceeds
+  /// this fraction of max_queue_delay, so an overloaded node drops
+  /// background traffic before it queues kNormal/kHigh work (the paper's
+  /// per-request performance dial, enforced server-side).
+  double low_priority_shed_fraction = 0.5;
   /// Replication batching window (group commit for the streams).
   Duration replication_flush_interval = 2 * kMillisecond;
   /// Retransmit unacked replication batches after this long (doubles up to
@@ -79,6 +86,15 @@ struct NodeStats {
   int64_t records_replicated_out = 0;
   int64_t records_replicated_in = 0;
   int64_t retransmits = 0;
+  /// Admission outcomes by RequestPriority class (kLow/kNormal/kHigh) for
+  /// CLIENT requests only; the Director differences these to see *who* an
+  /// overloaded node is turning away.
+  int64_t admitted_by_priority[3] = {0, 0, 0};
+  int64_t shed_by_priority[3] = {0, 0, 0};
+  /// Inbound replication batches shed under overload (the primary
+  /// retransmits them). Kept out of shed_by_priority so retransmit storms
+  /// can't masquerade as interactive kNormal traffic being turned away.
+  int64_t replication_sheds = 0;
 };
 
 /// Response to a batched read: one result per requested key, in request
@@ -122,16 +138,28 @@ class StorageNode {
   bool alive() const { return alive_; }
 
   // --- request handlers -----------------------------------------------
+  //
+  // Every request handler takes the request's RequestPriority so admission
+  // can shed kLow work first under overload; the priority-less overloads
+  // (kNormal) keep internal callers and older call sites unchanged.
 
   /// Point read of `key`.
-  void HandleGet(const std::string& key, std::function<void(Result<Record>)> respond);
+  void HandleGet(const std::string& key, RequestPriority priority,
+                 std::function<void(Result<Record>)> respond);
+  void HandleGet(const std::string& key, std::function<void(Result<Record>)> respond) {
+    HandleGet(key, RequestPriority::kNormal, std::move(respond));
+  }
 
   /// Batched point reads: one admission (base get cost + a smaller marginal
   /// cost per extra key) and one engine MultiGet over the whole key set.
   /// Under overload every key reports kResourceExhausted so the router can
   /// redirect the sub-batch.
-  void HandleMultiGet(const std::vector<std::string>& keys,
+  void HandleMultiGet(const std::vector<std::string>& keys, RequestPriority priority,
                       std::function<void(MultiGetReply)> respond);
+  void HandleMultiGet(const std::vector<std::string>& keys,
+                      std::function<void(MultiGetReply)> respond) {
+    HandleMultiGet(keys, RequestPriority::kNormal, std::move(respond));
+  }
 
   /// Batched writes: the whole batch is WAL-logged with one group-commit
   /// sync, applied, then each record replicates on the normal streams.
@@ -139,24 +167,44 @@ class StorageNode {
   /// reached the requested ack level. This node must be primary for every
   /// item's partition.
   void HandleMultiWrite(std::vector<MultiWriteItem> items, AckMode ack,
+                        RequestPriority priority,
                         std::function<void(std::vector<Status>)> respond);
+  void HandleMultiWrite(std::vector<MultiWriteItem> items, AckMode ack,
+                        std::function<void(std::vector<Status>)> respond) {
+    HandleMultiWrite(std::move(items), ack, RequestPriority::kNormal, std::move(respond));
+  }
 
   /// Range read [start, end) with limit.
   void HandleScan(const std::string& start, const std::string& end, size_t limit,
+                  RequestPriority priority,
                   std::function<void(Result<std::vector<Record>>)> respond);
+  void HandleScan(const std::string& start, const std::string& end, size_t limit,
+                  std::function<void(Result<std::vector<Record>>)> respond) {
+    HandleScan(start, end, limit, RequestPriority::kNormal, std::move(respond));
+  }
 
   /// Write (put or tombstone) for partition `pid`. This node must be the
   /// partition's primary; it applies locally then drives replication.
   /// `respond` fires according to `ack`.
   void HandleWrite(PartitionId pid, const WalRecord& record, AckMode ack,
-                   std::function<void(Status)> respond);
+                   RequestPriority priority, std::function<void(Status)> respond);
+  void HandleWrite(PartitionId pid, const WalRecord& record, AckMode ack,
+                   std::function<void(Status)> respond) {
+    HandleWrite(pid, record, ack, RequestPriority::kNormal, std::move(respond));
+  }
 
   /// Compare-and-set put used by the serializable write policy: applies
   /// only when the stored version equals `expected` (absent = expect no
   /// record or tombstone). kAborted on mismatch.
   void HandleConditionalPut(PartitionId pid, const std::string& key, const std::string& value,
                             std::optional<Version> expected, Version new_version, AckMode ack,
-                            std::function<void(Status)> respond);
+                            RequestPriority priority, std::function<void(Status)> respond);
+  void HandleConditionalPut(PartitionId pid, const std::string& key, const std::string& value,
+                            std::optional<Version> expected, Version new_version, AckMode ack,
+                            std::function<void(Status)> respond) {
+    HandleConditionalPut(pid, key, value, expected, new_version, ack,
+                         RequestPriority::kNormal, std::move(respond));
+  }
 
   /// Replication batch arrival (secondary side). Applies records with
   /// sequence numbers in (last_applied, ...] and acks cumulatively.
@@ -179,6 +227,12 @@ class StorageNode {
 
   /// Current queue backlog in microseconds of work.
   Duration queue_delay() const;
+
+  /// The load signal the Router sizes sub-batches from (and the Director
+  /// reads for overload): explicit backlog, smoothed recent sojourn,
+  /// declared background utilization, and the recent shed fraction.
+  /// Exported to clients through ClusterState::NodeLoad.
+  NodeLoadSignal load_signal() const;
 
   /// Charges `service_demand` microseconds of aggregate work to this node
   /// without materializing individual requests. System experiments use this
@@ -222,8 +276,14 @@ class StorageNode {
   using StreamKey = std::pair<PartitionId, NodeId>;
 
   /// Admission + FIFO queue: reserves `service` capacity, returns total
-  /// sojourn (wait+service), or nullopt when shedding.
-  std::optional<Duration> Admit(Duration service);
+  /// sojourn (wait+service), or nullopt when shedding. Priority steers the
+  /// shed order: kLow sheds at low_priority_shed_fraction of the queue cap
+  /// (and outright under background saturation), kNormal at the cap, kHigh
+  /// at the cap but exempt from the saturation admission lottery.
+  /// `client` requests book into the per-priority counters; internal
+  /// traffic (replication) books sheds into replication_sheds instead.
+  std::optional<Duration> Admit(Duration service, RequestPriority priority,
+                                bool client = true);
 
   /// Applies a write locally and fans out to the replica set of `pid`.
   void ApplyAndReplicate(PartitionId pid, const WalRecord& record, AckMode ack,
@@ -254,6 +314,9 @@ class StorageNode {
   Time busy_until_ = 0;
   NodeStats stats_;
   LogHistogram sojourn_;
+  // Smoothed load-signal components (see load_signal()).
+  double ewma_sojourn_ = 0;
+  double shed_ewma_ = 0;
 
   std::map<StreamKey, ReplicationStream> streams_;
   // Secondary-side per-stream state.

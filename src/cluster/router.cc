@@ -1,5 +1,7 @@
 #include "cluster/router.h"
 
+#include <algorithm>
+#include <limits>
 #include <map>
 #include <optional>
 #include <utility>
@@ -82,6 +84,31 @@ void Router::FinishWrite(Time start, bool ok) {
   }
 }
 
+size_t Router::SubBatchLimit(NodeId target, const RequestOptions& options, Time now) const {
+  const AdaptiveBatchConfig& ab = config_.adaptive_batch;
+  if (!ab.enabled) return std::numeric_limits<size_t>::max();
+  size_t min_batch = std::max<size_t>(1, ab.min_sub_batch);
+  size_t max_batch = std::max(min_batch, ab.max_sub_batch);
+  // Quadratic shrink: at a busy server the sojourn of a batch scales with
+  // its service lump, so the cap must fall faster than the pressure rises
+  // for the completion tail to actually flatten.
+  double pressure = cluster_->NodeLoad(target).Pressure(ab.backlog_ref, ab.sojourn_ref);
+  double idle = (1.0 - pressure) * (1.0 - pressure);
+  double size = static_cast<double>(min_batch) +
+                idle * static_cast<double>(max_batch - min_batch);
+  // Deadline weighting: a request whose budget is mostly gone sends small,
+  // shed-eligible batches — if they shed, little is lost; if they land,
+  // they are served soonest.
+  if (options.has_deadline() && options.deadline > 0) {
+    double remaining = static_cast<double>(options.deadline_at - now) /
+                       static_cast<double>(options.deadline);
+    remaining = std::clamp(remaining, 0.0, 1.0);
+    size = static_cast<double>(min_batch) +
+           remaining * (size - static_cast<double>(min_batch));
+  }
+  return std::clamp(static_cast<size_t>(size), min_batch, max_batch);
+}
+
 Duration Router::ClampedTimeout(const RequestOptions& options, Time now,
                                 bool* budget_bound) const {
   Duration timeout = options.ClampTimeout(config_.request_timeout, now);
@@ -159,10 +186,12 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
                    std::move(callback));
       });
   NodeId self = client_id_;
+  RequestPriority priority = options.priority;
   int64_t request_bytes = static_cast<int64_t>(key.size()) + 4;
   network_->Send(self, target, request_bytes,
-                 [this, node, key, target, self, respond]() mutable {
-    node->HandleGet(key, [this, node, key, target, self, respond](Result<Record> result) mutable {
+                 [this, node, key, priority, target, self, respond]() mutable {
+    node->HandleGet(key, priority,
+                    [this, node, key, target, self, respond](Result<Record> result) mutable {
       // Snapshot the freshness watermark at serve time, not response time:
       // a write acked while this response is on the wire must not lend the
       // (predecessor) value a fresh staleness lease.
@@ -316,88 +345,107 @@ void Router::DispatchMultiGet(const std::shared_ptr<MultiGetState>& state,
     FinishMultiGet(state);
     return;
   }
+  // Load-adaptive sizing: each node's group ships as sub-batches no larger
+  // than its current load signal (and the remaining deadline budget) allow.
+  // The redirect path re-enters here, so retries are re-sized against fresh
+  // load too.
+  Time now = loop_->Now();
   for (auto& [target, group] : by_node) {
-    StorageNode* node = cluster_->GetNode(target);
-    std::vector<std::string> batch_keys;
-    int64_t request_bytes = 0;
-    batch_keys.reserve(group.size());
-    for (size_t fetch_id : group) {
-      const std::string& key = state->fetches[fetch_id].key;
-      batch_keys.push_back(key);
-      request_bytes += static_cast<int64_t>(key.size()) + 4;
+    size_t limit = SubBatchLimit(target, state->options, now);
+    for (size_t offset = 0; offset < group.size(); offset += limit) {
+      size_t count = std::min(limit, group.size() - offset);
+      SendMultiGetSubBatch(
+          state, target,
+          std::vector<size_t>(group.begin() + static_cast<ptrdiff_t>(offset),
+                              group.begin() + static_cast<ptrdiff_t>(offset + count)));
     }
-    auto pending = std::make_shared<Pending>();
-    auto respond = [this, state, group](MultiGetReply reply) {
-      // Shed keys (node overload) move to their next replica candidate;
-      // answered keys resolve and populate the cache.
-      std::vector<size_t> retry;
-      for (size_t i = 0; i < group.size(); ++i) {
-        size_t fetch_id = group[i];
-        MultiGetState::Fetch& fetch = state->fetches[fetch_id];
-        if (fetch.resolved) continue;
-        Result<Record>& result = reply.results[i];
-        if (!result.ok() && result.status().code() == StatusCode::kResourceExhausted) {
-          ++fetch.next_candidate;
-          if (fetch.next_candidate >= fetch.candidates.size()) {
-            // Every candidate shed: surface the overload itself (matching
-            // single-Get semantics), not a synthetic unreachability error.
-            state->Resolve(fetch_id, std::move(result));
-          } else {
-            retry.push_back(fetch_id);
-          }
-          continue;
-        }
-        MaybeCacheRead(fetch.key, reply.as_of[i], result);
-        state->Resolve(fetch_id, std::move(result));
-      }
-      if (!retry.empty()) {
-        DispatchMultiGet(state, std::move(retry));
-      } else if (state->unresolved == 0) {
-        FinishMultiGet(state);
-      }
-    };
-    auto guarded = [pending, loop = loop_, respond = std::move(respond)](MultiGetReply reply) {
-      if (pending->done) return;
-      pending->done = true;
-      if (pending->timeout_event != EventLoop::kInvalidEvent) loop->Cancel(pending->timeout_event);
-      respond(std::move(reply));
-    };
-    pending->timeout_event = loop_->ScheduleAfter(
-        state->options.ClampTimeout(config_.request_timeout, loop_->Now()),
-        [this, state, group, pending]() {
-          if (pending->done) return;
-          pending->done = true;
-          // The node (or the path to it) is unresponsive: move the whole
-          // sub-batch to each key's next replica candidate.
-          std::vector<size_t> retry;
-          for (size_t fetch_id : group) {
-            MultiGetState::Fetch& fetch = state->fetches[fetch_id];
-            if (fetch.resolved) continue;
-            ++fetch.next_candidate;
-            retry.push_back(fetch_id);
-          }
-          if (!retry.empty()) DispatchMultiGet(state, std::move(retry));
-        });
-    NodeId self = client_id_;
-    network_->Send(
-        self, target, request_bytes,
-        [this, node, target, self, batch_keys = std::move(batch_keys),
-         guarded = std::move(guarded)]() mutable {
-          node->HandleMultiGet(
-              batch_keys, [this, target, self, guarded = std::move(guarded)](
-                              MultiGetReply reply) mutable {
-                int64_t reply_bytes = 0;
-                for (const Result<Record>& r : reply.results) {
-                  reply_bytes += r.ok() ? WireSize(*r) : 8;
-                }
-                network_->Send(target, self, reply_bytes,
-                               [guarded = std::move(guarded),
-                                reply = std::move(reply)]() mutable {
-                                 guarded(std::move(reply));
-                               });
-              });
-        });
   }
+}
+
+void Router::SendMultiGetSubBatch(const std::shared_ptr<MultiGetState>& state, NodeId target,
+                                  std::vector<size_t> group) {
+  StorageNode* node = cluster_->GetNode(target);
+  std::vector<std::string> batch_keys;
+  int64_t request_bytes = 0;
+  batch_keys.reserve(group.size());
+  for (size_t fetch_id : group) {
+    const std::string& key = state->fetches[fetch_id].key;
+    batch_keys.push_back(key);
+    request_bytes += static_cast<int64_t>(key.size()) + 4;
+  }
+  auto pending = std::make_shared<Pending>();
+  auto respond = [this, state, group](MultiGetReply reply) {
+    // Shed keys (node overload) move to their next replica candidate;
+    // answered keys resolve and populate the cache.
+    std::vector<size_t> retry;
+    for (size_t i = 0; i < group.size(); ++i) {
+      size_t fetch_id = group[i];
+      MultiGetState::Fetch& fetch = state->fetches[fetch_id];
+      if (fetch.resolved) continue;
+      Result<Record>& result = reply.results[i];
+      if (!result.ok() && result.status().code() == StatusCode::kResourceExhausted) {
+        ++fetch.next_candidate;
+        if (fetch.next_candidate >= fetch.candidates.size()) {
+          // Every candidate shed: surface the overload itself (matching
+          // single-Get semantics), not a synthetic unreachability error.
+          state->Resolve(fetch_id, std::move(result));
+        } else {
+          retry.push_back(fetch_id);
+        }
+        continue;
+      }
+      MaybeCacheRead(fetch.key, reply.as_of[i], result);
+      state->Resolve(fetch_id, std::move(result));
+    }
+    if (!retry.empty()) {
+      DispatchMultiGet(state, std::move(retry));
+    } else if (state->unresolved == 0) {
+      FinishMultiGet(state);
+    }
+  };
+  auto guarded = [pending, loop = loop_, respond = std::move(respond)](MultiGetReply reply) {
+    if (pending->done) return;
+    pending->done = true;
+    if (pending->timeout_event != EventLoop::kInvalidEvent) loop->Cancel(pending->timeout_event);
+    respond(std::move(reply));
+  };
+  pending->timeout_event = loop_->ScheduleAfter(
+      state->options.ClampTimeout(config_.request_timeout, loop_->Now()),
+      [this, state, group, pending]() {
+        if (pending->done) return;
+        pending->done = true;
+        // The node (or the path to it) is unresponsive: move the whole
+        // sub-batch to each key's next replica candidate.
+        std::vector<size_t> retry;
+        for (size_t fetch_id : group) {
+          MultiGetState::Fetch& fetch = state->fetches[fetch_id];
+          if (fetch.resolved) continue;
+          ++fetch.next_candidate;
+          retry.push_back(fetch_id);
+        }
+        if (!retry.empty()) DispatchMultiGet(state, std::move(retry));
+      });
+  NodeId self = client_id_;
+  RequestPriority priority = state->options.priority;
+  network_->Send(
+      self, target, request_bytes,
+      [this, node, target, self, priority, batch_keys = std::move(batch_keys),
+       guarded = std::move(guarded)]() mutable {
+        node->HandleMultiGet(
+            batch_keys, priority,
+            [this, target, self, guarded = std::move(guarded)](
+                MultiGetReply reply) mutable {
+              int64_t reply_bytes = 0;
+              for (const Result<Record>& r : reply.results) {
+                reply_bytes += r.ok() ? WireSize(*r) : 8;
+              }
+              network_->Send(target, self, reply_bytes,
+                             [guarded = std::move(guarded),
+                              reply = std::move(reply)]() mutable {
+                               guarded(std::move(reply));
+                             });
+            });
+      });
 }
 
 void Router::MultiGet(const std::vector<std::string>& keys, RequestOptions options,
@@ -511,10 +559,11 @@ void Router::Scan(const std::string& start, const std::string& end, size_t limit
         respond(TimeoutStatus(budget_bound, "scan"));
       });
   NodeId self = client_id_;
+  RequestPriority priority = options.priority;
   int64_t request_bytes = static_cast<int64_t>(start.size() + end.size()) + 16;
   network_->Send(self, target, request_bytes,
-                 [this, node, start, end, limit, target, self, respond]() mutable {
-    node->HandleScan(start, end, limit,
+                 [this, node, start, end, limit, priority, target, self, respond]() mutable {
+    node->HandleScan(start, end, limit, priority,
                      [this, target, self, respond](Result<std::vector<Record>> rows) mutable {
                        int64_t reply_bytes = 8;
                        if (rows.ok()) {
@@ -574,9 +623,11 @@ void Router::SendWrite(const WalRecord& record, AckMode ack, const RequestOption
       });
   PartitionId pid = partition.id;
   NodeId self = client_id_;
+  RequestPriority priority = options.priority;
   network_->Send(self, target, WireSize(record),
-                 [this, node, pid, record, ack, target, self, respond]() mutable {
-    node->HandleWrite(pid, record, ack, [this, target, self, respond](Status status) mutable {
+                 [this, node, pid, record, ack, priority, target, self, respond]() mutable {
+    node->HandleWrite(pid, record, ack, priority,
+                      [this, target, self, respond](Status status) mutable {
       network_->Send(target, self, 4, [respond, status = std::move(status)]() mutable {
         respond(std::move(status));
       });
@@ -673,12 +724,42 @@ void Router::MultiWrite(std::vector<WriteOp> ops, AckMode ack, RequestOptions op
     finalize();
     return;
   }
-  state->groups_pending = groups.size();
 
+  // Load-adaptive sizing: each primary's ops ship as sub-batches capped by
+  // its load signal and the remaining deadline budget, the same rule as
+  // MultiGet (SubBatchLimit). Writes do not redirect — a shed or timed-out
+  // chunk fails only its own ops.
+  struct Chunk {
+    NodeId target = kInvalidNode;
+    std::vector<size_t> op_ids;
+    std::vector<MultiWriteItem> items;
+    int64_t bytes = 0;
+  };
+  std::vector<Chunk> chunks;
+  Time now = loop_->Now();
   for (auto& [target, group] : groups) {
+    size_t limit = SubBatchLimit(target, options, now);
+    for (size_t offset = 0; offset < group.op_ids.size(); offset += limit) {
+      size_t count = std::min(limit, group.op_ids.size() - offset);
+      Chunk chunk;
+      chunk.target = target;
+      chunk.op_ids.reserve(count);
+      chunk.items.reserve(count);
+      for (size_t i = offset; i < offset + count; ++i) {
+        chunk.bytes += WireSize(group.items[i].record);
+        chunk.op_ids.push_back(group.op_ids[i]);
+        chunk.items.push_back(std::move(group.items[i]));
+      }
+      chunks.push_back(std::move(chunk));
+    }
+  }
+  state->groups_pending = chunks.size();
+
+  for (auto& chunk : chunks) {
+    NodeId target = chunk.target;
     StorageNode* node = cluster_->GetNode(target);
     auto pending = std::make_shared<Pending>();
-    auto respond = [this, state, op_ids = group.op_ids, version, finalize,
+    auto respond = [this, state, op_ids = chunk.op_ids, version, finalize,
                     pending](std::vector<Status> statuses) {
       if (pending->done) return;
       pending->done = true;
@@ -703,17 +784,18 @@ void Router::MultiWrite(std::vector<WriteOp> ops, AckMode ack, RequestOptions op
     bool budget_bound = false;
     Duration timeout = ClampedTimeout(options, loop_->Now(), &budget_bound);
     pending->timeout_event =
-        loop_->ScheduleAfter(timeout, [respond, budget_bound, size = group.op_ids.size()] {
+        loop_->ScheduleAfter(timeout, [respond, budget_bound, size = chunk.op_ids.size()] {
           // Writes never retry (no idempotence token): the node's whole
           // sub-batch fails; other nodes' sub-batches are unaffected.
           respond(std::vector<Status>(size, TimeoutStatus(budget_bound, "write")));
         });
     NodeId self = client_id_;
-    network_->Send(self, target, group.bytes,
-                   [this, node, target, self, items = std::move(group.items), ack,
+    RequestPriority priority = options.priority;
+    network_->Send(self, target, chunk.bytes,
+                   [this, node, target, self, items = std::move(chunk.items), ack, priority,
                     respond = std::move(respond)]() mutable {
                      node->HandleMultiWrite(
-                         std::move(items), ack,
+                         std::move(items), ack, priority,
                          [this, target, self, respond = std::move(respond)](
                              std::vector<Status> statuses) mutable {
                            network_->Send(target, self,
@@ -816,12 +898,13 @@ void Router::ConditionalPut(const std::string& key, const std::string& value,
       });
   PartitionId pid = partition.id;
   NodeId self = client_id_;
+  RequestPriority priority = options.priority;
   int64_t request_bytes = static_cast<int64_t>(key.size() + value.size()) + 29;
   network_->Send(self, target, request_bytes,
-                 [this, node, pid, key, value, expected, new_version, ack, target, self,
-                  respond]() mutable {
+                 [this, node, pid, key, value, expected, new_version, ack, priority, target,
+                  self, respond]() mutable {
                    node->HandleConditionalPut(
-                       pid, key, value, expected, new_version, ack,
+                       pid, key, value, expected, new_version, ack, priority,
                        [this, target, self, respond](Status status) mutable {
                          network_->Send(target, self, 4,
                                         [respond, status = std::move(status)]() mutable {

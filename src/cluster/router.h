@@ -32,6 +32,28 @@ enum class ReadTarget {
   kAnyReplica,     ///< Uniformly random replica (spreads load; may be stale).
 };
 
+/// Load-adaptive sub-batch sizing (MultiGet/MultiWrite). A node's sub-batch
+/// is capped by a size derived from its exported load signal: idle nodes
+/// get up to max_sub_batch keys/records per message (amortizing the
+/// per-message base cost), loaded nodes get quadratically smaller batches
+/// down to min_sub_batch — at a busy server, sojourn scales with the
+/// service lump it is handed, so many small lumps have a far lighter
+/// completion tail than one big one, and a shed or timeout redirects fewer
+/// keys. A mostly-spent deadline budget shrinks the cap the same way, so
+/// the last messages a nearly-expired request sends are small and
+/// shed-eligible.
+struct AdaptiveBatchConfig {
+  /// Off = ship whatever the partitioner produced (one message per node),
+  /// the pre-adaptive behavior.
+  bool enabled = true;
+  size_t min_sub_batch = 4;
+  size_t max_sub_batch = 128;
+  /// Explicit queue backlog treated as pressure 1.0.
+  Duration backlog_ref = 200 * kMillisecond;
+  /// Smoothed node sojourn treated as pressure 1.0.
+  Duration sojourn_ref = 20 * kMillisecond;
+};
+
 /// Router tunables.
 struct RouterConfig {
   Duration request_timeout = 250 * kMillisecond;
@@ -40,6 +62,7 @@ struct RouterConfig {
   /// token at this layer).
   int read_retries = 1;
   ReadTarget read_target = ReadTarget::kAnyReplica;
+  AdaptiveBatchConfig adaptive_batch;
 };
 
 /// Cumulative, resettable request statistics for one Router.
@@ -98,7 +121,9 @@ class Router {
   /// fan-outs. One result per input key, in input order (duplicates allowed;
   /// fetched once). The key set is partitioned by owning replica in one
   /// ClusterState pass, cache-fresh keys are served up front, and the
-  /// misses go out as ONE message per storage node. Each sub-batch has its
+  /// misses go out as one message per storage node — or several, when the
+  /// node's load signal says to cap sub-batches smaller (see
+  /// AdaptiveBatchConfig). Each sub-batch has its
   /// own timeout; a failed or shed sub-batch retries its keys on the next
   /// replica candidate without disturbing the rest of the batch.
   /// (Deliberate asymmetry with Get: a shed single read surfaces
@@ -129,7 +154,8 @@ class Router {
   };
 
   /// Batched writes: ops are grouped by primary node and shipped as one
-  /// message per node; each node WAL-logs its sub-batch with one group-
+  /// message per node (or several, under the same load-adaptive sub-batch
+  /// cap as MultiGet); each node WAL-logs its sub-batch with one group-
   /// commit sync. One status per op, in op order. Ops on the same key
   /// coalesce to the last one (the whole batch carries one version stamp,
   /// so "apply in order" and "last wins" are the same outcome); the earlier
@@ -233,11 +259,23 @@ class Router {
 
   struct MultiGetState;  // scatter-gather bookkeeping (defined in router.cc)
   /// Groups the given pending fetches by their current replica candidate and
-  /// sends one sub-batch message per node; fetches whose candidates are
-  /// exhausted resolve kUnavailable, and an exhausted deadline budget
+  /// sends each node's group as one or more sub-batch messages, sized by
+  /// SubBatchLimit against the node's load signal; fetches whose candidates
+  /// are exhausted resolve kUnavailable, and an exhausted deadline budget
   /// resolves everything still pending kDeadlineExceeded.
   void DispatchMultiGet(const std::shared_ptr<MultiGetState>& state,
                         std::vector<size_t> fetch_ids);
+  /// Ships one sub-batch (<= SubBatchLimit fetches, all targeting `target`)
+  /// as a single message with its own timeout; shed keys redirect via
+  /// DispatchMultiGet, which re-sizes against fresh load.
+  void SendMultiGetSubBatch(const std::shared_ptr<MultiGetState>& state, NodeId target,
+                            std::vector<size_t> group);
+
+  /// The sub-batch cap for messages to `target` right now: max_sub_batch
+  /// shrunk quadratically by the node's load pressure, then scaled by the
+  /// remaining fraction of the request's deadline budget. Unbounded when
+  /// adaptive batching is disabled.
+  size_t SubBatchLimit(NodeId target, const RequestOptions& options, Time now) const;
   void FinishMultiGet(const std::shared_ptr<MultiGetState>& state);
   void FinishRead(Time start, bool ok);
   void FinishWrite(Time start, bool ok);

@@ -1,0 +1,53 @@
+// NodeLoadSignal: a storage node's exported load, as the data plane sees it.
+//
+// StorageNode maintains the signal (explicit queue backlog, a smoothed
+// recent-sojourn estimate, the declared background utilization, and a
+// windowed shed fraction) and ClusterState re-exports it per NodeId, so the
+// Router can size sub-batches — and the Director can read overload — from
+// one shared vocabulary without reaching into node internals.
+
+#ifndef SCADS_COMMON_LOAD_SIGNAL_H_
+#define SCADS_COMMON_LOAD_SIGNAL_H_
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace scads {
+
+/// One node's current load, snapshotted at read time.
+struct NodeLoadSignal {
+  /// Explicit queue backlog: microseconds of admitted-but-unserved work.
+  Duration queue_delay = 0;
+  /// Exponentially-smoothed recent sojourn (queue wait + service) of
+  /// admitted requests. Captures the queueing delay that background
+  /// utilization induces, which queue_delay alone cannot see.
+  Duration ewma_sojourn = 0;
+  /// Declared background (unsampled) utilization, fraction of capacity.
+  double utilization = 0;
+  /// Exponentially-smoothed fraction of recent admissions that shed.
+  double shed_fraction = 0;
+
+  /// Collapses the signal into a scalar pressure in [0, 1]: the worst of
+  /// the normalized backlog (backlog_ref ≙ 1.0), the normalized smoothed
+  /// sojourn (sojourn_ref ≙ 1.0), the declared utilization, and the shed
+  /// fraction. Several imperfect views of "how busy" are combined by max
+  /// because any one of them saturating means batches to this node already
+  /// pay the overload price.
+  double Pressure(Duration backlog_ref, Duration sojourn_ref) const {
+    double pressure = std::max(utilization, shed_fraction);
+    if (backlog_ref > 0) {
+      pressure = std::max(pressure, static_cast<double>(queue_delay) /
+                                        static_cast<double>(backlog_ref));
+    }
+    if (sojourn_ref > 0) {
+      pressure = std::max(pressure, static_cast<double>(ewma_sojourn) /
+                                        static_cast<double>(sojourn_ref));
+    }
+    return std::clamp(pressure, 0.0, 1.0);
+  }
+};
+
+}  // namespace scads
+
+#endif  // SCADS_COMMON_LOAD_SIGNAL_H_

@@ -261,6 +261,42 @@ void Director::ControlTick() {
   snapshot.latency_at_quantile = report.read_latency_at_quantile;
   snapshot.availability = report.availability;
   snapshot.sla_ok = report.ok();
+
+  // Node-side overload: per-priority admission sheds this window and the
+  // worst queue backlog right now. Deltas are tracked per node so fleet
+  // churn (a node dying, then rejoining with its lifetime counters) never
+  // shows up as a spurious one-window shed spike.
+  int64_t window_sheds[3] = {0, 0, 0};
+  for (NodeId id : cluster_->AliveNodes()) {
+    StorageNode* node = cluster_->GetNode(id);
+    if (node == nullptr) continue;
+    std::array<int64_t, 3>& last = last_node_sheds_[id];
+    for (int p = 0; p < 3; ++p) {
+      int64_t total = node->stats().shed_by_priority[p];
+      // A counter below the baseline means a fresh node reused the id.
+      window_sheds[p] += std::max<int64_t>(0, total - last[p]);
+      last[p] = total;
+    }
+    snapshot.max_node_queue_delay =
+        std::max(snapshot.max_node_queue_delay, node->queue_delay());
+  }
+  // Drop baselines only for instances gone from the registry entirely; a
+  // dead-but-registered node keeps its baseline for when it rejoins.
+  for (auto it = last_node_sheds_.begin(); it != last_node_sheds_.end();) {
+    it = cluster_->GetNode(it->first) == nullptr ? last_node_sheds_.erase(it) : std::next(it);
+  }
+  snapshot.sheds_low = window_sheds[0];
+  snapshot.sheds_normal = window_sheds[1];
+  snapshot.sheds_high = window_sheds[2];
+  if (snapshot.sheds_normal + snapshot.sheds_high > 0) {
+    // Priority admission ran out of kLow work to drop — the overload has
+    // reached interactive traffic.
+    LogEvent("overload_shed",
+             StrFormat("window sheds by priority: low=%lld normal=%lld high=%lld",
+                       static_cast<long long>(snapshot.sheds_low),
+                       static_cast<long long>(snapshot.sheds_normal),
+                       static_cast<long long>(snapshot.sheds_high)));
+  }
   history_.push_back(snapshot);
 
   MaybeSplitHotKeys();

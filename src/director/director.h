@@ -20,6 +20,7 @@
 #ifndef SCADS_DIRECTOR_DIRECTOR_H_
 #define SCADS_DIRECTOR_DIRECTOR_H_
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
@@ -81,6 +82,14 @@ struct DirectorSnapshot {
   int64_t latency_at_quantile = 0;
   double availability = 1.0;
   bool sla_ok = true;
+  /// Admission sheds observed fleet-wide this control window, by priority
+  /// class — the node-side overload signal. A window shedding kNormal or
+  /// kHigh work means priority admission has run out of kLow to drop.
+  int64_t sheds_low = 0;
+  int64_t sheds_normal = 0;
+  int64_t sheds_high = 0;
+  /// Worst per-node explicit queue backlog sampled at the tick (us).
+  Duration max_node_queue_delay = 0;
 };
 
 /// Free-form action log entry ("scale_up 12", "drain node 40", ...).
@@ -164,6 +173,10 @@ class Director {
   // Rate estimation from node counters.
   int64_t last_busy_total_ = 0;
   Time last_tick_at_ = 0;
+  // Per-node per-priority shed totals at the last tick. Kept per node (not
+  // as a fleet-wide sum) so a dead node rejoining doesn't replay its
+  // lifetime sheds as one window's spurious overload spike.
+  std::map<NodeId, std::array<int64_t, 3>> last_node_sheds_;
 };
 
 }  // namespace scads

@@ -348,11 +348,16 @@ void IndexMaintainer::RunTwoHopUpdate(const Registered& reg, std::optional<Row> 
   }
 
   auto process = std::make_shared<std::function<void(size_t)>>();
-  *process = [this, edges, process, &reg, adjacency, done = std::move(done)](size_t e) {
+  // The driver captures itself weakly (a strong self-capture would be a
+  // shared_ptr cycle and leak); the pending continuations below hold the
+  // strong reference that keeps the chain alive.
+  std::weak_ptr<std::function<void(size_t)>> process_weak = process;
+  *process = [this, edges, process_weak, &reg, adjacency, done = std::move(done)](size_t e) {
     if (e >= edges->size()) {
       done(Status::Ok());
       return;
     }
+    auto process = process_weak.lock();
     const EdgeDelta edge = (*edges)[e];
     // Gather N(x) and N(y) from the adjacency index.
     ++stats_.lookups;

@@ -25,9 +25,15 @@ Duration SimNetwork::SampleLatency(NodeId from, NodeId to) {
   return config_.base_latency + jitter;
 }
 
+int64_t SimNetwork::sent_to(NodeId to) const {
+  auto it = sent_to_.find(to);
+  return it == sent_to_.end() ? 0 : it->second;
+}
+
 void SimNetwork::Send(NodeId from, NodeId to, int64_t payload_bytes,
                       std::function<void()> deliver) {
   ++sent_;
+  ++sent_to_[to];
   int64_t wire_bytes = payload_bytes + kMessageOverheadBytes;
   bytes_sent_ += wire_bytes;
   if (!Connected(from, to)) {

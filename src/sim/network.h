@@ -74,6 +74,10 @@ class SimNetwork {
   int64_t sent_count() const { return sent_; }
   int64_t delivered_count() const { return delivered_; }
   int64_t dropped_count() const { return dropped_; }
+  /// Messages handed to the fabric addressed to `to` (including later-lost
+  /// ones). Batch-sizing diagnostics: differences of this show how many
+  /// sub-batches a node was sent.
+  int64_t sent_to(NodeId to) const;
   /// Bytes handed to the fabric (payload + per-message overhead), including
   /// messages later lost; mirrors what a NIC's tx counter would show.
   int64_t bytes_sent() const { return bytes_sent_; }
@@ -86,6 +90,7 @@ class SimNetwork {
   Rng rng_;
   NetworkConfig config_;
   std::unordered_map<NodeId, int> partition_group_;
+  std::unordered_map<NodeId, int64_t> sent_to_;
   int64_t sent_ = 0;
   int64_t delivered_ = 0;
   int64_t dropped_ = 0;

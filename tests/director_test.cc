@@ -215,5 +215,37 @@ TEST(DirectorTest, EventsLogLifecycle) {
   EXPECT_TRUE(saw_node_ready);
 }
 
+TEST(DirectorTest, SnapshotsExposePriorityShedsAndBacklog) {
+  DirectorConfig config;
+  config.min_nodes = 2;
+  config.control_interval = kSecond;  // sample before the backlog drains
+  AutoscaleHarness h(config, ConstantTraffic(50));
+  h.Bootstrap(8, 1);
+
+  // One node backlogged past the kLow threshold: kLow requests shed there,
+  // and the Director's next window must see both the sheds (by class) and
+  // the backlog.
+  std::vector<NodeId> alive = h.cluster.AliveNodes();
+  ASSERT_FALSE(alive.empty());
+  StorageNode* hot = h.cluster.GetNode(alive.front());
+  hot->InjectBackgroundLoad(3 * kSecond);  // clamped near the 2s queue cap
+  for (int i = 0; i < 5; ++i) {
+    hot->HandleGet("k", RequestPriority::kLow, [](Result<Record>) {});
+  }
+  size_t history_before = h.director->history().size();
+  h.loop.RunFor(2 * config.control_interval);
+
+  const auto& history = h.director->history();
+  ASSERT_GT(history.size(), history_before);
+  int64_t sheds_low = 0;
+  Duration max_backlog = 0;
+  for (size_t i = history_before; i < history.size(); ++i) {
+    sheds_low += history[i].sheds_low;
+    max_backlog = std::max(max_backlog, history[i].max_node_queue_delay);
+  }
+  EXPECT_EQ(sheds_low, 5);
+  EXPECT_GT(max_backlog, kSecond);
+}
+
 }  // namespace
 }  // namespace scads

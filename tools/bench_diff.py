@@ -2,6 +2,7 @@
 """Diff two directories of BENCH_*.json results (previous vs current).
 
 Usage: bench_diff.py PREV_DIR CURR_DIR [--fail-over PCT]
+                     [--gate GLOB] [--gate-fields GLOBS] [--require-baseline]
 
 Each BENCH_<name>.json has the shape
     {"bench": "<name>", "rows": [{"label": "...", "<field>": <value>, ...}]}
@@ -9,28 +10,48 @@ Each BENCH_<name>.json has the shape
 numeric fields report absolute and relative deltas, string fields report
 changes (e.g. a shape_check flipping PASS -> FAIL).
 
-Exit code is 0 unless --fail-over is given and some numeric field moved by
-more than PCT percent in either direction (the simulator is deterministic,
-so any drift is signal worth a look — the tool cannot know which direction
-is "worse" for a given metric); fields named *_check that flip away from
-"PASS" always fail. Missing PREV_DIR (first run / cold cache) is not an
-error.
+Two severities of numeric check:
+
+* Informational: every changed field is printed, always.
+* Gate: with --fail-over PCT and one or more --gate GLOBs (matched against
+  bench names, e.g. --gate 'claim_*'), fields matching --gate-fields
+  (comma-separated globs, default '*p50*,*p99*') that move UP by more than
+  PCT percent fail the run with exit 1. Gated fields are latency-style
+  metrics where higher is worse; improvements never fail. A gated bench
+  present in CURR_DIR but missing its baseline JSON in PREV_DIR is an
+  error (exit 2), and so is a gated bench present in PREV_DIR but absent
+  from CURR_DIR — a gate that silently skips is not a gate.
+
+Fields named *_check that flip away from "PASS" always fail (exit 1).
+
+Baseline handling: an unreadable or corrupt JSON in either directory is an
+error (exit 2) with a clear message — never silently skipped. A missing
+PREV_DIR normally means "first run, nothing to diff" (exit 0);
+--require-baseline turns that into exit 2 too.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 from pathlib import Path
 
 
 def load_results(directory: Path):
+    """Returns {bench: {label: row}}. Raises SystemExit(2) on corrupt files."""
     results = {}
     for path in sorted(directory.glob("BENCH_*.json")):
         try:
             data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as err:
-            print(f"  ! unreadable {path.name}: {err}")
-            continue
+            print(f"ERROR: unreadable bench result {path}: {err}", file=sys.stderr)
+            print("A corrupt result file would silently skip its comparison; "
+                  "regenerate or delete it explicitly.", file=sys.stderr)
+            raise SystemExit(2)
+        if not isinstance(data, dict) or not isinstance(data.get("rows"), list):
+            print(f"ERROR: {path} is not a BENCH json "
+                  "(expected {{\"bench\": ..., \"rows\": [...]}})", file=sys.stderr)
+            raise SystemExit(2)
         rows = {}
         for row in data.get("rows", []):
             rows[row.get("label", "default")] = row
@@ -43,24 +64,55 @@ def main() -> int:
     parser.add_argument("prev_dir", type=Path)
     parser.add_argument("curr_dir", type=Path)
     parser.add_argument("--fail-over", type=float, default=None, metavar="PCT",
-                        help="exit 1 when a numeric field moves by more than PCT%% "
-                             "in either direction, or a *_check flips from PASS")
+                        help="with --gate: exit 1 when a gated field worsens by "
+                             "more than PCT%%; without --gate: exit 1 when any "
+                             "numeric field moves by more than PCT%% in either "
+                             "direction")
+    parser.add_argument("--gate", action="append", default=[], metavar="GLOB",
+                        help="bench-name glob to hard-gate (repeatable, e.g. 'claim_*')")
+    parser.add_argument("--gate-fields", default="*p50*,*p99*", metavar="GLOBS",
+                        help="comma-separated field globs the gate applies to "
+                             "(default: %(default)s); gated fields are "
+                             "higher-is-worse")
+    parser.add_argument("--require-baseline", action="store_true",
+                        help="treat a missing PREV_DIR as an error instead of a first run")
     args = parser.parse_args()
 
+    if args.gate and args.fail_over is None:
+        parser.error("--gate requires --fail-over (a gate without a threshold "
+                     "would silently verify nothing)")
+
     if not args.curr_dir.is_dir():
-        print(f"current results dir {args.curr_dir} missing", file=sys.stderr)
+        print(f"ERROR: current results dir {args.curr_dir} missing", file=sys.stderr)
         return 2
     if not args.prev_dir.is_dir():
+        if args.require_baseline:
+            print(f"ERROR: baseline dir {args.prev_dir} missing and "
+                  "--require-baseline is set", file=sys.stderr)
+            return 2
         print(f"no previous results at {args.prev_dir} (first run?) — nothing to diff")
         return 0
 
     prev = load_results(args.prev_dir)
     curr = load_results(args.curr_dir)
+    gate_fields = [g for g in args.gate_fields.split(",") if g]
+
+    def bench_gated(bench: str) -> bool:
+        return (args.fail_over is not None
+                and any(fnmatch.fnmatch(bench, g) for g in args.gate))
+
+    def gated(bench: str, field: str) -> bool:
+        return bench_gated(bench) and any(fnmatch.fnmatch(field, g) for g in gate_fields)
+
     regressions = []
+    errors = []
 
     for bench, rows in sorted(curr.items()):
         prev_rows = prev.get(bench)
         if prev_rows is None:
+            if bench_gated(bench):
+                errors.append(f"baseline JSON missing for gated bench {bench!r} "
+                              f"in {args.prev_dir}")
             print(f"{bench}: new bench (no previous results)")
             continue
         print(f"{bench}:")
@@ -69,6 +121,12 @@ def main() -> int:
             if prev_row is None:
                 print(f"  {label}: new row")
                 continue
+            # A gated metric that stops being emitted must not make the
+            # gate silently pass (same contract as a vanishing bench).
+            for field in prev_row:
+                if field != "label" and field not in row and gated(bench, field):
+                    errors.append(f"gated field {bench}/{label}.{field} present in "
+                                  "baseline but missing from current results")
             for field, value in row.items():
                 if field == "label":
                     continue
@@ -80,21 +138,43 @@ def main() -> int:
                         continue
                     pct = 100.0 * (value - old) / old if old else float("inf")
                     print(f"  {label}.{field}: {old} -> {value} ({pct:+.1f}%)")
-                    if args.fail_over is not None and abs(pct) > args.fail_over:
+                    if gated(bench, field):
+                        # Gated fields are latency-style: only increases fail.
+                        if pct > args.fail_over:
+                            regressions.append(
+                                f"{bench}/{label}.{field} regressed {pct:+.1f}% "
+                                f"(gate: {args.fail_over:.0f}%)")
+                    elif (args.fail_over is not None and not args.gate
+                          and abs(pct) > args.fail_over):
+                        # Legacy ungated mode: any large move in any field fails.
                         regressions.append(f"{bench}/{label}.{field} moved {pct:+.1f}%")
                 elif value != old:
                     print(f"  {label}.{field}: {old!r} -> {value!r}")
                     if field.endswith("_check") and value != "PASS":
                         regressions.append(f"{bench}/{label}.{field} flipped to {value!r}")
-        # Rows that disappeared are worth a line too.
+        # Rows that disappeared are worth a line too — and in a gated bench
+        # a vanished row hides its gated metrics, so it is an error there.
         for label in prev_rows:
             if label not in rows:
                 print(f"  {label}: row removed")
+                if bench_gated(bench):
+                    errors.append(f"gated bench row {bench}/{label} present in "
+                                  "baseline but missing from current results")
 
     for bench in prev:
         if bench not in curr:
             print(f"{bench}: bench removed")
+            if bench_gated(bench):
+                # The regression-hiding direction: a gated bench that stops
+                # emitting results must not make the gate silently pass.
+                errors.append(f"gated bench {bench!r} present in baseline but missing "
+                              f"from {args.curr_dir} — did it stop emitting JSON?")
 
+    if errors:
+        print("\nERRORS:", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 2
     if regressions:
         print("\nOVER-THRESHOLD CHANGES:")
         for regression in regressions:
