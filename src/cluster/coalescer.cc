@@ -1,0 +1,191 @@
+#include "cluster/coalescer.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "cluster/node.h"
+#include "cluster/router.h"
+#include "storage/engine.h"
+
+namespace scads {
+
+void ReadCoalescer::Submit(PendingRead read) {
+  auto it = inflight_.find(read.key);
+  if (it != inflight_.end()) {
+    // A read for this key is already in flight (held or dispatched):
+    // attach as a follower and wait for the leader's reply.
+    ++stats_.follower_joins;
+    it->second.followers.push_back(std::move(read));
+    return;
+  }
+  ++stats_.leader_reads;
+  NodeId target = read.candidates.front();
+  std::string key = read.key;
+  KeyEntry entry;
+  entry.target = target;
+  entry.leader = std::move(read);
+  inflight_.emplace(key, std::move(entry));
+
+  NodeBatch& batch = held_[target];
+  batch.keys.push_back(std::move(key));
+  if (batch.flush_event == EventLoop::kInvalidEvent) {
+    // First leader for this node opens the hold window; everything that
+    // targets the node before it closes rides the same message.
+    batch.flush_event = loop_->ScheduleAfter(config_.window, [this, target] { Flush(target); });
+  }
+}
+
+void ReadCoalescer::Flush(NodeId target) {
+  auto held_it = held_.find(target);
+  if (held_it == held_.end()) return;
+  std::vector<std::string> keys = std::move(held_it->second.keys);
+  held_.erase(held_it);
+  if (keys.empty()) return;
+
+  StorageNode* node = cluster_->GetNode(target);
+  if (node == nullptr) {
+    for (const std::string& key : keys) FailOverKey(key, target);
+    return;
+  }
+
+  // The merged message rides the highest priority any member carries (a
+  // kHigh read must not queue at kLow because it merged), and originates
+  // from the first leader's router.
+  Router* sender = nullptr;
+  RequestPriority priority = RequestPriority::kLow;
+  int64_t request_bytes = 0;
+  for (const std::string& key : keys) {
+    const KeyEntry& entry = inflight_.at(key);
+    if (sender == nullptr) sender = entry.leader.router;
+    priority = std::max(priority, entry.leader.options.priority);
+    for (const PendingRead& follower : entry.followers) {
+      priority = std::max(priority, follower.options.priority);
+    }
+    request_bytes += static_cast<int64_t>(key.size()) + 4;
+  }
+  ++stats_.batches_sent;
+  stats_.batched_keys += static_cast<int64_t>(keys.size());
+
+  struct Guard {
+    bool done = false;
+    EventLoop::EventId timeout_event = EventLoop::kInvalidEvent;
+  };
+  auto guard = std::make_shared<Guard>();
+  auto shared_keys = std::make_shared<std::vector<std::string>>(std::move(keys));
+  guard->timeout_event = loop_->ScheduleAfter(
+      sender->config().request_timeout, [this, guard, shared_keys, target] {
+        if (guard->done) return;
+        guard->done = true;
+        ++stats_.batch_timeouts;
+        for (const std::string& key : *shared_keys) FailOverKey(key, target);
+      });
+
+  NodeId self = sender->client_id();
+  network_->Send(self, target, request_bytes,
+                 [this, node, target, self, priority, guard, shared_keys]() mutable {
+    node->HandleMultiGet(*shared_keys, priority,
+                         [this, target, self, guard, shared_keys](MultiGetReply reply) mutable {
+      int64_t reply_bytes = 0;
+      for (const Result<Record>& r : reply.results) {
+        reply_bytes += r.ok() ? WireSize(*r) : 8;
+      }
+      network_->Send(target, self,
+                     reply_bytes, [this, guard, shared_keys, reply = std::move(reply)]() mutable {
+        if (guard->done) return;
+        guard->done = true;
+        loop_->Cancel(guard->timeout_event);
+        for (size_t i = 0; i < shared_keys->size() && i < reply.results.size(); ++i) {
+          CompleteKey((*shared_keys)[i], std::move(reply.results[i]), reply.as_of[i]);
+        }
+      });
+    });
+  });
+}
+
+bool ReadCoalescer::FollowerServable(const PendingRead& follower, const Result<Record>& result,
+                                     Time as_of, Time now) const {
+  // Deadline: a follower whose budget expired re-dispatches, and sheds
+  // kDeadlineExceeded there — the same outcome an uncoalesced read gets.
+  if (follower.options.Expired(now)) return false;
+  // Freshness: the reply proves the value current as of the serving
+  // node's watermark; the follower's own effective bound must cover the
+  // age of that proof (the read cache's serve-time discipline, reused).
+  Duration bound = follower.options.EffectiveStaleness(config_.staleness_bound);
+  if (bound > 0 && now - as_of > bound) return false;
+  // Session floor: provable only from a live record's version — NotFound
+  // cannot demonstrate the follower's own write is visible.
+  if (follower.options.min_version.has_value()) {
+    if (!result.ok()) return false;
+    if (result->version < *follower.options.min_version) return false;
+  }
+  return true;
+}
+
+void ReadCoalescer::CompleteKey(const std::string& key, Result<Record> result, Time as_of) {
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+  KeyEntry entry = std::move(it->second);
+  // Erase before running callbacks: a re-entrant read of the same key must
+  // lead a fresh entry, not attach to this resolved one.
+  inflight_.erase(it);
+  Time now = loop_->Now();
+  bool answered = result.ok() || IsNotFound(result.status());
+
+  // The leader takes its own reply — unless its deadline budget expired
+  // while the merged message was in flight. Uncoalesced reads clamp every
+  // attempt timeout to the remaining budget, so a success can never be
+  // delivered past the deadline; the merged message can't clamp to any one
+  // member's budget, so the expiry check moves here: an expired leader
+  // detaches exactly like an expired follower and sheds on redispatch.
+  if (answered && entry.leader.options.Expired(now)) {
+    ++stats_.leaders_expired;
+    entry.leader.router->RedispatchCoalesced(key, entry.leader.options, entry.leader.start,
+                                             kInvalidNode, std::move(entry.leader.callback));
+  } else {
+    // Only the leader's router caches the shared reply (once), so
+    // followers can never pollute another request's cache.
+    entry.leader.router->FinishCoalescedRead(key, entry.leader.start, result, as_of,
+                                             /*store_in_cache=*/true, entry.leader.callback);
+  }
+  for (PendingRead& follower : entry.followers) {
+    if (!answered) {
+      // Leader error: propagated per-follower, each failing in its own
+      // router's window. (Sheds surface as kResourceExhausted — the same
+      // backpressure contract single reads have; merged-message timeouts
+      // never reach here, they fail over in FailOverKey.)
+      ++stats_.follower_errors;
+      follower.router->FinishCoalescedRead(key, follower.start, result, as_of,
+                                           /*store_in_cache=*/false, follower.callback);
+      continue;
+    }
+    if (FollowerServable(follower, result, as_of, now)) {
+      ++stats_.followers_served;
+      follower.router->FinishCoalescedRead(key, follower.start, result, as_of,
+                                           /*store_in_cache=*/false, follower.callback);
+    } else {
+      // Bounds unprovable from this reply: detach and dispatch normally.
+      ++stats_.followers_detached;
+      follower.router->RedispatchCoalesced(key, follower.options, follower.start, kInvalidNode,
+                                           std::move(follower.callback));
+    }
+  }
+}
+
+void ReadCoalescer::FailOverKey(const std::string& key, NodeId failed) {
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+  KeyEntry entry = std::move(it->second);
+  inflight_.erase(it);
+  // The merged message died with the node (or the path to it): every
+  // member retries individually on its own remaining candidates, so one
+  // unlucky merge can't fail a whole cohort of requests.
+  entry.leader.router->RedispatchCoalesced(key, entry.leader.options, entry.leader.start, failed,
+                                           std::move(entry.leader.callback));
+  for (PendingRead& follower : entry.followers) {
+    follower.router->RedispatchCoalesced(key, follower.options, follower.start, failed,
+                                         std::move(follower.callback));
+  }
+}
+
+}  // namespace scads

@@ -128,20 +128,36 @@ void Rebalancer::DrainNode(NodeId node, std::vector<NodeId> targets,
   auto state = std::make_shared<DrainState>();
   state->remaining = to_move.size();
   state->done = std::move(done);
+  // Partitions assigned to each target within THIS drain: the load signal
+  // won't reflect a move until its stream lands, so without this tiebreak
+  // an idle fleet would pile every drained partition onto one node.
+  std::map<NodeId, size_t> assigned;
   for (size_t i = 0; i < to_move.size(); ++i) {
     PartitionId pid = to_move[i];
-    // Pick a target that is not already a replica.
+    // Destination: the least-loaded eligible live target by pressure
+    // (ties: fewest partitions already assigned this drain, then
+    // round-robin scan order).
     const PartitionInfo* partition = cluster_->partitions()->Get(pid);
     NodeId target = kInvalidNode;
+    double best_pressure = 0;
+    size_t best_assigned = 0;
     for (size_t j = 0; j < targets.size(); ++j) {
       NodeId candidate = targets[(i + j) % targets.size()];
       if (candidate == node) continue;
+      if (cluster_->GetNode(candidate) == nullptr || !cluster_->IsAlive(candidate)) continue;
       const auto& replicas = partition->replicas;
-      if (std::find(replicas.begin(), replicas.end(), candidate) == replicas.end()) {
+      if (std::find(replicas.begin(), replicas.end(), candidate) != replicas.end()) continue;
+      double pressure = cluster_->NodeLoad(candidate)
+                            .Pressure(config_.load_backlog_ref, config_.load_sojourn_ref);
+      size_t candidate_assigned = assigned[candidate];
+      if (target == kInvalidNode || pressure < best_pressure ||
+          (pressure == best_pressure && candidate_assigned < best_assigned)) {
         target = candidate;
-        break;
+        best_pressure = pressure;
+        best_assigned = candidate_assigned;
       }
     }
+    if (target != kInvalidNode) ++assigned[target];
     auto finish_one = [state](Status status) {
       if (!status.ok() && state->first_error.ok()) state->first_error = status;
       if (--state->remaining == 0) state->done(state->first_error);

@@ -35,6 +35,12 @@ struct RebalancerConfig {
   int64_t stream_bandwidth_bytes_per_sec = 50'000'000;
   /// Floor per-batch transfer time.
   Duration min_batch_latency = kMillisecond;
+  /// Pressure normalization for destination choice (same vocabulary as the
+  /// Router's SelectorConfig): a drain prefers the least-loaded live
+  /// target by ClusterState::NodeLoad pressure, so an evacuation never
+  /// piles partitions onto a node already in trouble.
+  Duration load_backlog_ref = 200 * kMillisecond;
+  Duration load_sojourn_ref = 20 * kMillisecond;
 };
 
 /// Moves partition replicas between nodes while serving traffic.
@@ -49,9 +55,11 @@ class Rebalancer {
   /// in progress).
   void MoveReplica(PartitionId pid, NodeId from, NodeId to, std::function<void(Status)> done);
 
-  /// Moves every replica held by `node` onto `targets` (round-robin),
-  /// leaving the node empty (pre-terminate drain). `done` fires after the
-  /// last move.
+  /// Moves every replica held by `node` onto `targets`, leaving the node
+  /// empty (pre-terminate drain). Each partition goes to the least-loaded
+  /// eligible live target by NodeLoad pressure (ties broken by how many
+  /// partitions this drain already assigned, then round-robin order, so an
+  /// idle fleet still spreads evenly). `done` fires after the last move.
   void DrainNode(NodeId node, std::vector<NodeId> targets, std::function<void(Status)> done);
 
   /// True while `pid` has a move in flight.

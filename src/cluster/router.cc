@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "cache/cache_directory.h"
+#include "cluster/coalescer.h"
 #include "common/strings.h"
 
 namespace scads {
@@ -19,6 +20,9 @@ void RouterWindow::MergeFrom(const RouterWindow& other) {
   writes_ok += other.writes_ok;
   writes_failed += other.writes_failed;
   deadline_exceeded += other.deadline_exceeded;
+  replica_picks += other.replica_picks;
+  replica_steers += other.replica_steers;
+  for (const auto& [node, picks] : other.picks_by_node) picks_by_node[node] += picks;
 }
 
 Router::Router(NodeId client_id, EventLoop* loop, SimNetwork* network, ClusterState* cluster,
@@ -28,42 +32,36 @@ Router::Router(NodeId client_id, EventLoop* loop, SimNetwork* network, ClusterSt
       network_(network),
       cluster_(cluster),
       config_(config),
-      rng_(seed) {}
+      selector_(MakeSelector(config.selector, cluster, seed ^ 0x73656c65ULL)) {}
+
+void Router::CountPick(const ReplicaPick& pick) {
+  if (!pick.policy) return;
+  ++window_.replica_picks;
+  ++window_.picks_by_node[pick.node];
+  if (pick.steered) ++window_.replica_steers;
+}
 
 NodeId Router::ChooseReadReplica(const PartitionInfo& partition,
                                  const RequestOptions& options) {
-  if (options.read_mode == ReadMode::kPrimaryOnly || partition.replicas.size() == 1) {
-    return partition.primary();
-  }
-  // An explicit kAnyReplica outranks a primary-reading deployment config —
-  // the caller is trading freshness for load spreading on purpose.
-  if (options.read_mode != ReadMode::kAnyReplica &&
-      config_.read_target == ReadTarget::kPrimary) {
-    return partition.primary();
-  }
-  return partition.replicas[rng_.Uniform(partition.replicas.size())];
+  ReplicaPick pick = selector_->ChooseReadReplica(partition, options, config_.read_target);
+  CountPick(pick);
+  return pick.node;
 }
 
 std::vector<NodeId> Router::ReadCandidates(const PartitionInfo& partition,
                                            const RequestOptions& options) {
-  std::vector<NodeId> candidates;
-  if (partition.replicas.empty()) return candidates;
-  bool pin_primary = options.read_mode == ReadMode::kPrimaryOnly;
-  NodeId first = ChooseReadReplica(partition, options);
-  candidates.push_back(first);
-  if (!pin_primary) {
-    // Low-priority reads shed instead of retrying: under failure they give
-    // up their replica alternates so the retry load lands on interactive
-    // traffic's side of the fleet, not on already-degraded nodes.
-    int budget = options.priority == RequestPriority::kLow ? 0 : config_.read_retries;
-    for (NodeId replica : partition.replicas) {
-      if (budget == 0) break;
-      if (replica == first) continue;
-      candidates.push_back(replica);
-      --budget;
-    }
-  }
+  ReplicaPick pick;
+  std::vector<NodeId> candidates = selector_->ReadCandidates(
+      partition, options, config_.read_target, config_.read_retries, &pick);
+  CountPick(pick);
   return candidates;
+}
+
+NodeId Router::PickAmong(const std::vector<NodeId>& candidates) {
+  if (candidates.empty()) return kInvalidNode;
+  ReplicaPick pick = selector_->Pick(candidates);
+  CountPick(pick);
+  return pick.node;
 }
 
 void Router::FinishRead(Time start, bool ok) {
@@ -251,8 +249,61 @@ void Router::Get(const std::string& key, RequestOptions options,
     callback(UnavailableError("partition has no replicas"));
     return;
   }
-  GetAttempt(key, ReadCandidates(partition, options), 0, loop_->Now(), std::move(options),
+  std::vector<NodeId> candidates = ReadCandidates(partition, options);
+  // Coalescing: concurrent reads of the same key share one node round
+  // trip, and same-node leaders within the hold window share one message.
+  // Pinned reads keep their own serve (their semantics demand it).
+  if (coalescer_ != nullptr && coalescer_->enabled() && options.allow_coalesce &&
+      options.read_mode != ReadMode::kPrimaryOnly && !candidates.empty()) {
+    ReadCoalescer::PendingRead read;
+    read.router = this;
+    read.key = key;
+    read.candidates = std::move(candidates);
+    read.options = std::move(options);
+    read.start = loop_->Now();
+    read.callback = std::move(callback);
+    coalescer_->Submit(std::move(read));
+    return;
+  }
+  GetAttempt(key, std::move(candidates), 0, loop_->Now(), std::move(options),
              std::move(callback));
+}
+
+void Router::FinishCoalescedRead(const std::string& key, Time start, Result<Record> result,
+                                 Time as_of, bool store_in_cache,
+                                 const std::function<void(Result<Record>)>& callback) {
+  bool ok = result.ok() || IsNotFound(result.status());
+  FinishRead(start, ok);
+  if (!ok && IsDeadlineExceeded(result.status())) ++window_.deadline_exceeded;
+  if (store_in_cache) MaybeCacheRead(key, as_of, result);
+  callback(std::move(result));
+}
+
+void Router::RedispatchCoalesced(const std::string& key, RequestOptions options, Time start,
+                                 NodeId exclude, std::function<void(Result<Record>)> callback) {
+  const PartitionInfo& partition = cluster_->partitions()->ForKey(key);
+  if (partition.replicas.empty()) {
+    FinishRead(start, false);
+    callback(UnavailableError("partition has no replicas"));
+    return;
+  }
+  // Candidates come straight from the selector, NOT via ReadCandidates:
+  // this read was already counted as a pick when it first dispatched, and
+  // counting the re-dispatch would inflate the pick/steer window exactly
+  // during failure windows, when the Director most needs the signal clean.
+  std::vector<NodeId> candidates = selector_->ReadCandidates(
+      partition, options, config_.read_target, config_.read_retries);
+  if (exclude != kInvalidNode) {
+    std::vector<NodeId> kept;
+    for (NodeId candidate : candidates) {
+      if (candidate != exclude) kept.push_back(candidate);
+    }
+    // A single-replica partition has nowhere else to go: retry the failed
+    // node rather than failing outright (its timeout chain still bounds
+    // the attempt).
+    if (!kept.empty()) candidates = std::move(kept);
+  }
+  GetAttempt(key, std::move(candidates), 0, start, std::move(options), std::move(callback));
 }
 
 void Router::Get(const std::string& key, bool pin_primary,

@@ -9,6 +9,7 @@
 #define SCADS_CLUSTER_ROUTER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -16,21 +17,16 @@
 
 #include "cluster/cluster_state.h"
 #include "cluster/node.h"
+#include "cluster/replica_selector.h"
 #include "common/histogram.h"
 #include "common/request_options.h"
-#include "common/rng.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
 
 namespace scads {
 
 class CacheDirectory;
-
-/// Where point reads go.
-enum class ReadTarget {
-  kPrimary,        ///< Always the partition primary (freshest).
-  kAnyReplica,     ///< Uniformly random replica (spreads load; may be stale).
-};
+class ReadCoalescer;
 
 /// Load-adaptive sub-batch sizing (MultiGet/MultiWrite). A node's sub-batch
 /// is capped by a size derived from its exported load signal: idle nodes
@@ -63,6 +59,9 @@ struct RouterConfig {
   int read_retries = 1;
   ReadTarget read_target = ReadTarget::kAnyReplica;
   AdaptiveBatchConfig adaptive_batch;
+  /// Read-routing policy (cluster/replica_selector.h). Default: power-of-
+  /// two-choices against the per-node load signal.
+  SelectorConfig selector;
 };
 
 /// Cumulative, resettable request statistics for one Router.
@@ -77,6 +76,15 @@ struct RouterWindow {
   /// *_failed counts above). The overload signal the SLA monitor and
   /// Director read.
   int64_t deadline_exceeded = 0;
+  /// Load-spreading replica picks the selection policy made (pin rules and
+  /// single-replica partitions don't count — the policy never ran there).
+  int64_t replica_picks = 0;
+  /// Picks where load steered the policy away from its first sample (p2c
+  /// diverting around a loaded replica; always 0 for uniform).
+  int64_t replica_steers = 0;
+  /// Per-replica policy pick counts — the skew diagnostic: a node drawing
+  /// far fewer picks than its partition share is being steered around.
+  std::map<NodeId, int64_t> picks_by_node;
 
   void MergeFrom(const RouterWindow& other);
 };
@@ -89,6 +97,7 @@ class Router {
 
   NodeId client_id() const { return client_id_; }
   RouterConfig* mutable_config() { return &config_; }
+  const RouterConfig& config() const { return config_; }
   /// The simulation clock this router runs on (session/write-policy layers
   /// use it to arm a RequestOptions budget at their own entry point).
   EventLoop* loop() const { return loop_; }
@@ -100,6 +109,26 @@ class Router {
   /// the cache can never serve a value older than the declared bound.
   void set_cache(CacheDirectory* cache) { cache_ = cache; }
   CacheDirectory* cache() { return cache_; }
+
+  /// Attaches the cross-router read coalescer (may be shared by several
+  /// Routers). Non-pinned, coalesce-eligible point reads that miss the
+  /// cache then route through it; see cluster/coalescer.h.
+  void set_coalescer(ReadCoalescer* coalescer) { coalescer_ = coalescer; }
+  ReadCoalescer* coalescer() { return coalescer_; }
+
+  /// Swaps in a custom read-routing policy (zone-aware, deadline-aware,
+  /// ...). The Router builds the configured default (RouterConfig::
+  /// selector) at construction; dispatch code never changes per policy.
+  void set_selector(std::unique_ptr<ReplicaSelector> selector) {
+    if (selector != nullptr) selector_ = std::move(selector);
+  }
+  ReplicaSelector* selector() { return selector_.get(); }
+
+  /// Picks one node among `candidates` (non-empty) with the read-routing
+  /// policy, counting the pick in the window. The consistency layer uses
+  /// this to choose among provably-fresh (or last-resort) replicas, so
+  /// every read-side choice flows through one policy.
+  NodeId PickAmong(const std::vector<NodeId>& candidates);
 
   /// Point read under a per-request context. `options.read_mode` picks the
   /// serving tier (cache / any replica / pinned primary), the effective
@@ -238,6 +267,29 @@ class Router {
   /// and Director's view — still sees every read.
   void CountCacheServedRead(Time start) { FinishRead(start, true); }
 
+  // --- ReadCoalescer plumbing --------------------------------------------
+  //
+  // The coalescer resolves reads on behalf of their routers; these two
+  // entry points keep each read's window accounting, cache policy, and
+  // latency start time with the router that accepted it.
+
+  /// Completes a coalesced read: records it in this router's window (with
+  /// its original start time) and, for leaders only (`store_in_cache`),
+  /// populates the cache with the reply's serve-time watermark. Followers
+  /// pass false so a shared reply is cached exactly once, by the router
+  /// that fetched it.
+  void FinishCoalescedRead(const std::string& key, Time start, Result<Record> result,
+                           Time as_of, bool store_in_cache,
+                           const std::function<void(Result<Record>)>& callback);
+
+  /// Re-dispatches a read the coalescer detached (follower whose bounds
+  /// the shared reply can't prove) or failed over (merged-message timeout),
+  /// preserving its original start time. `exclude` drops one node — the
+  /// failed merge target — from the fresh candidate list when alternatives
+  /// exist. An expired deadline sheds here, as on any dispatch.
+  void RedispatchCoalesced(const std::string& key, RequestOptions options, Time start,
+                           NodeId exclude, std::function<void(Result<Record>)> callback);
+
   /// Statistics since the last TakeWindow call.
   RouterWindow TakeWindow();
   const RouterWindow& window() const { return window_; }
@@ -296,13 +348,14 @@ class Router {
   /// The status a fired timeout should carry (see ClampedTimeout).
   static Status TimeoutStatus(bool budget_bound, std::string_view what);
 
+  /// Both delegate to the selector policy and count policy picks/steers in
+  /// the window. Shared by Get, MultiGet, Scan, and the coalescer
+  /// redispatch path, so every read picks replicas identically.
   NodeId ChooseReadReplica(const PartitionInfo& partition, const RequestOptions& options);
-  /// The ordered replica candidates a read may try: the chosen first target,
-  /// then (for unpinned reads) up to read_retries alternates — none for
-  /// kLow-priority requests, which shed instead of retrying. Shared by Get
-  /// and MultiGet so single and batched reads pick replicas identically.
   std::vector<NodeId> ReadCandidates(const PartitionInfo& partition,
                                      const RequestOptions& options);
+  /// Window accounting for one selector decision.
+  void CountPick(const ReplicaPick& pick);
   void SendWrite(const WalRecord& record, AckMode ack, const RequestOptions& options,
                  std::function<void(Status)> callback);
 
@@ -315,9 +368,10 @@ class Router {
   SimNetwork* network_;
   ClusterState* cluster_;
   RouterConfig config_;
-  Rng rng_;
   RouterWindow window_;
   CacheDirectory* cache_ = nullptr;
+  ReadCoalescer* coalescer_ = nullptr;
+  std::unique_ptr<ReplicaSelector> selector_;
 };
 
 }  // namespace scads

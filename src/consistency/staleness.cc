@@ -10,14 +10,19 @@ namespace scads {
 NodeId StalenessController::FreshEnoughReplica(const PartitionInfo& partition,
                                                Duration bound) const {
   Time now = loop_->Now();
+  // Collect every provably-fresh secondary, then let the router's
+  // read-routing policy pick among them (p2c steers to the least-loaded
+  // fresh replica; the pre-policy behavior took the first in set order).
+  std::vector<NodeId> fresh;
   for (size_t i = 1; i < partition.replicas.size(); ++i) {
     NodeId id = partition.replicas[i];
     StorageNode* node = cluster_->GetNode(id);
     if (node == nullptr || !cluster_->IsAlive(id)) continue;
     Time watermark = node->replicated_through(partition.id);
-    if (bound == 0 || now - watermark <= bound) return id;
+    if (bound == 0 || now - watermark <= bound) fresh.push_back(id);
   }
-  return kInvalidNode;
+  if (fresh.empty()) return kInvalidNode;
+  return router_->PickAmong(fresh);
 }
 
 void StalenessController::Get(const std::string& key, RequestOptions options,
@@ -79,16 +84,16 @@ void StalenessController::Get(const std::string& key, RequestOptions options,
           callback(DeadlineExceededError("staleness bound unprovable; consistency prioritized"));
           return;
         }
-        // Availability first: serve possibly-stale data from any live
-        // secondary.
+        // Availability first: serve possibly-stale data from a live
+        // secondary — the read-routing policy picks which (least-loaded
+        // under p2c), since a fallback storm onto one fixed secondary is
+        // exactly the hot spot the policy exists to avoid.
         const PartitionInfo& p = cluster_->partitions()->ForKey(key);
-        NodeId fallback = kInvalidNode;
+        std::vector<NodeId> live;
         for (size_t i = 1; i < p.replicas.size(); ++i) {
-          if (cluster_->IsAlive(p.replicas[i])) {
-            fallback = p.replicas[i];
-            break;
-          }
+          if (cluster_->IsAlive(p.replicas[i])) live.push_back(p.replicas[i]);
         }
+        NodeId fallback = live.empty() ? kInvalidNode : router_->PickAmong(live);
         if (fallback == kInvalidNode) {
           ++stats_.consistency_failures;
           callback(UnavailableError("no live replica"));

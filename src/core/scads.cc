@@ -56,10 +56,19 @@ Result<std::unique_ptr<Scads>> Scads::Create(ScadsOptions options) {
 
   scads->cache_ = std::make_unique<CacheDirectory>(options.cache_config, spec.max_staleness,
                                                    &scads->metrics_);
+  // The coalescer's follower freshness checks run against the deployment
+  // spec's staleness bound unless the options name a tighter one.
+  CoalescerConfig coalescer_config = options.coalescer_config;
+  if (coalescer_config.staleness_bound == 0) {
+    coalescer_config.staleness_bound = spec.max_staleness;
+  }
+  scads->coalescer_ = std::make_unique<ReadCoalescer>(&scads->loop_, &scads->network_,
+                                                      &scads->cluster_, coalescer_config);
   scads->router_ = std::make_unique<Router>(kRouterClientId, &scads->loop_, &scads->network_,
                                             &scads->cluster_, options.router_config,
                                             options.seed ^ 0x726f7574ULL);
   scads->router_->set_cache(scads->cache_.get());
+  scads->router_->set_coalescer(scads->coalescer_.get());
   scads->rebalancer_ =
       std::make_unique<Rebalancer>(&scads->loop_, &scads->network_, &scads->cluster_);
   scads->write_policy_ = std::make_unique<WritePolicy>(scads->router_.get(), spec.writes,

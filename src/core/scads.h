@@ -30,6 +30,7 @@
 #include "cache/cache_directory.h"
 #include "cache/read_cache.h"
 #include "cluster/cluster_state.h"
+#include "cluster/coalescer.h"
 #include "cluster/node.h"
 #include "cluster/rebalancer.h"
 #include "cluster/router.h"
@@ -76,6 +77,12 @@ struct ScadsOptions {
   /// and bounded scans are served from cache while within the spec's
   /// staleness bound).
   CacheConfig cache_config;
+  /// Cross-request read coalescing (off by default; when enabled, concurrent
+  /// same-key point reads share one node round trip and same-node reads
+  /// merge into one message within the hold window — each request's own
+  /// staleness/min_version/deadline bounds still hold). staleness_bound is
+  /// filled from the consistency spec unless set explicitly.
+  CoalescerConfig coalescer_config;
 
   NodeConfig node_config;
   NetworkConfig network_config;
@@ -202,6 +209,7 @@ class Scads {
   /// registered template, with its WITH-clause bounds).
   TemplateSlaAccountant* template_sla() { return &template_sla_; }
   CacheDirectory* cache() { return cache_.get(); }
+  ReadCoalescer* coalescer() { return coalescer_.get(); }
   /// Deployment-wide registry (cache.point.* / cache.scan.* counters live
   /// here; per-engine counters stay on the nodes).
   MetricRegistry* metrics() { return &metrics_; }
@@ -238,6 +246,7 @@ class Scads {
   TemplateSlaAccountant template_sla_;
 
   std::unique_ptr<CacheDirectory> cache_;
+  std::unique_ptr<ReadCoalescer> coalescer_;
   std::unique_ptr<Router> router_;
   std::unique_ptr<Rebalancer> rebalancer_;
   std::unique_ptr<WritePolicy> write_policy_;

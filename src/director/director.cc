@@ -261,6 +261,8 @@ void Director::ControlTick() {
   snapshot.latency_at_quantile = report.read_latency_at_quantile;
   snapshot.availability = report.availability;
   snapshot.sla_ok = report.ok();
+  snapshot.replica_picks = window.replica_picks;
+  snapshot.replica_steers = window.replica_steers;
 
   // Node-side overload: per-priority admission sheds this window and the
   // worst queue backlog right now. Deltas are tracked per node so fleet

@@ -90,6 +90,14 @@ struct DirectorSnapshot {
   int64_t sheds_high = 0;
   /// Worst per-node explicit queue backlog sampled at the tick (us).
   Duration max_node_queue_delay = 0;
+  /// Read-routing policy activity this window (merged RouterWindow
+  /// counters): how many load-spreading replica picks the selectors made,
+  /// and how many of those load steered away from the first sample. A
+  /// rising steer fraction is the routers-side signal that some replica is
+  /// hot — corroborating the node-side shed/backlog signals above, but
+  /// visible *before* sheds start.
+  int64_t replica_picks = 0;
+  int64_t replica_steers = 0;
 };
 
 /// Free-form action log entry ("scale_up 12", "drain node 40", ...).

@@ -1,6 +1,7 @@
 // Tests for src/director: the provisioning feedback loop end to end on the
 // simulated cloud.
 
+#include <algorithm>
 #include <memory>
 
 #include "cluster/cluster_state.h"
@@ -126,7 +127,11 @@ TEST(DirectorTest, ScalesDownAfterLoadDrops) {
                                           kMinute));
   h.Bootstrap(32, 1);
   h.loop.RunFor(12 * kMinute);
-  int peak = h.cloud.running_count();
+  // Peak from the control-loop history: drains onto live least-loaded
+  // targets complete within a tick or two of the spike ending, so the
+  // fleet may already be shrinking by the time the spike window closes.
+  int peak = 0;
+  for (const DirectorSnapshot& s : h.director->history()) peak = std::max(peak, s.running);
   EXPECT_GT(peak, 6);
   h.loop.RunFor(30 * kMinute);
   int settled = h.cloud.running_count();
