@@ -64,6 +64,10 @@ void ReadCoalescer::Flush(NodeId target) {
     }
     request_bytes += static_cast<int64_t>(key.size()) + 4;
   }
+  // Record what each key actually shipped at: followers attaching from now
+  // on can outrank it, which is the in-flight upgrade case CompleteKey
+  // handles when the node sheds this message.
+  for (const std::string& key : keys) inflight_.at(key).dispatched = priority;
   ++stats_.batches_sent;
   stats_.batched_keys += static_cast<int64_t>(keys.size());
 
@@ -131,6 +135,33 @@ void ReadCoalescer::CompleteKey(const std::string& key, Result<Record> result, T
   inflight_.erase(it);
   Time now = loop_->Now();
   bool answered = result.ok() || IsNotFound(result.status());
+
+  // In-flight priority upgrade: the node shed a message that shipped at a
+  // lower priority than this key's members now collectively carry (a kHigh
+  // follower attached after dispatch). The admission decision was made
+  // against the stale priority, so re-admit the merged read once at the
+  // true one instead of propagating the shed to a kHigh request.
+  if (!answered && result.status().code() == StatusCode::kResourceExhausted &&
+      !entry.upgrade_retry_used) {
+    RequestPriority merged = entry.leader.options.priority;
+    for (const PendingRead& follower : entry.followers) {
+      merged = std::max(merged, follower.options.priority);
+    }
+    if (merged > entry.dispatched) {
+      ++stats_.priority_upgrades;
+      entry.upgrade_retry_used = true;
+      NodeId target = entry.target;
+      inflight_.emplace(key, std::move(entry));
+      NodeBatch& batch = held_[target];
+      batch.keys.push_back(key);
+      if (batch.flush_event == EventLoop::kInvalidEvent) {
+        // No hold window on a retry: the members already waited one round
+        // trip; ship as soon as the loop turns over.
+        batch.flush_event = loop_->ScheduleAfter(0, [this, target] { Flush(target); });
+      }
+      return;
+    }
+  }
 
   // The leader takes its own reply — unless its deadline budget expired
   // while the merged message was in flight. Uncoalesced reads clamp every

@@ -24,7 +24,12 @@
 // every follower — each fails in its own router's window — and nothing a
 // follower observes is ever written to any cache (only the leader's
 // router stores the reply, once), so one request's outcome can never
-// pollute another's cached state.
+// pollute another's cached state. One exception: when the node SHEDS a
+// merged message that dispatched at a lower priority than its members now
+// carry (a kHigh follower attached after dispatch), the message is
+// re-admitted once at the max member priority before any error
+// propagates — priority admission should judge the read by who is
+// actually waiting on it.
 //
 // What never coalesces: kPrimaryOnly-pinned reads (session fallbacks,
 // read-modify-write — their semantics demand their own serve), targeted
@@ -80,6 +85,11 @@ struct CoalescerStats {
   int64_t batches_sent = 0;       ///< Merged node messages shipped.
   int64_t batched_keys = 0;       ///< Leader keys those messages carried.
   int64_t batch_timeouts = 0;     ///< Merged messages that timed out (failover).
+  /// Shed replies re-admitted at a higher priority: a kHigh follower had
+  /// attached after the merged message already shipped at the leader's
+  /// lower priority, so the shed is retried once at the max member
+  /// priority instead of propagating kResourceExhausted to the kHigh read.
+  int64_t priority_upgrades = 0;
 };
 
 /// Merges concurrent point reads across in-flight requests and routers.
@@ -122,6 +132,13 @@ class ReadCoalescer {
     PendingRead leader;
     std::vector<PendingRead> followers;
     NodeId target = kInvalidNode;
+    /// Priority the merged message actually shipped at (set in Flush).
+    /// Followers attaching after dispatch can carry a higher one — the
+    /// in-flight upgrade case CompleteKey retries on a shed reply.
+    RequestPriority dispatched = RequestPriority::kLow;
+    /// One upgrade retry per entry, so a node shedding even kHigh work
+    /// can't trap a key in a retry loop.
+    bool upgrade_retry_used = false;
   };
   struct NodeBatch {
     std::vector<std::string> keys;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "storage/pagestore/paged_engine.h"
 
 namespace scads {
 
@@ -34,9 +35,16 @@ StorageNode::StorageNode(NodeId id, EventLoop* loop, SimNetwork* network, Cluste
       cluster_(cluster),
       config_(config),
       rng_(seed ^ 0xab54a98ceb1f0ad2ULL) {
-  EngineOptions engine_options;
-  engine_options.seed = seed;
-  engine_ = std::make_unique<StorageEngine>(engine_options);
+  if (config_.paged_storage.enabled) {
+    PagedEngineOptions engine_options;
+    engine_options.seed = seed;
+    engine_options.config = config_.paged_storage;
+    engine_ = std::make_unique<PagedEngine>(loop_, std::move(engine_options));
+  } else {
+    EngineOptions engine_options;
+    engine_options.seed = seed;
+    engine_ = std::make_unique<StorageEngine>(engine_options);
+  }
 }
 
 StorageNode::~StorageNode() { Stop(); }
@@ -149,7 +157,17 @@ NodeLoadSignal StorageNode::load_signal() const {
   signal.ewma_sojourn = static_cast<Duration>(ewma_sojourn_);
   signal.utilization = background_utilization_;
   signal.shed_fraction = shed_ewma_;
+  signal.io_backlog = engine_->io_backlog();
   return signal;
+}
+
+Duration StorageNode::ChargeEngineIo() {
+  Duration io = engine_->TakeAccruedIo();
+  if (io > 0) {
+    busy_until_ = std::max(busy_until_, loop_->Now()) + io;
+    stats_.busy_micros += io;
+  }
+  return io;
 }
 
 void StorageNode::SetBackgroundLoad(double utilization, Duration busy_account) {
@@ -171,8 +189,21 @@ void StorageNode::HandleGet(const std::string& key, RequestPriority priority,
   }
   loop_->ScheduleAfter(*sojourn, [this, key, respond = std::move(respond)] {
     if (!alive_) return;
-    ++stats_.ops_completed;
-    respond(engine_->Get(key));
+    Result<Record> result = engine_->Get(key);
+    // Page faults delay the response by the disk latency they accrued; the
+    // pure-RAM hit path responds inline, preserving event ordering.
+    Duration io = ChargeEngineIo();
+    if (io <= 0) {
+      ++stats_.ops_completed;
+      respond(std::move(result));
+      return;
+    }
+    loop_->ScheduleAfter(io, [this, result = std::move(result),
+                              respond = std::move(respond)]() mutable {
+      if (!alive_) return;
+      ++stats_.ops_completed;
+      respond(std::move(result));
+    });
   });
 }
 
@@ -196,7 +227,6 @@ void StorageNode::HandleMultiGet(const std::vector<std::string>& keys,
   }
   loop_->ScheduleAfter(*sojourn, [this, keys, respond = std::move(respond)] {
     if (!alive_) return;
-    stats_.ops_completed += static_cast<int64_t>(keys.size());
     MultiGetReply reply;
     reply.results = engine_->MultiGet(keys);
     reply.as_of.reserve(keys.size());
@@ -205,7 +235,18 @@ void StorageNode::HandleMultiGet(const std::vector<std::string>& keys,
       // different replication progress.
       reply.as_of.push_back(replicated_through(cluster_->partitions()->ForKey(key).id));
     }
-    respond(std::move(reply));
+    Duration io = ChargeEngineIo();
+    if (io <= 0) {
+      stats_.ops_completed += static_cast<int64_t>(keys.size());
+      respond(std::move(reply));
+      return;
+    }
+    loop_->ScheduleAfter(io, [this, count = keys.size(), reply = std::move(reply),
+                              respond = std::move(respond)]() mutable {
+      if (!alive_) return;
+      stats_.ops_completed += static_cast<int64_t>(count);
+      respond(std::move(reply));
+    });
   });
 }
 
@@ -235,6 +276,7 @@ void StorageNode::HandleMultiWrite(std::vector<MultiWriteItem> items, AckMode ac
     records.reserve(items.size());
     for (const MultiWriteItem& item : items) records.push_back(item.record);
     Status applied = engine_->ApplyBatch(records);
+    ChargeEngineIo();  // write-path faults/forced write-backs: busy time only
     if (!applied.ok()) {
       respond(std::vector<Status>(items.size(), applied));
       return;
@@ -283,6 +325,8 @@ void StorageNode::HandleScan(const std::string& start, const std::string& end, s
       busy_until_ = std::max(busy_until_, loop_->Now()) + row_cost;
       stats_.busy_micros += row_cost;
     }
+    // Pages faulted while scanning delay the response like row cost does.
+    row_cost += ChargeEngineIo();
     loop_->ScheduleAfter(row_cost, [this, rows = std::move(rows),
                                     respond = std::move(respond)]() mutable {
       if (!alive_) return;
@@ -316,6 +360,7 @@ void StorageNode::ReplicateAndAck(PartitionId pid, const WalRecord& record, AckM
 void StorageNode::ApplyAndReplicate(PartitionId pid, const WalRecord& record, AckMode ack,
                                     std::function<void(Status)> respond) {
   Status applied = engine_->Apply(record);
+  ChargeEngineIo();  // busy time only; acks are already async
   if (!applied.ok()) {
     respond(applied);
     return;
@@ -356,6 +401,7 @@ void StorageNode::HandleConditionalPut(PartitionId pid, const std::string& key,
     // The primary serializes all writers of this partition, so read-check-
     // write here is atomic.
     std::optional<Record> current = engine_->GetRaw(key);
+    ChargeEngineIo();  // the version check may fault the covering page
     bool exists_live = current.has_value() && !current->tombstone;
     if (expected.has_value()) {
       if (!exists_live || !(current->version == *expected)) {
@@ -477,6 +523,7 @@ void StorageNode::HandleReplicate(PartitionId pid, NodeId from, uint64_t first_s
       }
       ++seq;
     }
+    ChargeEngineIo();  // replication-apply faults: busy time only
     if (watermark > 0) {
       Time& through = replicated_through_[pid];
       through = std::max(through, watermark);

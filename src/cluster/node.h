@@ -31,6 +31,7 @@
 #include "sim/event_loop.h"
 #include "sim/network.h"
 #include "storage/engine.h"
+#include "storage/pagestore/page_store.h"
 
 namespace scads {
 
@@ -75,6 +76,11 @@ struct NodeConfig {
   Duration watermark_heartbeat = 500 * kMillisecond;
   /// Max records per replication batch.
   size_t replication_batch_max = 128;
+  /// Larger-than-memory tier: when paged_storage.enabled the node runs a
+  /// PagedEngine (skiplist memtable over a paged cold tier) instead of the
+  /// RAM-only StorageEngine; engine IO latency is charged to busy time and
+  /// delays read responses.
+  PagedStorageConfig paged_storage;
 };
 
 /// Cumulative node statistics; the Director samples these and differences
@@ -123,7 +129,7 @@ class StorageNode {
   StorageNode& operator=(const StorageNode&) = delete;
 
   NodeId id() const { return id_; }
-  StorageEngine* engine() { return engine_.get(); }
+  EngineInterface* engine() { return engine_.get(); }
   const NodeConfig& config() const { return config_; }
 
   /// Arms the heartbeat timer. Call once the node joins the cluster.
@@ -295,6 +301,11 @@ class StorageNode {
   void ReplicateAndAck(PartitionId pid, const WalRecord& record, AckMode ack,
                        std::function<void(Status)> respond);
 
+  /// Drains the engine's accrued simulated disk latency (page faults,
+  /// forced write-backs) into busy time; returns the amount so read paths
+  /// can also delay their response by it. Zero for the RAM engine.
+  Duration ChargeEngineIo();
+
   void EnqueueReplication(PartitionId pid, NodeId to, const WalRecord& record,
                           const std::shared_ptr<WriteWaiter>& waiter);
   void FlushStream(PartitionId pid, NodeId to);
@@ -306,7 +317,7 @@ class StorageNode {
   SimNetwork* network_;
   ClusterState* cluster_;
   NodeConfig config_;
-  std::unique_ptr<StorageEngine> engine_;
+  std::unique_ptr<EngineInterface> engine_;
   Rng rng_;
   bool alive_ = true;
 

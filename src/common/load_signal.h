@@ -27,6 +27,9 @@ struct NodeLoadSignal {
   double utilization = 0;
   /// Exponentially-smoothed fraction of recent admissions that shed.
   double shed_fraction = 0;
+  /// Pending asynchronous engine IO debt, microseconds (a paged engine's
+  /// dirty pages awaiting write-back). Zero for RAM-only engines.
+  Duration io_backlog = 0;
 
   /// Collapses the signal into a scalar pressure in [0, 1]: the worst of
   /// the normalized backlog (backlog_ref ≙ 1.0), the normalized smoothed
@@ -38,6 +41,10 @@ struct NodeLoadSignal {
     double pressure = std::max(utilization, shed_fraction);
     if (backlog_ref > 0) {
       pressure = std::max(pressure, static_cast<double>(queue_delay) /
+                                        static_cast<double>(backlog_ref));
+      // IO debt normalizes against the same reference: a node drowning in
+      // write-back is as poor a batch target as one with a long CPU queue.
+      pressure = std::max(pressure, static_cast<double>(io_backlog) /
                                         static_cast<double>(backlog_ref));
     }
     if (sojourn_ref > 0) {

@@ -64,6 +64,11 @@ Result<std::unique_ptr<Scads>> Scads::Create(ScadsOptions options) {
   }
   scads->coalescer_ = std::make_unique<ReadCoalescer>(&scads->loop_, &scads->network_,
                                                       &scads->cluster_, coalescer_config);
+  // Paged storage is a per-node engine choice; the deployment-level config
+  // simply fans out to every node built from node_config.
+  if (options.paged_storage_config.enabled) {
+    scads->options_.node_config.paged_storage = options.paged_storage_config;
+  }
   scads->router_ = std::make_unique<Router>(kRouterClientId, &scads->loop_, &scads->network_,
                                             &scads->cluster_, options.router_config,
                                             options.seed ^ 0x726f7574ULL);

@@ -83,6 +83,11 @@ struct ScadsOptions {
   /// staleness/min_version/deadline bounds still hold). staleness_bound is
   /// filled from the consistency spec unless set explicitly.
   CoalescerConfig coalescer_config;
+  /// Larger-than-memory storage (off by default; when enabled every node
+  /// runs the paged engine — skiplist memtable over a buffer-pooled page
+  /// tier — instead of the RAM-only engine). Copied into
+  /// node_config.paged_storage at Create().
+  PagedStorageConfig paged_storage_config;
 
   NodeConfig node_config;
   NetworkConfig network_config;

@@ -281,11 +281,24 @@ void Director::ControlTick() {
     }
     snapshot.max_node_queue_delay =
         std::max(snapshot.max_node_queue_delay, node->queue_delay());
+    // Paged-storage health: resident bytes are a gauge (sampled), fault and
+    // write-back counters are windowed deltas with the same churn guard.
+    snapshot.engine_resident_bytes += node->engine()->bytes_resident();
+    std::array<int64_t, 2>& paging = last_node_paging_[id];
+    int64_t faults = node->engine()->metrics().CounterValue("page_faults");
+    int64_t written = node->engine()->metrics().CounterValue("pages_written_back");
+    snapshot.page_faults += std::max<int64_t>(0, faults - paging[0]);
+    snapshot.pages_written_back += std::max<int64_t>(0, written - paging[1]);
+    paging[0] = faults;
+    paging[1] = written;
   }
   // Drop baselines only for instances gone from the registry entirely; a
   // dead-but-registered node keeps its baseline for when it rejoins.
   for (auto it = last_node_sheds_.begin(); it != last_node_sheds_.end();) {
     it = cluster_->GetNode(it->first) == nullptr ? last_node_sheds_.erase(it) : std::next(it);
+  }
+  for (auto it = last_node_paging_.begin(); it != last_node_paging_.end();) {
+    it = cluster_->GetNode(it->first) == nullptr ? last_node_paging_.erase(it) : std::next(it);
   }
   snapshot.sheds_low = window_sheds[0];
   snapshot.sheds_normal = window_sheds[1];

@@ -98,6 +98,15 @@ struct DirectorSnapshot {
   /// visible *before* sheds start.
   int64_t replica_picks = 0;
   int64_t replica_steers = 0;
+  /// Paged-storage health, fleet-wide: bytes resident in engine memory
+  /// (memtables + buffer pools, sampled at the tick) and this window's page
+  /// faults and completed write-backs (per-node counter deltas, churn-safe
+  /// like the shed deltas). All zero for RAM-only fleets. A fault rate that
+  /// climbs while resident bytes sit at the pool cap is the working-set-
+  /// exceeds-memory signal — capacity pressure scaling CPU metrics miss.
+  int64_t engine_resident_bytes = 0;
+  int64_t page_faults = 0;
+  int64_t pages_written_back = 0;
 };
 
 /// Free-form action log entry ("scale_up 12", "drain node 40", ...).
@@ -185,6 +194,9 @@ class Director {
   // as a fleet-wide sum) so a dead node rejoining doesn't replay its
   // lifetime sheds as one window's spurious overload spike.
   std::map<NodeId, std::array<int64_t, 3>> last_node_sheds_;
+  // Per-node (page_faults, pages_written_back) totals at the last tick,
+  // churn-protected the same way.
+  std::map<NodeId, std::array<int64_t, 2>> last_node_paging_;
 };
 
 }  // namespace scads

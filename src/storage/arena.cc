@@ -6,6 +6,7 @@ namespace scads {
 
 char* Arena::Allocate(size_t bytes) {
   assert(bytes > 0);
+  bytes_allocated_ += bytes;
   if (bytes <= alloc_remaining_) {
     char* result = alloc_ptr_;
     alloc_ptr_ += bytes;
@@ -16,6 +17,7 @@ char* Arena::Allocate(size_t bytes) {
 }
 
 char* Arena::AllocateAligned(size_t bytes) {
+  bytes_allocated_ += bytes;
   constexpr size_t kAlign = alignof(void*);
   size_t current = reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
   size_t slop = current == 0 ? 0 : kAlign - current;

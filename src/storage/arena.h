@@ -30,6 +30,10 @@ class Arena {
   /// Total bytes reserved from the system (>= bytes handed out).
   size_t MemoryUsage() const { return memory_usage_; }
 
+  /// Bytes actually handed out to callers (<= MemoryUsage; the difference
+  /// is block-tail waste and per-block bookkeeping).
+  size_t BytesAllocated() const { return bytes_allocated_; }
+
  private:
   static constexpr size_t kBlockSize = 4096;
 
@@ -40,6 +44,7 @@ class Arena {
   size_t alloc_remaining_ = 0;
   std::vector<std::unique_ptr<char[]>> blocks_;
   size_t memory_usage_ = 0;
+  size_t bytes_allocated_ = 0;
 };
 
 }  // namespace scads

@@ -45,7 +45,13 @@ Result<bool> StorageEngine::ApplyToTable(std::string_view key, std::string_view 
   payload->version = version;
   payload->tombstone = tombstone;
   metrics_.GetCounter(tombstone ? "deletes" : "puts")->Increment();
+  SyncResidentMetric();
   return true;
+}
+
+void StorageEngine::SyncResidentMetric() const {
+  Counter* counter = metrics_.GetCounter("bytes_resident");
+  counter->Increment(bytes_resident() - counter->value());
 }
 
 Result<bool> StorageEngine::Put(std::string_view key, std::string_view value, Version version) {

@@ -1,0 +1,117 @@
+#include "storage/pagestore/page_store.h"
+
+#include <utility>
+
+#include "storage/codec.h"
+
+namespace scads {
+
+PageFrame* BufferPool::Find(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return nullptr;
+  it->second->referenced = true;
+  return it->second.get();
+}
+
+PageFrame* BufferPool::Peek(PageId id) {
+  auto it = frames_.find(id);
+  return it == frames_.end() ? nullptr : it->second.get();
+}
+
+PageFrame* BufferPool::Insert(PageId id) {
+  auto frame = std::make_unique<PageFrame>();
+  frame->id = id;
+  frame->referenced = true;
+  PageFrame* raw = frame.get();
+  frames_[id] = std::move(frame);
+  return raw;
+}
+
+void BufferPool::Erase(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  resident_bytes_ -= it->second->bytes;
+  frames_.erase(it);
+  ++evictions_;
+}
+
+void BufferPool::AdjustBytes(PageFrame* frame, int64_t delta) {
+  frame->bytes = static_cast<size_t>(static_cast<int64_t>(frame->bytes) + delta);
+  resident_bytes_ = static_cast<size_t>(static_cast<int64_t>(resident_bytes_) + delta);
+  resident_peak_ = std::max(resident_peak_, resident_bytes_);
+}
+
+PageFrame* BufferPool::PickVictim(bool allow_dirty) {
+  if (frames_.empty()) return nullptr;
+  // Second-chance sweep from the hand: first lap clears reference bits,
+  // so 2n+1 steps guarantee any qualifying frame is reached.
+  size_t max_steps = 2 * frames_.size() + 1;
+  auto it = frames_.upper_bound(hand_);
+  for (size_t step = 0; step < max_steps; ++step, ++it) {
+    if (it == frames_.end()) it = frames_.begin();
+    PageFrame* frame = it->second.get();
+    if (frame->pins > 0) continue;
+    if (frame->referenced) {
+      frame->referenced = false;
+      continue;
+    }
+    if (frame->dirty && !allow_dirty) continue;
+    hand_ = frame->id;
+    return frame;
+  }
+  return nullptr;
+}
+
+std::string EncodePage(const PageFrame& frame) {
+  std::string out;
+  PutLengthPrefixed(&out, frame.lower_bound);
+  PutFixed32(&out, static_cast<uint32_t>(frame.records.size()));
+  for (const Record& record : frame.records) {
+    PutLengthPrefixed(&out, record.key);
+    PutLengthPrefixed(&out, record.value);
+    PutFixed64(&out, static_cast<uint64_t>(record.version.timestamp));
+    PutFixed32(&out, static_cast<uint32_t>(record.version.writer));
+    out.push_back(record.tombstone ? 1 : 0);
+  }
+  return out;
+}
+
+bool DecodePage(const std::string& bytes, std::string_view lower, std::string_view upper,
+                PageFrame* out) {
+  out->lower_bound.assign(lower);
+  out->records.clear();
+  out->bytes = 0;
+  if (bytes.empty()) return true;  // allocated but never written back
+  std::string_view input(bytes);
+  std::string_view stored_lower;
+  uint32_t count = 0;
+  if (!GetLengthPrefixed(&input, &stored_lower)) return false;
+  if (!GetFixed32(&input, &count)) return false;
+  out->records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view key, value;
+    uint64_t timestamp = 0;
+    uint32_t writer = 0;
+    if (!GetLengthPrefixed(&input, &key)) return false;
+    if (!GetLengthPrefixed(&input, &value)) return false;
+    if (!GetFixed64(&input, &timestamp)) return false;
+    if (!GetFixed32(&input, &writer)) return false;
+    if (input.empty()) return false;
+    bool tombstone = input.front() != 0;
+    input.remove_prefix(1);
+    // Range clamp: stale shadows outside [lower, upper) belong to a page
+    // split off since this image was written.
+    if (key < lower) continue;
+    if (!upper.empty() && key >= upper) continue;
+    Record record;
+    record.key.assign(key);
+    record.value.assign(value);
+    record.version = Version{static_cast<Time>(timestamp), static_cast<NodeId>(writer)};
+    record.tombstone = tombstone;
+    out->bytes += FrameRecordBytes(record);
+    out->records.push_back(std::move(record));
+  }
+  return true;
+}
+
+}  // namespace scads

@@ -77,6 +77,7 @@ SkipList::Payload* SkipList::FindOrCreate(std::string_view key, bool* created) {
     prev[i]->next[i] = fresh;
   }
   ++count_;
+  payload_bytes_ += key.size();
   *created = true;
   return &fresh->payload;
 }
@@ -92,6 +93,8 @@ SkipList::Payload* SkipList::FindMutable(std::string_view key) {
 }
 
 void SkipList::AssignValue(Payload* payload, std::string_view value) {
+  payload_bytes_ += value.size();
+  payload_bytes_ -= payload->value_size;
   if (value.empty()) {
     static const char kEmpty[1] = {0};
     payload->value_data = kEmpty;

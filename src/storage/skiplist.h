@@ -52,6 +52,15 @@ class SkipList {
   /// Arena bytes reserved.
   size_t memory_usage() const { return arena_.MemoryUsage(); }
 
+  /// Arena bytes actually handed out (node towers, keys, value copies —
+  /// including stale value copies an update orphaned; the arena never frees).
+  size_t bytes_allocated() const { return arena_.BytesAllocated(); }
+
+  /// Live payload bytes: key bytes plus each key's *current* value bytes.
+  /// Unlike bytes_allocated this excludes orphaned value copies and node
+  /// overhead, so it is the logical footprint capacity decisions want.
+  size_t payload_bytes() const { return payload_bytes_; }
+
   /// Forward iterator over keys in lexicographic order.
   class Iterator {
    public:
@@ -91,6 +100,7 @@ class SkipList {
   Node* head_;
   int max_height_ = 1;
   size_t count_ = 0;
+  size_t payload_bytes_ = 0;
 };
 
 }  // namespace scads

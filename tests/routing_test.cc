@@ -2,8 +2,9 @@
 // read coalescer: p2c-vs-uniform pick distribution under a skewed hot
 // node, ReadMode/priority pass-through, retry-candidate dedup/cap, the
 // coalescer's follower staleness/min_version/deadline detach paths,
-// leader-error fan-out, cross-request cache isolation, and the
-// rebalancer's least-loaded drain destinations.
+// leader-error fan-out, the in-flight priority upgrade on shed, cross-
+// request cache isolation, and the rebalancer's least-loaded drain
+// destinations.
 
 #include <algorithm>
 #include <map>
@@ -471,6 +472,52 @@ TEST(CoalescerTest, LeaderErrorPropagatesToEveryFollowerWithoutCachePollution) {
   // Each router failed its own reads.
   EXPECT_EQ(h.router->window().reads_failed, 2);
   EXPECT_EQ(h.router2->window().reads_failed, 1);
+}
+
+TEST(CoalescerTest, ShedMergedReadRetriesAtUpgradedPriorityFromLateFollower) {
+  CoalesceHarness h(1);
+  h.Seed("k", "v");
+  // Backlog between the kLow shed cap (1s) and the kHigh cap (2s): a kLow
+  // message is turned away, the same message at kHigh is admitted.
+  h.node(1)->InjectBackgroundLoad(1500 * kMillisecond);
+  int served = 0;
+  RequestOptions low;
+  low.priority = RequestPriority::kLow;
+  h.router->Get("k", low, [&](Result<Record> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->value, "v");
+    ++served;
+  });
+  // Run just past the flush (100us window) and the message's arrival at the
+  // node: the shed reply is now in flight back to the coalescer.
+  h.loop.RunFor(105);
+  // A kHigh reader attaches to the already-dispatched kLow message.
+  RequestOptions high;
+  high.priority = RequestPriority::kHigh;
+  h.router2->Get("k", high, [&](Result<Record> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->value, "v");
+    ++served;
+  });
+  h.loop.RunFor(4 * kSecond);
+  // The shed was not propagated: the merged read re-admitted at kHigh and
+  // both members were served from the retried reply.
+  EXPECT_EQ(served, 2);
+  EXPECT_EQ(h.coalescer->stats().priority_upgrades, 1);
+  EXPECT_EQ(h.coalescer->stats().follower_errors, 0);
+  EXPECT_EQ(h.coalescer->stats().followers_served, 1);
+  EXPECT_EQ(h.coalescer->stats().batches_sent, 2);
+  // Without the late kHigh follower the same shed propagates: no member
+  // outranked what the message shipped at, so there is nothing to upgrade.
+  int errors = 0;
+  h.node(1)->InjectBackgroundLoad(1500 * kMillisecond);
+  h.router->Get("k2", low, [&](Result<Record> r) {
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+    ++errors;
+  });
+  h.loop.RunFor(kSecond);
+  EXPECT_EQ(errors, 1);
+  EXPECT_EQ(h.coalescer->stats().priority_upgrades, 1);
 }
 
 TEST(CoalescerTest, OnlyTheLeaderRouterStoresTheSharedReply) {

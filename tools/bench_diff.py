@@ -24,6 +24,10 @@ Two severities of numeric check:
 
 Fields named *_check that flip away from "PASS" always fail (exit 1).
 
+BENCH_paged_storage.json is informational only: its latency fields compare
+a disk-backed tier against RAM, so the claim gates (--gate 'claim_*') do
+not cover it — only its shape_check flipping away from PASS would fail.
+
 Baseline handling: an unreadable or corrupt JSON in either directory is an
 error (exit 2) with a clear message — never silently skipped. A missing
 PREV_DIR normally means "first run, nothing to diff" (exit 0);
