@@ -1,0 +1,270 @@
+// CHAOS-SUITE: fail-fast reads under a node outage — circuit breaker on vs
+// off — plus the recovery telemetry after the node returns.
+//
+// One fleet shape (5 nodes, rf=3), one deterministic read stream, three
+// phases, run identically under both configs:
+//
+//  * healthy warmup — every node answers; both configs must serve the same
+//    bytes (the breaker's defaults keep a healthy fleet untouched).
+//  * outage — one replica is cut off at the network layer with NO oracle
+//    liveness update (the nastiest case: selection still offers the dead
+//    node). A short detection burst is run un-measured — reads issued
+//    before the first attempt timeouts even complete cannot have tripped
+//    anything, under either config — then the steady-state outage window
+//    is measured. Breaker-off keeps paying the full attempt timeout on
+//    every read routed to the dead node first; breaker-on tripped during
+//    detection and sorts the dead candidate last from then on.
+//  * healed — the node reconnects; a half-open probe notices, the breaker
+//    closes, and the fleet serves identically again.
+//
+// Shape claims (self-checked, exit code feeds CI): steady-state outage
+// p99 with the breaker is >= 3x lower than breaker-off; healthy-phase
+// digests (warmup + healed) are byte-identical across configs; zero
+// failed reads anywhere; the breaker opened during the outage and closed
+// again after the heal.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/node.h"
+#include "cluster/router.h"
+#include "common/benchjson.h"
+#include "common/rng.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+using namespace scads;  // NOLINT: benchmark brevity
+
+namespace {
+
+constexpr int kNodes = 5;
+constexpr int kReplicationFactor = 3;
+constexpr int kPartitions = 32;
+constexpr int kKeySpace = 20000;
+constexpr int kPhaseReads = 4000;
+// Detection burst: long enough that the slowest attempt timeout has fired
+// and the breaker (when enabled) has tripped before measurement starts.
+constexpr int kDetectReads = 2000;
+constexpr Duration kReadInterval = 500;  // us -> 2000 reads/s
+constexpr NodeId kVictim = 2;
+
+// Spread keys over the 2-byte prefix space CreateUniform partitions on.
+std::string KeyOf(uint64_t i) {
+  uint32_t spread = static_cast<uint32_t>(i * 2654435761u) & 0xffff;
+  std::string key;
+  key.push_back(static_cast<char>((spread >> 8) & 0xff));
+  key.push_back(static_cast<char>(spread & 0xff));
+  key += ":k";
+  key += std::to_string(i);
+  return key;
+}
+
+struct PhaseStats {
+  Duration p50 = 0;
+  Duration p99 = 0;
+  int64_t reads_ok = 0;
+  int64_t reads_failed = 0;
+  int64_t breaker_skips = 0;
+};
+
+struct Outcome {
+  PhaseStats healthy;
+  PhaseStats outage;
+  PhaseStats healed;
+  int64_t breaker_opens = 0;
+  int64_t breaker_closes = 0;
+  int64_t breaker_probes = 0;
+  std::string healthy_digest;  // warmup + healed values, in issue order
+};
+
+PhaseStats DrainWindow(Router* router) {
+  RouterWindow window = router->TakeWindow();
+  PhaseStats stats;
+  stats.p50 = window.read_latency.ValueAtQuantile(0.50);
+  stats.p99 = window.read_latency.ValueAtQuantile(0.99);
+  stats.reads_ok = window.reads_ok;
+  stats.reads_failed = window.reads_failed;
+  stats.breaker_skips = window.breaker_skips;
+  return stats;
+}
+
+Outcome RunScenario(bool breaker_on) {
+  EventLoop loop;
+  SimNetwork network(&loop, 53);
+  ClusterState cluster;
+
+  NodeConfig node_config;
+  node_config.watermark_heartbeat = 0;  // engines seeded directly; isolate
+                                        // the BREAKER's effect, not the
+                                        // failure detector's
+  std::map<NodeId, std::unique_ptr<StorageNode>> nodes;
+  std::vector<NodeId> ids;
+  for (NodeId id = 1; id <= kNodes; ++id) {
+    nodes[id] = std::make_unique<StorageNode>(id, &loop, &network, &cluster, node_config,
+                                              100 + static_cast<uint64_t>(id));
+    (void)cluster.AddNode(id, nodes[id].get());
+    ids.push_back(id);
+  }
+  cluster.set_partitions(
+      std::move(PartitionMap::CreateUniform(kPartitions, ids, kReplicationFactor)).value());
+
+  // Seed every key into each of its replicas so any replica serves the
+  // same bytes — the digest compares routing policies, not data placement.
+  for (int i = 0; i < kKeySpace; ++i) {
+    std::string key = KeyOf(static_cast<uint64_t>(i));
+    std::string value = "v" + std::to_string(i);
+    for (NodeId id : cluster.partitions()->ForKey(key).replicas) {
+      (void)cluster.GetNode(id)->engine()->Put(key, value, Version{1, 0});
+    }
+  }
+
+  RouterConfig router_config;
+  // Uniform selection, deliberately: the load-aware policy routes around a
+  // dead node on its own (frozen pressure saturates and p2c steers away),
+  // which would conflate two mechanisms. Uniform keeps offering the victim
+  // at its full replica share, so the breaker is the ONLY thing standing
+  // between a read and a dead-node timeout — the comparison this bench is
+  // about.
+  router_config.selector.kind = SelectorKind::kUniform;
+  router_config.breaker.enabled = breaker_on;
+  router_config.breaker.jitter = 0;  // deterministic cross-config digests
+  Router router(1 << 20, &loop, &network, &cluster, router_config, 7);
+
+  Outcome outcome;
+  Rng key_rng(23);  // same key sequence in both configs
+
+  auto run_phase = [&](int reads, std::vector<std::string>* digest_sink) {
+    std::vector<std::string> results(reads);
+    Time start = loop.Now();
+    for (int i = 0; i < reads; ++i) {
+      Time at = start + static_cast<Time>(i) * kReadInterval;
+      std::string key = KeyOf(key_rng.Uniform(kKeySpace));
+      loop.ScheduleAt(at, [&router, &results, i, key = std::move(key)] {
+        router.Get(key, RequestOptions{}, [&results, i](Result<Record> r) {
+          results[static_cast<size_t>(i)] =
+              r.ok() ? r->value : ("ERR:" + std::to_string(static_cast<int>(r.status().code())));
+        });
+      });
+    }
+    loop.RunFor(static_cast<Duration>(reads) * kReadInterval + 10 * kSecond);
+    if (digest_sink != nullptr) {
+      for (std::string& v : results) digest_sink->push_back(std::move(v));
+    }
+  };
+
+  std::vector<std::string> healthy_values;
+
+  // Phase 1: healthy warmup.
+  run_phase(kPhaseReads, &healthy_values);
+  outcome.healthy = DrainWindow(&router);
+
+  // Phase 2: cut the victim off at the network layer only — liveness
+  // metadata still says alive, so selection keeps offering it. Outage
+  // values stay out of the healthy digest: they depend on timeout-vs-retry
+  // timing, which is exactly what differs between the configs.
+  network.SetPartitionGroup(kVictim, 5);
+  run_phase(kDetectReads, nullptr);  // un-measured detection burst
+  (void)router.TakeWindow();
+  run_phase(kPhaseReads, nullptr);  // measured steady-state outage
+  outcome.outage = DrainWindow(&router);
+
+  // Phase 3: heal; a half-open probe must rediscover the node.
+  network.SetPartitionGroup(kVictim, 0);
+  run_phase(kPhaseReads, &healthy_values);
+  outcome.healed = DrainWindow(&router);
+
+  if (router.breaker() != nullptr) {
+    outcome.breaker_opens = router.breaker()->stats().opens;
+    outcome.breaker_closes = router.breaker()->stats().closes;
+    outcome.breaker_probes = router.breaker()->stats().probes;
+  }
+  outcome.healthy_digest.reserve(healthy_values.size() * 8);
+  for (const std::string& v : healthy_values) {
+    outcome.healthy_digest += v;
+    outcome.healthy_digest += ';';
+  }
+  return outcome;
+}
+
+void PrintRow(const char* label, const char* phase, const PhaseStats& s) {
+  std::printf("%-12s %-8s %10s %10s %9lld %7lld %8lld\n", label, phase,
+              FormatDuration(s.p50).c_str(), FormatDuration(s.p99).c_str(),
+              static_cast<long long>(s.reads_ok), static_cast<long long>(s.reads_failed),
+              static_cast<long long>(s.breaker_skips));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== CHAOS-SUITE: fail-fast reads during an unannounced node outage ===\n\n");
+  std::printf("fleet: %d nodes, rf=%d; node %d cut off mid-run with NO liveness update;\n",
+              kNodes, kReplicationFactor, kVictim);
+  std::printf("%d reads per phase, one per %s.\n\n", kPhaseReads,
+              FormatDuration(kReadInterval).c_str());
+
+  Outcome off = RunScenario(/*breaker_on=*/false);
+  Outcome on = RunScenario(/*breaker_on=*/true);
+
+  std::printf("%-12s %-8s %10s %10s %9s %7s %8s\n", "mode", "phase", "p50", "p99", "reads_ok",
+              "failed", "skips");
+  PrintRow("breaker-off", "healthy", off.healthy);
+  PrintRow("breaker-off", "outage", off.outage);
+  PrintRow("breaker-off", "healed", off.healed);
+  PrintRow("breaker-on", "healthy", on.healthy);
+  PrintRow("breaker-on", "outage", on.outage);
+  PrintRow("breaker-on", "healed", on.healed);
+
+  double p99_ratio = on.outage.p99 > 0
+                         ? static_cast<double>(off.outage.p99) / static_cast<double>(on.outage.p99)
+                         : 0.0;
+  bool digests_match = off.healthy_digest == on.healthy_digest;
+  int64_t total_failed = off.healthy.reads_failed + off.outage.reads_failed +
+                         off.healed.reads_failed + on.healthy.reads_failed +
+                         on.outage.reads_failed + on.healed.reads_failed;
+
+  std::printf("\nbreaker-off keeps paying the full attempt timeout on every read routed\n"
+              "to the dead node first; breaker-on tripped during detection (opens=%lld)\n"
+              "and sorts the dead candidate last, then a probe re-closes it after heal.\n",
+              static_cast<long long>(on.breaker_opens));
+  std::printf("steady-state outage p99 %s -> %s (%.1fx); breaker opens=%lld probes=%lld\n"
+              "closes=%lld; healthy-phase digests identical: %s; failed reads: %lld\n",
+              FormatDuration(off.outage.p99).c_str(), FormatDuration(on.outage.p99).c_str(),
+              p99_ratio, static_cast<long long>(on.breaker_opens),
+              static_cast<long long>(on.breaker_probes),
+              static_cast<long long>(on.breaker_closes), digests_match ? "yes" : "NO",
+              static_cast<long long>(total_failed));
+
+  bool shape_holds = p99_ratio >= 3.0 && digests_match && total_failed == 0 &&
+                     on.breaker_opens >= 1 && on.breaker_closes >= 1;
+  std::printf("shape check (breaker outage p99 >= 3x better, identical healthy digests,\n"
+              "no failed reads, breaker opened during outage and re-closed after heal): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+
+  BenchJson json("chaos_suite");
+  for (const auto& [label, o] : {std::pair<const char*, const Outcome&>{"breaker_off", off},
+                                 {"breaker_on", on}}) {
+    for (const auto& [phase, s] :
+         {std::pair<const char*, const PhaseStats&>{"healthy", o.healthy},
+          {"outage", o.outage},
+          {"healed", o.healed}}) {
+      json.BeginRow(std::string(label) + "_" + phase);
+      json.Add("p50_us", s.p50);
+      json.Add("p99_us", s.p99);
+      json.Add("reads_ok", s.reads_ok);
+      json.Add("reads_failed", s.reads_failed);
+      json.Add("breaker_skips", s.breaker_skips);
+    }
+  }
+  json.BeginRow("summary");
+  json.Add("outage_p99_ratio", p99_ratio);
+  json.Add("breaker_opens", on.breaker_opens);
+  json.Add("breaker_probes", on.breaker_probes);
+  json.Add("breaker_closes", on.breaker_closes);
+  json.Add("shape_check", shape_holds ? "PASS" : "FAIL");
+  (void)json.Write();
+  return shape_holds ? 0 : 1;
+}

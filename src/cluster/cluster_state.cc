@@ -1,5 +1,7 @@
 #include "cluster/cluster_state.h"
 
+#include <algorithm>
+
 #include "cluster/node.h"
 #include "common/strings.h"
 
@@ -18,12 +20,25 @@ Status ClusterState::RemoveNode(NodeId id) {
 
 void ClusterState::SetNodeAlive(NodeId id, bool alive) {
   auto it = nodes_.find(id);
-  if (it != nodes_.end()) it->second.alive = alive;
+  if (it == nodes_.end()) return;
+  const bool was_alive = it->second.alive;
+  it->second.alive = alive;
+  if (alive && !was_alive) {
+    // Fresh grace period: the downtime gap must not count as silence (or
+    // pollute the inter-arrival estimate) once the node is back.
+    it->second.last_heartbeat = 0;
+    it->second.ewma_interval = 0;
+    it->second.heard = 0;
+  }
+  // The one down/up path (no split-brain with the node object's own
+  // switch). set_alive(true) on a previously-dead node also kicks its
+  // delta-sync catch-up.
+  if (it->second.node != nullptr) it->second.node->set_alive(alive);
 }
 
 bool ClusterState::IsAlive(NodeId id) const {
   auto it = nodes_.find(id);
-  return it != nodes_.end() && it->second.alive;
+  return it != nodes_.end() && it->second.alive && Suspicion(id) < 1.0;
 }
 
 StorageNode* ClusterState::GetNode(NodeId id) const {
@@ -31,19 +46,74 @@ StorageNode* ClusterState::GetNode(NodeId id) const {
   return it == nodes_.end() ? nullptr : it->second.node;
 }
 
+void ClusterState::EnableFailureDetection(const Clock* clock, SuspicionConfig config) {
+  clock_ = clock;
+  suspicion_ = config;
+  if (suspicion_.min_interval <= 0) suspicion_.min_interval = 1;
+  if (suspicion_.timeout_multiple <= 0) suspicion_.timeout_multiple = 1.0;
+}
+
+void ClusterState::RecordHeartbeat(NodeId id, Time now) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  NodeEntry& entry = it->second;
+  if (entry.heard > 0) {
+    Duration gap = std::max<Duration>(0, now - entry.last_heartbeat);
+    // Cap what one gap can teach the EWMA: a long silence that resolves
+    // (slow heal, late beacon) must not inflate the expected interval so
+    // far that the next real failure goes undetected.
+    Duration expected = std::max(entry.ewma_interval, suspicion_.min_interval);
+    gap = std::min(gap, 4 * expected);
+    entry.ewma_interval = static_cast<Duration>(suspicion_.ewma_alpha * gap +
+                                                (1.0 - suspicion_.ewma_alpha) * entry.ewma_interval);
+  }
+  entry.last_heartbeat = now;
+  ++entry.heard;
+}
+
+double ClusterState::Suspicion(NodeId id) const {
+  if (clock_ == nullptr) return 0.0;
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return 0.0;
+  const NodeEntry& entry = it->second;
+  if (entry.heard == 0) return 0.0;  // never heard: presumed alive
+  Duration expected = std::max(entry.ewma_interval, suspicion_.min_interval);
+  Duration silence = clock_->Now() - entry.last_heartbeat;
+  if (silence <= 0) return 0.0;
+  return static_cast<double>(silence) /
+         (suspicion_.timeout_multiple * static_cast<double>(expected));
+}
+
+int ClusterState::SuspectedCount() const {
+  int count = 0;
+  for (const auto& [id, entry] : nodes_) {
+    if (Suspicion(id) >= 1.0) ++count;
+  }
+  return count;
+}
+
 NodeLoadSignal ClusterState::NodeLoad(NodeId id) const {
   auto it = nodes_.find(id);
   if (it == nodes_.end() || !it->second.alive || it->second.node == nullptr) {
     return NodeLoadSignal{};
   }
-  return it->second.node->load_signal();
+  NodeLoadSignal signal = it->second.node->load_signal();
+  signal.suspicion = Suspicion(id);
+  return signal;
 }
 
 std::vector<NodeId> ClusterState::AliveNodes() const {
   std::vector<NodeId> out;
   for (const auto& [id, entry] : nodes_) {
-    if (entry.alive) out.push_back(id);
+    if (entry.alive && Suspicion(id) < 1.0) out.push_back(id);
   }
+  return out;
+}
+
+std::vector<NodeId> ClusterState::AllNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& entry : nodes_) out.push_back(entry.first);
   return out;
 }
 

@@ -219,4 +219,53 @@ void ReadCoalescer::FailOverKey(const std::string& key, NodeId failed) {
   }
 }
 
+// ------------------------------------------------------------ WriteCoalescer
+
+void WriteCoalescer::Submit(PendingWrite write) {
+  const std::string key = write.record.key;
+  auto it = inflight_.find(key);
+  if (it != inflight_.end()) {
+    KeyEntry& entry = it->second;
+    ++stats_.merged_writes;
+    // Last-write-wins by version stamp, not arrival order: the merged
+    // record must be the one the engine would have kept had each put been
+    // sent separately, or a member's session floor could outrun the store.
+    // An exact version tie (same client, same instant) goes to the later
+    // arrival — that is the order the client issued them in.
+    if (write.record.version >= entry.winner.version) entry.winner = write.record;
+    entry.ack = std::max(entry.ack, write.ack);
+    entry.members.push_back(std::move(write));
+    return;
+  }
+  ++stats_.leader_writes;
+  KeyEntry entry;
+  entry.winner = write.record;
+  entry.ack = write.ack;
+  entry.members.push_back(std::move(write));
+  entry.flush_event = loop_->ScheduleAfter(config_.window, [this, key] { Flush(key); });
+  inflight_.emplace(key, std::move(entry));
+}
+
+void WriteCoalescer::Flush(const std::string& key) {
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+  KeyEntry entry = std::move(it->second);
+  // Erased before dispatch: a put arriving while the merged record is on
+  // the wire cannot change it, so it must open a fresh entry.
+  inflight_.erase(it);
+  ++stats_.batches_sent;
+  auto members = std::make_shared<std::vector<PendingWrite>>(std::move(entry.members));
+  auto winner = std::make_shared<WalRecord>(std::move(entry.winner));
+  members->front().router->DispatchCoalescedWrite(
+      *winner, entry.ack, members->front().options, [members, winner](Status status) {
+        // One replication ack settles every member: window accounting and
+        // cache refresh per member (with the winning record), then the
+        // member's own callback.
+        for (PendingWrite& member : *members) {
+          member.router->FinishCoalescedWrite(member.start, status, *winner);
+          member.callback(status);
+        }
+      });
+}
+
 }  // namespace scads

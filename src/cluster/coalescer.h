@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "cluster/cluster_state.h"
+#include "cluster/node.h"
 #include "common/request_options.h"
 #include "common/result.h"
 #include "common/types.h"
@@ -164,6 +165,86 @@ class ReadCoalescer {
   CoalescerStats stats_;
   std::map<std::string, KeyEntry> inflight_;   // key -> leader + followers
   std::map<NodeId, NodeBatch> held_;           // node -> leaders awaiting flush
+};
+
+/// WriteCoalescer tunables.
+struct WriteCoalescerConfig {
+  /// Off by default at the facade, like read coalescing: the hold window
+  /// trades a little write latency for primary round trips, the right
+  /// trade only for hot-key write mixes. Benches and deployments opt in.
+  bool enabled = false;
+  /// Merge window: the first put of a key holds at most this long for
+  /// same-key puts before the merged record ships. 0 still merges puts
+  /// that arrive within the same event-loop instant.
+  Duration window = 100;  // us
+};
+
+/// Cumulative write-coalescing statistics.
+struct WriteCoalescerStats {
+  int64_t leader_writes = 0;   ///< Puts that opened a merge entry.
+  int64_t merged_writes = 0;   ///< Puts that joined an in-flight entry.
+  int64_t batches_sent = 0;    ///< Merged primary round trips shipped.
+};
+
+/// Cross-router coalescing of concurrent same-key puts — the write-side
+/// sibling of ReadCoalescer. Puts of one key submitted within the merge
+/// window collapse to a single primary round trip carrying the LAST-WRITE-
+/// WINS record (highest version stamp among the members — the exact record
+/// the engine would have kept had they been sent separately), under the
+/// STRICTEST requested ack mode. Every member is acked off that one
+/// replication ack: each settles its own router-window accounting and
+/// cache refresh (with the winning record) via Router::FinishCoalescedWrite,
+/// then runs its own callback.
+///
+/// Only plain puts coalesce. Deletes, conditional puts, and MultiWrite keep
+/// their own serve — merging across operation kinds would reorder intent —
+/// and RequestOptions::allow_coalesce opts any put out. Puts arriving after
+/// the merged record shipped open a NEW entry (they cannot change a record
+/// already on the wire).
+class WriteCoalescer {
+ public:
+  /// One put inside the coalescer. Routers build these in SendWrite;
+  /// `options` is already armed and `record.version` already stamped.
+  struct PendingWrite {
+    Router* router = nullptr;
+    WalRecord record;
+    AckMode ack = AckMode::kPrimary;
+    RequestOptions options;
+    Time start = 0;
+    std::function<void(Status)> callback;
+  };
+
+  WriteCoalescer(EventLoop* loop, WriteCoalescerConfig config)
+      : loop_(loop), config_(config) {}
+
+  WriteCoalescer(const WriteCoalescer&) = delete;
+  WriteCoalescer& operator=(const WriteCoalescer&) = delete;
+
+  /// Submits a put. Same-key puts inside the merge window join the
+  /// in-flight entry; a fresh key opens one and schedules its flush.
+  void Submit(PendingWrite write);
+
+  bool enabled() const { return config_.enabled; }
+  WriteCoalescerConfig* mutable_config() { return &config_; }
+  const WriteCoalescerStats& stats() const { return stats_; }
+
+ private:
+  struct KeyEntry {
+    std::vector<PendingWrite> members;
+    /// Running last-write-wins winner among the members' records.
+    WalRecord winner;
+    /// Strictest ack mode any member asked for.
+    AckMode ack = AckMode::kPrimary;
+    EventLoop::EventId flush_event = EventLoop::kInvalidEvent;
+  };
+
+  /// Ships `key`'s merged record through the first member's router.
+  void Flush(const std::string& key);
+
+  EventLoop* loop_;
+  WriteCoalescerConfig config_;
+  WriteCoalescerStats stats_;
+  std::map<std::string, KeyEntry> inflight_;  // key -> pending merge
 };
 
 }  // namespace scads

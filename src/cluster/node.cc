@@ -49,6 +49,12 @@ StorageNode::StorageNode(NodeId id, EventLoop* loop, SimNetwork* network, Cluste
 
 StorageNode::~StorageNode() { Stop(); }
 
+void StorageNode::set_alive(bool alive) {
+  const bool was_alive = alive_;
+  alive_ = alive;
+  if (alive && !was_alive) StartRecovery();
+}
+
 void StorageNode::Start() {
   if (heartbeat_event_ != EventLoop::kInvalidEvent) return;
   if (config_.watermark_heartbeat <= 0) return;
@@ -438,6 +444,42 @@ void StorageNode::EnqueueReplication(PartitionId pid, NodeId to, const WalRecord
   }
 }
 
+bool StorageNode::StreamStillValid(PartitionId pid, NodeId to) const {
+  const PartitionInfo* partition = cluster_->partitions()->Get(pid);
+  if (partition == nullptr) return false;
+  bool member = std::find(partition->replicas.begin(), partition->replicas.end(), to) !=
+                partition->replicas.end();
+  if (member && partition->primary() == id_) return true;
+  // Topology moved on (leadership transferred, or `to` left the replica
+  // set). A LIVE destination still drains the unacked tail — it may be the
+  // new primary, and those records are data it needs (WritesDuringMove
+  // relies on this). Only a dead or unregistered destination makes further
+  // retransmission pointless: its catch-up path is delta-sync on restart,
+  // not this stream.
+  StorageNode* target = cluster_->GetNode(to);
+  return target != nullptr && target->alive();
+}
+
+void StorageNode::TearDownStream(PartitionId pid, NodeId to) {
+  auto it = streams_.find({pid, to});
+  if (it == streams_.end()) return;
+  ReplicationStream& stream = it->second;
+  if (stream.retry_event != EventLoop::kInvalidEvent) {
+    loop_->Cancel(stream.retry_event);
+    stream.retry_event = EventLoop::kInvalidEvent;
+  }
+  // Unmet waiters fail honestly: the ack they were counting on will never
+  // come from this replica (re-replication streams the data to its
+  // replacement out of band, but that is a copy, not this write's ack).
+  for (auto& [seq, waiter] : stream.waiters) {
+    if (!waiter->done) {
+      waiter->done = true;
+      waiter->respond(UnavailableError("replica removed from partition"));
+    }
+  }
+  streams_.erase(it);
+}
+
 void StorageNode::FlushStream(PartitionId pid, NodeId to) {
   auto it = streams_.find({pid, to});
   if (it == streams_.end()) return;
@@ -445,6 +487,10 @@ void StorageNode::FlushStream(PartitionId pid, NodeId to) {
   stream.flush_scheduled = false;
   if (stream.inflight || !alive_) return;
   if (stream.pending.empty()) return;
+  if (!StreamStillValid(pid, to)) {
+    TearDownStream(pid, to);
+    return;
+  }
   SendBatch(pid, to, &stream);
 }
 
@@ -491,6 +537,12 @@ void StorageNode::SendBatch(PartitionId pid, NodeId to, ReplicationStream* strea
     ReplicationStream& s = it->second;
     s.retry_event = EventLoop::kInvalidEvent;
     if (s.acked >= s.sent_through) return;  // acked meanwhile
+    if (!StreamStillValid(pid, to)) {
+      // Target dropped from the replica set (re-replication replaced a
+      // dead node) or leadership moved: stop retransmitting into the void.
+      TearDownStream(pid, to);
+      return;
+    }
     ++stats_.retransmits;
     s.inflight = false;
     s.current_retry_delay =
@@ -505,6 +557,10 @@ void StorageNode::SendBatch(PartitionId pid, NodeId to, ReplicationStream* strea
 void StorageNode::HandleReplicate(PartitionId pid, NodeId from, uint64_t first_seq,
                                   std::vector<WalRecord> records, Time watermark) {
   if (!alive_) return;
+  // Any delivery from `from` is proof of life — the watermark-heartbeat
+  // stream doubles as the failure detector's primary signal (even a shed
+  // batch was still sent by a live node).
+  cluster_->RecordHeartbeat(from, loop_->Now());
   Duration service =
       config_.replicate_service_per_record * std::max<Duration>(1, static_cast<Duration>(records.size()));
   std::optional<Duration> sojourn =
@@ -541,6 +597,7 @@ void StorageNode::HandleReplicate(PartitionId pid, NodeId from, uint64_t first_s
 
 void StorageNode::HandleReplicateAck(PartitionId pid, NodeId from, uint64_t acked_seq) {
   if (!alive_) return;
+  cluster_->RecordHeartbeat(from, loop_->Now());
   auto it = streams_.find({pid, from});
   if (it == streams_.end()) return;
   ReplicationStream& stream = it->second;
@@ -577,8 +634,112 @@ void StorageNode::HandleReplicateAck(PartitionId pid, NodeId from, uint64_t acke
   }
 }
 
+void StorageNode::StartRecovery() {
+  if (!alive_) return;
+  for (PartitionId pid : cluster_->partitions()->PartitionsOnNode(id_)) {
+    const PartitionInfo* partition = cluster_->partitions()->Get(pid);
+    if (partition == nullptr || partition->primary() == id_) continue;
+    StorageNode* primary = cluster_->GetNode(partition->primary());
+    if (primary == nullptr) continue;
+    Time since = replicated_through(pid);
+    NodeId self = id_;
+    network_->Send(self, partition->primary(), [primary, pid, self, since] {
+      primary->HandleDeltaSyncRequest(pid, self, since);
+    });
+  }
+}
+
+void StorageNode::HandleDeltaSyncRequest(PartitionId pid, NodeId from, Time since) {
+  if (!alive_) return;
+  const PartitionInfo* partition = cluster_->partitions()->Get(pid);
+  if (partition == nullptr || partition->primary() != id_) return;  // stale map; streams cover it
+  StorageNode* requester = cluster_->GetNode(from);
+  if (requester == nullptr) return;
+  // The scan pays admitted service like any range read; recovery traffic
+  // must not jump the queue ahead of client work.
+  std::optional<Duration> sojourn =
+      Admit(config_.scan_service_base, RequestPriority::kNormal, /*client=*/false);
+  if (!sojourn.has_value()) return;  // overloaded; the recovering node still has the streams
+  loop_->ScheduleAfter(*sojourn, [this, pid, from, since, requester] {
+    if (!alive_) return;
+    const PartitionInfo* partition = cluster_->partitions()->Get(pid);
+    if (partition == nullptr || partition->primary() != id_) return;
+    // Everything whose version stamp is at or after the requester's durable
+    // watermark. Versions are stamped at write arrival and the watermark is
+    // the enqueue time of the last applied record, so >= since is a
+    // superset of what was missed (the engine's newer-version rule makes
+    // re-application a no-op).
+    std::vector<WalRecord> missed;
+    int64_t payload_bytes = 0;
+    for (const Record& record :
+         engine_->ScanRaw(partition->start, partition->end, /*limit=*/0)) {
+      if (record.version.timestamp < since) continue;
+      WalRecord wal;
+      wal.type = record.tombstone ? WalRecord::Type::kDelete : WalRecord::Type::kPut;
+      wal.key = record.key;
+      wal.value = record.value;
+      wal.version = record.version;
+      payload_bytes += WireSize(wal);
+      missed.push_back(std::move(wal));
+    }
+    Duration row_cost =
+        config_.scan_service_per_row * static_cast<Duration>(missed.size());
+    busy_until_ = std::max(busy_until_, loop_->Now()) + row_cost;
+    stats_.busy_micros += row_cost;
+    ChargeEngineIo();
+    ++stats_.delta_syncs_served;
+    stats_.delta_records_shipped += static_cast<int64_t>(missed.size());
+    Time watermark = loop_->Now();
+    NodeId self = id_;
+    network_->Send(self, from, payload_bytes,
+                   [requester, pid, self, missed = std::move(missed), watermark]() mutable {
+                     requester->HandleDeltaSyncResponse(pid, self, std::move(missed), watermark);
+                   });
+  });
+}
+
+void StorageNode::HandleDeltaSyncResponse(PartitionId pid, NodeId from,
+                                          std::vector<WalRecord> records, Time watermark) {
+  if (!alive_) return;
+  cluster_->RecordHeartbeat(from, loop_->Now());
+  const PartitionInfo* partition = cluster_->partitions()->Get(pid);
+  if (partition == nullptr || partition->primary() != from) return;
+  if (std::find(partition->replicas.begin(), partition->replicas.end(), id_) ==
+      partition->replicas.end()) {
+    return;  // dropped from the set while recovering
+  }
+  Duration service = config_.replicate_service_per_record *
+                     std::max<Duration>(1, static_cast<Duration>(records.size()));
+  std::optional<Duration> sojourn =
+      Admit(service, RequestPriority::kNormal, /*client=*/false);
+  if (!sojourn.has_value()) return;  // shed; the streams still converge eventually
+  loop_->ScheduleAfter(*sojourn, [this, pid, records = std::move(records), watermark] {
+    if (!alive_) return;
+    for (const WalRecord& record : records) {
+      (void)engine_->Apply(record);
+      ++stats_.records_replicated_in;
+    }
+    ChargeEngineIo();
+    Time& through = replicated_through_[pid];
+    through = std::max(through, watermark);
+    ++stats_.delta_syncs_completed;
+  });
+}
+
 void StorageNode::HeartbeatTick() {
   if (!alive_) return;
+  // Liveness beacon to the control-plane observer. It rides the simulated
+  // network (loss, partitions, and gray delays shape it), so the failure
+  // detector in ClusterState measures reachability rather than trusting an
+  // oracle. Every node beacons — secondaries and rf=1 nodes carry no
+  // outbound watermark streams, yet their death must still be detectable.
+  {
+    ClusterState* cluster = cluster_;
+    NodeId self = id_;
+    EventLoop* loop = loop_;
+    network_->Send(self, ClusterState::kControlPlane,
+                   [cluster, self, loop] { cluster->RecordHeartbeat(self, loop->Now()); });
+  }
   // Advance watermarks on idle streams so secondaries can prove freshness.
   for (PartitionId pid : cluster_->partitions()->PartitionsOnNode(id_, /*primary_only=*/true)) {
     const PartitionInfo* partition = cluster_->partitions()->Get(pid);

@@ -101,6 +101,12 @@ struct NodeStats {
   /// retransmits them). Kept out of shed_by_priority so retransmit storms
   /// can't masquerade as interactive kNormal traffic being turned away.
   int64_t replication_sheds = 0;
+  /// Crash-recovery delta syncs: requests this node served as primary,
+  /// records shipped in those replies, and catch-ups this node completed
+  /// as the recovering replica.
+  int64_t delta_syncs_served = 0;
+  int64_t delta_records_shipped = 0;
+  int64_t delta_syncs_completed = 0;
 };
 
 /// Response to a batched read: one result per requested key, in request
@@ -139,9 +145,22 @@ class StorageNode {
 
   /// Crash/recover. A dead node ignores handler invocations (the network
   /// normally prevents delivery; this guards stray timers). The engine's
-  /// contents survive, modelling a durable local disk.
-  void set_alive(bool alive) { alive_ = alive; }
+  /// contents survive, modelling a durable local disk. A false->true
+  /// transition kicks the crash-recovery delta sync (StartRecovery), so
+  /// every revive path — injector, ClusterState::SetNodeAlive, manual test
+  /// wiring — catches the node up without extra choreography.
+  void set_alive(bool alive);
   bool alive() const { return alive_; }
+
+  /// Crash-recovery catch-up: for every partition this node replicates but
+  /// does not lead, ask the primary for the writes enqueued since our
+  /// durable watermark. Until the response lands, the stale watermark keeps
+  /// this replica out of the fresh-read set; once it lands, the watermark
+  /// jumps to the primary's send-time "now" — re-entry is earned, not
+  /// assumed. (The primary's streams retransmit forever too, but their
+  /// backoff has decayed to 1s ticks by recovery time; the pull makes
+  /// recovery time bounded by one round trip + apply.)
+  void StartRecovery();
 
   // --- request handlers -----------------------------------------------
   //
@@ -219,6 +238,18 @@ class StorageNode {
 
   /// Ack arrival (primary side).
   void HandleReplicateAck(PartitionId pid, NodeId from, uint64_t acked_seq);
+
+  /// Delta-sync request (primary side): `from` asks for every record of
+  /// `pid` whose version is at or after `since` (its durable watermark at
+  /// crash time). The reply carries the records plus the primary's current
+  /// watermark.
+  void HandleDeltaSyncRequest(PartitionId pid, NodeId from, Time since);
+
+  /// Delta-sync reply (recovering side): applies the missed records (the
+  /// engine's newer-version rule makes this idempotent against concurrent
+  /// stream retransmits) and advances the partition watermark.
+  void HandleDeltaSyncResponse(PartitionId pid, NodeId from, std::vector<WalRecord> records,
+                               Time watermark);
 
   // --- observability ----------------------------------------------------
 
@@ -311,6 +342,15 @@ class StorageNode {
   void FlushStream(PartitionId pid, NodeId to);
   void SendBatch(PartitionId pid, NodeId to, ReplicationStream* stream);
   void HeartbeatTick();
+
+  /// True while this node leads `pid` and `to` is still in its replica
+  /// set. A stream whose target was dropped (re-replication removed a dead
+  /// node) or whose leadership moved is torn down instead of
+  /// retransmitting forever.
+  bool StreamStillValid(PartitionId pid, NodeId to) const;
+  /// Cancels the stream's retry timer, fails its unmet waiters with
+  /// kUnavailable, and erases it.
+  void TearDownStream(PartitionId pid, NodeId to);
 
   NodeId id_;
   EventLoop* loop_;

@@ -40,11 +40,61 @@ void Rebalancer::MoveReplica(PartitionId pid, NodeId from, NodeId to,
   // writes start flowing to it before the snapshot lands.
   replicas.push_back(to);
   // Step 2: stream the snapshot.
-  StreamNext(pid, from, to, partition->start, std::move(done));
+  StreamNext(pid, from, to, partition->start, /*remove_source=*/true, std::move(done));
+}
+
+void Rebalancer::CopyReplica(PartitionId pid, NodeId from, NodeId to,
+                             std::function<void(Status)> done) {
+  PartitionInfo* partition = cluster_->partitions()->GetMutable(pid);
+  if (partition == nullptr) {
+    done(NotFoundError(StrFormat("partition %d", pid)));
+    return;
+  }
+  if (moving_.count(pid) > 0) {
+    done(FailedPreconditionError(StrFormat("partition %d already moving", pid)));
+    return;
+  }
+  auto& replicas = partition->replicas;
+  if (std::find(replicas.begin(), replicas.end(), from) == replicas.end()) {
+    done(FailedPreconditionError(StrFormat("node %d not a replica of partition %d", from, pid)));
+    return;
+  }
+  if (std::find(replicas.begin(), replicas.end(), to) != replicas.end()) {
+    done(FailedPreconditionError(StrFormat("node %d already a replica of partition %d", to, pid)));
+    return;
+  }
+  if (cluster_->GetNode(from) == nullptr || cluster_->GetNode(to) == nullptr) {
+    done(NotFoundError("source or target node not registered"));
+    return;
+  }
+  moving_.insert(pid);
+  // Same bootstrap as a move: join the replica set first so live writes
+  // flow while the snapshot streams; the source keeps its copy.
+  replicas.push_back(to);
+  StreamNext(pid, from, to, partition->start, /*remove_source=*/false, std::move(done));
+}
+
+Status Rebalancer::RemoveReplica(PartitionId pid, NodeId node) {
+  PartitionInfo* partition = cluster_->partitions()->GetMutable(pid);
+  if (partition == nullptr) return NotFoundError(StrFormat("partition %d", pid));
+  auto& replicas = partition->replicas;
+  auto it = std::find(replicas.begin(), replicas.end(), node);
+  if (it == replicas.end()) {
+    return FailedPreconditionError(
+        StrFormat("node %d not a replica of partition %d", node, pid));
+  }
+  if (replicas.size() <= 1) {
+    return FailedPreconditionError(
+        StrFormat("refusing to remove the last replica of partition %d", pid));
+  }
+  // Erasing the front entry implicitly promotes the next replica in set
+  // order — the one that has been receiving the primary's stream longest.
+  replicas.erase(it);
+  return Status::Ok();
 }
 
 void Rebalancer::StreamNext(PartitionId pid, NodeId from, NodeId to, std::string cursor,
-                            std::function<void(Status)> done) {
+                            bool remove_source, std::function<void(Status)> done) {
   const PartitionInfo* partition = cluster_->partitions()->Get(pid);
   StorageNode* source = cluster_->GetNode(from);
   StorageNode* target = cluster_->GetNode(to);
@@ -56,7 +106,7 @@ void Rebalancer::StreamNext(PartitionId pid, NodeId from, NodeId to, std::string
   std::vector<Record> batch =
       source->engine()->ScanRaw(cursor, partition->end, config_.batch_records);
   if (batch.empty()) {
-    FinishMove(pid, from, to, std::move(done));
+    FinishMove(pid, from, to, remove_source, std::move(done));
     return;
   }
   int64_t bytes = 0;
@@ -70,7 +120,7 @@ void Rebalancer::StreamNext(PartitionId pid, NodeId from, NodeId to, std::string
   records_streamed_ += static_cast<int64_t>(batch.size());
   bool more = batch.size() == config_.batch_records;
   loop_->ScheduleAfter(transfer, [this, pid, from, to, target, batch = std::move(batch),
-                                  next_cursor = std::move(next_cursor), more,
+                                  next_cursor = std::move(next_cursor), more, remove_source,
                                   done = std::move(done)]() mutable {
     for (const Record& r : batch) {
       WalRecord record;
@@ -81,14 +131,14 @@ void Rebalancer::StreamNext(PartitionId pid, NodeId from, NodeId to, std::string
       (void)target->engine()->Apply(record);  // version rule reconciles races
     }
     if (more) {
-      StreamNext(pid, from, to, std::move(next_cursor), std::move(done));
+      StreamNext(pid, from, to, std::move(next_cursor), remove_source, std::move(done));
     } else {
-      FinishMove(pid, from, to, std::move(done));
+      FinishMove(pid, from, to, remove_source, std::move(done));
     }
   });
 }
 
-void Rebalancer::FinishMove(PartitionId pid, NodeId from, NodeId to,
+void Rebalancer::FinishMove(PartitionId pid, NodeId from, NodeId to, bool remove_source,
                             std::function<void(Status)> done) {
   PartitionInfo* partition = cluster_->partitions()->GetMutable(pid);
   if (partition == nullptr) {
@@ -96,16 +146,20 @@ void Rebalancer::FinishMove(PartitionId pid, NodeId from, NodeId to,
     done(UnavailableError("partition vanished mid-move"));
     return;
   }
-  bool was_primary = partition->primary() == from;
-  auto& replicas = partition->replicas;
-  replicas.erase(std::remove(replicas.begin(), replicas.end(), from), replicas.end());
-  if (was_primary) {
-    // Promote the freshly-copied node to primary: move it to the front.
-    auto it = std::find(replicas.begin(), replicas.end(), to);
-    if (it != replicas.end()) std::rotate(replicas.begin(), it, it + 1);
+  if (remove_source) {
+    bool was_primary = partition->primary() == from;
+    auto& replicas = partition->replicas;
+    replicas.erase(std::remove(replicas.begin(), replicas.end(), from), replicas.end());
+    if (was_primary) {
+      // Promote the freshly-copied node to primary: move it to the front.
+      auto it = std::find(replicas.begin(), replicas.end(), to);
+      if (it != replicas.end()) std::rotate(replicas.begin(), it, it + 1);
+    }
+    ++moves_completed_;
+  } else {
+    ++copies_completed_;
   }
   moving_.erase(pid);
-  ++moves_completed_;
   done(Status::Ok());
 }
 

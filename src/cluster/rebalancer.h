@@ -55,6 +55,19 @@ class Rebalancer {
   /// in progress).
   void MoveReplica(PartitionId pid, NodeId from, NodeId to, std::function<void(Status)> done);
 
+  /// Re-replication: copies `pid` onto `to`, streaming from the live
+  /// replica `from`, which KEEPS its copy — this restores a lost replica
+  /// rather than moving one. Same protocol as MoveReplica minus the final
+  /// source removal; `done` fires when `to` holds the snapshot and is a
+  /// full member of the replica set.
+  void CopyReplica(PartitionId pid, NodeId from, NodeId to, std::function<void(Status)> done);
+
+  /// Drops `node` from `pid`'s replica set immediately (no data movement —
+  /// the replica is presumed lost). Refuses to remove the last replica.
+  /// When the removed node led the partition, the next replica in set order
+  /// becomes primary.
+  Status RemoveReplica(PartitionId pid, NodeId node);
+
   /// Moves every replica held by `node` onto `targets`, leaving the node
   /// empty (pre-terminate drain). Each partition goes to the least-loaded
   /// eligible live target by NodeLoad pressure (ties broken by how many
@@ -66,12 +79,14 @@ class Rebalancer {
   bool IsMoving(PartitionId pid) const { return moving_.count(pid) > 0; }
 
   int64_t moves_completed() const { return moves_completed_; }
+  int64_t copies_completed() const { return copies_completed_; }
   int64_t records_streamed() const { return records_streamed_; }
 
  private:
-  void StreamNext(PartitionId pid, NodeId from, NodeId to, std::string cursor,
+  void StreamNext(PartitionId pid, NodeId from, NodeId to, std::string cursor, bool remove_source,
                   std::function<void(Status)> done);
-  void FinishMove(PartitionId pid, NodeId from, NodeId to, std::function<void(Status)> done);
+  void FinishMove(PartitionId pid, NodeId from, NodeId to, bool remove_source,
+                  std::function<void(Status)> done);
 
   EventLoop* loop_;
   SimNetwork* network_;
@@ -79,6 +94,7 @@ class Rebalancer {
   RebalancerConfig config_;
   std::set<PartitionId> moving_;
   int64_t moves_completed_ = 0;
+  int64_t copies_completed_ = 0;
   int64_t records_streamed_ = 0;
 };
 

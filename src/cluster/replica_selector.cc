@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cluster/circuit_breaker.h"
+
 namespace scads {
 
 ReplicaPick ReplicaSelector::ChooseReadReplica(const PartitionInfo& partition,
@@ -45,6 +47,15 @@ std::vector<NodeId> ReplicaSelector::ReadCandidates(const PartitionInfo& partiti
   }
   OrderAlternates(&alternates);
   candidates.insert(candidates.end(), alternates.begin(), alternates.end());
+  // Breaker-aware ordering: candidates the breaker would refuse sink to the
+  // back (stable within each class, preserving the policy's order), so the
+  // first attempt goes to a node that will actually be tried — an open
+  // breaker up front would just burn a skip. With every breaker closed
+  // this is the identity permutation.
+  if (breaker_ != nullptr && candidates.size() > 1) {
+    std::stable_partition(candidates.begin(), candidates.end(),
+                          [this](NodeId id) { return breaker_->Healthy(id); });
+  }
   return candidates;
 }
 

@@ -45,6 +45,8 @@
 
 namespace scads {
 
+class CircuitBreaker;
+
 /// Where point reads go when the request itself does not pin a target.
 enum class ReadTarget {
   kPrimary,        ///< Always the partition primary (freshest).
@@ -113,12 +115,22 @@ class ReplicaSelector {
                                      ReadTarget deployment_target, int read_retries,
                                      ReplicaPick* pick = nullptr);
 
+  /// Attaches the owning Router's circuit breaker. Unpinned candidate lists
+  /// are then ordered healthy-first (stable within each class), so a read
+  /// tries nodes the breaker would admit before nodes it would refuse. The
+  /// policy's own pick/alternate order is preserved within each class;
+  /// with every breaker closed (the healthy fleet) ordering is unchanged.
+  void set_breaker(CircuitBreaker* breaker) { breaker_ = breaker; }
+
  protected:
   /// Hook: reorders the retry alternates (everything after the first
   /// candidate). Default keeps replica-set order; load-aware policies sort
   /// by ascending pressure so a failed first attempt retries on the
   /// least-loaded alternate next.
   virtual void OrderAlternates(std::vector<NodeId>* /*alternates*/) {}
+
+ private:
+  CircuitBreaker* breaker_ = nullptr;
 };
 
 /// Uniformly random replica — the pre-policy Router behavior, kept as the

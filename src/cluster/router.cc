@@ -22,6 +22,7 @@ void RouterWindow::MergeFrom(const RouterWindow& other) {
   deadline_exceeded += other.deadline_exceeded;
   replica_picks += other.replica_picks;
   replica_steers += other.replica_steers;
+  breaker_skips += other.breaker_skips;
   for (const auto& [node, picks] : other.picks_by_node) picks_by_node[node] += picks;
 }
 
@@ -32,7 +33,11 @@ Router::Router(NodeId client_id, EventLoop* loop, SimNetwork* network, ClusterSt
       network_(network),
       cluster_(cluster),
       config_(config),
-      selector_(MakeSelector(config.selector, cluster, seed ^ 0x73656c65ULL)) {}
+      breaker_(std::make_unique<CircuitBreaker>(cluster, loop->clock(), config.breaker,
+                                               seed ^ 0x62726b72ULL)),
+      selector_(MakeSelector(config.selector, cluster, seed ^ 0x73656c65ULL)) {
+  selector_->set_breaker(breaker_.get());
+}
 
 void Router::CountPick(const ReplicaPick& pick) {
   if (!pick.policy) return;
@@ -59,6 +64,21 @@ std::vector<NodeId> Router::ReadCandidates(const PartitionInfo& partition,
 
 NodeId Router::PickAmong(const std::vector<NodeId>& candidates) {
   if (candidates.empty()) return kInvalidNode;
+  // Prefer nodes whose breaker would admit a request right now; when every
+  // candidate is refused there is nothing better to do than pick normally
+  // (the caller's attempt chain still bounds the damage).
+  if (breaker_ != nullptr) {
+    std::vector<NodeId> healthy;
+    healthy.reserve(candidates.size());
+    for (NodeId id : candidates) {
+      if (breaker_->Healthy(id)) healthy.push_back(id);
+    }
+    if (!healthy.empty() && healthy.size() < candidates.size()) {
+      ReplicaPick pick = selector_->Pick(healthy);
+      CountPick(pick);
+      return pick.node;
+    }
+  }
   ReplicaPick pick = selector_->Pick(candidates);
   CountPick(pick);
   return pick.node;
@@ -161,11 +181,22 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
                std::move(callback));
     return;
   }
+  // O(1) failover: an open breaker refuses the attempt outright, so this
+  // read moves to the next replica without paying the timeout a dead node
+  // would cost.
+  if (breaker_ != nullptr && !breaker_->TryAcquire(target)) {
+    ++window_.breaker_skips;
+    GetAttempt(key, std::move(candidates), index + 1, start, std::move(options),
+               std::move(callback));
+    return;
+  }
   auto state = std::make_shared<Pending>();
-  auto respond = [this, state, key, start, callback](Result<Record> result, Time as_of) {
+  auto respond = [this, state, key, target, start, callback](Result<Record> result, Time as_of) {
     if (state->done) return;
     state->done = true;
     if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
+    // Any reply — even an error reply — proves the node alive.
+    if (breaker_ != nullptr) breaker_->RecordSuccess(target);
     // NotFound counts as a successful (answered) read.
     bool ok = result.ok() || IsNotFound(result.status());
     FinishRead(start, ok);
@@ -174,11 +205,18 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
   };
   // Each attempt may wait at most the remaining deadline budget; the retry
   // it hands off to then sees an expired budget and sheds.
+  bool budget_bound = false;
+  Duration timeout = ClampedTimeout(options, loop_->Now(), &budget_bound);
   state->timeout_event = loop_->ScheduleAfter(
-      options.ClampTimeout(config_.request_timeout, loop_->Now()),
-      [this, state, key, candidates, index, start, options, callback]() mutable {
+      timeout,
+      [this, state, key, candidates, index, target, budget_bound, start, options,
+       callback]() mutable {
         if (state->done) return;
         state->done = true;
+        // A full attempt timeout is transport-level evidence of death; a
+        // budget-clamped timeout is the deadline running out, which says
+        // nothing about the node.
+        if (breaker_ != nullptr && !budget_bound) breaker_->RecordFailure(target);
         // Try the next replica; the attempt budget is candidates.size().
         GetAttempt(key, std::move(candidates), index + 1, start, std::move(options),
                    std::move(callback));
@@ -376,19 +414,33 @@ void Router::DispatchMultiGet(const std::shared_ptr<MultiGetState>& state,
     return;
   }
   // Group the still-pending fetches by the node that should serve them now.
+  // The breaker verdict is memoized per dispatch: TryAcquire consumes the
+  // half-open probe token, and one dispatch probing a recovering node with
+  // one key per sub-batch is exactly the intended dose.
   std::map<NodeId, std::vector<size_t>> by_node;
+  std::map<NodeId, bool> admitted;
   for (size_t fetch_id : fetch_ids) {
     MultiGetState::Fetch& fetch = state->fetches[fetch_id];
     if (fetch.resolved) continue;
     bool placed = false;
     while (fetch.next_candidate < fetch.candidates.size()) {
       NodeId target = fetch.candidates[fetch.next_candidate];
-      if (cluster_->GetNode(target) != nullptr) {
-        by_node[target].push_back(fetch_id);
-        placed = true;
-        break;
+      if (cluster_->GetNode(target) == nullptr) {
+        ++fetch.next_candidate;  // unregistered node: skip without a timeout
+        continue;
       }
-      ++fetch.next_candidate;  // unregistered node: skip without a timeout
+      if (breaker_ != nullptr) {
+        auto [it, fresh] = admitted.try_emplace(target, false);
+        if (fresh) it->second = breaker_->TryAcquire(target);
+        if (!it->second) {
+          ++window_.breaker_skips;
+          ++fetch.next_candidate;  // open breaker: fail over without a timeout
+          continue;
+        }
+      }
+      by_node[target].push_back(fetch_id);
+      placed = true;
+      break;
     }
     if (!placed) state->Resolve(fetch_id, UnavailableError("all replicas unreachable"));
   }
@@ -454,17 +506,24 @@ void Router::SendMultiGetSubBatch(const std::shared_ptr<MultiGetState>& state, N
       FinishMultiGet(state);
     }
   };
-  auto guarded = [pending, loop = loop_, respond = std::move(respond)](MultiGetReply reply) {
+  auto guarded = [this, pending, target, respond = std::move(respond)](MultiGetReply reply) {
     if (pending->done) return;
     pending->done = true;
-    if (pending->timeout_event != EventLoop::kInvalidEvent) loop->Cancel(pending->timeout_event);
+    if (pending->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(pending->timeout_event);
+    // Any reply proves the node alive.
+    if (breaker_ != nullptr) breaker_->RecordSuccess(target);
     respond(std::move(reply));
   };
+  bool budget_bound = false;
+  Duration timeout = ClampedTimeout(state->options, loop_->Now(), &budget_bound);
   pending->timeout_event = loop_->ScheduleAfter(
-      state->options.ClampTimeout(config_.request_timeout, loop_->Now()),
-      [this, state, group, pending]() {
+      timeout,
+      [this, state, group, target, budget_bound, pending]() {
         if (pending->done) return;
         pending->done = true;
+        // Transport-level evidence only: a budget-clamped timeout is the
+        // deadline running out, not the node's fault.
+        if (breaker_ != nullptr && !budget_bound) breaker_->RecordFailure(target);
         // The node (or the path to it) is unresponsive: move the whole
         // sub-batch to each key's next replica candidate.
         std::vector<size_t> retry;
@@ -631,15 +690,59 @@ void Router::Scan(const std::string& start, const std::string& end, size_t limit
 void Router::SendWrite(const WalRecord& record, AckMode ack, const RequestOptions& options,
                        std::function<void(Status)> callback) {
   Time started = loop_->Now();
-  if (options.Expired(started)) {
-    ShedWrite(started, "write", callback);
+  // Write coalescing: concurrent puts of the same key merge (last-write-
+  // wins) into one primary round trip. Deletes keep their own serve —
+  // merging a put over a delete (or vice versa) would reorder intent.
+  if (write_coalescer_ != nullptr && write_coalescer_->enabled() && options.allow_coalesce &&
+      record.type == WalRecord::Type::kPut && !options.Expired(started)) {
+    WriteCoalescer::PendingWrite write;
+    write.router = this;
+    write.record = record;
+    write.ack = ack;
+    write.options = options;
+    write.start = started;
+    write.callback = std::move(callback);
+    write_coalescer_->Submit(std::move(write));
+    return;
+  }
+  SendWriteImpl(record, ack, options, started, /*account=*/true, std::move(callback));
+}
+
+void Router::DispatchCoalescedWrite(const WalRecord& record, AckMode ack,
+                                    const RequestOptions& options,
+                                    std::function<void(Status)> callback) {
+  SendWriteImpl(record, ack, options, loop_->Now(), /*account=*/false, std::move(callback));
+}
+
+void Router::FinishCoalescedWrite(Time start, const Status& status, const WalRecord& winner) {
+  FinishWrite(start, status.ok());
+  if (!status.ok() && IsDeadlineExceeded(status)) ++window_.deadline_exceeded;
+  // Cache coherence with the *winning* record: it is what the primary
+  // stored, and its version is >= every member's own stamp.
+  if (cache_ != nullptr && status.ok()) {
+    if (winner.type == WalRecord::Type::kPut) {
+      cache_->OnPut(winner.key, winner.value, winner.version, loop_->Now());
+    } else {
+      cache_->OnDelete(winner.key, winner.version, loop_->Now());
+    }
+  }
+}
+
+void Router::SendWriteImpl(const WalRecord& record, AckMode ack, const RequestOptions& options,
+                           Time started, bool account, std::function<void(Status)> callback) {
+  if (options.Expired(loop_->Now())) {
+    if (account) {
+      ShedWrite(started, "write", callback);
+    } else {
+      callback(TimeoutStatus(/*budget_bound=*/true, "write"));
+    }
     return;
   }
   const PartitionInfo& partition = cluster_->partitions()->ForKey(record.key);
   NodeId target = partition.primary();
   StorageNode* node = cluster_->GetNode(target);
   if (node == nullptr) {
-    FinishWrite(started, false);
+    if (account) FinishWrite(started, false);
     callback(UnavailableError("primary not registered"));
     return;
   }
@@ -647,20 +750,22 @@ void Router::SendWrite(const WalRecord& record, AckMode ack, const RequestOption
   // Shared, not copied per closure: the record's value payload would
   // otherwise ride in both the respond and timeout lambdas.
   auto acked = std::make_shared<WalRecord>(record);
-  auto respond = [this, state, started, acked, callback](Status status) {
+  auto respond = [this, state, started, account, acked, callback](Status status) {
     if (state->done) return;
     state->done = true;
     if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
-    FinishWrite(started, status.ok());
-    if (!status.ok() && IsDeadlineExceeded(status)) ++window_.deadline_exceeded;
-    // Synchronous cache coherence: the entry is refreshed/invalidated
-    // before the client learns the write committed, so no later read
-    // through this router can see the predecessor value from cache.
-    if (cache_ != nullptr && status.ok()) {
-      if (acked->type == WalRecord::Type::kPut) {
-        cache_->OnPut(acked->key, acked->value, acked->version, loop_->Now());
-      } else {
-        cache_->OnDelete(acked->key, acked->version, loop_->Now());
+    if (account) {
+      FinishWrite(started, status.ok());
+      if (!status.ok() && IsDeadlineExceeded(status)) ++window_.deadline_exceeded;
+      // Synchronous cache coherence: the entry is refreshed/invalidated
+      // before the client learns the write committed, so no later read
+      // through this router can see the predecessor value from cache.
+      if (cache_ != nullptr && status.ok()) {
+        if (acked->type == WalRecord::Type::kPut) {
+          cache_->OnPut(acked->key, acked->value, acked->version, loop_->Now());
+        } else {
+          cache_->OnDelete(acked->key, acked->version, loop_->Now());
+        }
       }
     }
     callback(std::move(status));

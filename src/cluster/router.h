@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cluster/circuit_breaker.h"
 #include "cluster/cluster_state.h"
 #include "cluster/node.h"
 #include "cluster/replica_selector.h"
@@ -27,6 +28,7 @@ namespace scads {
 
 class CacheDirectory;
 class ReadCoalescer;
+class WriteCoalescer;
 
 /// Load-adaptive sub-batch sizing (MultiGet/MultiWrite). A node's sub-batch
 /// is capped by a size derived from its exported load signal: idle nodes
@@ -62,6 +64,10 @@ struct RouterConfig {
   /// Read-routing policy (cluster/replica_selector.h). Default: power-of-
   /// two-choices against the per-node load signal.
   SelectorConfig selector;
+  /// Per-node circuit breaker (cluster/circuit_breaker.h). With defaults, a
+  /// healthy fleet behaves byte-identically: every breaker stays closed and
+  /// neither ordering nor dispatch changes.
+  CircuitBreakerConfig breaker;
 };
 
 /// Cumulative, resettable request statistics for one Router.
@@ -82,6 +88,10 @@ struct RouterWindow {
   /// Picks where load steered the policy away from its first sample (p2c
   /// diverting around a loaded replica; always 0 for uniform).
   int64_t replica_steers = 0;
+  /// Read attempts / sub-batch candidates skipped in O(1) because the
+  /// target's circuit breaker was open — failovers that did NOT pay a
+  /// request timeout.
+  int64_t breaker_skips = 0;
   /// Per-replica policy pick counts — the skew diagnostic: a node drawing
   /// far fewer picks than its partition share is being steered around.
   std::map<NodeId, int64_t> picks_by_node;
@@ -116,13 +126,25 @@ class Router {
   void set_coalescer(ReadCoalescer* coalescer) { coalescer_ = coalescer; }
   ReadCoalescer* coalescer() { return coalescer_; }
 
+  /// Attaches the cross-router write coalescer (may be shared by several
+  /// Routers). Coalesce-eligible puts then hold for its merge window and
+  /// ship as one last-write-wins record; see cluster/coalescer.h.
+  void set_write_coalescer(WriteCoalescer* coalescer) { write_coalescer_ = coalescer; }
+  WriteCoalescer* write_coalescer() { return write_coalescer_; }
+
   /// Swaps in a custom read-routing policy (zone-aware, deadline-aware,
   /// ...). The Router builds the configured default (RouterConfig::
   /// selector) at construction; dispatch code never changes per policy.
   void set_selector(std::unique_ptr<ReplicaSelector> selector) {
-    if (selector != nullptr) selector_ = std::move(selector);
+    if (selector != nullptr) {
+      selector_ = std::move(selector);
+      selector_->set_breaker(breaker_.get());
+    }
   }
   ReplicaSelector* selector() { return selector_.get(); }
+
+  /// The per-node circuit breaker guarding this router's read path.
+  CircuitBreaker* breaker() { return breaker_.get(); }
 
   /// Picks one node among `candidates` (non-empty) with the read-routing
   /// policy, counting the pick in the window. The consistency layer uses
@@ -290,6 +312,21 @@ class Router {
   void RedispatchCoalesced(const std::string& key, RequestOptions options, Time start,
                            NodeId exclude, std::function<void(Result<Record>)> callback);
 
+  // --- WriteCoalescer plumbing -------------------------------------------
+
+  /// Ships one merged (last-write-wins) record on behalf of a write-
+  /// coalescing group. No window accounting and no cache update happen here
+  /// — each member settles its own via FinishCoalescedWrite, so the merged
+  /// write still shows up once per member in telemetry.
+  void DispatchCoalescedWrite(const WalRecord& record, AckMode ack,
+                              const RequestOptions& options, std::function<void(Status)> callback);
+
+  /// Completes one member of a coalesced write: window accounting with the
+  /// member's original start time, plus a cache refresh with the *winning*
+  /// record (the value actually stored — refreshing with the member's own
+  /// superseded record could roll the cache backwards).
+  void FinishCoalescedWrite(Time start, const Status& status, const WalRecord& winner);
+
   /// Statistics since the last TakeWindow call.
   RouterWindow TakeWindow();
   const RouterWindow& window() const { return window_; }
@@ -358,6 +395,11 @@ class Router {
   void CountPick(const ReplicaPick& pick);
   void SendWrite(const WalRecord& record, AckMode ack, const RequestOptions& options,
                  std::function<void(Status)> callback);
+  /// The actual write dispatch. `account` gates window accounting and the
+  /// synchronous cache refresh — false for coalesced dispatches, whose
+  /// members settle both through FinishCoalescedWrite.
+  void SendWriteImpl(const WalRecord& record, AckMode ack, const RequestOptions& options,
+                     Time started, bool account, std::function<void(Status)> callback);
 
   /// Caches `result` if it is a live record. `as_of` is the serving node's
   /// replication watermark snapshotted when it served the read.
@@ -371,6 +413,8 @@ class Router {
   RouterWindow window_;
   CacheDirectory* cache_ = nullptr;
   ReadCoalescer* coalescer_ = nullptr;
+  WriteCoalescer* write_coalescer_ = nullptr;
+  std::unique_ptr<CircuitBreaker> breaker_;
   std::unique_ptr<ReplicaSelector> selector_;
 };
 

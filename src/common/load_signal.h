@@ -30,6 +30,11 @@ struct NodeLoadSignal {
   /// Pending asynchronous engine IO debt, microseconds (a paged engine's
   /// dirty pages awaiting write-back). Zero for RAM-only engines.
   Duration io_backlog = 0;
+  /// Failure-detector suspicion: 0 = heartbeats fresh, >= 1.0 = silent
+  /// past the timeout multiple (presumed dead). Attached by
+  /// ClusterState::NodeLoad; liveness, not load — deliberately NOT folded
+  /// into Pressure() (the breaker and selector consult it directly).
+  double suspicion = 0;
 
   /// Collapses the signal into a scalar pressure in [0, 1]: the worst of
   /// the normalized backlog (backlog_ref ≙ 1.0), the normalized smoothed

@@ -64,6 +64,8 @@ Result<std::unique_ptr<Scads>> Scads::Create(ScadsOptions options) {
   }
   scads->coalescer_ = std::make_unique<ReadCoalescer>(&scads->loop_, &scads->network_,
                                                       &scads->cluster_, coalescer_config);
+  scads->write_coalescer_ =
+      std::make_unique<WriteCoalescer>(&scads->loop_, options.write_coalescer_config);
   // Paged storage is a per-node engine choice; the deployment-level config
   // simply fans out to every node built from node_config.
   if (options.paged_storage_config.enabled) {
@@ -74,6 +76,7 @@ Result<std::unique_ptr<Scads>> Scads::Create(ScadsOptions options) {
                                             options.seed ^ 0x726f7574ULL);
   scads->router_->set_cache(scads->cache_.get());
   scads->router_->set_coalescer(scads->coalescer_.get());
+  scads->router_->set_write_coalescer(scads->write_coalescer_.get());
   scads->rebalancer_ =
       std::make_unique<Rebalancer>(&scads->loop_, &scads->network_, &scads->cluster_);
   scads->write_policy_ = std::make_unique<WritePolicy>(scads->router_.get(), spec.writes,
@@ -164,22 +167,30 @@ Status Scads::Start() {
   if (!map.ok()) return map.status();
   cluster_.set_partitions(std::move(map).value());
 
-  // Failure wiring: node outages mark cluster state.
-  failures_.set_node_down_callback([this](NodeId id) {
-    cluster_.SetNodeAlive(id, false);
-    StorageNode* node = cluster_.GetNode(id);
-    if (node != nullptr) node->set_alive(false);
-  });
-  failures_.set_node_up_callback([this](NodeId id) {
-    cluster_.SetNodeAlive(id, true);
-    StorageNode* node = cluster_.GetNode(id);
-    if (node != nullptr) node->set_alive(true);
-  });
+  // Failure wiring: SetNodeAlive is the ONE down/up path — it flips the
+  // node object's own message-processing switch and (on revive) kicks the
+  // delta-sync catch-up, so the registry and the node can never diverge.
+  failures_.set_node_down_callback([this](NodeId id) { cluster_.SetNodeAlive(id, false); });
+  failures_.set_node_up_callback([this](NodeId id) { cluster_.SetNodeAlive(id, true); });
+
+  // Measured liveness: arm the heartbeat failure detector, floored at the
+  // watermark-heartbeat period the nodes actually beacon at.
+  if (options_.enable_failure_detection) {
+    SuspicionConfig suspicion;
+    suspicion.min_interval =
+        std::max(suspicion.min_interval, options_.node_config.watermark_heartbeat);
+    cluster_.EnableFailureDetection(loop_.clock(), suspicion);
+  }
 
   if (options_.enable_director) {
     DirectorConfig config = options_.director_config;
     config.min_nodes = std::max(config.min_nodes, durability_plan_.replication_factor);
     config.sla = spec_.performance;
+    // Self-healing: repair must land inside the window the durability SLA
+    // was planned around, so the model's loss probability stays honest.
+    if (config.re_replication_time == 0) {
+      config.re_replication_time = options_.failure_model.re_replication_time;
+    }
     director_ = std::make_unique<Director>(&loop_, &cloud_, &cluster_, rebalancer_.get(),
                                            std::vector<Router*>{router_.get()}, config,
                                            [this](NodeId id) { return MakeNode(id); });

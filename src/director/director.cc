@@ -251,6 +251,8 @@ void Director::ControlTick() {
     surplus_windows_ = 0;
   }
 
+  MaybeRepairReplicas();
+
   DirectorSnapshot snapshot;
   snapshot.at = now;
   snapshot.observed_rate = observed_rate;
@@ -263,6 +265,10 @@ void Director::ControlTick() {
   snapshot.sla_ok = report.ok();
   snapshot.replica_picks = window.replica_picks;
   snapshot.replica_steers = window.replica_steers;
+  snapshot.suspected_nodes = cluster_->SuspectedCount();
+  snapshot.under_replicated_partitions = CountUnderReplicated();
+  snapshot.repairs_completed = repairs_completed_;
+  snapshot.last_restore_time = last_restore_time_;
 
   // Node-side overload: per-priority admission sheds this window and the
   // worst queue backlog right now. Deltas are tracked per node so fleet
@@ -315,6 +321,122 @@ void Director::ControlTick() {
   history_.push_back(snapshot);
 
   MaybeSplitHotKeys();
+}
+
+int Director::CountUnderReplicated() const {
+  int under = 0;
+  for (const PartitionInfo& partition : cluster_->partitions()->partitions()) {
+    for (NodeId replica : partition.replicas) {
+      if (!cluster_->IsAlive(replica)) {
+        ++under;
+        break;
+      }
+    }
+  }
+  return under;
+}
+
+void Director::MaybeRepairReplicas() {
+  if (config_.re_replication_time <= 0) return;
+  Time now = loop_->Now();
+  // Track how long each registered node has been continuously dead —
+  // administratively down or declared dead by the failure detector. A node
+  // that comes back (reboot + delta-sync) clears its clock; only sustained
+  // absence triggers re-replication.
+  for (NodeId id : cluster_->AllNodes()) {
+    if (cluster_->IsAlive(id)) {
+      down_since_.erase(id);
+    } else {
+      down_since_.emplace(id, now);
+    }
+  }
+  for (auto it = down_since_.begin(); it != down_since_.end();) {
+    it = cluster_->GetNode(it->first) == nullptr ? down_since_.erase(it) : std::next(it);
+  }
+  const Duration declare_lost = static_cast<Duration>(
+      config_.repair_after_fraction * static_cast<double>(config_.re_replication_time));
+  for (const auto& [dead, since] : down_since_) {
+    if (now - since < declare_lost) continue;
+    // Re-replicate every partition that still counts the lost node as a
+    // replica. Iteration is over the stable partition vector; repairs only
+    // mutate the inner replica sets.
+    for (const PartitionInfo& partition : cluster_->partitions()->partitions()) {
+      PartitionId pid = partition.id;
+      const auto& replicas = partition.replicas;
+      if (std::find(replicas.begin(), replicas.end(), dead) == replicas.end()) continue;
+      if (repairing_.count(pid) > 0 || rebalancer_->IsMoving(pid)) continue;
+      if (replicas.size() <= 1) {
+        // Nothing to copy from — the data is gone unless the node returns.
+        LogEvent("repair_blocked",
+                 StrFormat("partition %d lost its only replica (node %d)", pid,
+                           static_cast<int>(dead)));
+        continue;
+      }
+      // Drop the lost replica first: when it led the partition, the
+      // longest-streaming secondary is promoted and becomes the copy source.
+      Status removed = rebalancer_->RemoveReplica(pid, dead);
+      if (!removed.ok()) continue;
+      const PartitionInfo* current = cluster_->partitions()->Get(pid);
+      if (current == nullptr) continue;
+      NodeId source = kInvalidNode;
+      for (NodeId candidate : current->replicas) {
+        if (cluster_->IsAlive(candidate)) {
+          source = candidate;
+          break;
+        }
+      }
+      if (source == kInvalidNode) {
+        LogEvent("repair_blocked",
+                 StrFormat("partition %d has no live replica to copy from", pid));
+        continue;
+      }
+      // Restore target: the least-loaded live node that is not already a
+      // replica and not being drained — the same pressure vocabulary the
+      // drain path uses, so repair never piles onto a node in trouble.
+      NodeId target = kInvalidNode;
+      double best_pressure = 0;
+      for (NodeId candidate : cluster_->AliveNodes()) {
+        if (draining_.count(candidate) > 0) continue;
+        if (std::find(current->replicas.begin(), current->replicas.end(), candidate) !=
+            current->replicas.end()) {
+          continue;
+        }
+        double pressure =
+            cluster_->NodeLoad(candidate).Pressure(200 * kMillisecond, 20 * kMillisecond);
+        if (target == kInvalidNode || pressure < best_pressure) {
+          target = candidate;
+          best_pressure = pressure;
+        }
+      }
+      if (target == kInvalidNode) {
+        LogEvent("repair_blocked",
+                 StrFormat("partition %d: no eligible node to restore onto", pid));
+        continue;
+      }
+      repairing_.insert(pid);
+      ++repairs_started_;
+      Time failed_at = since;
+      LogEvent("repair",
+               StrFormat("partition %d: node %d lost, copying %d -> %d", pid,
+                         static_cast<int>(dead), static_cast<int>(source),
+                         static_cast<int>(target)));
+      rebalancer_->CopyReplica(
+          pid, source, target, [this, pid, failed_at, target](Status status) {
+            repairing_.erase(pid);
+            if (status.ok()) {
+              ++repairs_completed_;
+              last_restore_time_ = loop_->Now() - failed_at;
+              LogEvent("repair_done",
+                       StrFormat("partition %d restored onto node %d in %lld us", pid,
+                                 static_cast<int>(target),
+                                 static_cast<long long>(last_restore_time_)));
+            } else {
+              LogEvent("repair_failed", StrFormat("partition %d: ", pid) +
+                                            std::string(status.message()));
+            }
+          });
+    }
+  }
 }
 
 void Director::MaybeSplitHotKeys() {

@@ -68,6 +68,19 @@ struct DirectorConfig {
   bool hot_key_splits = false;
   double hot_key_split_fraction = 0.2;
   int64_t hot_key_min_hits = 100;
+  /// Self-healing: when a replica's node stays dead (administratively or by
+  /// the failure detector) past repair_after_fraction of
+  /// re_replication_time, the Director drops it from the replica set
+  /// (promoting a live secondary when the primary died) and copies the
+  /// partition from a surviving replica onto the least-loaded live node.
+  /// re_replication_time is the durability model's assumed restore window
+  /// (PlanDurability input) — the repair must land inside it for the
+  /// modelled data-loss probability to hold. Zero disables repair.
+  Duration re_replication_time = 0;
+  /// Fraction of re_replication_time to wait before declaring the replica
+  /// lost (the rest is budget for the copy itself). Waiting distinguishes a
+  /// reboot — which catches up by delta-sync on its own — from a loss.
+  double repair_after_fraction = 0.25;
   PerformanceSla sla;
 };
 
@@ -107,6 +120,17 @@ struct DirectorSnapshot {
   int64_t engine_resident_bytes = 0;
   int64_t page_faults = 0;
   int64_t pages_written_back = 0;
+  /// Self-healing telemetry: registered nodes the failure detector currently
+  /// suspects, partitions with at least one dead replica at the tick,
+  /// cumulative completed re-replications, and the wall time from the last
+  /// repaired node's failure to its replacement replica being fully
+  /// restored (0 until a repair completes). The restore time is the
+  /// *measured* counterpart of the durability model's assumed
+  /// re_replication_time.
+  int suspected_nodes = 0;
+  int under_replicated_partitions = 0;
+  int64_t repairs_completed = 0;
+  Duration last_restore_time = 0;
 };
 
 /// Free-form action log entry ("scale_up 12", "drain node 40", ...).
@@ -153,9 +177,14 @@ class Director {
 
   int64_t scale_ups() const { return scale_ups_; }
   int64_t scale_downs() const { return scale_downs_; }
+  int64_t repairs_started() const { return repairs_started_; }
+  int64_t repairs_completed() const { return repairs_completed_; }
+  Duration last_restore_time() const { return last_restore_time_; }
 
  private:
   void ControlTick();
+  void MaybeRepairReplicas();
+  int CountUnderReplicated() const;
   void MaybeSplitHotKeys();
   void OnInstanceReady(NodeId id);
   void RebalanceOnto(NodeId new_node);
@@ -197,6 +226,15 @@ class Director {
   // Per-node (page_faults, pages_written_back) totals at the last tick,
   // churn-protected the same way.
   std::map<NodeId, std::array<int64_t, 2>> last_node_paging_;
+  // Self-healing state: when each currently-dead node was first seen dead
+  // (erased the tick it comes back — a bounce restarts the clock), and the
+  // partitions with a repair copy in flight (so one loss isn't repaired
+  // twice across ticks while its stream runs).
+  std::map<NodeId, Time> down_since_;
+  std::set<PartitionId> repairing_;
+  int64_t repairs_started_ = 0;
+  int64_t repairs_completed_ = 0;
+  Duration last_restore_time_ = 0;
 };
 
 }  // namespace scads

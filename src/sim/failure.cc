@@ -7,16 +7,43 @@ namespace scads {
 FailureInjector::FailureInjector(EventLoop* loop, SimNetwork* network, uint64_t seed)
     : loop_(loop), network_(network), rng_(seed) {}
 
+void FailureInjector::TakeDown(NodeId node) {
+  ++outages_;
+  network_->SetPartitionGroup(node, next_down_group_--);
+  if (node_down_) node_down_(node);
+}
+
+void FailureInjector::BringUp(NodeId node) {
+  network_->SetPartitionGroup(node, 0);
+  if (node_up_) node_up_(node);
+}
+
 void FailureInjector::ScheduleNodeOutage(NodeId node, Time start, Duration down_for) {
   loop_->ScheduleAt(start, [this, node, down_for] {
-    ++outages_;
-    int group = next_down_group_--;
-    network_->SetPartitionGroup(node, group);
-    if (node_down_) node_down_(node);
-    loop_->ScheduleAfter(down_for, [this, node] {
-      network_->SetPartitionGroup(node, 0);
-      if (node_up_) node_up_(node);
+    TakeDown(node);
+    loop_->ScheduleAfter(down_for, [this, node] { BringUp(node); });
+  });
+}
+
+void FailureInjector::ScheduleGrayNode(NodeId node, Time start, Duration length,
+                                       double delay_multiplier, double loss) {
+  loop_->ScheduleAt(start, [this, node, length, delay_multiplier, loss] {
+    ++gray_;
+    network_->SetDelayMultiplier(node, delay_multiplier);
+    network_->SetNodeLoss(node, loss);
+    loop_->ScheduleAfter(length, [this, node] {
+      network_->SetDelayMultiplier(node, 1.0);
+      network_->SetNodeLoss(node, 0.0);
     });
+  });
+}
+
+void FailureInjector::ScheduleLossyLink(NodeId from, NodeId to, Time start, Duration length,
+                                        double loss) {
+  loop_->ScheduleAt(start, [this, from, to, length, loss] {
+    ++gray_;
+    network_->SetLinkLoss(from, to, loss);
+    loop_->ScheduleAfter(length, [this, from, to] { network_->SetLinkLoss(from, to, 0.0); });
   });
 }
 
@@ -54,13 +81,9 @@ void FailureInjector::ArmNextRandomOutage(NodeId node) {
   loop_->ScheduleAfter(until_failure, [this, node, down_for] {
     auto entry = random_outages_.find(node);
     if (entry == random_outages_.end() || !entry->second.enabled) return;
-    ++outages_;
-    int group = next_down_group_--;
-    network_->SetPartitionGroup(node, group);
-    if (node_down_) node_down_(node);
+    TakeDown(node);
     loop_->ScheduleAfter(down_for, [this, node] {
-      network_->SetPartitionGroup(node, 0);
-      if (node_up_) node_up_(node);
+      BringUp(node);
       ArmNextRandomOutage(node);
     });
   });

@@ -29,6 +29,25 @@ class FailureInjector {
   /// is down is also disconnected (moved to a throwaway partition group).
   void ScheduleNodeOutage(NodeId node, Time start, Duration down_for);
 
+  /// THE down/up path: every crash (scheduled, random, or test-driven) goes
+  /// through these, so network disconnection and the cluster callback can
+  /// never diverge. TakeDown isolates the node in its own partition group
+  /// and fires node_down; BringUp reconnects it and fires node_up.
+  void TakeDown(NodeId node);
+  void BringUp(NodeId node);
+
+  /// Gray node: from `start` for `length`, messages to/from `node` take
+  /// `delay_multiplier` times the normal latency and are dropped with
+  /// probability `loss`. The node never goes down — this is the fail-slow
+  /// mode that oracle liveness cannot see.
+  void ScheduleGrayNode(NodeId node, Time start, Duration length, double delay_multiplier,
+                        double loss);
+
+  /// Lossy directed link: from `start` for `length`, messages `from`->`to`
+  /// are dropped with probability `loss` (the reverse direction is
+  /// untouched — asymmetric gray links are the nastier case).
+  void ScheduleLossyLink(NodeId from, NodeId to, Time start, Duration length, double loss);
+
   /// Splits the network into {side_a} vs {side_b} from `start` for `length`;
   /// heals afterwards (restores all listed nodes to group 0).
   void SchedulePartition(std::vector<NodeId> side_a, std::vector<NodeId> side_b, Time start,
@@ -45,6 +64,7 @@ class FailureInjector {
 
   int64_t outages_injected() const { return outages_; }
   int64_t partitions_injected() const { return partitions_; }
+  int64_t gray_failures_injected() const { return gray_; }
 
  private:
   void ArmNextRandomOutage(NodeId node);
@@ -63,6 +83,7 @@ class FailureInjector {
   std::unordered_map<NodeId, OutageParams> random_outages_;
   int64_t outages_ = 0;
   int64_t partitions_ = 0;
+  int64_t gray_ = 0;
   // Partition group ids for "down" nodes are unique negatives so two downed
   // nodes can never talk to each other either.
   int next_down_group_ = -2;

@@ -62,6 +62,29 @@ class SimNetwork {
   /// Removes all partitions (every node back in group 0).
   void Heal();
 
+  // --- Gray-failure primitives -------------------------------------------
+  //
+  // Fail-slow and fail-partial modes: the node/link still works, just
+  // badly. These compose with partitions and global loss; a suspicion
+  // detector or circuit breaker has to earn its keep against these, not
+  // just against clean crashes.
+
+  /// Messages to or from `node` take `multiplier` times the sampled latency
+  /// (the larger endpoint multiplier wins; loopback is unaffected).
+  /// 1.0 (the default) restores normal speed.
+  void SetDelayMultiplier(NodeId node, double multiplier);
+
+  /// Messages to or from `node` are additionally dropped with this
+  /// probability. 0 restores normal delivery.
+  void SetNodeLoss(NodeId node, double probability);
+
+  /// Messages on the directed link `from` -> `to` are additionally dropped
+  /// with this probability. 0 restores the link.
+  void SetLinkLoss(NodeId from, NodeId to, double probability);
+
+  /// Clears every gray-failure override (multipliers and loss rates).
+  void ClearGrayFailures();
+
   /// True when a->b messages can currently flow.
   bool Connected(NodeId a, NodeId b) const;
 
@@ -85,11 +108,17 @@ class SimNetwork {
 
  private:
   int GroupOf(NodeId node) const;
+  /// The strongest gray drop probability applying to this message (node
+  /// overrides on either endpoint, plus the directed link's).
+  double GrayLoss(NodeId from, NodeId to) const;
 
   EventLoop* loop_;
   Rng rng_;
   NetworkConfig config_;
   std::unordered_map<NodeId, int> partition_group_;
+  std::unordered_map<NodeId, double> delay_multiplier_;
+  std::unordered_map<NodeId, double> node_loss_;
+  std::unordered_map<int64_t, double> link_loss_;  // (from<<32)|to -> probability
   std::unordered_map<NodeId, int64_t> sent_to_;
   int64_t sent_ = 0;
   int64_t delivered_ = 0;

@@ -528,6 +528,11 @@ TEST(ScadsOptionsTest, PerRequestStalenessGovernsReplicaChoiceOnCacheMiss) {
   ScadsOptions options;
   options.initial_nodes = 3;
   options.consistency_spec = "staleness: 10s\n";
+  // Oracle liveness: this test freezes the secondaries' heartbeats to
+  // manufacture watermark lag, and needs the lagging secondary to stay an
+  // eligible read target — with the failure detector armed, 3s of silence
+  // would mark it dead and steer the read before staleness ever decides.
+  options.enable_failure_detection = false;
   auto created = Scads::Create(options);
   ASSERT_TRUE(created.ok());
   std::unique_ptr<Scads> db = std::move(created).value();

@@ -1,5 +1,6 @@
 // Unit tests for src/sim: event loop, network, cloud, failure injection.
 
+#include <algorithm>
 #include <vector>
 
 #include "common/types.h"
@@ -381,6 +382,91 @@ TEST(FailureTest, PartitionSplitsAndHeals) {
   loop.RunUntil(400);
   EXPECT_TRUE(net.Connected(0, 2));
   EXPECT_EQ(failures.partitions_injected(), 1);
+}
+
+TEST(FailureTest, PartitionFormingMidFlightDropsInFlightMessages) {
+  // A message already on the wire when the partition forms must be lost —
+  // connectivity is checked at delivery time, not just at send time.
+  EventLoop loop;
+  NetworkConfig config;
+  config.base_latency = 10 * kMillisecond;
+  SimNetwork net(&loop, 1, config);
+  bool delivered = false;
+  net.Send(1, 2, 10, [&] { delivered = true; });
+  int64_t dropped_before = net.dropped_count();
+  net.SetPartitionGroup(2, 5);  // forms while the message is in flight
+  loop.RunFor(kSecond);
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.dropped_count(), dropped_before + 1);
+
+  // Heal and resend: the same edge delivers again.
+  net.Heal();
+  net.Send(1, 2, 10, [&] { delivered = true; });
+  loop.RunFor(kSecond);
+  EXPECT_TRUE(delivered);
+}
+
+TEST(FailureTest, GrayNodeDelaysAndDropsWithoutDisconnecting) {
+  EventLoop loop;
+  NetworkConfig config;
+  config.base_latency = kMillisecond;
+  config.jitter_mean = 0;  // deterministic latency so the multiplier shows
+  SimNetwork net(&loop, 1, config);
+  FailureInjector failures(&loop, &net, 2);
+  failures.ScheduleGrayNode(2, /*start=*/0, /*length=*/kMinute,
+                            /*delay_multiplier=*/10.0, /*loss=*/0.0);
+  loop.RunFor(kMillisecond);  // gray window armed
+  EXPECT_TRUE(net.Connected(1, 2)) << "gray is fail-slow, not fail-stop";
+  Time sent_at = loop.Now();
+  Time got_at = 0;
+  net.Send(1, 2, 10, [&] { got_at = loop.Now(); });
+  loop.RunFor(kSecond);
+  ASSERT_GT(got_at, 0);
+  EXPECT_GE(got_at - sent_at, 10 * kMillisecond) << "delay multiplier not applied";
+  EXPECT_EQ(failures.gray_failures_injected(), 1);
+
+  // Total loss on a directed link: forward drops, reverse still delivers.
+  failures.ScheduleLossyLink(3, 4, loop.Now(), kMinute, /*loss=*/1.0);
+  loop.RunFor(kMillisecond);
+  bool forward = false, reverse = false;
+  net.Send(3, 4, 10, [&] { forward = true; });
+  net.Send(4, 3, 10, [&] { reverse = true; });
+  loop.RunFor(kSecond);
+  EXPECT_FALSE(forward);
+  EXPECT_TRUE(reverse) << "link loss must be directed, not symmetric";
+}
+
+TEST(FailureTest, RandomOutageEmpiricalMeansMatchConfiguredDistribution) {
+  EventLoop loop;
+  SimNetwork net(&loop, 1);
+  FailureInjector failures(&loop, &net, 11);
+  std::vector<Time> downs, ups;
+  failures.set_node_down_callback([&](NodeId) { downs.push_back(loop.Now()); });
+  failures.set_node_up_callback([&](NodeId) { ups.push_back(loop.Now()); });
+  const Duration mtbf = kMinute;
+  const Duration mttr = 5 * kSecond;
+  failures.EnableRandomOutages(0, mtbf, mttr);
+  loop.RunUntil(12 * kHour);  // several hundred failure/repair cycles
+
+  size_t cycles = std::min(downs.size(), ups.size());
+  ASSERT_GE(cycles, 100u);
+  double mean_repair = 0;
+  for (size_t i = 0; i < cycles; ++i) {
+    mean_repair += static_cast<double>(ups[i] - downs[i]);
+  }
+  mean_repair /= static_cast<double>(cycles);
+  double mean_tbf = 0;
+  size_t gaps = 0;
+  for (size_t i = 0; i + 1 < cycles; ++i) {
+    mean_tbf += static_cast<double>(downs[i + 1] - ups[i]);
+    ++gaps;
+  }
+  mean_tbf /= static_cast<double>(gaps);
+  // Sample means of an exponential with n >= 100: 25% tolerance is ~3
+  // standard errors, loose enough to be seed-robust, tight enough to catch
+  // a mixed-up parameter or a non-exponential draw.
+  EXPECT_NEAR(mean_repair, static_cast<double>(mttr), 0.25 * static_cast<double>(mttr));
+  EXPECT_NEAR(mean_tbf, static_cast<double>(mtbf), 0.25 * static_cast<double>(mtbf));
 }
 
 TEST(FailureTest, RandomOutagesRecurUntilDisabled) {
