@@ -1,0 +1,329 @@
+// SOCIAL-GRAPH: the feed workload over the bit-packed adjacency store.
+//
+// Part 1 — codec compactness at scale: a >=1M-edge power-law follow graph
+// is encoded through AdjacencyCodec and its total resident bytes compared
+// against the naive fixed-width (8 bytes/edge) layout. Claimed shape:
+// <= 50% of naive (delta varints over sorted ids land near 1-2 B/edge).
+//
+// Part 2 — feed serving arms: one --users-scaled graph is seeded into a
+// single-node cluster and driven with the social mix (serially-chained
+// follows/unfollows/posts so every arm converges to the same store state),
+// then a read-only feed storm runs twice per arm (warm-up, then measured):
+//
+//   cold    RAM engine, no cache, no coalescer
+//   warm    RAM engine + staleness-aware cache + cross-router coalescing
+//   paged   larger-than-memory engine at ~30% pool budget, no cache
+//
+// Claimed shape: every arm's measured pass produces the SAME feed digest
+// (byte-identical results), warm feed p50 is >= 3x better than cold
+// (celebrity hot keys collapse into cache hits), and the paged arm stays
+// inside its pool byte budget with zero budget overruns and zero failures.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/coalescer.h"
+#include "cluster/node.h"
+#include "cluster/router.h"
+#include "cache/cache_directory.h"
+#include "common/benchjson.h"
+#include "common/metrics.h"
+#include "graph/adjacency_codec.h"
+#include "graph/graph_client.h"
+#include "graph/graph_gen.h"
+#include "graph/social_workload.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "storage/pagestore/paged_engine.h"
+
+using namespace scads;  // NOLINT: benchmark brevity
+
+namespace {
+
+constexpr int64_t kCodecUsers = 9000;      // x ~140 mean degree => >1M edges
+constexpr double kCodecMeanDegree = 140.0;
+constexpr int64_t kDefaultUsers = 2500;    // cluster arms (overridable: --users N)
+constexpr int64_t kMixedOps = 1200;
+constexpr int64_t kFeedPassSize = 400;
+constexpr int64_t kPoolBudget = 96 * 1024;  // ~30% of the seeded dataset
+
+struct CodecResult {
+  int64_t edges = 0;
+  int64_t encoded_bytes = 0;
+  int64_t naive_bytes = 0;
+};
+
+CodecResult MeasureCodecCompactness() {
+  SocialGraphGenConfig config;
+  config.users = kCodecUsers;
+  config.mean_out_degree = kCodecMeanDegree;
+  SocialGraphGen gen(config, 2024);
+  CodecResult result;
+  for (int64_t u = 0; u < config.users; ++u) {
+    std::vector<uint64_t> follows = gen.FollowsOf(u);
+    std::string encoded = AdjacencyCodec::Encode(follows);
+    // Round-trip spot check while we're here: a compact store that can't
+    // decode its own bytes compresses nothing but the truth.
+    if (u % 997 == 0) {
+      std::vector<uint64_t> decoded;
+      if (!AdjacencyCodec::Decode(encoded, &decoded) || decoded != follows) {
+        std::fprintf(stderr, "codec round-trip failed for user %lld\n",
+                     static_cast<long long>(u));
+        std::exit(2);
+      }
+    }
+    result.edges += static_cast<int64_t>(follows.size());
+    result.encoded_bytes += static_cast<int64_t>(encoded.size());
+    result.naive_bytes += static_cast<int64_t>(AdjacencyCodec::NaiveBytes(follows.size()));
+  }
+  return result;
+}
+
+enum class Arm { kCold, kWarm, kPaged };
+
+const char* ArmName(Arm arm) {
+  switch (arm) {
+    case Arm::kCold: return "cold";
+    case Arm::kWarm: return "warm";
+    case Arm::kPaged: return "paged";
+  }
+  return "?";
+}
+
+struct ArmOutcome {
+  Duration feed_p50 = 0;
+  Duration feed_p99 = 0;
+  int64_t feeds_ok = 0;
+  int64_t feeds_failed = 0;
+  int64_t feed_items = 0;
+  uint64_t digest = 0;
+  int64_t mutations_failed = 0;
+  int64_t cache_hits = 0;
+  int64_t resident_peak = 0;
+  int64_t budget_overruns = 0;
+  int64_t page_faults = 0;
+  int64_t pages_prefetched = 0;
+};
+
+ArmOutcome RunArm(Arm arm, int64_t users) {
+  EventLoop loop;
+  SimNetwork network(&loop, 51);
+  ClusterState cluster;
+  RouterConfig router_config;
+  router_config.request_timeout = 2 * kSecond;
+  Router router(1 << 20, &loop, &network, &cluster, router_config, 52);
+
+  MetricRegistry cache_metrics;
+  std::unique_ptr<CacheDirectory> cache;
+  std::unique_ptr<ReadCoalescer> coalescer;
+  if (arm == Arm::kWarm) {
+    CacheConfig cache_config;
+    cache_config.enabled = true;
+    cache = std::make_unique<CacheDirectory>(cache_config, /*staleness_bound=*/10 * kSecond,
+                                             &cache_metrics);
+    router.set_cache(cache.get());
+    CoalescerConfig coalescer_config;
+    coalescer_config.enabled = true;
+    coalescer_config.staleness_bound = 10 * kSecond;
+    coalescer = std::make_unique<ReadCoalescer>(&loop, &network, &cluster, coalescer_config);
+    router.set_coalescer(coalescer.get());
+  }
+
+  NodeConfig node_config;
+  node_config.watermark_heartbeat = 0;  // rf=1: no replication streams
+  if (arm == Arm::kPaged) {
+    node_config.paged_storage.enabled = true;
+    node_config.paged_storage.page_bytes = 8 * 1024;
+    node_config.paged_storage.buffer_pool_bytes = kPoolBudget;
+    node_config.paged_storage.memtable_spill_bytes = 32 * 1024;
+  }
+  auto node = std::make_unique<StorageNode>(1, &loop, &network, &cluster, node_config, 53);
+  (void)cluster.AddNode(1, node.get());
+  cluster.set_partitions(std::move(PartitionMap::CreateUniform(64, {1}, 1)).value());
+
+  // Seed the graph straight into the engine (setup, not traffic), then let
+  // write-back drain so the first request isn't billed for dataset load.
+  SocialGraphGenConfig gen_config;
+  gen_config.users = users;
+  gen_config.mean_out_degree = 10.0;
+  gen_config.initial_posts = 4;
+  SocialGraphGen gen(gen_config, 61);
+  uint64_t ts_base = 1ull << 40;
+  for (int64_t u = 0; u < users; ++u) {
+    (void)node->engine()->Put(GraphClient::AdjacencyKey(static_cast<uint64_t>(u)),
+                              AdjacencyCodec::Encode(gen.FollowsOf(u)), Version{1, 0});
+    std::vector<PostRef> run;
+    uint64_t seq = 0;
+    for (uint64_t ts : gen.InitialPostTimestamps(u, ts_base)) run.push_back({ts, seq++});
+    (void)node->engine()->Put(GraphClient::PostsKey(static_cast<uint64_t>(u)),
+                              PostLogCodec::Encode(run), Version{1, 0});
+  }
+  loop.RunFor(2 * kSecond);
+  node->engine()->TakeAccruedIo();
+
+  GraphClient client(&router);
+  SocialWorkloadConfig workload_config;
+  workload_config.users = users;
+  workload_config.ops = kMixedOps;
+  workload_config.post_ts_base = ts_base;
+  // Pace the mixed phase below node saturation — including the paged arm,
+  // whose per-request fault IO makes it the slowest: the serial mutation
+  // chain must land every op in every arm (a shed or timed-out mutation
+  // would fork the arms' final store states and break the digest claim).
+  // The measured storm stays dense — that overload contrast is what the
+  // warm arm's cache is supposed to absorb.
+  workload_config.op_interval = 10 * kMillisecond;
+  workload_config.feed_pass_interval = 500;  // 0.5ms
+  SocialWorkloadDriver driver({&client}, workload_config, 71);
+
+  ArmOutcome outcome;
+
+  // Phase 1 — the mixed social workload. Mutations are serially chained,
+  // so every arm ends at the identical store state.
+  bool mixed_done = false;
+  driver.Run([&] { mixed_done = true; });
+  loop.RunFor(60 * kSecond);
+  if (!mixed_done) {
+    std::fprintf(stderr, "%s: mixed phase did not drain\n", ArmName(arm));
+    std::exit(2);
+  }
+  outcome.mutations_failed = driver.stats().mutations_failed;
+
+  // Phase 2 — read-only feed storm, twice: the first pass warms the cache
+  // and buffer pool, the second is measured and digested.
+  for (int pass = 1; pass <= 2; ++pass) {
+    bool pass_done = false;
+    driver.RunFeedPass(kFeedPassSize, pass, [&] { pass_done = true; });
+    loop.RunFor(60 * kSecond);
+    if (!pass_done) {
+      std::fprintf(stderr, "%s: feed pass %d did not drain\n", ArmName(arm), pass);
+      std::exit(2);
+    }
+  }
+  const SocialWorkloadStats& stats = driver.stats();
+  outcome.feed_p50 = stats.feed_latency.ValueAtQuantile(0.50);
+  outcome.feed_p99 = stats.feed_latency.ValueAtQuantile(0.99);
+  outcome.feeds_ok = stats.feeds_ok;
+  outcome.feeds_failed = stats.feeds_failed;
+  outcome.feed_items = stats.feed_items;
+  outcome.digest = stats.feed_digest;
+  if (arm == Arm::kWarm) {
+    outcome.cache_hits = cache_metrics.CounterValue("cache.point.hits");
+  }
+  if (arm == Arm::kPaged) {
+    auto* engine = static_cast<PagedEngine*>(node->engine());
+    outcome.resident_peak = static_cast<int64_t>(engine->pool().resident_peak());
+    outcome.budget_overruns = engine->metrics().CounterValue("budget_overruns");
+    outcome.page_faults = engine->metrics().CounterValue("page_faults");
+    outcome.pages_prefetched = engine->metrics().CounterValue("pages_prefetched");
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t users = kDefaultUsers;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--users") == 0) users = std::atoll(argv[i + 1]);
+  }
+
+  std::printf("=== SOCIAL-GRAPH: adjacency store + power-law feed workload ===\n\n");
+
+  CodecResult codec = MeasureCodecCompactness();
+  double codec_ratio =
+      codec.naive_bytes > 0
+          ? static_cast<double>(codec.encoded_bytes) / static_cast<double>(codec.naive_bytes)
+          : 1.0;
+  std::printf("codec: %lld edges, %.2f B/edge encoded vs 8 B/edge naive (%.1f%%)\n\n",
+              static_cast<long long>(codec.edges),
+              static_cast<double>(codec.encoded_bytes) / static_cast<double>(codec.edges),
+              100.0 * codec_ratio);
+
+  std::printf("cluster arms: %lld users, %lld mixed ops, %lld-feed measured storm\n\n",
+              static_cast<long long>(users), static_cast<long long>(kMixedOps),
+              static_cast<long long>(kFeedPassSize));
+
+  ArmOutcome cold = RunArm(Arm::kCold, users);
+  ArmOutcome warm = RunArm(Arm::kWarm, users);
+  ArmOutcome paged = RunArm(Arm::kPaged, users);
+
+  std::printf("%-7s %10s %10s %7s %7s %9s %10s %9s\n", "arm", "feed_p50", "feed_p99",
+              "ok", "failed", "items", "cache_hit", "peak_B");
+  for (const auto& [arm, o] : {std::pair<const char*, const ArmOutcome&>{"cold", cold},
+                               {"warm", warm},
+                               {"paged", paged}}) {
+    std::printf("%-7s %10s %10s %7lld %7lld %9lld %10lld %9lld\n", arm,
+                FormatDuration(o.feed_p50).c_str(), FormatDuration(o.feed_p99).c_str(),
+                static_cast<long long>(o.feeds_ok), static_cast<long long>(o.feeds_failed),
+                static_cast<long long>(o.feed_items), static_cast<long long>(o.cache_hits),
+                static_cast<long long>(o.resident_peak));
+  }
+
+  double warm_speedup = warm.feed_p50 > 0
+                            ? static_cast<double>(cold.feed_p50) /
+                                  static_cast<double>(warm.feed_p50)
+                            : 0.0;
+  std::printf("\nwarm arm serves the celebrity neighborhoods from cache+coalescer\n"
+              "(%.1fx feed p50 speedup over cold); paged arm holds %lldB peak against\n"
+              "a %lldB pool budget with identical bytes in every feed.\n",
+              warm_speedup, static_cast<long long>(paged.resident_peak),
+              static_cast<long long>(kPoolBudget));
+
+  bool codec_compact = codec.edges >= 1000000 && codec_ratio <= 0.5;
+  bool identical = cold.digest != 0 && cold.digest == warm.digest &&
+                   cold.digest == paged.digest;
+  bool complete = cold.feeds_failed == 0 && warm.feeds_failed == 0 &&
+                  paged.feeds_failed == 0 && cold.mutations_failed == 0 &&
+                  warm.mutations_failed == 0 && paged.mutations_failed == 0 &&
+                  cold.feeds_ok == kFeedPassSize && warm.feeds_ok == kFeedPassSize &&
+                  paged.feeds_ok == kFeedPassSize;
+  bool warm_fast = warm_speedup >= 3.0;
+  bool bounded = paged.resident_peak > 0 && paged.resident_peak <= kPoolBudget &&
+                 paged.budget_overruns == 0;
+  bool shape_holds = codec_compact && identical && complete && warm_fast && bounded;
+  std::printf("shape check (>=1M edges at <=50%% of naive, byte-identical digests,\n"
+              "zero failures, warm p50 >=3x cold, paged peak<=budget): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+
+  BenchJson json("social_graph");
+  json.BeginRow("codec");
+  json.Add("edges", codec.edges);
+  json.Add("encoded_bytes", codec.encoded_bytes);
+  json.Add("naive_bytes", codec.naive_bytes);
+  json.Add("bytes_per_edge", static_cast<double>(codec.encoded_bytes) /
+                                 static_cast<double>(codec.edges));
+  for (const auto& [arm, o] : {std::pair<const char*, const ArmOutcome&>{"cold", cold},
+                               {"warm", warm},
+                               {"paged", paged}}) {
+    json.BeginRow(arm);
+    char digest_hex[32];
+    std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                  static_cast<unsigned long long>(o.digest));
+    json.Add("feed_digest", digest_hex);
+    json.Add("mutations_failed", o.mutations_failed);
+    json.Add("feed_p50_us", o.feed_p50);
+    json.Add("feed_p99_us", o.feed_p99);
+    json.Add("feeds_ok", o.feeds_ok);
+    json.Add("feeds_failed", o.feeds_failed);
+    json.Add("feed_items", o.feed_items);
+    json.Add("cache_hits", o.cache_hits);
+    json.Add("resident_peak_bytes", o.resident_peak);
+    json.Add("budget_overruns", o.budget_overruns);
+    json.Add("page_faults", o.page_faults);
+    json.Add("pages_prefetched", o.pages_prefetched);
+  }
+  json.BeginRow("summary");
+  json.Add("users", users);
+  json.Add("warm_feed_speedup", warm_speedup);
+  json.Add("codec_ratio", codec_ratio);
+  json.Add("digest_match", identical ? 1 : 0);
+  json.Add("shape_check", shape_holds ? "PASS" : "FAIL");
+  (void)json.Write();
+  return shape_holds ? 0 : 1;
+}

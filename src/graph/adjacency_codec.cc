@@ -1,0 +1,121 @@
+#include "graph/adjacency_codec.h"
+
+#include <algorithm>
+
+#include "storage/codec.h"
+
+namespace scads {
+
+std::string AdjacencyCodec::Encode(const std::vector<uint64_t>& sorted_ids) {
+  std::string out;
+  // ~2 bytes/edge is the common case; reserving the naive bound would
+  // defeat the point of the exercise.
+  out.reserve(2 + 2 * sorted_ids.size());
+  PutVarint64(&out, sorted_ids.size());
+  uint64_t prev = 0;
+  for (size_t i = 0; i < sorted_ids.size(); ++i) {
+    PutVarint64(&out, i == 0 ? sorted_ids[0] : sorted_ids[i] - prev);
+    prev = sorted_ids[i];
+  }
+  return out;
+}
+
+bool AdjacencyCodec::Decode(std::string_view bytes, std::vector<uint64_t>* out) {
+  out->clear();
+  if (bytes.empty()) return true;
+  uint64_t degree = 0;
+  if (!GetVarint64(&bytes, &degree)) return false;
+  out->reserve(degree);
+  uint64_t id = 0;
+  for (uint64_t i = 0; i < degree; ++i) {
+    uint64_t delta = 0;
+    if (!GetVarint64(&bytes, &delta)) return false;
+    // Non-first deltas of 0 would mean a duplicate (the list is strictly
+    // increasing); reject rather than silently fold.
+    if (i > 0 && delta == 0) return false;
+    id = i == 0 ? delta : id + delta;
+    out->push_back(id);
+  }
+  return bytes.empty();
+}
+
+bool AdjacencyCodec::Degree(std::string_view bytes, uint64_t* degree) {
+  if (bytes.empty()) {
+    *degree = 0;
+    return true;
+  }
+  return GetVarint64(&bytes, degree);
+}
+
+bool AdjacencyCodec::Append(std::string* encoded, uint64_t id) {
+  std::vector<uint64_t> ids;
+  if (!Decode(*encoded, &ids)) return false;
+  auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it != ids.end() && *it == id) return false;
+  ids.insert(it, id);
+  *encoded = Encode(ids);
+  return true;
+}
+
+bool AdjacencyCodec::Remove(std::string* encoded, uint64_t id) {
+  std::vector<uint64_t> ids;
+  if (!Decode(*encoded, &ids)) return false;
+  auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) return false;
+  ids.erase(it);
+  *encoded = Encode(ids);
+  return true;
+}
+
+std::string PostLogCodec::Encode(const std::vector<PostRef>& newest_first) {
+  std::string out;
+  out.reserve(2 + 3 * newest_first.size());
+  PutVarint64(&out, newest_first.size());
+  uint64_t prev_ts = 0;
+  for (size_t i = 0; i < newest_first.size(); ++i) {
+    PutVarint64(&out, i == 0 ? newest_first[0].ts : prev_ts - newest_first[i].ts);
+    PutVarint64(&out, newest_first[i].seq);
+    prev_ts = newest_first[i].ts;
+  }
+  return out;
+}
+
+bool PostLogCodec::Decode(std::string_view bytes, std::vector<PostRef>* out) {
+  out->clear();
+  if (bytes.empty()) return true;
+  uint64_t count = 0;
+  if (!GetVarint64(&bytes, &count)) return false;
+  out->reserve(count);
+  uint64_t ts = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0, seq = 0;
+    if (!GetVarint64(&bytes, &delta) || !GetVarint64(&bytes, &seq)) return false;
+    if (i == 0) {
+      ts = delta;
+    } else {
+      if (delta > ts) return false;  // a run must be non-increasing in ts
+      ts -= delta;
+    }
+    out->push_back(PostRef{ts, seq});
+  }
+  return bytes.empty();
+}
+
+bool PostLogCodec::Append(std::string* encoded, PostRef post, size_t cap) {
+  if (cap == 0) return false;
+  std::vector<PostRef> run;
+  if (!Decode(*encoded, &run)) return false;
+  auto newer = [](const PostRef& a, const PostRef& b) {
+    if (a.ts != b.ts) return a.ts > b.ts;
+    return a.seq > b.seq;
+  };
+  auto it = std::lower_bound(run.begin(), run.end(), post, newer);
+  if (it != run.end() && *it == post) return false;
+  if (run.size() >= cap && it == run.end()) return false;  // older than the whole full run
+  run.insert(it, post);
+  if (run.size() > cap) run.resize(cap);
+  *encoded = Encode(run);
+  return true;
+}
+
+}  // namespace scads

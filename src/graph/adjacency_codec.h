@@ -1,0 +1,98 @@
+// Bit-packed adjacency and post-run encodings for the social-graph store.
+//
+// A user's follow list is one SCADS record, so it flows through the normal
+// Router/engine path (replication, caching, coalescing, paging) like any
+// other value. The paper's workload is exactly this shape — bounded
+// neighbor lists (the 5,000-friend cap, §2.3) read far more often than
+// they are written — so the encoding optimizes for decode speed and
+// resident bytes, not in-place mutation:
+//
+//   AdjacencyCodec   [varint degree][varint first_id][varint delta]...
+//
+// Neighbor ids are sorted and unique; each delta is (id[i] - id[i-1]),
+// always >= 1, so dense neighborhoods cost ~1 byte per edge against 8 for
+// a naive fixed-width array. The degree header makes Degree() an O(1)
+// peek — fan-out checks never decode the list.
+//
+//   PostLogCodec     [varint count][varint ts][varint seq]
+//                    ([varint ts_delta_down][varint seq])...
+//
+// A user's recent posts, newest first (timestamps non-increasing; later
+// entries store the downward delta from their predecessor). Append keeps
+// at most `cap` entries, dropping the oldest — the bounded per-user run
+// the feed's top-K merge consumes.
+
+#ifndef SCADS_GRAPH_ADJACENCY_CODEC_H_
+#define SCADS_GRAPH_ADJACENCY_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scads {
+
+class AdjacencyCodec {
+ public:
+  /// Encodes a sorted, duplicate-free id list. Precondition violations
+  /// (unsorted / duplicate input) are the caller's bug; Encode asserts
+  /// order in debug builds by construction of the deltas.
+  static std::string Encode(const std::vector<uint64_t>& sorted_ids);
+
+  /// Decodes into `out` (cleared first). An empty byte string is an empty
+  /// list (an absent record and a degree-0 record behave the same).
+  /// Returns false on truncation or a header/body length mismatch.
+  static bool Decode(std::string_view bytes, std::vector<uint64_t>* out);
+
+  /// Reads the degree header without decoding the list. Empty bytes have
+  /// degree 0.
+  static bool Degree(std::string_view bytes, uint64_t* degree);
+
+  /// Inserts `id` keeping the list sorted. Returns true when inserted,
+  /// false when already present (the encoding is untouched — follow is
+  /// idempotent) or when `encoded` does not decode.
+  static bool Append(std::string* encoded, uint64_t id);
+
+  /// Removes `id`. Returns true when removed, false when absent or when
+  /// `encoded` does not decode.
+  static bool Remove(std::string* encoded, uint64_t id);
+
+  /// Bytes a naive fixed-width (8 bytes per neighbor) encoding would
+  /// spend — the baseline the bench's compactness self-check compares
+  /// against.
+  static size_t NaiveBytes(size_t degree) { return 8 * degree; }
+};
+
+/// One post reference in a user's recent-post run. `ts` is the post's
+/// logical timestamp (whatever clock the application stamps — the workload
+/// driver uses a deterministic logical clock so runs are comparable across
+/// engines); `seq` is the author-local sequence number.
+struct PostRef {
+  uint64_t ts = 0;
+  uint64_t seq = 0;
+
+  friend bool operator==(const PostRef& a, const PostRef& b) {
+    return a.ts == b.ts && a.seq == b.seq;
+  }
+};
+
+class PostLogCodec {
+ public:
+  /// Encodes a run ordered newest first (ts non-increasing; equal ts
+  /// ordered by descending seq).
+  static std::string Encode(const std::vector<PostRef>& newest_first);
+
+  /// Decodes into `out` (cleared first); empty bytes are an empty run.
+  static bool Decode(std::string_view bytes, std::vector<PostRef>* out);
+
+  /// Inserts `post` at its (ts desc, seq desc) rank and truncates the run
+  /// to `cap` entries, dropping the oldest. Returns true when the run
+  /// changed; false on an exact duplicate (post is idempotent), an insert
+  /// past the cap of an already-full run of newer posts, or undecodable
+  /// input.
+  static bool Append(std::string* encoded, PostRef post, size_t cap);
+};
+
+}  // namespace scads
+
+#endif  // SCADS_GRAPH_ADJACENCY_CODEC_H_

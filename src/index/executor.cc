@@ -1,6 +1,7 @@
 #include "index/executor.h"
 
 #include <memory>
+#include <unordered_set>
 #include <utility>
 
 #include "cache/cache_directory.h"
@@ -180,6 +181,7 @@ void QueryExecutor::ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
         }
         // Decode friend-of-friend pk pieces from entry keys; exclude self.
         std::vector<std::string> base_keys;
+        std::unordered_set<std::string> seen;
         for (const Record& entry : *entries) {
           std::string_view key_view = entry.key;
           key_view.remove_prefix(plan.KeyPrefix().size());
@@ -189,7 +191,13 @@ void QueryExecutor::ExecuteTwoHop(const IndexPlan& plan, const ParamMap& params,
             continue;
           }
           if (fof_piece == self_piece) continue;
-          base_keys.push_back(BaseRowKeyFromPiece(*target, fof_piece));
+          std::string base_key = BaseRowKeyFromPiece(*target, fof_piece);
+          // Dedupe before the fan-out, keeping first-occurrence (index)
+          // order: a base row reachable through several index paths — the
+          // witness-counted fof entries normally collapse these, but graph-
+          // style callers can't rely on that — hydrates exactly once, so
+          // duplicate paths cost no extra per-key work downstream.
+          if (seen.insert(base_key).second) base_keys.push_back(std::move(base_key));
         }
         // Hydrate the bounded base-row set with ONE batched read: the keys
         // go out as one message per storage node instead of a sequential

@@ -48,6 +48,29 @@ bool GetFixed64(std::string_view* input, uint64_t* value) {
   return true;
 }
 
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+bool GetVarint64(std::string_view* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (input->empty()) return false;
+    uint8_t byte = static_cast<uint8_t>(input->front());
+    input->remove_prefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool GetLengthPrefixed(std::string_view* input, std::string_view* value) {
   uint32_t len = 0;
   if (!GetFixed32(input, &len)) return false;

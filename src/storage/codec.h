@@ -29,6 +29,13 @@ bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
 bool GetFixed32(std::string_view* input, uint32_t* value);
 bool GetFixed64(std::string_view* input, uint64_t* value);
 
+/// Appends a LEB128 varint (1 byte for values < 128, up to 10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Consumes a varint from the front of `*input`. Returns false on
+/// truncation or a varint longer than 10 bytes.
+bool GetVarint64(std::string_view* input, uint64_t* value);
+
 /// CRC-32C (Castagnoli) of `data`, software table implementation.
 uint32_t Crc32c(std::string_view data);
 

@@ -44,6 +44,13 @@ struct PagedStorageConfig {
   /// Background write-back cadence and per-tick page budget.
   Duration write_back_interval = 5 * kMillisecond;
   size_t write_back_batch = 8;
+  /// Range scans speculatively load the next page while the current one is
+  /// being decoded and merged. The prefetch rides the idle disk in parallel
+  /// with in-progress work, so it charges no request IO (same rule as
+  /// asynchronous write-backs); it only ever displaces clean unpinned
+  /// frames, never forcing a write-back, and is skipped (counted in
+  /// `prefetch_skips`) when the pool can't make clean room.
+  bool scan_readahead = true;
 };
 
 /// The simulated disk image: one byte string per page. Passive and

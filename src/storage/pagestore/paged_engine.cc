@@ -110,6 +110,39 @@ PageFrame* PagedEngine::Fault(const PageSpan& span) const {
   return frame;
 }
 
+void PagedEngine::Prefetch(const PageSpan& span) const {
+  // Peek, not Find: a speculative touch must not refresh the clock bit of
+  // a page the application never actually read.
+  if (pool_.Peek(span.id) != nullptr) return;
+  const std::string& bytes = file_->Contents(span.id);
+  // A page with no durable image faults for free anyway.
+  if (bytes.empty()) return;
+  PageFrame decoded;
+  if (!DecodePage(bytes, page_bounds_.at(span.id), span.upper, &decoded)) return;
+  if (!TryReserveClean(decoded.bytes)) {
+    metrics_.GetCounter("prefetch_skips")->Increment();
+    return;
+  }
+  PageFrame* frame = pool_.Insert(span.id);
+  frame->lower_bound = std::move(decoded.lower_bound);
+  frame->records = std::move(decoded.records);
+  // Same epoch restoration as Fault — see the comment there.
+  auto durable = durable_epoch_.find(span.id);
+  if (durable != durable_epoch_.end()) frame->dirty_epoch = durable->second;
+  pool_.AdjustBytes(frame, static_cast<int64_t>(decoded.bytes));
+  metrics_.GetCounter("pages_prefetched")->Increment();
+}
+
+bool PagedEngine::TryReserveClean(size_t incoming) const {
+  while (pool_.resident_bytes() + incoming > pool_.capacity()) {
+    PageFrame* victim = pool_.PickVictim(/*allow_dirty=*/false);
+    if (victim == nullptr) return false;
+    pool_.Erase(victim->id);
+    metrics_.GetCounter("pool_evictions")->Increment();
+  }
+  return true;
+}
+
 size_t PagedEngine::FindInFrame(const PageFrame* frame, std::string_view key) {
   auto it = std::lower_bound(
       frame->records.begin(), frame->records.end(), key,
@@ -389,6 +422,15 @@ std::vector<Record> PagedEngine::MergeScan(std::string_view start, std::string_v
         next == page_index_.end() ? std::string_view() : std::string_view(next->first);
     PageFrame* frame = Fault(PageSpan{idx->second, upper});
     pool_.Pin(frame);
+    // Readahead: kick off the next page's load before merging this one, so
+    // its disk time hides behind the merge instead of serializing with it.
+    if (options_.config.scan_readahead && next != page_index_.end() &&
+        (end.empty() || next->first < end)) {
+      auto after = std::next(next);
+      std::string_view next_upper =
+          after == page_index_.end() ? std::string_view() : std::string_view(after->first);
+      Prefetch(PageSpan{next->second, next_upper});
+    }
     size_t pos = static_cast<size_t>(
         std::lower_bound(frame->records.begin(), frame->records.end(), start,
                          [](const Record& record, std::string_view target) {

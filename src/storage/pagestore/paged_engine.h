@@ -117,6 +117,16 @@ class PagedEngine : public EngineInterface {
   PageSpan SpanForKey(std::string_view key) const;
   /// Resident frame for `id`, faulting (decode + read latency) on miss.
   PageFrame* Fault(const PageSpan& span) const;
+  /// Speculative load for scan readahead: brings `span`'s page into the
+  /// pool without charging request IO (the disk read overlaps the current
+  /// page's fault-and-merge). Only clean, unpinned frames may be displaced
+  /// to make room — a speculative read must never force a write-back — and
+  /// the load is skipped entirely (prefetch_skips) when that fails.
+  void Prefetch(const PageSpan& span) const;
+  /// Evicts clean, unpinned victims until `incoming` more bytes fit.
+  /// Returns false (pool untouched beyond any clean evictions already
+  /// made) when only dirty or pinned frames remain.
+  bool TryReserveClean(size_t incoming) const;
   /// Index of `key` in frame->records, or npos.
   static size_t FindInFrame(const PageFrame* frame, std::string_view key);
 

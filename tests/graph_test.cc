@@ -1,0 +1,464 @@
+// Tests for the social-graph subsystem: varint/delta adjacency and post-run
+// codecs (round trips, idempotent appends, fuzz against a naive vector
+// model), the deterministic power-law generator, and GraphClient feed
+// correctness end to end — against a naive reference merge, and
+// byte-identical between the RAM and paged engines across seeds.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/node.h"
+#include "cluster/router.h"
+#include "common/rng.h"
+#include "graph/adjacency_codec.h"
+#include "graph/graph_client.h"
+#include "graph/graph_gen.h"
+#include "graph/social_workload.h"
+#include "gtest/gtest.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "storage/codec.h"
+#include "storage/pagestore/paged_engine.h"
+
+namespace scads {
+namespace {
+
+// ----------------------------------------------------------------- Varint --
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  for (uint64_t v : std::vector<uint64_t>{0, 1, 127, 128, 129, 16383, 16384,
+                                          (1ull << 32) - 1, 1ull << 32,
+                                          ~0ull}) {
+    std::string bytes;
+    PutVarint64(&bytes, v);
+    std::string_view input(bytes);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(&input, &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(input.empty());
+  }
+  // One byte below 128, two through 16383.
+  std::string one, two;
+  PutVarint64(&one, 127);
+  PutVarint64(&two, 128);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(two.size(), 2u);
+}
+
+TEST(VarintTest, RejectsTruncation) {
+  std::string bytes;
+  PutVarint64(&bytes, 1ull << 40);
+  bytes.pop_back();
+  std::string_view input(bytes);
+  uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint64(&input, &decoded));
+}
+
+// -------------------------------------------------------- AdjacencyCodec --
+
+TEST(AdjacencyCodecTest, RoundTripsEmptySingleAndLarge) {
+  for (const auto& ids : std::vector<std::vector<uint64_t>>{
+           {}, {0}, {42}, {0, 1, 2}, {5, 100, 101, 1000000, 1ull << 50}}) {
+    std::string bytes = AdjacencyCodec::Encode(ids);
+    std::vector<uint64_t> decoded;
+    ASSERT_TRUE(AdjacencyCodec::Decode(bytes, &decoded));
+    EXPECT_EQ(decoded, ids);
+    uint64_t degree = 0;
+    ASSERT_TRUE(AdjacencyCodec::Degree(bytes, &degree));
+    EXPECT_EQ(degree, ids.size());
+  }
+  // Large dense list: delta coding keeps it near 1 byte/edge.
+  std::vector<uint64_t> dense(5000);
+  for (size_t i = 0; i < dense.size(); ++i) dense[i] = 10 * i;  // deltas of 10
+  std::string bytes = AdjacencyCodec::Encode(dense);
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(AdjacencyCodec::Decode(bytes, &decoded));
+  EXPECT_EQ(decoded, dense);
+  EXPECT_LE(bytes.size(), AdjacencyCodec::NaiveBytes(dense.size()) / 4);
+}
+
+TEST(AdjacencyCodecTest, EmptyBytesAreAnEmptyList) {
+  std::vector<uint64_t> decoded{1, 2, 3};
+  ASSERT_TRUE(AdjacencyCodec::Decode("", &decoded));
+  EXPECT_TRUE(decoded.empty());
+  uint64_t degree = 7;
+  ASSERT_TRUE(AdjacencyCodec::Degree("", &degree));
+  EXPECT_EQ(degree, 0u);
+}
+
+TEST(AdjacencyCodecTest, AppendIsIdempotentAndKeepsOrder) {
+  std::string bytes;
+  EXPECT_TRUE(AdjacencyCodec::Append(&bytes, 50));
+  EXPECT_TRUE(AdjacencyCodec::Append(&bytes, 10));
+  EXPECT_TRUE(AdjacencyCodec::Append(&bytes, 90));
+  std::string before = bytes;
+  EXPECT_FALSE(AdjacencyCodec::Append(&bytes, 50));  // already present
+  EXPECT_EQ(bytes, before);                          // encoding untouched
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(AdjacencyCodec::Decode(bytes, &decoded));
+  EXPECT_EQ(decoded, (std::vector<uint64_t>{10, 50, 90}));
+  EXPECT_TRUE(AdjacencyCodec::Remove(&bytes, 50));
+  EXPECT_FALSE(AdjacencyCodec::Remove(&bytes, 50));  // already gone
+  ASSERT_TRUE(AdjacencyCodec::Decode(bytes, &decoded));
+  EXPECT_EQ(decoded, (std::vector<uint64_t>{10, 90}));
+}
+
+TEST(AdjacencyCodecTest, RejectsCorruptEncodings) {
+  std::vector<uint64_t> decoded;
+  // Header promises more entries than the body holds.
+  std::string truncated;
+  PutVarint64(&truncated, 3);
+  PutVarint64(&truncated, 5);
+  EXPECT_FALSE(AdjacencyCodec::Decode(truncated, &decoded));
+  // Trailing bytes past the promised run.
+  std::string trailing = AdjacencyCodec::Encode({1, 2});
+  trailing.push_back('\x01');
+  EXPECT_FALSE(AdjacencyCodec::Decode(trailing, &decoded));
+  // A zero delta after the first entry is a duplicate.
+  std::string dup;
+  PutVarint64(&dup, 2);
+  PutVarint64(&dup, 7);
+  PutVarint64(&dup, 0);
+  EXPECT_FALSE(AdjacencyCodec::Decode(dup, &decoded));
+}
+
+// Fuzz: random follow/unfollow traces against a naive sorted-vector model.
+TEST(AdjacencyCodecTest, FuzzMatchesNaiveVectorModel) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    Rng rng(seed);
+    std::string encoded;
+    std::vector<uint64_t> model;
+    for (int op = 0; op < 2000; ++op) {
+      uint64_t id = rng.Uniform(300);  // small id space forces collisions
+      bool remove = rng.NextDouble() < 0.35;
+      auto it = std::lower_bound(model.begin(), model.end(), id);
+      bool present = it != model.end() && *it == id;
+      if (remove) {
+        EXPECT_EQ(AdjacencyCodec::Remove(&encoded, id), present);
+        if (present) model.erase(it);
+      } else {
+        EXPECT_EQ(AdjacencyCodec::Append(&encoded, id), !present);
+        if (!present) model.insert(it, id);
+      }
+      if (op % 97 == 0) {
+        std::vector<uint64_t> decoded;
+        ASSERT_TRUE(AdjacencyCodec::Decode(encoded, &decoded));
+        ASSERT_EQ(decoded, model) << "seed " << seed << " op " << op;
+      }
+    }
+    std::vector<uint64_t> decoded;
+    ASSERT_TRUE(AdjacencyCodec::Decode(encoded, &decoded));
+    EXPECT_EQ(decoded, model);
+  }
+}
+
+// ----------------------------------------------------------- PostLogCodec --
+
+TEST(PostLogCodecTest, RoundTripsAndOrdersNewestFirst) {
+  std::vector<PostRef> run{{100, 3}, {100, 1}, {90, 7}, {10, 0}};
+  std::string bytes = PostLogCodec::Encode(run);
+  std::vector<PostRef> decoded;
+  ASSERT_TRUE(PostLogCodec::Decode(bytes, &decoded));
+  EXPECT_EQ(decoded, run);
+  ASSERT_TRUE(PostLogCodec::Decode("", &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(PostLogCodecTest, AppendCapsAndStaysIdempotent) {
+  std::string bytes;
+  for (uint64_t ts = 1; ts <= 5; ++ts) {
+    EXPECT_TRUE(PostLogCodec::Append(&bytes, PostRef{ts, ts}, 3));
+  }
+  std::vector<PostRef> run;
+  ASSERT_TRUE(PostLogCodec::Decode(bytes, &run));
+  ASSERT_EQ(run.size(), 3u);  // capped: oldest dropped
+  EXPECT_EQ(run[0], (PostRef{5, 5}));
+  EXPECT_EQ(run[2], (PostRef{3, 3}));
+  // Exact duplicate: no change.
+  std::string before = bytes;
+  EXPECT_FALSE(PostLogCodec::Append(&bytes, PostRef{5, 5}, 3));
+  EXPECT_EQ(bytes, before);
+  // Older than everything in a full run: rejected, not rotated in.
+  EXPECT_FALSE(PostLogCodec::Append(&bytes, PostRef{1, 9}, 3));
+  // Mid-run insert lands at rank and evicts the tail.
+  EXPECT_TRUE(PostLogCodec::Append(&bytes, PostRef{4, 9}, 3));
+  ASSERT_TRUE(PostLogCodec::Decode(bytes, &run));
+  EXPECT_EQ(run[0], (PostRef{5, 5}));
+  EXPECT_EQ(run[1], (PostRef{4, 9}));
+  EXPECT_EQ(run[2], (PostRef{4, 4}));
+}
+
+// -------------------------------------------------------------- Generator --
+
+TEST(SocialGraphGenTest, DeterministicSortedSelfFree) {
+  SocialGraphGenConfig config;
+  config.users = 2000;
+  SocialGraphGen a(config, 77);
+  SocialGraphGen b(config, 77);
+  SocialGraphGen other(config, 78);
+  bool any_difference = false;
+  for (int64_t user : {0l, 1l, 500l, 1999l}) {
+    std::vector<uint64_t> follows = a.FollowsOf(user);
+    EXPECT_EQ(follows, b.FollowsOf(user)) << user;
+    EXPECT_EQ(follows, a.FollowsOf(user)) << user;  // pure: stable on re-call
+    if (follows != other.FollowsOf(user)) any_difference = true;
+    EXPECT_TRUE(std::is_sorted(follows.begin(), follows.end()));
+    EXPECT_TRUE(std::adjacent_find(follows.begin(), follows.end()) == follows.end());
+    for (uint64_t f : follows) {
+      EXPECT_NE(f, static_cast<uint64_t>(user));
+      EXPECT_LT(f, static_cast<uint64_t>(config.users));
+    }
+  }
+  EXPECT_TRUE(any_difference) << "different seeds should produce different graphs";
+}
+
+TEST(SocialGraphGenTest, ZipfTargetsMakeLowIdsCelebrities) {
+  SocialGraphGenConfig config;
+  config.users = 2000;
+  config.target_zipf_theta = 0.9;
+  SocialGraphGen gen(config, 5);
+  std::vector<int64_t> in_degree(static_cast<size_t>(config.users), 0);
+  int64_t edges = 0;
+  for (int64_t u = 0; u < config.users; ++u) {
+    for (uint64_t f : gen.FollowsOf(u)) {
+      ++in_degree[f];
+      ++edges;
+    }
+  }
+  EXPECT_GT(edges, config.users * 4);  // mean out-degree is double digits
+  // The head of the Zipf curve dwarfs the tail.
+  int64_t head = in_degree[0] + in_degree[1] + in_degree[2];
+  int64_t tail = in_degree[1500] + in_degree[1501] + in_degree[1502];
+  EXPECT_GT(head, 10 * std::max<int64_t>(tail, 1));
+}
+
+TEST(SocialGraphGenTest, InitialPostsAreNewestFirstBelowBase) {
+  SocialGraphGenConfig config;
+  SocialGraphGen gen(config, 9);
+  uint64_t base = 1ull << 30;
+  std::vector<uint64_t> posts = gen.InitialPostTimestamps(3, base);
+  EXPECT_EQ(posts.size(), static_cast<size_t>(config.initial_posts));
+  EXPECT_EQ(posts, gen.InitialPostTimestamps(3, base));
+  for (size_t i = 0; i < posts.size(); ++i) {
+    EXPECT_LT(posts[i], base);
+    if (i > 0) {
+      EXPECT_LT(posts[i], posts[i - 1]);
+    }
+  }
+}
+
+// ----------------------------------------------------- Feed, end to end --
+
+struct MiniCluster {
+  explicit MiniCluster(uint64_t seed, bool paged)
+      : loop(),
+        network(&loop, seed),
+        cluster(),
+        router_config(),
+        router(1 << 20, &loop, &network, &cluster,
+               [] {
+                 RouterConfig config;
+                 config.request_timeout = 2 * kSecond;
+                 return config;
+               }(),
+               seed + 1) {
+    NodeConfig node_config;
+    node_config.watermark_heartbeat = 0;  // rf=1: no replication streams
+    if (paged) {
+      node_config.paged_storage.enabled = true;
+      node_config.paged_storage.page_bytes = 4 * 1024;
+      node_config.paged_storage.buffer_pool_bytes = 24 * 1024;
+      node_config.paged_storage.memtable_spill_bytes = 8 * 1024;
+    }
+    node = std::make_unique<StorageNode>(1, &loop, &network, &cluster, node_config,
+                                         seed + 2);
+    (void)cluster.AddNode(1, node.get());
+    cluster.set_partitions(std::move(PartitionMap::CreateUniform(64, {1}, 1)).value());
+  }
+
+  /// Seeds the store from the generator (adjacency + initial posts),
+  /// then drains write-back/IO so requests start from a quiet engine.
+  void Seed(const SocialGraphGen& gen, uint64_t ts_base) {
+    for (int64_t u = 0; u < gen.users(); ++u) {
+      std::vector<uint64_t> follows = gen.FollowsOf(u);
+      (void)node->engine()->Put(GraphClient::AdjacencyKey(static_cast<uint64_t>(u)),
+                                AdjacencyCodec::Encode(follows), Version{1, 0});
+      std::vector<PostRef> run;
+      uint64_t seq = 0;
+      for (uint64_t ts : gen.InitialPostTimestamps(u, ts_base)) {
+        run.push_back(PostRef{ts, seq++});
+      }
+      (void)node->engine()->Put(GraphClient::PostsKey(static_cast<uint64_t>(u)),
+                                PostLogCodec::Encode(run), Version{1, 0});
+    }
+    loop.RunFor(2 * kSecond);
+    node->engine()->TakeAccruedIo();
+  }
+
+  EventLoop loop;
+  SimNetwork network;
+  ClusterState cluster;
+  RouterConfig router_config;
+  Router router;
+  std::unique_ptr<StorageNode> node;
+};
+
+// Reference feed: brute-force the two-hop neighborhood from the generator
+// and rank every post with the same total order.
+std::vector<FeedItem> ReferenceFeed(const SocialGraphGen& gen, uint64_t ts_base,
+                                    uint64_t user, size_t k) {
+  std::set<uint64_t> neighbors;
+  std::vector<uint64_t> follows = gen.FollowsOf(static_cast<int64_t>(user));
+  for (uint64_t f : follows) {
+    neighbors.insert(f);
+    for (uint64_t g : gen.FollowsOf(static_cast<int64_t>(f))) neighbors.insert(g);
+  }
+  neighbors.erase(user);
+  std::vector<FeedItem> all;
+  for (uint64_t n : neighbors) {
+    uint64_t seq = 0;
+    for (uint64_t ts : gen.InitialPostTimestamps(static_cast<int64_t>(n), ts_base)) {
+      all.push_back(FeedItem{n, seq++, ts});
+    }
+  }
+  std::sort(all.begin(), all.end(), FeedRanksBefore);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(GraphClientTest, FeedMatchesNaiveReference) {
+  SocialGraphGenConfig gen_config;
+  gen_config.users = 60;
+  gen_config.mean_out_degree = 6.0;
+  gen_config.initial_posts = 4;
+  SocialGraphGen gen(gen_config, 41);
+  uint64_t ts_base = 1ull << 40;
+
+  MiniCluster mini(7, /*paged=*/false);
+  mini.Seed(gen, ts_base);
+  GraphClient client(&mini.router);
+
+  for (uint64_t user : {0ull, 3ull, 17ull, 59ull}) {
+    std::vector<FeedItem> feed;
+    bool done = false;
+    client.Feed(user, 10, RequestOptions{}, [&](Result<std::vector<FeedItem>> result) {
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      feed = std::move(result).value();
+      done = true;
+    });
+    mini.loop.RunFor(kSecond);
+    ASSERT_TRUE(done);
+    EXPECT_EQ(feed, ReferenceFeed(gen, ts_base, user, 10)) << "user " << user;
+  }
+  EXPECT_EQ(client.stats().feeds_failed, 0);
+}
+
+TEST(GraphClientTest, MutationsShapeTheFeed) {
+  SocialGraphGenConfig gen_config;
+  gen_config.users = 30;
+  gen_config.initial_posts = 0;  // start with empty post runs
+  SocialGraphGen gen(gen_config, 13);
+  MiniCluster mini(3, /*paged=*/false);
+  mini.Seed(gen, 1ull << 40);
+  GraphClient client(&mini.router);
+
+  auto run_ok = [&](auto issue) {
+    Status status = InternalError("callback never ran");
+    issue([&](Status s) { status = std::move(s); });
+    mini.loop.RunFor(kSecond);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  };
+  auto feed_of = [&](uint64_t user) {
+    std::vector<FeedItem> feed;
+    client.Feed(user, 10, RequestOptions{},
+                [&](Result<std::vector<FeedItem>> result) {
+                  ASSERT_TRUE(result.ok()) << result.status().ToString();
+                  feed = std::move(result).value();
+                });
+    mini.loop.RunFor(kSecond);
+    return feed;
+  };
+
+  // A fresh user follows nobody: empty feed.
+  uint64_t user = 29, target = 5;
+  run_ok([&](auto cb) { client.Unfollow(user, target, RequestOptions{}, cb); });
+  std::vector<uint64_t> follows;
+  for (uint64_t f : gen.FollowsOf(static_cast<int64_t>(user))) follows.push_back(f);
+  for (uint64_t f : follows) {
+    run_ok([&](auto cb) { client.Unfollow(user, f, RequestOptions{}, cb); });
+  }
+  EXPECT_TRUE(feed_of(user).empty());
+
+  // Follow someone who posts: their post arrives; unfollow: it is gone
+  // (unless still reachable at two hops through another followee — target
+  // 5's own followees are not followed by `user` anymore, so it is gone).
+  run_ok([&](auto cb) { client.Follow(user, target, RequestOptions{}, cb); });
+  run_ok([&](auto cb) {
+    client.Post(target, PostRef{(1ull << 40) + 5, 0}, RequestOptions{}, cb);
+  });
+  std::vector<FeedItem> feed = feed_of(user);
+  ASSERT_FALSE(feed.empty());
+  EXPECT_EQ(feed[0], (FeedItem{target, 0, (1ull << 40) + 5}));
+
+  // Idempotence: re-following and re-posting are no-op mutations.
+  int64_t noops_before = client.stats().mutations_noop;
+  run_ok([&](auto cb) { client.Follow(user, target, RequestOptions{}, cb); });
+  run_ok([&](auto cb) {
+    client.Post(target, PostRef{(1ull << 40) + 5, 0}, RequestOptions{}, cb);
+  });
+  EXPECT_EQ(client.stats().mutations_noop, noops_before + 2);
+
+  run_ok([&](auto cb) { client.Unfollow(user, target, RequestOptions{}, cb); });
+  EXPECT_TRUE(feed_of(user).empty());
+}
+
+// The tentpole cross-engine claim: identical feed results, byte for byte,
+// whether the graph lives in RAM or mostly on pages — across seeds, and
+// after an identical serial mutation mix.
+TEST(GraphClientTest, FeedsByteIdenticalAcrossRamAndPagedEngines) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SocialGraphGenConfig gen_config;
+    gen_config.users = 120;
+    gen_config.mean_out_degree = 8.0;
+    gen_config.initial_posts = 3;
+    SocialGraphGen gen(gen_config, 100 + seed);
+
+    auto run_arm = [&](bool paged) {
+      MiniCluster mini(seed, paged);
+      mini.Seed(gen, 1ull << 40);
+      GraphClient client(&mini.router);
+      SocialWorkloadConfig workload_config;
+      workload_config.users = gen_config.users;
+      workload_config.ops = 300;
+      workload_config.feed_fraction = 0.5;
+      workload_config.follow_fraction = 0.2;
+      workload_config.unfollow_fraction = 0.1;
+      workload_config.post_fraction = 0.2;
+      SocialWorkloadDriver driver({&client}, workload_config, 500 + seed);
+      bool mixed_done = false;
+      driver.Run([&] { mixed_done = true; });
+      mini.loop.RunFor(10 * kSecond);
+      EXPECT_TRUE(mixed_done);
+      EXPECT_EQ(driver.stats().mutations_failed, 0);
+      bool pass_done = false;
+      driver.RunFeedPass(150, /*pass=*/1, [&] { pass_done = true; });
+      mini.loop.RunFor(10 * kSecond);
+      EXPECT_TRUE(pass_done);
+      EXPECT_EQ(driver.stats().feeds_failed, 0);
+      return driver.stats().feed_digest;
+    };
+
+    uint64_t ram_digest = run_arm(/*paged=*/false);
+    uint64_t paged_digest = run_arm(/*paged=*/true);
+    EXPECT_NE(ram_digest, 0u);
+    EXPECT_EQ(ram_digest, paged_digest) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace scads

@@ -580,5 +580,105 @@ TEST(PagedNodeTest, RamEngineNodesReportZeroIoBacklog) {
   EXPECT_EQ(node.load_signal().io_backlog, 0);
 }
 
+// --------------------------------------------------------- Scan readahead --
+
+// Builds a durable page file (every page written back, no memtable
+// leftovers) for a fresh reader engine to scan cold.
+size_t BuildDurableFile(EventLoop* loop, PageFile* file, const PagedStorageConfig& config,
+                        int records) {
+  PagedEngineOptions options;
+  options.config = config;
+  options.file = file;
+  PagedEngine writer(loop, options);
+  for (int i = 0; i < records; ++i) {
+    EXPECT_TRUE(writer.Put(Key(i), ValueOf(i), V(10 + i)).ok());
+  }
+  loop->RunFor(5 * kSecond);
+  EXPECT_EQ(writer.dirty_page_count(), 0u);
+  size_t durable = 0;
+  for (PageId id = 0; id < file->page_count(); ++id) {
+    if (!file->Contents(id).empty()) ++durable;
+  }
+  return durable;
+}
+
+TEST(PagedEngineTest, ScanReadaheadHidesSequentialFaultLatency) {
+  EventLoop loop;
+  PageFile file;
+  PagedStorageConfig config = SmallConfig();
+  config.buffer_pool_bytes = 256 * 1024;
+  config.page_bytes = 1024;
+  config.memtable_spill_bytes = 2 * 1024;
+  size_t durable = BuildDurableFile(&loop, &file, config, 300);
+  ASSERT_GT(durable, 3u);
+
+  auto cold_scan = [&](bool readahead, Duration* io, int64_t* faults,
+                       int64_t* prefetched) {
+    PagedEngineOptions options;
+    options.config = config;
+    options.config.scan_readahead = readahead;
+    options.file = &file;
+    PagedEngine reader(&loop, options);
+    std::vector<Record> out = reader.ScanRaw("", "", 0);
+    *io = reader.TakeAccruedIo();
+    *faults = reader.metrics().CounterValue("page_faults");
+    *prefetched = reader.metrics().CounterValue("pages_prefetched");
+    return out;
+  };
+
+  Duration io_on = 0, io_off = 0;
+  int64_t faults_on = 0, faults_off = 0, prefetched_on = 0, prefetched_off = 0;
+  std::vector<Record> with = cold_scan(true, &io_on, &faults_on, &prefetched_on);
+  std::vector<Record> without = cold_scan(false, &io_off, &faults_off, &prefetched_off);
+
+  // Identical results either way...
+  ASSERT_EQ(with.size(), 300u);
+  ASSERT_EQ(with.size(), without.size());
+  for (size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i].key, without[i].key);
+    EXPECT_EQ(with[i].value, without[i].value);
+  }
+  // ...but readahead pays for only the FIRST fault on the request path:
+  // every later page was loaded while its predecessor was being merged.
+  EXPECT_EQ(faults_on, 1);
+  EXPECT_EQ(prefetched_on, static_cast<int64_t>(durable) - 1);
+  EXPECT_EQ(io_on, config.page_read_latency);
+  EXPECT_EQ(faults_off, static_cast<int64_t>(durable));
+  EXPECT_EQ(prefetched_off, 0);
+  EXPECT_EQ(io_off, static_cast<Duration>(durable) * config.page_read_latency);
+}
+
+TEST(PagedEngineTest, ScanReadaheadSkipsWhenPoolHasNoCleanRoom) {
+  EventLoop loop;
+  PageFile file;
+  PagedStorageConfig config = SmallConfig();
+  config.buffer_pool_bytes = 256 * 1024;
+  config.page_bytes = 1024;
+  config.memtable_spill_bytes = 2 * 1024;
+  size_t durable = BuildDurableFile(&loop, &file, config, 300);
+  ASSERT_GT(durable, 3u);
+
+  // A pool barely over one page: whenever the pinned current page is large,
+  // the prefetch finds no clean victim and must skip — never evicting the
+  // pinned page, never forcing a write-back, never overrunning the budget.
+  PagedEngineOptions options;
+  options.config = config;
+  options.config.buffer_pool_bytes = 1200;
+  options.file = &file;
+  PagedEngine reader(&loop, options);
+  std::vector<Record> out = reader.ScanRaw("", "", 0);
+  EXPECT_EQ(out.size(), 300u);
+  EXPECT_GT(reader.metrics().CounterValue("prefetch_skips"), 0);
+  EXPECT_EQ(reader.metrics().CounterValue("budget_overruns"), 0);
+  EXPECT_EQ(reader.metrics().CounterValue("forced_writebacks"), 0);
+  // Every durable page still came in exactly once per visit — by fault or
+  // by prefetch; a skipped prefetch degrades to the ordinary fault cost.
+  EXPECT_GE(reader.metrics().CounterValue("page_faults") +
+                reader.metrics().CounterValue("pages_prefetched"),
+            static_cast<int64_t>(durable));
+  EXPECT_GT(reader.metrics().CounterValue("page_faults"), 1);
+  EXPECT_LE(reader.pool().resident_bytes(), 1200u);
+}
+
 }  // namespace
 }  // namespace scads

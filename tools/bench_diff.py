@@ -28,6 +28,12 @@ BENCH_paged_storage.json is informational only: its latency fields compare
 a disk-backed tier against RAM, so the claim gates (--gate 'claim_*') do
 not cover it — only its shape_check flipping away from PASS would fail.
 
+BENCH_social_graph.json is likewise informational: its arms deliberately
+overdrive a single node (cold/paged) or serve from cache (warm), so the
+absolute latencies are workload artifacts, not regressions to gate on.
+Its shape_check (codec compactness, cross-arm digest match, warm speedup,
+paged pool bound) flipping away from PASS still fails.
+
 Baseline handling: an unreadable or corrupt JSON in either directory is an
 error (exit 2) with a clear message — never silently skipped. A missing
 PREV_DIR normally means "first run, nothing to diff" (exit 0);
