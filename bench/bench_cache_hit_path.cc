@@ -71,7 +71,7 @@ RunResult Run(bool cache_enabled) {
     row.SetInt("user_id", user);
     row.SetString("name", "user" + std::to_string(user));
     row.SetInt("bday", user % 365);
-    if (!db->PutRowSync("profiles", row).ok()) {
+    if (!db->PutRowSync("profiles", row, RequestOptions{}).ok()) {
       std::fprintf(stderr, "load failed at user %lld\n", static_cast<long long>(user));
       std::exit(1);
     }
@@ -92,7 +92,7 @@ RunResult Run(bool cache_enabled) {
                   Row key;
                   key.SetInt("user_id", rng->Zipf(kUsers, kZipfTheta));
                   Time issued = raw->loop()->Now();
-                  raw->GetRow("profiles", key, [raw, out, issued](Result<Row> row) {
+                  raw->GetRow("profiles", key, RequestOptions{}, [raw, out, issued](Result<Row> row) {
                     if (!row.ok()) return;
                     out->read_latency.Record(raw->loop()->Now() - issued);
                     ++out->sampled_reads;

@@ -80,7 +80,7 @@ RunOutcome RunDiurnal(bool elastic, int static_fleet_size) {
   WorkloadDriver driver(&loop, &cluster, traffic, driver_config, 34);
   driver.AddOp(WorkloadOp{"get", 1.0, [&](Rng* rng) {
                             std::string key = "k" + std::to_string(rng->Uniform(100000));
-                            router.Get(key, false, [](Result<Record>) {});
+                            router.Get(key, RequestOptions{}, [](Result<Record>) {});
                           }});
   director.set_offered_rate_probe([&] { return traffic(loop.Now()); });
 

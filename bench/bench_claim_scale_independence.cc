@@ -70,14 +70,14 @@ Sample RunAtScale(int64_t users) {
     row.SetInt("user_id", u);
     row.SetString("name", "u" + std::to_string(u));
     row.SetInt("bday", 1 + (u * 97) % 1300);
-    (void)db->PutRowSync("profiles", row);
+    (void)db->PutRowSync("profiles", row, RequestOptions{});
   }
   AppSideJoinClient appside(db->router(), &db->catalog());
   for (const auto& [a, b] : graph.Edges()) {
     Row edge;
     edge.SetInt("f1", a);
     edge.SetInt("f2", b);
-    (void)db->PutRowSync("friendships", edge);
+    (void)db->PutRowSync("friendships", edge, RequestOptions{});
   }
   // Denormalized friend lists for the KV baseline.
   const int64_t subject = users / 2;
@@ -104,7 +104,7 @@ Sample RunAtScale(int64_t users) {
   AdHocExecutor adhoc(db->router(), db->cluster(), &db->catalog());
   for (int i = 0; i < 3; ++i) {
     scads_total += time_one([&](std::function<void()> done) {
-      db->Query("birthday", {{"u", Value(subject)}},
+      db->Query("birthday", {{"u", Value(subject)}}, RequestOptions{},
                 [done](Result<std::vector<Row>>) { done(); });
     });
     adhoc_total += time_one([&](std::function<void()> done) {

@@ -72,7 +72,7 @@ int main() {
   WorkloadDriver driver(&loop, &cluster, traffic, driver_config, 7);
   driver.AddOp(WorkloadOp{"get", 1.0, [&](Rng* rng) {
                             std::string key = "k" + std::to_string(rng->Uniform(1000000));
-                            router.Get(key, false, [](Result<Record>) {});
+                            router.Get(key, RequestOptions{}, [](Result<Record>) {});
                           }});
   director.set_offered_rate_probe([&] { return traffic(loop.Now()); });
 

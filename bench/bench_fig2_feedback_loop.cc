@@ -73,7 +73,7 @@ RunResult RunSurge(bool use_forecasting, bool print_trace) {
   WorkloadDriver driver(&loop, &cluster, traffic, driver_config, 14);
   driver.AddOp(WorkloadOp{"get", 1.0, [&](Rng* rng) {
                             std::string key = "k" + std::to_string(rng->Uniform(10000));
-                            router.Get(key, false, [](Result<Record>) {});
+                            router.Get(key, RequestOptions{}, [](Result<Record>) {});
                           }});
   director.set_offered_rate_probe([&] { return traffic(loop.Now()); });
 

@@ -74,13 +74,13 @@ int main() {
     row.SetInt("user_id", i);
     row.SetString("name", "u" + std::to_string(i));
     row.SetInt("birthday", 100 + i);
-    (void)db->PutRowSync("profiles", row);
+    (void)db->PutRowSync("profiles", row, RequestOptions{});
   }
   for (int64_t i = 2; i <= 11; ++i) {
     Row edge;
     edge.SetInt("f1", 1);
     edge.SetInt("f2", i);
-    (void)db->PutRowSync("friendships", edge);
+    (void)db->PutRowSync("friendships", edge, RequestOptions{});
   }
   db->DrainIndexQueue();
   const MaintenanceStats& after_edges = db->maintainer()->stats();
@@ -96,7 +96,7 @@ int main() {
   updated.SetInt("user_id", 5);
   updated.SetString("name", "u5");
   updated.SetInt("birthday", 999);
-  (void)db->PutRowSync("profiles", updated);
+  (void)db->PutRowSync("profiles", updated, RequestOptions{});
   db->DrainIndexQueue();
   const MaintenanceStats& after_bday = db->maintainer()->stats();
   std::printf("\nafter ONE profile birthday change (user 5, 1 friend):\n");
@@ -105,7 +105,7 @@ int main() {
   std::printf("  budget overruns: %lld\n", static_cast<long long>(after_bday.budget_overruns));
 
   // Validate via query: user 1 must see u5's new birthday last.
-  auto rows = db->QuerySync("birthday", {{"user_id", Value(int64_t{1})}});
+  auto rows = db->QuerySync("birthday", {{"user_id", Value(int64_t{1})}}, RequestOptions{});
   bool ordered_ok = rows.ok() && !rows->empty() && rows->back().GetInt("birthday") == 999;
   std::printf("\nbirthday query after cascade: %zu rows, newest birthday last: %s\n",
               rows.ok() ? rows->size() : 0, ordered_ok ? "yes" : "NO");

@@ -33,12 +33,12 @@ bool AxisPerformance() {
   // Seed keys, then read under light load.
   for (int i = 0; i < 50; ++i) {
     Status status = InternalError("pending");
-    db->router()->Put("k" + std::to_string(i), "v", AckMode::kPrimary,
+    db->router()->Put("k" + std::to_string(i), "v", AckMode::kPrimary, RequestOptions{},
                       [&](Status s) { status = s; });
     db->RunFor(50 * kMillisecond);
   }
   for (int i = 0; i < 3000; ++i) {
-    db->router()->Get("k" + std::to_string(i % 50), false, [](Result<Record>) {});
+    db->router()->Get("k" + std::to_string(i % 50), RequestOptions{}, [](Result<Record>) {});
     db->RunFor(5 * kMillisecond);
   }
   db->RunFor(kSecond);
@@ -63,8 +63,8 @@ bool AxisWriteConsistency() {
   // Serializable: concurrent CAS writers serialize; conflicts retried.
   WritePolicy serializable(db->router(), WriteConsistency::kSerializable);
   Status a = InternalError("pending"), b = InternalError("pending");
-  serializable.Put("doc", "writer-a", AckMode::kPrimary, [&](Status s) { a = s; });
-  serializable.Put("doc", "writer-b", AckMode::kPrimary, [&](Status s) { b = s; });
+  serializable.Put("doc", "writer-a", AckMode::kPrimary, RequestOptions{}, [&](Status s) { a = s; });
+  serializable.Put("doc", "writer-b", AckMode::kPrimary, RequestOptions{}, [&](Status s) { b = s; });
   db->RunFor(3 * kSecond);
   bool serializable_ok = a.ok() && b.ok() && serializable.stats().conflicts_retried >= 1;
   std::printf("  serializable: both writers committed after %lld retried conflicts -> %s\n",
@@ -77,11 +77,11 @@ bool AxisWriteConsistency() {
                        return std::string(stored) + "," + std::string(incoming);
                      });
   Status m1 = InternalError("pending"), m2 = InternalError("pending");
-  merger.Put("cart", "milk", AckMode::kPrimary, [&](Status s) { m1 = s; });
-  merger.Put("cart", "eggs", AckMode::kPrimary, [&](Status s) { m2 = s; });
+  merger.Put("cart", "milk", AckMode::kPrimary, RequestOptions{}, [&](Status s) { m1 = s; });
+  merger.Put("cart", "eggs", AckMode::kPrimary, RequestOptions{}, [&](Status s) { m2 = s; });
   db->RunFor(3 * kSecond);
   Result<Record> cart(InternalError("pending"));
-  db->router()->Get("cart", true, [&](Result<Record> r) { cart = std::move(r); });
+  db->router()->Get("cart", RequestOptions::PrimaryOnly(), [&](Result<Record> r) { cart = std::move(r); });
   db->RunFor(kSecond);
   bool merge_ok = m1.ok() && m2.ok() && cart.ok() &&
                   cart->value.find("milk") != std::string::npos &&
@@ -92,12 +92,12 @@ bool AxisWriteConsistency() {
   // Last write wins: replicas converge on the newest version.
   WritePolicy lww(db->router(), WriteConsistency::kLastWriteWins);
   Status w = InternalError("pending");
-  lww.Put("status", "old", AckMode::kPrimary, [&](Status s) { w = s; });
+  lww.Put("status", "old", AckMode::kPrimary, RequestOptions{}, [&](Status s) { w = s; });
   db->RunFor(100 * kMillisecond);
-  lww.Put("status", "new", AckMode::kPrimary, [&](Status s) { w = s; });
+  lww.Put("status", "new", AckMode::kPrimary, RequestOptions{}, [&](Status s) { w = s; });
   db->RunFor(3 * kSecond);
   Result<Record> status_value(InternalError("pending"));
-  db->router()->Get("status", true, [&](Result<Record> r) { status_value = std::move(r); });
+  db->router()->Get("status", RequestOptions::PrimaryOnly(), [&](Result<Record> r) { status_value = std::move(r); });
   db->RunFor(kSecond);
   bool lww_ok = status_value.ok() && status_value->value == "new";
   std::printf("  last-write-wins: final value '%s' -> %s\n",
@@ -113,13 +113,13 @@ bool AxisReadConsistency() {
   auto db = std::move(Scads::Create(options)).value();
   (void)db->Start();
   Status put = InternalError("pending");
-  db->router()->Put("item", "fresh-value", AckMode::kPrimary, [&](Status s) { put = s; });
+  db->router()->Put("item", "fresh-value", AckMode::kPrimary, RequestOptions{}, [&](Status s) { put = s; });
   db->RunFor(500 * kMillisecond);
   // Read via the staleness controller immediately: it must pick a replica
   // that can PROVE freshness within 2s (or go to the primary).
   Result<Record> got(InternalError("pending"));
   bool done = false;
-  db->staleness()->Get("item", [&](Result<Record> r) {
+  db->staleness()->Get("item", RequestOptions{}, [&](Result<Record> r) {
     got = std::move(r);
     done = true;
   });
@@ -145,13 +145,13 @@ bool AxisSessionGuarantees() {
   (void)db->Start();
   auto session = db->NewSession();
   Status posted = InternalError("pending");
-  session->Put("wall/me", "my-post", AckMode::kPrimary, [&](Status s) { posted = s; });
+  session->Put("wall/me", "my-post", AckMode::kPrimary, RequestOptions{}, [&](Status s) { posted = s; });
   db->RunFor(50 * kMillisecond);
   int stale_anomalies = 0;
   for (int i = 0; i < 20; ++i) {
     Result<Record> got(InternalError("pending"));
     bool done = false;
-    session->Get("wall/me", [&](Result<Record> r) {
+    session->Get("wall/me", RequestOptions{}, [&](Result<Record> r) {
       got = std::move(r);
       done = true;
     });
@@ -187,7 +187,7 @@ bool AxisDurability() {
   auto db = std::move(Scads::Create(options)).value();
   (void)db->Start();
   Status put = InternalError("pending");
-  db->router()->Put("precious", "data", db->durability_plan().ack_mode,
+  db->router()->Put("precious", "data", db->durability_plan().ack_mode, RequestOptions{},
                     [&](Status s) { put = s; });
   db->RunFor(3 * kSecond);
   const PartitionInfo& p = db->cluster()->partitions()->ForKey("precious");
@@ -198,7 +198,7 @@ bool AxisDurability() {
   db->RunFor(kSecond);
   Result<Record> got(InternalError("pending"));
   bool done = false;
-  db->router()->Get("precious", false, [&](Result<Record> r) {
+  db->router()->Get("precious", RequestOptions{}, [&](Result<Record> r) {
     got = std::move(r);
     done = true;
   });

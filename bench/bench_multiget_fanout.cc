@@ -85,7 +85,7 @@ struct Deployment {
   void Load() {
     for (int64_t id = 0; id < kRows; ++id) {
       bool done = false;
-      router->Put(UserKey(id), "profile-of-user-" + std::to_string(id), AckMode::kPrimary,
+      router->Put(UserKey(id), "profile-of-user-" + std::to_string(id), AckMode::kPrimary, RequestOptions{},
                   [&done](Status status) {
                     if (!status.ok()) std::exit(1);
                     done = true;
@@ -146,7 +146,7 @@ ModeResult RunMode(bool batched, int fanout) {
     bool done = false;
     if (batched) {
       deployment.router->MultiGet(
-          keys, /*pin_primary=*/false,
+          keys, RequestOptions{},
           [&out, &done, issued, &deployment](std::vector<Result<Record>> results) {
             for (size_t i = 0; i < results.size(); ++i) {
               out.fingerprint = MixResult(out.fingerprint, i, results[i]);
@@ -163,7 +163,7 @@ ModeResult RunMode(bool batched, int fanout) {
           done = true;
           return;
         }
-        deployment.router->Get(keys[i], /*pin_primary=*/false,
+        deployment.router->Get(keys[i], RequestOptions{},
                                [&out, i, fetch](Result<Record> result) {
                                  out.fingerprint = MixResult(out.fingerprint, i, result);
                                  (*fetch)(i + 1);

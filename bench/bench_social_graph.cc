@@ -166,7 +166,7 @@ ArmOutcome RunArm(Arm arm, int64_t users) {
   loop.RunFor(2 * kSecond);
   node->engine()->TakeAccruedIo();
 
-  GraphClient client(&router);
+  GraphClient client(ScadsClient{&router});
   SocialWorkloadConfig workload_config;
   workload_config.users = users;
   workload_config.ops = kMixedOps;

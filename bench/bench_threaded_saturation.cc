@@ -1,0 +1,224 @@
+// Threaded saturation: latency vs concurrency on the real-threads backend.
+//
+// N synchronous client threads (each with its own Router + ScadsClient)
+// push a 90/10 Get/Put point workload against M storage shards on a
+// ThreadedRuntime. Every node service time is a real wall-clock timer, so
+// one synchronous client caps out near 1/(service + overhead) ops/s and
+// concurrency wins by OVERLAPPING those waits — the classic closed-system
+// saturation curve, no CPU parallelism required (this runs on one core).
+// Aggregate throughput should scale near-linearly while the shards have
+// headroom, then flatten at the fleet's service capacity while p99 grows
+// with queueing — which is exactly what the curve this bench emits shows.
+//
+// Shape checks (reported in BENCH_threaded_saturation.json, and the
+// process exits nonzero when they fail):
+//  * scaling: aggregate throughput at 8 threads >= 2.5x the 1-thread
+//    throughput;
+//  * monotone-to-saturation: each point's throughput >= 0.85x the previous
+//    point's (rising, then flat — never collapsing).
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/node.h"
+#include "cluster/partition.h"
+#include "cluster/router.h"
+#include "common/benchjson.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/request_options.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/scads_client.h"
+#include "runtime/threaded_runtime.h"
+
+namespace scads {
+namespace {
+
+constexpr int kNodes = 8;
+constexpr int kPartitions = 64;
+constexpr int kReplication = 1;
+constexpr int kKeys = 4096;
+constexpr int kThreadCounts[] = {1, 2, 4, 8, 16, 32};
+constexpr Duration kWarmup = 60 * kMillisecond;
+constexpr Duration kMeasure = 350 * kMillisecond;
+
+std::string KeyFor(int i) {
+  // 2-byte spread prefix stripes keys across the uniform partition map.
+  uint32_t h = static_cast<uint32_t>(i) * 2654435761u;
+  std::string key;
+  key.push_back(static_cast<char>(h >> 24));
+  key.push_back(static_cast<char>(h >> 16));
+  return key + "/k" + std::to_string(i);
+}
+
+struct Point {
+  int threads = 0;
+  double ops_per_sec = 0;
+  int64_t ops = 0;
+  LogHistogram latency;
+};
+
+// One deployment reused across all points: nodes keep their data, each
+// point spins up its own client threads and routers.
+struct Deployment {
+  ThreadedRuntime runtime;
+  ClusterState cluster;
+  std::vector<std::unique_ptr<StorageNode>> nodes;
+
+  Deployment() {
+    NodeConfig node_config;
+    node_config.watermark_heartbeat = 0;  // rf=1: no idle watermark timers
+    std::vector<NodeId> ids;
+    for (int i = 0; i < kNodes; ++i) {
+      runtime.RegisterDestination(i);
+      auto node = std::make_unique<StorageNode>(i, &runtime, &runtime, &cluster, node_config,
+                                                1000 + static_cast<uint64_t>(i));
+      if (!cluster.AddNode(i, node.get()).ok()) std::abort();
+      node->Start();
+      nodes.push_back(std::move(node));
+      ids.push_back(i);
+    }
+    auto map = PartitionMap::CreateUniform(kPartitions, ids, kReplication);
+    if (!map.ok()) std::abort();
+    cluster.set_partitions(std::move(map).value());
+  }
+
+  ~Deployment() { runtime.Shutdown(); }
+};
+
+Point RunPoint(Deployment& dep, int thread_count) {
+  // One Router per client thread: distinct client NodeIds so response
+  // deliveries spread over workers, and no cross-thread contention on one
+  // router's lock becomes part of what we measure.
+  std::vector<std::unique_ptr<Router>> routers;
+  for (int t = 0; t < thread_count; ++t) {
+    routers.push_back(std::make_unique<Router>(2000 + t, &dep.runtime, &dep.runtime,
+                                               &dep.cluster, RouterConfig{},
+                                               500 + static_cast<uint64_t>(t)));
+  }
+
+  std::atomic<bool> measuring{false};
+  std::atomic<bool> stop{false};
+  std::vector<int64_t> ops(thread_count, 0);
+  std::vector<LogHistogram> latencies(thread_count);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < thread_count; ++t) {
+    threads.emplace_back([&, t] {
+      ScadsClient client(routers[t].get());
+      Rng rng(7000 + static_cast<uint64_t>(t));
+      const Clock* clock = WallClock::Get();
+      while (!stop.load(std::memory_order_acquire)) {
+        int i = static_cast<int>(rng.Uniform(kKeys));
+        bool is_read = rng.Uniform(10) != 0;  // 90/10 read/write
+        Time start = clock->Now();
+        bool ok;
+        if (is_read) {
+          ok = client.GetSync(KeyFor(i)).ok();
+        } else {
+          ok = client.PutSync(KeyFor(i), "v" + std::to_string(i), AckMode::kPrimary).ok();
+        }
+        if (!ok) continue;  // shed/timeout: not a completed op
+        if (measuring.load(std::memory_order_acquire)) {
+          latencies[t].Record(clock->Now() - start);
+          ++ops[t];
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::microseconds(kWarmup));
+  Time begin = WallClock::Get()->Now();
+  measuring.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::microseconds(kMeasure));
+  measuring.store(false, std::memory_order_release);
+  Time end = WallClock::Get()->Now();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  Point point;
+  point.threads = thread_count;
+  for (int t = 0; t < thread_count; ++t) {
+    point.ops += ops[t];
+    point.latency.Merge(latencies[t]);
+  }
+  point.ops_per_sec = static_cast<double>(point.ops) * 1e6 / static_cast<double>(end - begin);
+  return point;
+}
+
+}  // namespace
+}  // namespace scads
+
+int main() {
+  using namespace scads;
+
+  std::printf("=== THREADED SATURATION: closed-loop clients vs %d shards ===\n\n", kNodes);
+  std::printf("real worker threads (ThreadedRuntime, %s workers), %d partitions, rf=%d, "
+              "%d keys, 90/10 get/put, %lld ms per point\n\n",
+              "auto", kPartitions, kReplication, kKeys,
+              static_cast<long long>(kMeasure / kMillisecond));
+
+  Deployment dep;
+  {
+    // Preload every key so reads hit.
+    Router loader(1999, &dep.runtime, &dep.runtime, &dep.cluster, RouterConfig{}, 17);
+    ScadsClient client(&loader);
+    for (int i = 0; i < kKeys; ++i) {
+      if (!client.PutSync(KeyFor(i), "v" + std::to_string(i), AckMode::kPrimary).ok()) {
+        std::fprintf(stderr, "preload failed at key %d\n", i);
+        return 1;
+      }
+    }
+  }
+
+  std::printf("%8s %12s %10s %10s %10s\n", "threads", "ops/s", "p50_us", "p99_us", "scaling");
+
+  BenchJson json("threaded_saturation");
+  std::vector<Point> points;
+  for (int threads : kThreadCounts) points.push_back(RunPoint(dep, threads));
+
+  double base = points.front().ops_per_sec;
+  bool monotone = true;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    double scaling = p.ops_per_sec / base;
+    std::printf("%8d %12.0f %10lld %10lld %9.2fx\n", p.threads, p.ops_per_sec,
+                static_cast<long long>(p.latency.ValueAtQuantile(0.5)),
+                static_cast<long long>(p.latency.ValueAtQuantile(0.99)), scaling);
+    if (i > 0 && p.ops_per_sec < 0.85 * points[i - 1].ops_per_sec) monotone = false;
+
+    json.BeginRow(StrFormat("threads_%d", p.threads));
+    json.Add("threads", p.threads);
+    json.Add("ops", p.ops);
+    json.Add("ops_per_sec", p.ops_per_sec);
+    json.Add("p50_us", p.latency.ValueAtQuantile(0.5));
+    json.Add("p99_us", p.latency.ValueAtQuantile(0.99));
+    json.Add("scaling_vs_1", scaling);
+  }
+
+  double scaling_at_8 = 0;
+  for (const Point& p : points) {
+    if (p.threads == 8) scaling_at_8 = p.ops_per_sec / base;
+  }
+  bool scaled = scaling_at_8 >= 2.5;
+
+  std::printf("\n1 -> 8 threads: %.2fx aggregate throughput (need >= 2.5x); curve %s\n",
+              scaling_at_8, monotone ? "monotone to saturation" : "COLLAPSED");
+
+  json.BeginRow("shape");
+  json.Add("scaling_1_to_8", scaling_at_8);
+  json.Add("monotone", monotone ? 1 : 0);
+  json.Add("workers", dep.runtime.worker_count());
+  Status written = json.Write();
+  if (!written.ok()) {
+    std::fprintf(stderr, "bench json write failed: %s\n", std::string(written.message()).c_str());
+    return 1;
+  }
+
+  return (scaled && monotone) ? 0 : 1;
+}

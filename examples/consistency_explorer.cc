@@ -29,11 +29,11 @@ void DemoWritePolicies() {
   // function keeps both updates.
   WritePolicy& merge_policy = *db->write_policy();
   Status s1 = InternalError("pending"), s2 = InternalError("pending");
-  merge_policy.Put("cart/42", "milk", AckMode::kPrimary, [&](Status s) { s1 = s; });
-  merge_policy.Put("cart/42", "eggs", AckMode::kPrimary, [&](Status s) { s2 = s; });
+  merge_policy.Put("cart/42", "milk", AckMode::kPrimary, RequestOptions{}, [&](Status s) { s1 = s; });
+  merge_policy.Put("cart/42", "eggs", AckMode::kPrimary, RequestOptions{}, [&](Status s) { s2 = s; });
   db->RunFor(2 * kSecond);
   Result<Record> cart(InternalError("pending"));
-  db->router()->Get("cart/42", true, [&](Result<Record> r) { cart = std::move(r); });
+  db->router()->Get("cart/42", RequestOptions::PrimaryOnly(), [&](Result<Record> r) { cart = std::move(r); });
   db->RunFor(kSecond);
   std::printf("merge policy: two writers -> value '%s' (merges=%lld)\n",
               cart.ok() ? cart->value.c_str() : "?",
@@ -42,8 +42,8 @@ void DemoWritePolicies() {
   // Serializable: a CAS race — one writer must retry.
   WritePolicy serializable(db->router(), WriteConsistency::kSerializable);
   Status a = InternalError("pending"), b = InternalError("pending");
-  serializable.Put("doc/1", "draft-a", AckMode::kPrimary, [&](Status s) { a = s; });
-  serializable.Put("doc/1", "draft-b", AckMode::kPrimary, [&](Status s) { b = s; });
+  serializable.Put("doc/1", "draft-a", AckMode::kPrimary, RequestOptions{}, [&](Status s) { a = s; });
+  serializable.Put("doc/1", "draft-b", AckMode::kPrimary, RequestOptions{}, [&](Status s) { b = s; });
   db->RunFor(2 * kSecond);
   std::printf("serializable: both committed (a=%s b=%s), conflicts retried=%lld\n",
               a.ToString().c_str(), b.ToString().c_str(),
@@ -79,7 +79,7 @@ void DemoPartitionPriorities() {
     auto db = std::move(Scads::Create(options)).value();
     (void)db->Start();
     Status put = InternalError("pending");
-    db->router()->Put("k", "v", AckMode::kAll, [&](Status s) { put = s; });
+    db->router()->Put("k", "v", AckMode::kAll, RequestOptions{}, [&](Status s) { put = s; });
     db->RunFor(2 * kSecond);
     // Cut off the primary of k's partition.
     const PartitionInfo& p = db->cluster()->partitions()->ForKey("k");
@@ -87,7 +87,7 @@ void DemoPartitionPriorities() {
     db->RunFor(2 * kSecond);
     Result<Record> got(InternalError("pending"));
     bool done = false;
-    db->staleness()->Get("k", [&](Result<Record> r) {
+    db->staleness()->Get("k", RequestOptions{}, [&](Result<Record> r) {
       got = std::move(r);
       done = true;
     });

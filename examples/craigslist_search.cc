@@ -54,7 +54,7 @@ int main() {
     row.SetString("city", city);
     row.SetInt("created", db->loop()->Now() / kSecond);
     row.SetString("title", title);
-    (void)db->PutRowSync("listings", row);
+    (void)db->PutRowSync("listings", row, RequestOptions{});
   };
   post(1, "sf", "rusty bicycle");
   post(2, "sf", "couch, free, haunted");
@@ -63,14 +63,14 @@ int main() {
 
   // Search immediately: the newest post may not be indexed yet — that is
   // the declared, understood behaviour.
-  auto immediate = db->QuerySync("search", {{"city", Value(std::string("sf"))}});
+  auto immediate = db->QuerySync("search", {{"city", Value(std::string("sf"))}}, RequestOptions{});
   std::printf("\nimmediately after posting: %zu sf results (index may lag)\n",
               immediate.ok() ? immediate->size() : 0);
 
   // Within the 5-minute bound the index must have caught up.
   db->RunFor(kMinute);
   db->DrainIndexQueue();
-  auto settled = db->QuerySync("search", {{"city", Value(std::string("sf"))}});
+  auto settled = db->QuerySync("search", {{"city", Value(std::string("sf"))}}, RequestOptions{});
   std::printf("after 1 simulated minute: %zu sf results:\n", settled->size());
   for (const Row& row : *settled) {
     std::printf("  [%lld] %s\n", static_cast<long long>(row.GetInt("created")),

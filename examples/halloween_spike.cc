@@ -44,11 +44,11 @@ int main() {
   WorkloadDriver driver(db->loop(), db->cluster(), traffic, driver_config, 99);
   driver.AddOp(WorkloadOp{"view_photo", 0.6, [&](Rng* rng) {
                             std::string key = "photo/" + std::to_string(rng->Uniform(100000));
-                            db->router()->Get(key, false, [](Result<Record>) {});
+                            db->router()->Get(key, RequestOptions{}, [](Result<Record>) {});
                           }});
   driver.AddOp(WorkloadOp{"post_photo", 0.4, [&](Rng* rng) {
                             std::string key = "photo/" + std::to_string(rng->Uniform(100000));
-                            db->router()->Put(key, "jpeg-bytes", AckMode::kPrimary,
+                            db->router()->Put(key, "jpeg-bytes", AckMode::kPrimary, RequestOptions{},
                                               [](Status) {});
                           }});
   db->director()->set_offered_rate_probe(

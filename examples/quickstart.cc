@@ -84,19 +84,19 @@ int main() {
     row.SetInt("bday", bday);
     return row;
   };
-  (void)db->PutRowSync("profiles", profile(1, "alice", 615));
-  (void)db->PutRowSync("profiles", profile(2, "bob", 212));
-  (void)db->PutRowSync("profiles", profile(3, "carol", 930));
+  (void)db->PutRowSync("profiles", profile(1, "alice", 615), RequestOptions{});
+  (void)db->PutRowSync("profiles", profile(2, "bob", 212), RequestOptions{});
+  (void)db->PutRowSync("profiles", profile(3, "carol", 930), RequestOptions{});
   Row edge;
   edge.SetInt("f1", 1);
   edge.SetInt("f2", 2);
-  (void)db->PutRowSync("friendships", edge);
+  (void)db->PutRowSync("friendships", edge, RequestOptions{});
   edge.SetInt("f2", 3);
-  (void)db->PutRowSync("friendships", edge);
+  (void)db->PutRowSync("friendships", edge, RequestOptions{});
   db->DrainIndexQueue();  // let asynchronous index maintenance settle
 
   // 5. Query: one bounded index scan.
-  Result<std::vector<Row>> rows = db->QuerySync("birthday", {{"user_id", Value(int64_t{1})}});
+  Result<std::vector<Row>> rows = db->QuerySync("birthday", {{"user_id", Value(int64_t{1})}}, RequestOptions{});
   if (!rows.ok()) {
     std::fprintf(stderr, "query failed: %s\n", rows.status().ToString().c_str());
     return 1;
@@ -108,7 +108,7 @@ int main() {
   }
 
   // 6. The same query again is answered from the staleness-aware cache.
-  rows = db->QuerySync("birthday", {{"user_id", Value(int64_t{1})}});
+  rows = db->QuerySync("birthday", {{"user_id", Value(int64_t{1})}}, RequestOptions{});
   if (rows.ok()) {
     std::printf("\nre-query served from cache: point hits=%lld scan hits=%lld\n",
                 static_cast<long long>(db->metrics()->CounterValue("cache.point.hits")),

@@ -68,13 +68,13 @@ int main() {
     row.SetInt("user_id", u);
     row.SetString("name", "user" + std::to_string(u));
     row.SetInt("bday", 101 + (u * 37) % 1200);
-    (void)db->PutRowSync("profiles", row);
+    (void)db->PutRowSync("profiles", row, RequestOptions{});
   }
   for (const auto& [a, b] : graph.Edges()) {
     Row edge;
     edge.SetInt("f1", a);
     edge.SetInt("f2", b);
-    (void)db->PutRowSync("friendships", edge);
+    (void)db->PutRowSync("friendships", edge, RequestOptions{});
   }
   db->DrainIndexQueue(10 * kMinute);
 
@@ -85,14 +85,14 @@ int main() {
   std::printf("\nmost-connected user: user%lld (%lld friends)\n",
               static_cast<long long>(subject), static_cast<long long>(graph.Degree(subject)));
 
-  auto birthdays = db->QuerySync("friend_birthdays", {{"u", Value(subject)}});
+  auto birthdays = db->QuerySync("friend_birthdays", {{"u", Value(subject)}}, RequestOptions{});
   std::printf("next birthdays among friends (limit 10):\n");
   for (const Row& row : *birthdays) {
     std::printf("  %-8s bday=%lld\n", row.GetString("name").c_str(),
                 static_cast<long long>(row.GetInt("bday")));
   }
 
-  auto fof = db->QuerySync("fof", {{"u", Value(subject)}});
+  auto fof = db->QuerySync("fof", {{"u", Value(subject)}}, RequestOptions{});
   std::printf("friends-of-friends: %zu users\n", fof->size());
 
   // Session guarantee demo: a user must see their own profile edit at once.
@@ -103,8 +103,8 @@ int main() {
   renamed.SetInt("user_id", subject);
   renamed.SetString("name", "renamed!");
   renamed.SetInt("bday", 555);
-  (void)db->PutRowSync("profiles", renamed);
-  auto fresh = db->QuerySync("profile", {{"u", Value(subject)}});
+  (void)db->PutRowSync("profiles", renamed, RequestOptions{});
+  auto fresh = db->QuerySync("profile", {{"u", Value(subject)}}, RequestOptions{});
   if (fresh.ok() && !fresh->empty()) {
     std::printf("read after write sees: %s\n", (*fresh)[0].GetString("name").c_str());
   }

@@ -77,7 +77,7 @@ void AdHocExecutor::FriendsByBirthday(int64_t user,
                   return;
                 }
                 ++lookups_;
-                router_->Get(*key, /*pin_primary=*/false,
+                router_->Get(*key, RequestOptions{},
                              [profiles, rows, fetch, i](Result<Record> record) {
                                if (record.ok()) {
                                  Result<Row> row = DecodeRow(*profiles, record->value);

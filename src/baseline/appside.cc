@@ -20,7 +20,7 @@ void AppSideJoinClient::StoreFriendList(int64_t user, const std::vector<int64_t>
   PutFixed32(&blob, static_cast<uint32_t>(friends.size()));
   for (int64_t f : friends) PutFixed64(&blob, static_cast<uint64_t>(f));
   ++round_trips_;
-  router_->Put(ListKey(user), blob, AckMode::kPrimary, std::move(callback));
+  router_->Put(ListKey(user), blob, AckMode::kPrimary, RequestOptions{}, std::move(callback));
 }
 
 void AppSideJoinClient::FriendsByBirthday(
@@ -32,7 +32,7 @@ void AppSideJoinClient::FriendsByBirthday(
   }
   ++round_trips_;
   router_->Get(
-      ListKey(user), /*pin_primary=*/false,
+      ListKey(user), RequestOptions{},
       [this, profiles, callback = std::move(callback)](Result<Record> blob) mutable {
         if (!blob.ok()) {
           if (IsNotFound(blob.status())) {
@@ -78,7 +78,7 @@ void AppSideJoinClient::FriendsByBirthday(
             return;
           }
           ++round_trips_;
-          router_->Get(*key, /*pin_primary=*/false,
+          router_->Get(*key, RequestOptions{},
                        [profiles, rows, fetch, i](Result<Record> record) {
                          if (record.ok()) {
                            Result<Row> row = DecodeRow(*profiles, record->value);

@@ -1,6 +1,7 @@
 #include "cluster/cluster_state.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "cluster/node.h"
 #include "common/strings.h"
@@ -8,45 +9,56 @@
 namespace scads {
 
 Status ClusterState::AddNode(NodeId id, StorageNode* node) {
+  std::unique_lock lock(mu_);
   auto [it, inserted] = nodes_.emplace(id, NodeEntry{node, true});
   if (!inserted) return AlreadyExistsError(StrFormat("node %d", id));
   return Status::Ok();
 }
 
 Status ClusterState::RemoveNode(NodeId id) {
+  std::unique_lock lock(mu_);
   if (nodes_.erase(id) == 0) return NotFoundError(StrFormat("node %d", id));
   return Status::Ok();
 }
 
 void ClusterState::SetNodeAlive(NodeId id, bool alive) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) return;
-  const bool was_alive = it->second.alive;
-  it->second.alive = alive;
-  if (alive && !was_alive) {
-    // Fresh grace period: the downtime gap must not count as silence (or
-    // pollute the inter-arrival estimate) once the node is back.
-    it->second.last_heartbeat = 0;
-    it->second.ewma_interval = 0;
-    it->second.heard = 0;
+  StorageNode* node = nullptr;
+  {
+    std::unique_lock lock(mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return;
+    const bool was_alive = it->second.alive;
+    it->second.alive = alive;
+    if (alive && !was_alive) {
+      // Fresh grace period: the downtime gap must not count as silence (or
+      // pollute the inter-arrival estimate) once the node is back.
+      it->second.last_heartbeat = 0;
+      it->second.ewma_interval = 0;
+      it->second.heard = 0;
+    }
+    node = it->second.node;
   }
   // The one down/up path (no split-brain with the node object's own
   // switch). set_alive(true) on a previously-dead node also kicks its
-  // delta-sync catch-up.
-  if (it->second.node != nullptr) it->second.node->set_alive(alive);
+  // delta-sync catch-up. Called outside `mu_`: the node may take its own
+  // steps (scheduling catch-up) without nesting under the registry lock.
+  if (node != nullptr) node->set_alive(alive);
 }
 
 bool ClusterState::IsAlive(NodeId id) const {
+  std::shared_lock lock(mu_);
   auto it = nodes_.find(id);
-  return it != nodes_.end() && it->second.alive && Suspicion(id) < 1.0;
+  return it != nodes_.end() && it->second.alive && SuspicionLocked(it->second) < 1.0;
 }
 
 StorageNode* ClusterState::GetNode(NodeId id) const {
+  std::shared_lock lock(mu_);
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.node;
 }
 
 void ClusterState::EnableFailureDetection(const Clock* clock, SuspicionConfig config) {
+  std::unique_lock lock(mu_);
   clock_ = clock;
   suspicion_ = config;
   if (suspicion_.min_interval <= 0) suspicion_.min_interval = 1;
@@ -54,6 +66,7 @@ void ClusterState::EnableFailureDetection(const Clock* clock, SuspicionConfig co
 }
 
 void ClusterState::RecordHeartbeat(NodeId id, Time now) {
+  std::unique_lock lock(mu_);
   auto it = nodes_.find(id);
   if (it == nodes_.end()) return;
   NodeEntry& entry = it->second;
@@ -71,11 +84,8 @@ void ClusterState::RecordHeartbeat(NodeId id, Time now) {
   ++entry.heard;
 }
 
-double ClusterState::Suspicion(NodeId id) const {
+double ClusterState::SuspicionLocked(const NodeEntry& entry) const {
   if (clock_ == nullptr) return 0.0;
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) return 0.0;
-  const NodeEntry& entry = it->second;
   if (entry.heard == 0) return 0.0;  // never heard: presumed alive
   Duration expected = std::max(entry.ewma_interval, suspicion_.min_interval);
   Duration silence = clock_->Now() - entry.last_heartbeat;
@@ -84,33 +94,44 @@ double ClusterState::Suspicion(NodeId id) const {
          (suspicion_.timeout_multiple * static_cast<double>(expected));
 }
 
+double ClusterState::Suspicion(NodeId id) const {
+  std::shared_lock lock(mu_);
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return 0.0;
+  return SuspicionLocked(it->second);
+}
+
 int ClusterState::SuspectedCount() const {
+  std::shared_lock lock(mu_);
   int count = 0;
   for (const auto& [id, entry] : nodes_) {
-    if (Suspicion(id) >= 1.0) ++count;
+    if (SuspicionLocked(entry) >= 1.0) ++count;
   }
   return count;
 }
 
 NodeLoadSignal ClusterState::NodeLoad(NodeId id) const {
+  std::shared_lock lock(mu_);
   auto it = nodes_.find(id);
   if (it == nodes_.end() || !it->second.alive || it->second.node == nullptr) {
     return NodeLoadSignal{};
   }
   NodeLoadSignal signal = it->second.node->load_signal();
-  signal.suspicion = Suspicion(id);
+  signal.suspicion = SuspicionLocked(it->second);
   return signal;
 }
 
 std::vector<NodeId> ClusterState::AliveNodes() const {
+  std::shared_lock lock(mu_);
   std::vector<NodeId> out;
   for (const auto& [id, entry] : nodes_) {
-    if (entry.alive && Suspicion(id) < 1.0) out.push_back(id);
+    if (entry.alive && SuspicionLocked(entry) < 1.0) out.push_back(id);
   }
   return out;
 }
 
 std::vector<NodeId> ClusterState::AllNodes() const {
+  std::shared_lock lock(mu_);
   std::vector<NodeId> out;
   out.reserve(nodes_.size());
   for (const auto& entry : nodes_) out.push_back(entry.first);

@@ -31,6 +31,7 @@
 #define SCADS_CLUSTER_CLUSTER_STATE_H_
 
 #include <map>
+#include <shared_mutex>
 #include <vector>
 
 #include "cluster/partition.h"
@@ -117,6 +118,10 @@ class ClusterState {
   /// liveness.
   NodeLoadSignal NodeLoad(NodeId id) const;
 
+  /// The partition map is NOT guarded by the registry lock: on the
+  /// simulator the rebalancer mutates it between events; on the threaded
+  /// backend it must be fixed before traffic starts (versioned partition
+  /// maps for live topology changes are a ROADMAP follow-up).
   PartitionMap* partitions() { return &partitions_; }
   const PartitionMap& partitions() const { return partitions_; }
   void set_partitions(PartitionMap map) { partitions_ = std::move(map); }
@@ -132,6 +137,14 @@ class ClusterState {
     int64_t heard = 0;
   };
 
+  /// Suspicion for an entry already looked up under `mu_`.
+  double SuspicionLocked(const NodeEntry& entry) const;
+
+  /// Registry + detector state lock. Reads (routing-path liveness checks,
+  /// load pulls) take it shared; heartbeats and membership changes take it
+  /// exclusive. Node load itself is read from the node's atomics, so a
+  /// shared lock never blocks on node-side work.
+  mutable std::shared_mutex mu_;
   std::map<NodeId, NodeEntry> nodes_;
   PartitionMap partitions_;
   const Clock* clock_ = nullptr;  // null = detector inert

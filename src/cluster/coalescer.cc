@@ -1,7 +1,9 @@
 #include "cluster/coalescer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "cluster/node.h"
@@ -11,6 +13,10 @@
 namespace scads {
 
 void ReadCoalescer::Submit(PendingRead read) {
+  // Called with the submitting router's lock held; only coalescer state is
+  // touched here (no router re-entry), so the router->coalescer lock order
+  // holds.
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = inflight_.find(read.key);
   if (it != inflight_.end()) {
     // A read for this key is already in flight (held or dispatched):
@@ -29,7 +35,7 @@ void ReadCoalescer::Submit(PendingRead read) {
 
   NodeBatch& batch = held_[target];
   batch.keys.push_back(std::move(key));
-  if (batch.flush_event == EventLoop::kInvalidEvent) {
+  if (batch.flush_event == Executor::kInvalidTask) {
     // First leader for this node opens the hold window; everything that
     // targets the node before it closes rides the same message.
     batch.flush_event = loop_->ScheduleAfter(config_.window, [this, target] { Flush(target); });
@@ -37,51 +43,61 @@ void ReadCoalescer::Submit(PendingRead read) {
 }
 
 void ReadCoalescer::Flush(NodeId target) {
-  auto held_it = held_.find(target);
-  if (held_it == held_.end()) return;
-  std::vector<std::string> keys = std::move(held_it->second.keys);
-  held_.erase(held_it);
-  if (keys.empty()) return;
-
   StorageNode* node = cluster_->GetNode(target);
+  std::vector<std::string> keys;
+  Router* sender = nullptr;
+  RequestPriority priority = RequestPriority::kLow;
+  int64_t request_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto held_it = held_.find(target);
+    if (held_it == held_.end()) return;
+    keys = std::move(held_it->second.keys);
+    held_.erase(held_it);
+    if (keys.empty()) return;
+    if (node != nullptr) {
+      // The merged message rides the highest priority any member carries
+      // (a kHigh read must not queue at kLow because it merged), and
+      // originates from the first leader's router. A key in held_ always
+      // has its inflight_ entry: both are mutated together under mu_, and
+      // dispatch (the only path to completion) removes from held_ first.
+      for (const std::string& key : keys) {
+        const KeyEntry& entry = inflight_.at(key);
+        if (sender == nullptr) sender = entry.leader.router;
+        priority = std::max(priority, entry.leader.options.priority);
+        for (const PendingRead& follower : entry.followers) {
+          priority = std::max(priority, follower.options.priority);
+        }
+        request_bytes += static_cast<int64_t>(key.size()) + 4;
+      }
+      // Record what each key actually shipped at: followers attaching from
+      // now on can outrank it, which is the in-flight upgrade case
+      // CompleteKey handles when the node sheds this message.
+      for (const std::string& key : keys) inflight_.at(key).dispatched = priority;
+      ++stats_.batches_sent;
+      stats_.batched_keys += static_cast<int64_t>(keys.size());
+    }
+  }
   if (node == nullptr) {
+    // Router calls happen outside mu_ (FailOverKey re-takes it per key).
     for (const std::string& key : keys) FailOverKey(key, target);
     return;
   }
 
-  // The merged message rides the highest priority any member carries (a
-  // kHigh read must not queue at kLow because it merged), and originates
-  // from the first leader's router.
-  Router* sender = nullptr;
-  RequestPriority priority = RequestPriority::kLow;
-  int64_t request_bytes = 0;
-  for (const std::string& key : keys) {
-    const KeyEntry& entry = inflight_.at(key);
-    if (sender == nullptr) sender = entry.leader.router;
-    priority = std::max(priority, entry.leader.options.priority);
-    for (const PendingRead& follower : entry.followers) {
-      priority = std::max(priority, follower.options.priority);
-    }
-    request_bytes += static_cast<int64_t>(key.size()) + 4;
-  }
-  // Record what each key actually shipped at: followers attaching from now
-  // on can outrank it, which is the in-flight upgrade case CompleteKey
-  // handles when the node sheds this message.
-  for (const std::string& key : keys) inflight_.at(key).dispatched = priority;
-  ++stats_.batches_sent;
-  stats_.batched_keys += static_cast<int64_t>(keys.size());
-
   struct Guard {
-    bool done = false;
-    EventLoop::EventId timeout_event = EventLoop::kInvalidEvent;
+    std::atomic<bool> done{false};
+    Executor::TaskId timeout_event = Executor::kInvalidTask;
+    bool Claim() { return !done.exchange(true, std::memory_order_acq_rel); }
   };
   auto guard = std::make_shared<Guard>();
   auto shared_keys = std::make_shared<std::vector<std::string>>(std::move(keys));
   guard->timeout_event = loop_->ScheduleAfter(
       sender->config().request_timeout, [this, guard, shared_keys, target] {
-        if (guard->done) return;
-        guard->done = true;
-        ++stats_.batch_timeouts;
+        if (!guard->Claim()) return;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.batch_timeouts;
+        }
         for (const std::string& key : *shared_keys) FailOverKey(key, target);
       });
 
@@ -96,8 +112,7 @@ void ReadCoalescer::Flush(NodeId target) {
       }
       network_->Send(target, self,
                      reply_bytes, [this, guard, shared_keys, reply = std::move(reply)]() mutable {
-        if (guard->done) return;
-        guard->done = true;
+        if (!guard->Claim()) return;
         loop_->Cancel(guard->timeout_event);
         for (size_t i = 0; i < shared_keys->size() && i < reply.results.size(); ++i) {
           CompleteKey((*shared_keys)[i], std::move(reply.results[i]), reply.as_of[i]);
@@ -127,41 +142,48 @@ bool ReadCoalescer::FollowerServable(const PendingRead& follower, const Result<R
 }
 
 void ReadCoalescer::CompleteKey(const std::string& key, Result<Record> result, Time as_of) {
-  auto it = inflight_.find(key);
-  if (it == inflight_.end()) return;
-  KeyEntry entry = std::move(it->second);
-  // Erase before running callbacks: a re-entrant read of the same key must
-  // lead a fresh entry, not attach to this resolved one.
-  inflight_.erase(it);
-  Time now = loop_->Now();
   bool answered = result.ok() || IsNotFound(result.status());
+  KeyEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    entry = std::move(it->second);
+    // Erase before running callbacks: a re-entrant read of the same key
+    // must lead a fresh entry, not attach to this resolved one.
+    inflight_.erase(it);
 
-  // In-flight priority upgrade: the node shed a message that shipped at a
-  // lower priority than this key's members now collectively carry (a kHigh
-  // follower attached after dispatch). The admission decision was made
-  // against the stale priority, so re-admit the merged read once at the
-  // true one instead of propagating the shed to a kHigh request.
-  if (!answered && result.status().code() == StatusCode::kResourceExhausted &&
-      !entry.upgrade_retry_used) {
-    RequestPriority merged = entry.leader.options.priority;
-    for (const PendingRead& follower : entry.followers) {
-      merged = std::max(merged, follower.options.priority);
-    }
-    if (merged > entry.dispatched) {
-      ++stats_.priority_upgrades;
-      entry.upgrade_retry_used = true;
-      NodeId target = entry.target;
-      inflight_.emplace(key, std::move(entry));
-      NodeBatch& batch = held_[target];
-      batch.keys.push_back(key);
-      if (batch.flush_event == EventLoop::kInvalidEvent) {
-        // No hold window on a retry: the members already waited one round
-        // trip; ship as soon as the loop turns over.
-        batch.flush_event = loop_->ScheduleAfter(0, [this, target] { Flush(target); });
+    // In-flight priority upgrade: the node shed a message that shipped at
+    // a lower priority than this key's members now collectively carry (a
+    // kHigh follower attached after dispatch). The admission decision was
+    // made against the stale priority, so re-admit the merged read once at
+    // the true one instead of propagating the shed to a kHigh request.
+    if (!answered && result.status().code() == StatusCode::kResourceExhausted &&
+        !entry.upgrade_retry_used) {
+      RequestPriority merged = entry.leader.options.priority;
+      for (const PendingRead& follower : entry.followers) {
+        merged = std::max(merged, follower.options.priority);
       }
-      return;
+      if (merged > entry.dispatched) {
+        ++stats_.priority_upgrades;
+        entry.upgrade_retry_used = true;
+        NodeId target = entry.target;
+        inflight_.emplace(key, std::move(entry));
+        NodeBatch& batch = held_[target];
+        batch.keys.push_back(key);
+        if (batch.flush_event == Executor::kInvalidTask) {
+          // No hold window on a retry: the members already waited one round
+          // trip; ship as soon as the executor turns over.
+          batch.flush_event = loop_->ScheduleAfter(0, [this, target] { Flush(target); });
+        }
+        return;
+      }
     }
   }
+  // Members collected; resolve them outside mu_ — these calls take router
+  // locks (the coalescer lock is ordered after them, never around them).
+  Time now = loop_->Now();
+  int64_t expired = 0, errors = 0, served = 0, detached = 0;
 
   // The leader takes its own reply — unless its deadline budget expired
   // while the merged message was in flight. Uncoalesced reads clamp every
@@ -170,7 +192,7 @@ void ReadCoalescer::CompleteKey(const std::string& key, Result<Record> result, T
   // member's budget, so the expiry check moves here: an expired leader
   // detaches exactly like an expired follower and sheds on redispatch.
   if (answered && entry.leader.options.Expired(now)) {
-    ++stats_.leaders_expired;
+    ++expired;
     entry.leader.router->RedispatchCoalesced(key, entry.leader.options, entry.leader.start,
                                              kInvalidNode, std::move(entry.leader.callback));
   } else {
@@ -185,32 +207,42 @@ void ReadCoalescer::CompleteKey(const std::string& key, Result<Record> result, T
       // router's window. (Sheds surface as kResourceExhausted — the same
       // backpressure contract single reads have; merged-message timeouts
       // never reach here, they fail over in FailOverKey.)
-      ++stats_.follower_errors;
+      ++errors;
       follower.router->FinishCoalescedRead(key, follower.start, result, as_of,
                                            /*store_in_cache=*/false, follower.callback);
       continue;
     }
     if (FollowerServable(follower, result, as_of, now)) {
-      ++stats_.followers_served;
+      ++served;
       follower.router->FinishCoalescedRead(key, follower.start, result, as_of,
                                            /*store_in_cache=*/false, follower.callback);
     } else {
       // Bounds unprovable from this reply: detach and dispatch normally.
-      ++stats_.followers_detached;
+      ++detached;
       follower.router->RedispatchCoalesced(key, follower.options, follower.start, kInvalidNode,
                                            std::move(follower.callback));
     }
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.leaders_expired += expired;
+  stats_.follower_errors += errors;
+  stats_.followers_served += served;
+  stats_.followers_detached += detached;
 }
 
 void ReadCoalescer::FailOverKey(const std::string& key, NodeId failed) {
-  auto it = inflight_.find(key);
-  if (it == inflight_.end()) return;
-  KeyEntry entry = std::move(it->second);
-  inflight_.erase(it);
+  KeyEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    entry = std::move(it->second);
+    inflight_.erase(it);
+  }
   // The merged message died with the node (or the path to it): every
   // member retries individually on its own remaining candidates, so one
-  // unlucky merge can't fail a whole cohort of requests.
+  // unlucky merge can't fail a whole cohort of requests. Router calls run
+  // outside mu_.
   entry.leader.router->RedispatchCoalesced(key, entry.leader.options, entry.leader.start, failed,
                                            std::move(entry.leader.callback));
   for (PendingRead& follower : entry.followers) {
@@ -222,6 +254,9 @@ void ReadCoalescer::FailOverKey(const std::string& key, NodeId failed) {
 // ------------------------------------------------------------ WriteCoalescer
 
 void WriteCoalescer::Submit(PendingWrite write) {
+  // Called with the submitting router's lock held; touches only coalescer
+  // state (router->coalescer lock order).
+  std::lock_guard<std::mutex> lock(mu_);
   const std::string key = write.record.key;
   auto it = inflight_.find(key);
   if (it != inflight_.end()) {
@@ -247,13 +282,18 @@ void WriteCoalescer::Submit(PendingWrite write) {
 }
 
 void WriteCoalescer::Flush(const std::string& key) {
-  auto it = inflight_.find(key);
-  if (it == inflight_.end()) return;
-  KeyEntry entry = std::move(it->second);
-  // Erased before dispatch: a put arriving while the merged record is on
-  // the wire cannot change it, so it must open a fresh entry.
-  inflight_.erase(it);
-  ++stats_.batches_sent;
+  KeyEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    entry = std::move(it->second);
+    // Erased before dispatch: a put arriving while the merged record is on
+    // the wire cannot change it, so it must open a fresh entry.
+    inflight_.erase(it);
+    ++stats_.batches_sent;
+  }
+  // Dispatch outside mu_: DispatchCoalescedWrite takes the router's lock.
   auto members = std::make_shared<std::vector<PendingWrite>>(std::move(entry.members));
   auto winner = std::make_shared<WalRecord>(std::move(entry.winner));
   members->front().router->DispatchCoalescedWrite(

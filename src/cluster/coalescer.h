@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,8 +51,7 @@
 #include "common/request_options.h"
 #include "common/result.h"
 #include "common/types.h"
-#include "sim/event_loop.h"
-#include "sim/network.h"
+#include "runtime/execution_backend.h"
 #include "storage/engine.h"
 
 namespace scads {
@@ -94,9 +94,17 @@ struct CoalescerStats {
 };
 
 /// Merges concurrent point reads across in-flight requests and routers.
-/// One coalescer may serve any number of Routers on the same simulation
+/// One coalescer may serve any number of Routers on the same backend
 /// (attach via Router::set_coalescer); every read keeps its own router's
 /// window accounting and cache.
+///
+/// Thread safety: an internal mutex guards the hold-window state
+/// (inflight_, held_, stats_). The lock is ordered strictly AFTER any
+/// router lock: Submit is called with the submitting router's lock held,
+/// while completion paths collect members under this lock, release it,
+/// and only then call back into routers — so no thread ever holds the
+/// coalescer lock while acquiring a router lock, and a shared coalescer
+/// cannot deadlock two routers against each other.
 class ReadCoalescer {
  public:
   /// One point read inside the coalescer. Routers build these in Get()
@@ -112,7 +120,7 @@ class ReadCoalescer {
     std::function<void(Result<Record>)> callback;
   };
 
-  ReadCoalescer(EventLoop* loop, SimNetwork* network, ClusterState* cluster,
+  ReadCoalescer(Executor* loop, MessageFabric* network, ClusterState* cluster,
                 CoalescerConfig config)
       : loop_(loop), network_(network), cluster_(cluster), config_(config) {}
 
@@ -125,7 +133,10 @@ class ReadCoalescer {
   void Submit(PendingRead read);
 
   bool enabled() const { return config_.enabled; }
+  /// Mutate config before traffic starts; request-path reads are unguarded.
   CoalescerConfig* mutable_config() { return &config_; }
+  /// Read after quiescing (stats mutate under the internal lock; this view
+  /// takes none).
   const CoalescerStats& stats() const { return stats_; }
 
  private:
@@ -143,7 +154,7 @@ class ReadCoalescer {
   };
   struct NodeBatch {
     std::vector<std::string> keys;
-    EventLoop::EventId flush_event = EventLoop::kInvalidEvent;
+    Executor::TaskId flush_event = Executor::kInvalidTask;
   };
 
   /// Ships `target`'s held leaders as one HandleMultiGet message.
@@ -158,10 +169,13 @@ class ReadCoalescer {
   bool FollowerServable(const PendingRead& follower, const Result<Record>& result, Time as_of,
                         Time now) const;
 
-  EventLoop* loop_;
-  SimNetwork* network_;
+  Executor* loop_;
+  MessageFabric* network_;
   ClusterState* cluster_;
   CoalescerConfig config_;
+  /// Guards inflight_, held_, and stats_. Never held while calling into a
+  /// Router (see class comment).
+  std::mutex mu_;
   CoalescerStats stats_;
   std::map<std::string, KeyEntry> inflight_;   // key -> leader + followers
   std::map<NodeId, NodeBatch> held_;           // node -> leaders awaiting flush
@@ -214,7 +228,7 @@ class WriteCoalescer {
     std::function<void(Status)> callback;
   };
 
-  WriteCoalescer(EventLoop* loop, WriteCoalescerConfig config)
+  WriteCoalescer(Executor* loop, WriteCoalescerConfig config)
       : loop_(loop), config_(config) {}
 
   WriteCoalescer(const WriteCoalescer&) = delete;
@@ -225,7 +239,9 @@ class WriteCoalescer {
   void Submit(PendingWrite write);
 
   bool enabled() const { return config_.enabled; }
+  /// Mutate config before traffic starts; request-path reads are unguarded.
   WriteCoalescerConfig* mutable_config() { return &config_; }
+  /// Read after quiescing (stats mutate under the internal lock).
   const WriteCoalescerStats& stats() const { return stats_; }
 
  private:
@@ -235,14 +251,17 @@ class WriteCoalescer {
     WalRecord winner;
     /// Strictest ack mode any member asked for.
     AckMode ack = AckMode::kPrimary;
-    EventLoop::EventId flush_event = EventLoop::kInvalidEvent;
+    Executor::TaskId flush_event = Executor::kInvalidTask;
   };
 
   /// Ships `key`'s merged record through the first member's router.
   void Flush(const std::string& key);
 
-  EventLoop* loop_;
+  Executor* loop_;
   WriteCoalescerConfig config_;
+  /// Guards inflight_ and stats_; same router-before-coalescer ordering as
+  /// ReadCoalescer (never held across a router call).
+  std::mutex mu_;
   WriteCoalescerStats stats_;
   std::map<std::string, KeyEntry> inflight_;  // key -> pending merge
 };

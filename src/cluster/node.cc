@@ -27,10 +27,10 @@ int AcksNeeded(AckMode ack, size_t replica_count) {
 }
 }  // namespace
 
-StorageNode::StorageNode(NodeId id, EventLoop* loop, SimNetwork* network, ClusterState* cluster,
+StorageNode::StorageNode(NodeId id, Executor* exec, MessageFabric* network, ClusterState* cluster,
                          NodeConfig config, uint64_t seed)
     : id_(id),
-      loop_(loop),
+      loop_(exec),
       network_(network),
       cluster_(cluster),
       config_(config),
@@ -50,33 +50,32 @@ StorageNode::StorageNode(NodeId id, EventLoop* loop, SimNetwork* network, Cluste
 StorageNode::~StorageNode() { Stop(); }
 
 void StorageNode::set_alive(bool alive) {
-  const bool was_alive = alive_;
-  alive_ = alive;
+  const bool was_alive = alive_.exchange(alive, std::memory_order_acq_rel);
   if (alive && !was_alive) StartRecovery();
 }
 
 void StorageNode::Start() {
-  if (heartbeat_event_ != EventLoop::kInvalidEvent) return;
+  if (heartbeat_event_ != Executor::kInvalidTask) return;
   if (config_.watermark_heartbeat <= 0) return;
   heartbeat_event_ =
       loop_->SchedulePeriodic(config_.watermark_heartbeat, [this] { HeartbeatTick(); });
 }
 
 void StorageNode::Stop() {
-  if (heartbeat_event_ != EventLoop::kInvalidEvent) {
+  if (heartbeat_event_ != Executor::kInvalidTask) {
     loop_->Cancel(heartbeat_event_);
-    heartbeat_event_ = EventLoop::kInvalidEvent;
+    heartbeat_event_ = Executor::kInvalidTask;
   }
   for (auto& [key, stream] : streams_) {
-    if (stream.retry_event != EventLoop::kInvalidEvent) {
+    if (stream.retry_event != Executor::kInvalidTask) {
       loop_->Cancel(stream.retry_event);
-      stream.retry_event = EventLoop::kInvalidEvent;
+      stream.retry_event = Executor::kInvalidTask;
     }
   }
 }
 
 Duration StorageNode::queue_delay() const {
-  return std::max<Duration>(0, busy_until_ - loop_->Now());
+  return std::max<Duration>(0, busy_until_.load(std::memory_order_relaxed) - loop_->Now());
 }
 
 void StorageNode::InjectBackgroundLoad(Duration service_demand) {
@@ -85,7 +84,7 @@ void StorageNode::InjectBackgroundLoad(Duration service_demand) {
   // backlog; beyond that, real traffic would be shed, so excess background
   // demand is dropped the same way.
   Time now = loop_->Now();
-  Duration backlog = std::max<Duration>(0, busy_until_ - now);
+  Duration backlog = std::max<Duration>(0, busy_until_.load(std::memory_order_relaxed) - now);
   Duration admissible = std::max<Duration>(0, config_.max_queue_delay + service_demand / 4 -
                                                   backlog);
   Duration charged = std::min(service_demand, admissible);
@@ -93,14 +92,13 @@ void StorageNode::InjectBackgroundLoad(Duration service_demand) {
     stats_.ops_shed += service_demand / std::max<Duration>(1, config_.get_service_time);
     return;
   }
-  busy_until_ = std::max(busy_until_, now) + charged;
-  stats_.busy_micros += charged;
+  AccrueBusy(now, charged);
 }
 
 std::optional<Duration> StorageNode::Admit(Duration service, RequestPriority priority,
                                            bool client) {
   Time now = loop_->Now();
-  Duration wait = std::max<Duration>(0, busy_until_ - now);
+  Duration wait = std::max<Duration>(0, busy_until_.load(std::memory_order_relaxed) - now);
   const int pclass = static_cast<int>(priority);
   auto shed = [this, pclass, client]() {
     ++stats_.ops_shed;
@@ -109,7 +107,8 @@ std::optional<Duration> StorageNode::Admit(Duration service, RequestPriority pri
     } else {
       ++stats_.replication_sheds;
     }
-    shed_ewma_ += kLoadEwmaAlpha * (1.0 - shed_ewma_);
+    double shed_now = shed_ewma_.load(std::memory_order_relaxed);
+    shed_ewma_.store(shed_now + kLoadEwmaAlpha * (1.0 - shed_now), std::memory_order_relaxed);
   };
   // Priority shed order: kLow gives up well before the hard cap, so an
   // overloaded node clears background work while kNormal/kHigh still queue.
@@ -120,7 +119,7 @@ std::optional<Duration> StorageNode::Admit(Duration service, RequestPriority pri
   }
   // Background (unsampled) traffic: M/M/1-style delay rising steeply as
   // utilization approaches 1; past saturation the overload fraction sheds.
-  double rho = background_utilization_;
+  double rho = background_utilization_.load(std::memory_order_relaxed);
   if (rho > 0) {
     if (rho >= 0.99) {
       // Saturated: kLow sheds outright, kNormal survives an admission
@@ -147,38 +146,47 @@ std::optional<Duration> StorageNode::Admit(Duration service, RequestPriority pri
     shed();
     return std::nullopt;
   }
-  busy_until_ = std::max(busy_until_, now) + service;
-  stats_.busy_micros += service;
+  AccrueBusy(now, service);
   if (client) ++stats_.admitted_by_priority[pclass];
   Duration sojourn = wait + service;
   sojourn_.Record(sojourn);
-  ewma_sojourn_ += kLoadEwmaAlpha * (static_cast<double>(sojourn) - ewma_sojourn_);
-  shed_ewma_ *= 1.0 - kLoadEwmaAlpha;
+  double ewma = ewma_sojourn_.load(std::memory_order_relaxed);
+  ewma_sojourn_.store(ewma + kLoadEwmaAlpha * (static_cast<double>(sojourn) - ewma),
+                      std::memory_order_relaxed);
+  shed_ewma_.store(shed_ewma_.load(std::memory_order_relaxed) * (1.0 - kLoadEwmaAlpha),
+                   std::memory_order_relaxed);
   return sojourn;
 }
 
 NodeLoadSignal StorageNode::load_signal() const {
+  // Read concurrently by client threads via ClusterState::NodeLoad; every
+  // field here comes from an atomic (or, for io_backlog, a counter only
+  // the RAM engine exposes as a constant 0 — the paged engine is
+  // simulator-only for now).
   NodeLoadSignal signal;
   signal.queue_delay = queue_delay();
-  signal.ewma_sojourn = static_cast<Duration>(ewma_sojourn_);
-  signal.utilization = background_utilization_;
-  signal.shed_fraction = shed_ewma_;
+  signal.ewma_sojourn = static_cast<Duration>(ewma_sojourn_.load(std::memory_order_relaxed));
+  signal.utilization = background_utilization_.load(std::memory_order_relaxed);
+  signal.shed_fraction = shed_ewma_.load(std::memory_order_relaxed);
   signal.io_backlog = engine_->io_backlog();
   return signal;
 }
 
+void StorageNode::AccrueBusy(Time now, Duration amount) {
+  busy_until_.store(std::max(busy_until_.load(std::memory_order_relaxed), now) + amount,
+                    std::memory_order_relaxed);
+  stats_.busy_micros += amount;
+}
+
 Duration StorageNode::ChargeEngineIo() {
   Duration io = engine_->TakeAccruedIo();
-  if (io > 0) {
-    busy_until_ = std::max(busy_until_, loop_->Now()) + io;
-    stats_.busy_micros += io;
-  }
+  if (io > 0) AccrueBusy(loop_->Now(), io);
   return io;
 }
 
 void StorageNode::SetBackgroundLoad(double utilization, Duration busy_account) {
   if (!alive_) return;
-  background_utilization_ = std::max(0.0, utilization);
+  background_utilization_.store(std::max(0.0, utilization), std::memory_order_relaxed);
   // Busy time accrues at most at capacity.
   stats_.busy_micros += std::min(busy_account, static_cast<Duration>(
                                                    static_cast<double>(busy_account) /
@@ -328,8 +336,7 @@ void StorageNode::HandleScan(const std::string& start, const std::string& end, s
     Duration row_cost = 0;
     if (rows.ok()) {
       row_cost = config_.scan_service_per_row * static_cast<Duration>(rows->size());
-      busy_until_ = std::max(busy_until_, loop_->Now()) + row_cost;
-      stats_.busy_micros += row_cost;
+      AccrueBusy(loop_->Now(), row_cost);
     }
     // Pages faulted while scanning delay the response like row cost does.
     row_cost += ChargeEngineIo();
@@ -464,9 +471,9 @@ void StorageNode::TearDownStream(PartitionId pid, NodeId to) {
   auto it = streams_.find({pid, to});
   if (it == streams_.end()) return;
   ReplicationStream& stream = it->second;
-  if (stream.retry_event != EventLoop::kInvalidEvent) {
+  if (stream.retry_event != Executor::kInvalidTask) {
     loop_->Cancel(stream.retry_event);
-    stream.retry_event = EventLoop::kInvalidEvent;
+    stream.retry_event = Executor::kInvalidTask;
   }
   // Unmet waiters fail honestly: the ack they were counting on will never
   // come from this replica (re-replication streams the data to its
@@ -535,7 +542,7 @@ void StorageNode::SendBatch(PartitionId pid, NodeId to, ReplicationStream* strea
     auto it = streams_.find({pid, to});
     if (it == streams_.end()) return;
     ReplicationStream& s = it->second;
-    s.retry_event = EventLoop::kInvalidEvent;
+    s.retry_event = Executor::kInvalidTask;
     if (s.acked >= s.sent_through) return;  // acked meanwhile
     if (!StreamStillValid(pid, to)) {
       // Target dropped from the replica set (re-replication replaced a
@@ -624,9 +631,9 @@ void StorageNode::HandleReplicateAck(PartitionId pid, NodeId from, uint64_t acke
       ++waiter_it;
     }
   }
-  if (stream.retry_event != EventLoop::kInvalidEvent && stream.acked >= stream.sent_through) {
+  if (stream.retry_event != Executor::kInvalidTask && stream.acked >= stream.sent_through) {
     loop_->Cancel(stream.retry_event);
-    stream.retry_event = EventLoop::kInvalidEvent;
+    stream.retry_event = Executor::kInvalidTask;
   }
   stream.inflight = false;
   if (!stream.pending.empty()) {
@@ -684,8 +691,7 @@ void StorageNode::HandleDeltaSyncRequest(PartitionId pid, NodeId from, Time sinc
     }
     Duration row_cost =
         config_.scan_service_per_row * static_cast<Duration>(missed.size());
-    busy_until_ = std::max(busy_until_, loop_->Now()) + row_cost;
-    stats_.busy_micros += row_cost;
+    AccrueBusy(loop_->Now(), row_cost);
     ChargeEngineIo();
     ++stats_.delta_syncs_served;
     stats_.delta_records_shipped += static_cast<int64_t>(missed.size());
@@ -736,7 +742,7 @@ void StorageNode::HeartbeatTick() {
   {
     ClusterState* cluster = cluster_;
     NodeId self = id_;
-    EventLoop* loop = loop_;
+    Executor* loop = loop_;
     network_->Send(self, ClusterState::kControlPlane,
                    [cluster, self, loop] { cluster->RecordHeartbeat(self, loop->Now()); });
   }

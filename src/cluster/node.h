@@ -6,12 +6,13 @@
 // numbered log shipping with cumulative acks and retransmission), which give
 // the bounded-staleness and durability behaviours of paper §3.3.
 //
-// Handlers are invoked via SimNetwork closures; responses are the caller's
+// Handlers are invoked via MessageFabric closures; responses are the caller's
 // responsibility to route back (the Router composes the return hop).
 
 #ifndef SCADS_CLUSTER_NODE_H_
 #define SCADS_CLUSTER_NODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -28,8 +29,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
-#include "sim/event_loop.h"
-#include "sim/network.h"
+#include "runtime/execution_backend.h"
 #include "storage/engine.h"
 #include "storage/pagestore/page_store.h"
 
@@ -127,7 +127,7 @@ struct MultiWriteItem {
 /// One storage server in the simulated cluster.
 class StorageNode {
  public:
-  StorageNode(NodeId id, EventLoop* loop, SimNetwork* network, ClusterState* cluster,
+  StorageNode(NodeId id, Executor* exec, MessageFabric* network, ClusterState* cluster,
               NodeConfig config, uint64_t seed);
   ~StorageNode();
 
@@ -150,7 +150,7 @@ class StorageNode {
   /// every revive path — injector, ClusterState::SetNodeAlive, manual test
   /// wiring — catches the node up without extra choreography.
   void set_alive(bool alive);
-  bool alive() const { return alive_; }
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
 
   /// Crash-recovery catch-up: for every partition this node replicates but
   /// does not lead, ask the primary for the writes enqueued since our
@@ -305,7 +305,7 @@ class StorageNode {
     bool inflight = false;
     bool flush_scheduled = false;
     Duration current_retry_delay = 0;
-    EventLoop::EventId retry_event = EventLoop::kInvalidEvent;
+    Executor::TaskId retry_event = Executor::kInvalidTask;
     // Waiters blocked on this stream reaching a given seq.
     std::vector<std::pair<uint64_t, std::shared_ptr<WriteWaiter>>> waiters;
   };
@@ -337,6 +337,10 @@ class StorageNode {
   /// can also delay their response by it. Zero for the RAM engine.
   Duration ChargeEngineIo();
 
+  /// Extends busy_until_ by `amount` of work from `now` and books the busy
+  /// time (single writer: the owner worker).
+  void AccrueBusy(Time now, Duration amount);
+
   void EnqueueReplication(PartitionId pid, NodeId to, const WalRecord& record,
                           const std::shared_ptr<WriteWaiter>& waiter);
   void FlushStream(PartitionId pid, NodeId to);
@@ -352,29 +356,35 @@ class StorageNode {
   /// kUnavailable, and erases it.
   void TearDownStream(PartitionId pid, NodeId to);
 
+  // On the threaded backend all of this node's handlers and timers run on
+  // its one owner worker (pinned delivery + worker-affine timers), so the
+  // node body needs no lock. The exceptions — fields read live by OTHER
+  // threads through ClusterState::NodeLoad / liveness checks — are
+  // atomics: alive_, busy_until_, and the smoothed load-signal components.
   NodeId id_;
-  EventLoop* loop_;
-  SimNetwork* network_;
+  Executor* loop_;
+  MessageFabric* network_;
   ClusterState* cluster_;
   NodeConfig config_;
   std::unique_ptr<EngineInterface> engine_;
   Rng rng_;
-  bool alive_ = true;
+  std::atomic<bool> alive_{true};
 
-  double background_utilization_ = 0;
-  Time busy_until_ = 0;
+  std::atomic<double> background_utilization_{0};
+  std::atomic<Time> busy_until_{0};
   NodeStats stats_;
   LogHistogram sojourn_;
-  // Smoothed load-signal components (see load_signal()).
-  double ewma_sojourn_ = 0;
-  double shed_ewma_ = 0;
+  // Smoothed load-signal components (see load_signal()); single writer
+  // (the owner worker), racing readers via load_signal().
+  std::atomic<double> ewma_sojourn_{0};
+  std::atomic<double> shed_ewma_{0};
 
   std::map<StreamKey, ReplicationStream> streams_;
   // Secondary-side per-stream state.
   std::map<StreamKey, uint64_t> last_applied_seq_;
   std::map<PartitionId, Time> replicated_through_;
 
-  EventLoop::EventId heartbeat_event_ = EventLoop::kInvalidEvent;
+  Executor::TaskId heartbeat_event_ = Executor::kInvalidTask;
 };
 
 }  // namespace scads

@@ -26,7 +26,7 @@ void RouterWindow::MergeFrom(const RouterWindow& other) {
   for (const auto& [node, picks] : other.picks_by_node) picks_by_node[node] += picks;
 }
 
-Router::Router(NodeId client_id, EventLoop* loop, SimNetwork* network, ClusterState* cluster,
+Router::Router(NodeId client_id, Executor* loop, MessageFabric* network, ClusterState* cluster,
                RouterConfig config, uint64_t seed)
     : client_id_(client_id),
       loop_(loop),
@@ -64,6 +64,7 @@ std::vector<NodeId> Router::ReadCandidates(const PartitionInfo& partition,
 
 NodeId Router::PickAmong(const std::vector<NodeId>& candidates) {
   if (candidates.empty()) return kInvalidNode;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Prefer nodes whose breaker would admit a request right now; when every
   // candidate is refused there is nothing better to do than pick normally
   // (the caller's attempt chain still bounds the damage).
@@ -85,6 +86,7 @@ NodeId Router::PickAmong(const std::vector<NodeId>& candidates) {
 }
 
 void Router::FinishRead(Time start, bool ok) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   window_.read_latency.Record(loop_->Now() - start);
   if (ok) {
     ++window_.reads_ok;
@@ -94,6 +96,7 @@ void Router::FinishRead(Time start, bool ok) {
 }
 
 void Router::FinishWrite(Time start, bool ok) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   window_.write_latency.Record(loop_->Now() - start);
   if (ok) {
     ++window_.writes_ok;
@@ -143,6 +146,7 @@ Status Router::TimeoutStatus(bool budget_bound, std::string_view what) {
 
 void Router::ShedRead(Time start, std::string_view what,
                       const std::function<void(Result<Record>)>& callback) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FinishRead(start, false);
   ++window_.deadline_exceeded;
   callback(TimeoutStatus(/*budget_bound=*/true, what));
@@ -150,6 +154,7 @@ void Router::ShedRead(Time start, std::string_view what,
 
 void Router::ShedWrite(Time start, std::string_view what,
                        const std::function<void(Status)>& callback) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FinishWrite(start, false);
   ++window_.deadline_exceeded;
   callback(TimeoutStatus(/*budget_bound=*/true, what));
@@ -163,6 +168,7 @@ void Router::MaybeCacheRead(const std::string& key, Time as_of, const Result<Rec
 void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, size_t index,
                         Time start, RequestOptions options,
                         std::function<void(Result<Record>)> callback) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Budget check precedes the candidate check: a retry whose budget is gone
   // sheds with the deadline error, not a synthetic unreachability error.
   if (options.Expired(loop_->Now())) {
@@ -192,9 +198,9 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
   }
   auto state = std::make_shared<Pending>();
   auto respond = [this, state, key, target, start, callback](Result<Record> result, Time as_of) {
-    if (state->done) return;
-    state->done = true;
-    if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
+    if (!state->Claim()) return;
+    std::lock_guard<std::recursive_mutex> relock(mu_);
+    if (state->timeout_event != Executor::kInvalidTask) loop_->Cancel(state->timeout_event);
     // Any reply — even an error reply — proves the node alive.
     if (breaker_ != nullptr) breaker_->RecordSuccess(target);
     // NotFound counts as a successful (answered) read.
@@ -204,15 +210,17 @@ void Router::GetAttempt(const std::string& key, std::vector<NodeId> candidates, 
     callback(std::move(result));
   };
   // Each attempt may wait at most the remaining deadline budget; the retry
-  // it hands off to then sees an expired budget and sheds.
+  // it hands off to then sees an expired budget and sheds. The timer is
+  // armed before the request ships: the fabric enqueue's release then makes
+  // state->timeout_event visible to the responding worker.
   bool budget_bound = false;
   Duration timeout = ClampedTimeout(options, loop_->Now(), &budget_bound);
   state->timeout_event = loop_->ScheduleAfter(
       timeout,
       [this, state, key, candidates, index, target, budget_bound, start, options,
        callback]() mutable {
-        if (state->done) return;
-        state->done = true;
+        if (!state->Claim()) return;
+        std::lock_guard<std::recursive_mutex> relock(mu_);
         // A full attempt timeout is transport-level evidence of death; a
         // budget-clamped timeout is the deadline running out, which says
         // nothing about the node.
@@ -260,6 +268,7 @@ bool Router::CacheEligible(const RequestOptions& options) const {
 
 void Router::Get(const std::string& key, RequestOptions options,
                  std::function<void(Result<Record>)> callback) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   options.Arm(loop_->Now());
   if (options.Expired(loop_->Now())) {
     ShedRead(loop_->Now(), "read", callback);
@@ -310,6 +319,7 @@ void Router::Get(const std::string& key, RequestOptions options,
 void Router::FinishCoalescedRead(const std::string& key, Time start, Result<Record> result,
                                  Time as_of, bool store_in_cache,
                                  const std::function<void(Result<Record>)>& callback) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   bool ok = result.ok() || IsNotFound(result.status());
   FinishRead(start, ok);
   if (!ok && IsDeadlineExceeded(result.status())) ++window_.deadline_exceeded;
@@ -319,6 +329,7 @@ void Router::FinishCoalescedRead(const std::string& key, Time start, Result<Reco
 
 void Router::RedispatchCoalesced(const std::string& key, RequestOptions options, Time start,
                                  NodeId exclude, std::function<void(Result<Record>)> callback) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const PartitionInfo& partition = cluster_->partitions()->ForKey(key);
   if (partition.replicas.empty()) {
     FinishRead(start, false);
@@ -342,13 +353,6 @@ void Router::RedispatchCoalesced(const std::string& key, RequestOptions options,
     if (!kept.empty()) candidates = std::move(kept);
   }
   GetAttempt(key, std::move(candidates), 0, start, std::move(options), std::move(callback));
-}
-
-void Router::Get(const std::string& key, bool pin_primary,
-                 std::function<void(Result<Record>)> callback) {
-  RequestOptions options;
-  options.read_mode = pin_primary ? ReadMode::kPrimaryOnly : ReadMode::kDefault;
-  Get(key, std::move(options), std::move(callback));
 }
 
 void Router::GetFromReplica(const std::string& key, NodeId replica, RequestOptions options,
@@ -387,6 +391,7 @@ struct Router::MultiGetState {
 };
 
 void Router::FinishMultiGet(const std::shared_ptr<MultiGetState>& state) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Every logical read in the batch is accounted individually, so the SLA
   // monitor and Director see the same read volume batched or not.
   for (const auto& slot : state->results) {
@@ -402,6 +407,7 @@ void Router::FinishMultiGet(const std::shared_ptr<MultiGetState>& state) {
 
 void Router::DispatchMultiGet(const std::shared_ptr<MultiGetState>& state,
                               std::vector<size_t> fetch_ids) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Budget-exhausted shedding mid-fan-out: keys already answered keep their
   // results; everything still pending (first dispatch or a redirect after a
   // timed-out/shed sub-batch) resolves kDeadlineExceeded.
@@ -467,6 +473,7 @@ void Router::DispatchMultiGet(const std::shared_ptr<MultiGetState>& state,
 
 void Router::SendMultiGetSubBatch(const std::shared_ptr<MultiGetState>& state, NodeId target,
                                   std::vector<size_t> group) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   StorageNode* node = cluster_->GetNode(target);
   std::vector<std::string> batch_keys;
   int64_t request_bytes = 0;
@@ -507,9 +514,9 @@ void Router::SendMultiGetSubBatch(const std::shared_ptr<MultiGetState>& state, N
     }
   };
   auto guarded = [this, pending, target, respond = std::move(respond)](MultiGetReply reply) {
-    if (pending->done) return;
-    pending->done = true;
-    if (pending->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(pending->timeout_event);
+    if (!pending->Claim()) return;
+    std::lock_guard<std::recursive_mutex> relock(mu_);
+    if (pending->timeout_event != Executor::kInvalidTask) loop_->Cancel(pending->timeout_event);
     // Any reply proves the node alive.
     if (breaker_ != nullptr) breaker_->RecordSuccess(target);
     respond(std::move(reply));
@@ -519,8 +526,8 @@ void Router::SendMultiGetSubBatch(const std::shared_ptr<MultiGetState>& state, N
   pending->timeout_event = loop_->ScheduleAfter(
       timeout,
       [this, state, group, target, budget_bound, pending]() {
-        if (pending->done) return;
-        pending->done = true;
+        if (!pending->Claim()) return;
+        std::lock_guard<std::recursive_mutex> relock(mu_);
         // Transport-level evidence only: a budget-clamped timeout is the
         // deadline running out, not the node's fault.
         if (breaker_ != nullptr && !budget_bound) breaker_->RecordFailure(target);
@@ -564,6 +571,7 @@ void Router::MultiGet(const std::vector<std::string>& keys, RequestOptions optio
     callback({});
     return;
   }
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   options.Arm(loop_->Now());
   auto state = std::make_shared<MultiGetState>();
   state->start = loop_->Now();
@@ -623,15 +631,9 @@ void Router::MultiGet(const std::vector<std::string>& keys, RequestOptions optio
   DispatchMultiGet(state, std::move(all));
 }
 
-void Router::MultiGet(const std::vector<std::string>& keys, bool pin_primary,
-                      std::function<void(std::vector<Result<Record>>)> callback) {
-  RequestOptions options;
-  options.read_mode = pin_primary ? ReadMode::kPrimaryOnly : ReadMode::kDefault;
-  MultiGet(keys, std::move(options), std::move(callback));
-}
-
 void Router::Scan(const std::string& start, const std::string& end, size_t limit,
                   RequestOptions options, std::function<void(Result<std::vector<Record>>)> callback) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Time started = loop_->Now();
   options.Arm(started);
   if (options.Expired(started)) {
@@ -655,9 +657,9 @@ void Router::Scan(const std::string& start, const std::string& end, size_t limit
   }
   auto state = std::make_shared<Pending>();
   auto respond = [this, state, started, callback](Result<std::vector<Record>> result) {
-    if (state->done) return;
-    state->done = true;
-    if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
+    if (!state->Claim()) return;
+    std::lock_guard<std::recursive_mutex> relock(mu_);
+    if (state->timeout_event != Executor::kInvalidTask) loop_->Cancel(state->timeout_event);
     FinishRead(started, result.ok());
     if (!result.ok() && IsDeadlineExceeded(result.status())) ++window_.deadline_exceeded;
     callback(std::move(result));
@@ -689,6 +691,7 @@ void Router::Scan(const std::string& start, const std::string& end, size_t limit
 
 void Router::SendWrite(const WalRecord& record, AckMode ack, const RequestOptions& options,
                        std::function<void(Status)> callback) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Time started = loop_->Now();
   // Write coalescing: concurrent puts of the same key merge (last-write-
   // wins) into one primary round trip. Deletes keep their own serve —
@@ -715,6 +718,7 @@ void Router::DispatchCoalescedWrite(const WalRecord& record, AckMode ack,
 }
 
 void Router::FinishCoalescedWrite(Time start, const Status& status, const WalRecord& winner) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FinishWrite(start, status.ok());
   if (!status.ok() && IsDeadlineExceeded(status)) ++window_.deadline_exceeded;
   // Cache coherence with the *winning* record: it is what the primary
@@ -730,6 +734,7 @@ void Router::FinishCoalescedWrite(Time start, const Status& status, const WalRec
 
 void Router::SendWriteImpl(const WalRecord& record, AckMode ack, const RequestOptions& options,
                            Time started, bool account, std::function<void(Status)> callback) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (options.Expired(loop_->Now())) {
     if (account) {
       ShedWrite(started, "write", callback);
@@ -751,9 +756,9 @@ void Router::SendWriteImpl(const WalRecord& record, AckMode ack, const RequestOp
   // otherwise ride in both the respond and timeout lambdas.
   auto acked = std::make_shared<WalRecord>(record);
   auto respond = [this, state, started, account, acked, callback](Status status) {
-    if (state->done) return;
-    state->done = true;
-    if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
+    if (!state->Claim()) return;
+    std::lock_guard<std::recursive_mutex> relock(mu_);
+    if (state->timeout_event != Executor::kInvalidTask) loop_->Cancel(state->timeout_event);
     if (account) {
       FinishWrite(started, status.ok());
       if (!status.ok() && IsDeadlineExceeded(status)) ++window_.deadline_exceeded;
@@ -798,6 +803,7 @@ void Router::MultiWrite(std::vector<WriteOp> ops, AckMode ack, RequestOptions op
     return;
   }
   const size_t n = ops.size();
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Time started = loop_->Now();
   options.Arm(started);
   if (options.Expired(started)) {
@@ -917,9 +923,9 @@ void Router::MultiWrite(std::vector<WriteOp> ops, AckMode ack, RequestOptions op
     auto pending = std::make_shared<Pending>();
     auto respond = [this, state, op_ids = chunk.op_ids, version, finalize,
                     pending](std::vector<Status> statuses) {
-      if (pending->done) return;
-      pending->done = true;
-      if (pending->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(pending->timeout_event);
+      if (!pending->Claim()) return;
+      std::lock_guard<std::recursive_mutex> relock(mu_);
+      if (pending->timeout_event != Executor::kInvalidTask) loop_->Cancel(pending->timeout_event);
       for (size_t i = 0; i < op_ids.size(); ++i) {
         Status status = i < statuses.size() ? std::move(statuses[i])
                                             : InternalError("short multi-write reply");
@@ -1020,6 +1026,7 @@ void Router::DeleteWithVersion(const std::string& key, AckMode ack, RequestOptio
 void Router::ConditionalPut(const std::string& key, const std::string& value,
                             std::optional<Version> expected, AckMode ack,
                             RequestOptions options, std::function<void(Status)> callback) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Time started = loop_->Now();
   options.Arm(started);
   if (options.Expired(started)) {
@@ -1037,9 +1044,9 @@ void Router::ConditionalPut(const std::string& key, const std::string& value,
   Version new_version{loop_->Now(), client_id_};
   auto state = std::make_shared<Pending>();
   auto respond = [this, state, started, key, value, new_version, callback](Status status) {
-    if (state->done) return;
-    state->done = true;
-    if (state->timeout_event != EventLoop::kInvalidEvent) loop_->Cancel(state->timeout_event);
+    if (!state->Claim()) return;
+    std::lock_guard<std::recursive_mutex> relock(mu_);
+    if (state->timeout_event != Executor::kInvalidTask) loop_->Cancel(state->timeout_event);
     // kAborted is an answered request: the system worked, the CAS lost.
     FinishWrite(started, status.ok() || IsAborted(status));
     if (!status.ok() && IsDeadlineExceeded(status)) ++window_.deadline_exceeded;
@@ -1071,6 +1078,7 @@ void Router::ConditionalPut(const std::string& key, const std::string& value,
 }
 
 RouterWindow Router::TakeWindow() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   RouterWindow out = std::move(window_);
   window_ = RouterWindow{};
   return out;

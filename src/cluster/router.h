@@ -4,13 +4,27 @@
 // (request out, response back), enforces timeouts, and records the
 // end-to-end latency histograms the SLA monitor consumes. One Router models
 // one application server; experiments may run several.
+//
+// Thread safety: a Router may be driven from any thread on any
+// ExecutionBackend. One recursive mutex serializes all of its mutable
+// state — the window, the selector/breaker (stateful policies), and every
+// in-flight request's bookkeeping. Response and timeout continuations
+// re-acquire it when they fire (they may run on different workers under
+// ThreadedRuntime), so a request's two racing completions are resolved by
+// an atomic claim on its Pending record plus the lock. The lock is held
+// while enqueuing into the MessageFabric (fabric queues have their own
+// locks, ordered after the router's) but never across a storage node's
+// service work — deliveries run on the node's owner worker, lock-free
+// with respect to the router.
 
 #ifndef SCADS_CLUSTER_ROUTER_H_
 #define SCADS_CLUSTER_ROUTER_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,8 +35,7 @@
 #include "cluster/replica_selector.h"
 #include "common/histogram.h"
 #include "common/request_options.h"
-#include "sim/event_loop.h"
-#include "sim/network.h"
+#include "runtime/execution_backend.h"
 
 namespace scads {
 
@@ -96,27 +109,36 @@ struct RouterWindow {
   /// far fewer picks than its partition share is being steered around.
   std::map<NodeId, int64_t> picks_by_node;
 
+  /// Accumulates `other` into this window. Not internally synchronized:
+  /// a Router records into its live window only under its own lock, and
+  /// TakeWindow (also under the lock) moves the whole window out — so the
+  /// windows being merged here are private snapshots owned by the caller.
   void MergeFrom(const RouterWindow& other);
 };
 
 /// Client entry point into the cluster.
 class Router {
  public:
-  Router(NodeId client_id, EventLoop* loop, SimNetwork* network, ClusterState* cluster,
+  Router(NodeId client_id, Executor* loop, MessageFabric* network, ClusterState* cluster,
          RouterConfig config, uint64_t seed);
 
   NodeId client_id() const { return client_id_; }
+  /// Mutate config before traffic starts (or between sim events); config
+  /// reads on the request path are not guarded.
   RouterConfig* mutable_config() { return &config_; }
   const RouterConfig& config() const { return config_; }
-  /// The simulation clock this router runs on (session/write-policy layers
-  /// use it to arm a RequestOptions budget at their own entry point).
-  EventLoop* loop() const { return loop_; }
+  /// The executor this router runs on (session/write-policy layers use its
+  /// clock to arm a RequestOptions budget at their own entry point).
+  Executor* loop() const { return loop_; }
 
   /// Attaches the staleness-aware read cache. Non-pinned point reads are
   /// then answered from cache when the entry's age is within the spec's
   /// staleness bound; successful reads populate it, and every acked write
   /// refreshes/invalidates it synchronously (before the write callback), so
   /// the cache can never serve a value older than the declared bound.
+  /// Cache calls happen under this router's lock; a CacheDirectory shared
+  /// by several routers on the threaded backend is not yet supported
+  /// (thread-safe read cache is a ROADMAP follow-up).
   void set_cache(CacheDirectory* cache) { cache_ = cache; }
   CacheDirectory* cache() { return cache_; }
 
@@ -163,11 +185,6 @@ class Router {
   void Get(const std::string& key, RequestOptions options,
            std::function<void(Result<Record>)> callback);
 
-  /// Deprecated pre-options shim: `pin_primary` maps to
-  /// ReadMode::kPrimaryOnly. Migrate to the RequestOptions form.
-  void Get(const std::string& key, bool pin_primary,
-           std::function<void(Result<Record>)> callback);
-
   /// Batched point reads — the scatter-gather hot path for bounded query
   /// fan-outs. One result per input key, in input order (duplicates allowed;
   /// fetched once). The key set is partitioned by owning replica in one
@@ -192,10 +209,6 @@ class Router {
   void MultiGet(const std::vector<std::string>& keys, RequestOptions options,
                 std::function<void(std::vector<Result<Record>>)> callback);
 
-  /// Deprecated pre-options shim (pin_primary -> ReadMode::kPrimaryOnly).
-  void MultiGet(const std::vector<std::string>& keys, bool pin_primary,
-                std::function<void(std::vector<Result<Record>>)> callback);
-
   /// One mutation of a batched write (MultiWrite stamps the version).
   struct WriteOp {
     enum class Kind { kPut, kDelete };
@@ -214,75 +227,43 @@ class Router {
   /// Put). Acked ops refresh/invalidate the cache before the callback runs.
   void MultiWrite(std::vector<WriteOp> ops, AckMode ack, RequestOptions options,
                   std::function<void(std::vector<Status>)> callback);
-  void MultiWrite(std::vector<WriteOp> ops, AckMode ack,
-                  std::function<void(std::vector<Status>)> callback) {
-    MultiWrite(std::move(ops), ack, RequestOptions{}, std::move(callback));
-  }
 
   /// Range read [start, end) (single-partition ranges only: SCADS query
   /// compilation guarantees bounded ranges; cross-partition scans fan out at
   /// the query layer).
   void Scan(const std::string& start, const std::string& end, size_t limit,
             RequestOptions options, std::function<void(Result<std::vector<Record>>)> callback);
-  void Scan(const std::string& start, const std::string& end, size_t limit,
-            std::function<void(Result<std::vector<Record>>)> callback) {
-    Scan(start, end, limit, RequestOptions{}, std::move(callback));
-  }
 
   /// Write with the given ack mode. The version is stamped here:
   /// {loop->Now(), client_id} — last-write-wins order is wall-clock time,
   /// writer id breaks ties.
   void Put(const std::string& key, const std::string& value, AckMode ack,
            RequestOptions options, std::function<void(Status)> callback);
-  void Put(const std::string& key, const std::string& value, AckMode ack,
-           std::function<void(Status)> callback) {
-    Put(key, value, ack, RequestOptions{}, std::move(callback));
-  }
 
   /// Like Put, but reports the stamped version on success (session
   /// guarantees keep it as their token).
   void PutWithVersion(const std::string& key, const std::string& value, AckMode ack,
                       RequestOptions options, std::function<void(Result<Version>)> callback);
-  void PutWithVersion(const std::string& key, const std::string& value, AckMode ack,
-                      std::function<void(Result<Version>)> callback) {
-    PutWithVersion(key, value, ack, RequestOptions{}, std::move(callback));
-  }
 
   /// Tombstone write.
   void Delete(const std::string& key, AckMode ack, RequestOptions options,
               std::function<void(Status)> callback);
-  void Delete(const std::string& key, AckMode ack, std::function<void(Status)> callback) {
-    Delete(key, ack, RequestOptions{}, std::move(callback));
-  }
 
   /// Like Delete, but reports the stamped version on success.
   void DeleteWithVersion(const std::string& key, AckMode ack, RequestOptions options,
                          std::function<void(Result<Version>)> callback);
-  void DeleteWithVersion(const std::string& key, AckMode ack,
-                         std::function<void(Result<Version>)> callback) {
-    DeleteWithVersion(key, ack, RequestOptions{}, std::move(callback));
-  }
 
   /// Compare-and-set (serializable writes). `expected` empty = "must not
   /// exist".
   void ConditionalPut(const std::string& key, const std::string& value,
                       std::optional<Version> expected, AckMode ack, RequestOptions options,
                       std::function<void(Status)> callback);
-  void ConditionalPut(const std::string& key, const std::string& value,
-                      std::optional<Version> expected, AckMode ack,
-                      std::function<void(Status)> callback) {
-    ConditionalPut(key, value, expected, ack, RequestOptions{}, std::move(callback));
-  }
 
   /// Read directly from a chosen replica (consistency layer uses this for
   /// staleness-bounded and availability-prioritized reads). The options
   /// deadline bounds the single attempt; no other replica is tried.
   void GetFromReplica(const std::string& key, NodeId replica, RequestOptions options,
                       std::function<void(Result<Record>)> callback);
-  void GetFromReplica(const std::string& key, NodeId replica,
-                      std::function<void(Result<Record>)> callback) {
-    GetFromReplica(key, replica, RequestOptions{}, std::move(callback));
-  }
 
   /// Records a read that was served from cache outside the Router (the
   /// staleness controller's hit path), so RouterWindow — the SLA monitor's
@@ -327,21 +308,29 @@ class Router {
   /// superseded record could roll the cache backwards).
   void FinishCoalescedWrite(Time start, const Status& status, const WalRecord& winner);
 
-  /// Statistics since the last TakeWindow call.
+  /// Statistics since the last TakeWindow call. Safe to call while workers
+  /// are completing requests: the swap happens under the router lock, so a
+  /// concurrent completion lands wholly in the old window or wholly in the
+  /// fresh one.
   RouterWindow TakeWindow();
+  /// Direct view of the live window — single-threaded (sim/test) use only;
+  /// threaded readers must TakeWindow.
   const RouterWindow& window() const { return window_; }
 
  private:
+  /// One in-flight attempt's completion bookkeeping. `done` is the claim:
+  /// exactly one of the response / timeout continuations wins the exchange
+  /// and runs; the loser returns without touching anything. The claim is
+  /// atomic (not lock-guarded) because the two continuations may fire on
+  /// different workers in the same instant; everything after the claim runs
+  /// under the router lock.
   struct Pending {
-    bool done = false;
-    EventLoop::EventId timeout_event = EventLoop::kInvalidEvent;
-  };
+    std::atomic<bool> done{false};
+    Executor::TaskId timeout_event = Executor::kInvalidTask;
 
-  /// Wraps `callback` with a timeout: at most one of callback(result) /
-  /// callback(timeout-status) runs.
-  template <typename T>
-  std::function<void(Result<T>)> WithTimeout(std::function<void(Result<T>)> callback,
-                                             std::function<Result<T>()> timeout_result);
+    /// True exactly once, for the first claimant.
+    bool Claim() { return !done.exchange(true, std::memory_order_acq_rel); }
+  };
 
   void GetAttempt(const std::string& key, std::vector<NodeId> candidates, size_t index, Time start,
                   RequestOptions options, std::function<void(Result<Record>)> callback);
@@ -406,10 +395,16 @@ class Router {
   void MaybeCacheRead(const std::string& key, Time as_of, const Result<Record>& result);
 
   NodeId client_id_;
-  EventLoop* loop_;
-  SimNetwork* network_;
+  Executor* loop_;
+  MessageFabric* network_;
   ClusterState* cluster_;
   RouterConfig config_;
+  /// The big router lock: guards window_, selector_, breaker_, and all
+  /// per-request dispatch state. Recursive because completions invoke user
+  /// callbacks that may legally re-enter this router (session chains,
+  /// coalescer redispatch). Ordering: router lock -> fabric queue lock;
+  /// never taken by storage-node-side code.
+  mutable std::recursive_mutex mu_;
   RouterWindow window_;
   CacheDirectory* cache_ = nullptr;
   ReadCoalescer* coalescer_ = nullptr;

@@ -5,6 +5,7 @@
 namespace scads {
 
 Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -13,6 +14,7 @@ Counter* MetricRegistry::GetCounter(std::string_view name) {
 }
 
 LogHistogram* MetricRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<LogHistogram>()).first;
@@ -21,11 +23,13 @@ LogHistogram* MetricRegistry::GetHistogram(std::string_view name) {
 }
 
 int64_t MetricRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 std::vector<std::string> MetricRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size());
   for (const auto& [name, unused] : counters_) names.push_back(name);
@@ -33,6 +37,7 @@ std::vector<std::string> MetricRegistry::CounterNames() const {
 }
 
 std::vector<std::string> MetricRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(histograms_.size());
   for (const auto& [name, unused] : histograms_) names.push_back(name);
@@ -40,11 +45,13 @@ std::vector<std::string> MetricRegistry::HistogramNames() const {
 }
 
 void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 std::string MetricRegistry::DebugString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += StrFormat("%s %lld\n", name.c_str(), static_cast<long long>(counter->value()));

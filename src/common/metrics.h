@@ -5,9 +5,11 @@
 #ifndef SCADS_COMMON_METRICS_H_
 #define SCADS_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,19 +18,25 @@
 
 namespace scads {
 
-/// A monotonically increasing counter.
+/// A monotonically increasing counter. Increments are atomic (relaxed):
+/// workers on the threaded backend bump counters concurrently, and a
+/// count needs no ordering with anything else. On the single-threaded
+/// simulator this costs nothing and behaves identically.
 class Counter {
  public:
-  void Increment(int64_t delta = 1) { value_ += delta; }
-  int64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
-/// Registry of named counters and histograms. Not thread-safe by design:
-/// SCADS simulations are single-threaded and deterministic.
+/// Registry of named counters and histograms. Lookup/creation is guarded
+/// by a mutex so threads can GetCounter concurrently; the returned
+/// Counter* is stable for the registry's lifetime and atomic to bump.
+/// Histogram *recording* is NOT synchronized — histogram users either
+/// stay on one thread or hold their own lock (RouterWindow does).
 class MetricRegistry {
  public:
   /// Returns the counter registered under `name`, creating it on first use.
@@ -51,6 +59,7 @@ class MetricRegistry {
   std::string DebugString() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>> histograms_;
 };

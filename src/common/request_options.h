@@ -89,6 +89,14 @@ struct RequestOptions {
   /// Treated as an implementation detail — set it via Arm().
   Time deadline_at = 0;
 
+  /// Defaults except the read is pinned to the primary replica — the
+  /// common spelling for read-modify-write and index-maintenance reads.
+  static RequestOptions PrimaryOnly() {
+    RequestOptions options;
+    options.read_mode = ReadMode::kPrimaryOnly;
+    return options;
+  }
+
   /// Converts the relative budget into an absolute expiry. Idempotent: the
   /// first layer to see the request wins, deeper layers are no-ops.
   void Arm(Time now) {

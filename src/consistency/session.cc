@@ -6,7 +6,7 @@ namespace scads {
 
 void SessionClient::Put(const std::string& key, const std::string& value, AckMode ack,
                         RequestOptions options, std::function<void(Status)> callback) {
-  router_->PutWithVersion(
+  client_.router()->PutWithVersion(
       key, value, ack, std::move(options),
       [this, key, callback = std::move(callback)](Result<Version> result) {
         if (result.ok() && guarantees_.read_your_writes) {
@@ -18,7 +18,7 @@ void SessionClient::Put(const std::string& key, const std::string& value, AckMod
 
 void SessionClient::Delete(const std::string& key, AckMode ack, RequestOptions options,
                            std::function<void(Status)> callback) {
-  router_->DeleteWithVersion(
+  client_.router()->DeleteWithVersion(
       key, ack, std::move(options),
       [this, key, callback = std::move(callback)](Result<Version> result) {
         if (result.ok() && guarantees_.read_your_writes) {
@@ -82,7 +82,7 @@ void SessionClient::Get(const std::string& key, RequestOptions options,
                         std::function<void(Result<Record>)> callback) {
   // Arm here so one budget spans the replica read AND the primary-pinned
   // fallback below — the fallback must not get a fresh full budget.
-  options.Arm(router_->loop()->Now());
+  options.Arm(client_.loop()->Now());
   // Tighten-only, as at the Scads facade: a looser override must not
   // weaken the deployment-wide staleness guarantee.
   if (spec_staleness_ > 0 && options.max_staleness.has_value() &&
@@ -96,7 +96,7 @@ void SessionClient::Get(const std::string& key, RequestOptions options,
       (!options.min_version.has_value() || *options.min_version < *floor)) {
     options.min_version = floor;
   }
-  router_->Get(key, options,
+  client_.router()->Get(key, options,
                [this, key, options, callback = std::move(callback)](
                    Result<Record> result) mutable {
                  if (SatisfiesTokens(key, result)) {
@@ -110,7 +110,7 @@ void SessionClient::Get(const std::string& key, RequestOptions options,
                  ++fallbacks_;
                  RequestOptions pinned = std::move(options);
                  pinned.read_mode = ReadMode::kPrimaryOnly;
-                 router_->Get(key, std::move(pinned),
+                 client_.router()->Get(key, std::move(pinned),
                               [this, key, callback = std::move(callback)](
                                   Result<Record> fresh) mutable {
                                 RecordObservation(key, fresh);

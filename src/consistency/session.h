@@ -1,6 +1,6 @@
 // Session guarantees (Figure 4, "Session Guarantees"; Terry et al. 1994).
 //
-// A SessionClient wraps a Router and tracks version tokens:
+// A SessionClient wraps a ScadsClient handle and tracks version tokens:
 //  * read-your-writes: a read must observe this session's latest write to
 //    the key (or its deletion);
 //  * monotonic reads: versions observed by this session never go backwards.
@@ -18,17 +18,20 @@
 #include "cluster/router.h"
 #include "common/request_options.h"
 #include "consistency/spec.h"
+#include "core/scads_client.h"
 
 namespace scads {
 
-/// One user session with configurable guarantees.
+/// One user session with configurable guarantees. Session token state is
+/// NOT internally synchronized: one session belongs to one logical client
+/// thread (that is what a session *is*); spin up a session per thread.
 class SessionClient {
  public:
   /// `spec_staleness` is the deployment spec's bound (0 = unbounded); like
   /// the Scads facade, session reads clamp a looser per-request override
   /// to it (tighten-only).
-  SessionClient(Router* router, SessionGuarantees guarantees, Duration spec_staleness = 0)
-      : router_(router), guarantees_(guarantees), spec_staleness_(spec_staleness) {}
+  SessionClient(ScadsClient client, SessionGuarantees guarantees, Duration spec_staleness = 0)
+      : client_(client), guarantees_(guarantees), spec_staleness_(spec_staleness) {}
 
   /// Write; on success the session remembers the committed version. The
   /// options deadline budget bounds the write.
@@ -74,7 +77,7 @@ class SessionClient {
   /// The version floor this session's guarantees impose on reads of `key`.
   std::optional<Version> VersionFloor(const std::string& key) const;
 
-  Router* router_;
+  ScadsClient client_;
   SessionGuarantees guarantees_;
   Duration spec_staleness_;
   std::unordered_map<std::string, WriteToken> write_tokens_;

@@ -60,11 +60,6 @@ class StalenessController {
   void Get(const std::string& key, RequestOptions options,
            std::function<void(Result<Record>)> callback);
 
-  /// Deprecated pre-options shim.
-  void Get(const std::string& key, std::function<void(Result<Record>)> callback) {
-    Get(key, RequestOptions{}, std::move(callback));
-  }
-
   const StalenessStats& stats() const { return stats_; }
   Duration bound() const { return bound_; }
 

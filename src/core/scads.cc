@@ -339,8 +339,10 @@ void Scads::Query(const std::string& name, const ParamMap& params, RequestOption
 }
 
 std::unique_ptr<SessionClient> Scads::NewSession() {
-  return std::make_unique<SessionClient>(router_.get(), spec_.session, spec_.max_staleness);
+  return std::make_unique<SessionClient>(NewClient(), spec_.session, spec_.max_staleness);
 }
+
+ScadsClient Scads::NewClient() { return ScadsClient(router_.get()); }
 
 std::string Scads::RenderMaintenanceTable() const {
   return scads::RenderMaintenanceTable(maintainer_->MaintenanceTable());

@@ -40,6 +40,7 @@
 #include "consistency/spec.h"
 #include "consistency/staleness.h"
 #include "consistency/write_policy.h"
+#include "core/scads_client.h"
 #include "director/director.h"
 #include "index/executor.h"
 #include "index/maintenance.h"
@@ -141,11 +142,10 @@ class Scads {
   //
   // Every operation takes a RequestOptions context: staleness override,
   // read mode, deadline budget, session version floor, priority (see
-  // common/request_options.h). The options-taking async methods are the
-  // core; each *Sync form is the same call through one generic wrapper that
-  // pumps the simulation until the callback fires. The options-less
-  // overloads are deprecated shims (RequestOptions{} reproduces the old
-  // behaviour exactly) kept so callers migrate incrementally.
+  // common/request_options.h) — pass RequestOptions{} for the defaults.
+  // The async methods are the core; each *Sync form is the same call
+  // through one generic wrapper that pumps the simulation until the
+  // callback fires.
 
   /// Upserts a row (write policy per the consistency spec) and triggers
   /// index maintenance. The deadline budget spans the read-modify-write.
@@ -173,37 +173,13 @@ class Scads {
   Result<std::vector<Row>> QuerySync(const std::string& name, const ParamMap& params,
                                      RequestOptions options);
 
-  // Deprecated pre-options shims.
-  void PutRow(const std::string& entity, const Row& row, std::function<void(Status)> callback) {
-    PutRow(entity, row, RequestOptions{}, std::move(callback));
-  }
-  Status PutRowSync(const std::string& entity, const Row& row) {
-    return PutRowSync(entity, row, RequestOptions{});
-  }
-  void DeleteRow(const std::string& entity, const Row& row,
-                 std::function<void(Status)> callback) {
-    DeleteRow(entity, row, RequestOptions{}, std::move(callback));
-  }
-  Status DeleteRowSync(const std::string& entity, const Row& row) {
-    return DeleteRowSync(entity, row, RequestOptions{});
-  }
-  void GetRow(const std::string& entity, const Row& key_row,
-              std::function<void(Result<Row>)> callback) {
-    GetRow(entity, key_row, RequestOptions{}, std::move(callback));
-  }
-  Result<Row> GetRowSync(const std::string& entity, const Row& key_row) {
-    return GetRowSync(entity, key_row, RequestOptions{});
-  }
-  void Query(const std::string& name, const ParamMap& params,
-             std::function<void(Result<std::vector<Row>>)> callback) {
-    Query(name, params, RequestOptions{}, std::move(callback));
-  }
-  Result<std::vector<Row>> QuerySync(const std::string& name, const ParamMap& params) {
-    return QuerySync(name, params, RequestOptions{});
-  }
-
   /// New client session honouring the spec's session guarantees.
   std::unique_ptr<SessionClient> NewSession();
+
+  /// Cheap copyable data-plane handle over this deployment's router —
+  /// thread-safe to copy and use from any thread on a threaded backend
+  /// (the facade itself, like the sim, is single-threaded control plane).
+  ScadsClient NewClient();
 
   // --- introspection ---------------------------------------------------
 

@@ -35,8 +35,8 @@ bool FeedRanksBefore(const FeedItem& a, const FeedItem& b) {
   return a.seq > b.seq;
 }
 
-GraphClient::GraphClient(Router* router, GraphClientConfig config)
-    : router_(router), config_(config) {}
+GraphClient::GraphClient(ScadsClient client, GraphClientConfig config)
+    : client_(client), config_(config) {}
 
 std::string GraphClient::AdjacencyKey(uint64_t user) {
   return SpreadKey(user, 0x67613a00u, "ga:");
@@ -48,13 +48,13 @@ std::string GraphClient::PostsKey(uint64_t user) {
 
 void GraphClient::Feed(uint64_t user, size_t k, RequestOptions options,
                        std::function<void(Result<std::vector<FeedItem>>)> callback) {
-  options.Arm(router_->loop()->Now());
+  options.Arm(client_.loop()->Now());
   auto fail = [this, callback](Status status) {
     ++stats_.feeds_failed;
     callback(std::move(status));
   };
   // Hop 0: the user's own follow list.
-  router_->Get(
+  client_.router()->Get(
       AdjacencyKey(user), options,
       [this, user, k, options, callback, fail](Result<Record> adj) {
         std::vector<uint64_t> follows;
@@ -77,7 +77,7 @@ void GraphClient::Feed(uint64_t user, size_t k, RequestOptions options,
         std::vector<std::string> adj_keys;
         adj_keys.reserve(follows.size());
         for (uint64_t f : follows) adj_keys.push_back(AdjacencyKey(f));
-        router_->MultiGet(
+        client_.router()->MultiGet(
             adj_keys, options,
             [this, user, k, options, callback, fail,
              follows = std::move(follows)](std::vector<Result<Record>> lists) {
@@ -114,7 +114,7 @@ void GraphClient::Feed(uint64_t user, size_t k, RequestOptions options,
               std::vector<std::string> post_keys;
               post_keys.reserve(neighbors.size());
               for (uint64_t n : neighbors) post_keys.push_back(PostsKey(n));
-              router_->MultiGet(
+              client_.router()->MultiGet(
                   post_keys, options,
                   [this, k, callback, fail,
                    neighbors = std::move(neighbors)](std::vector<Result<Record>> runs) {
@@ -198,7 +198,7 @@ void GraphClient::MutateRecord(const std::string& key,
                                std::function<bool(std::string*)> mutate,
                                RequestOptions options, int retries_left,
                                std::function<void(Status)> callback) {
-  options.Arm(router_->loop()->Now());
+  options.Arm(client_.loop()->Now());
   // The read half of the RMW must see the freshest copy and must be this
   // request's own round trip — a coalesced or replica-served read could
   // hand back a version the primary has already superseded, turning every
@@ -206,7 +206,7 @@ void GraphClient::MutateRecord(const std::string& key,
   RequestOptions read = options;
   read.read_mode = ReadMode::kPrimaryOnly;
   read.allow_coalesce = false;
-  router_->Get(
+  client_.router()->Get(
       key, read,
       [this, key, mutate, options, retries_left, callback](Result<Record> current) {
         std::string encoded;
@@ -226,7 +226,7 @@ void GraphClient::MutateRecord(const std::string& key,
           callback(Status::Ok());
           return;
         }
-        router_->ConditionalPut(
+        client_.router()->ConditionalPut(
             key, encoded, expected, config_.ack, options,
             [this, key, mutate, options, retries_left, callback](Status status) {
               if (IsAborted(status) && retries_left != 0) {

@@ -39,6 +39,7 @@
 #include "cluster/router.h"
 #include "common/request_options.h"
 #include "common/result.h"
+#include "core/scads_client.h"
 #include "graph/adjacency_codec.h"
 
 namespace scads {
@@ -83,9 +84,12 @@ struct GraphClientStats {
   int64_t feed_dupes_dropped = 0;
 };
 
+/// Stats are NOT internally synchronized: a GraphClient models one
+/// application client; give each thread its own (over copies of the same
+/// ScadsClient handle).
 class GraphClient {
  public:
-  explicit GraphClient(Router* router, GraphClientConfig config = {});
+  explicit GraphClient(ScadsClient client, GraphClientConfig config = {});
 
   static std::string AdjacencyKey(uint64_t user);
   static std::string PostsKey(uint64_t user);
@@ -110,7 +114,8 @@ class GraphClient {
             std::function<void(Status)> callback);
 
   const GraphClientStats& stats() const { return stats_; }
-  Router* router() { return router_; }
+  Router* router() { return client_.router(); }
+  const ScadsClient& client() const { return client_; }
   const GraphClientConfig& config() const { return config_; }
 
  private:
@@ -120,7 +125,7 @@ class GraphClient {
                     RequestOptions options, int retries_left,
                     std::function<void(Status)> callback);
 
-  Router* router_;
+  ScadsClient client_;
   GraphClientConfig config_;
   GraphClientStats stats_;
 };

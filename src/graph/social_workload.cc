@@ -63,7 +63,7 @@ void SocialWorkloadDriver::ResetFeedStats() {
 }
 
 void SocialWorkloadDriver::Run(std::function<void()> done) {
-  EventLoop* loop = clients_[0]->router()->loop();
+  Executor* loop = clients_[0]->router()->loop();
   ResetFeedStats();
   Rng rng(seed_);
   std::vector<Op> feeds;
@@ -147,7 +147,7 @@ void SocialWorkloadDriver::Run(std::function<void()> done) {
 }
 
 void SocialWorkloadDriver::RunFeedPass(int64_t feeds, int pass, std::function<void()> done) {
-  EventLoop* loop = clients_[0]->router()->loop();
+  Executor* loop = clients_[0]->router()->loop();
   ResetFeedStats();
   // Fresh per-pass tape: identical across arms (pure function of seed and
   // pass number), uncorrelated between passes.
@@ -175,7 +175,7 @@ void SocialWorkloadDriver::RunFeedPass(int64_t feeds, int pass, std::function<vo
 
 void SocialWorkloadDriver::IssueFeed(GraphClient* client, int64_t op_index, int64_t actor,
                                      bool digest, std::function<void()> on_done) {
-  EventLoop* loop = client->router()->loop();
+  Executor* loop = client->router()->loop();
   Time start = loop->Now();
   client->Feed(
       static_cast<uint64_t>(actor), config_.feed_k, config_.feed_options,

@@ -51,12 +51,6 @@ class QueryExecutor {
   void Execute(const QueryPlan& plan, const ParamMap& params, RequestOptions options,
                std::function<void(Result<std::vector<Row>>)> callback);
 
-  /// Deprecated pre-options shim.
-  void Execute(const QueryPlan& plan, const ParamMap& params,
-               std::function<void(Result<std::vector<Row>>)> callback) {
-    Execute(plan, params, RequestOptions{}, std::move(callback));
-  }
-
   int64_t executions() const { return executions_; }
   int64_t rows_returned() const { return rows_returned_; }
 

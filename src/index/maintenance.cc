@@ -63,7 +63,7 @@ void IndexMaintainer::FlushEntryOps(std::vector<Router::WriteOp> ops,
       ++stats_.entries_deleted;
     }
   }
-  router_->MultiWrite(std::move(ops), AckMode::kPrimary,
+  router_->MultiWrite(std::move(ops), AckMode::kPrimary, RequestOptions{},
                       [done = std::move(done)](std::vector<Status> statuses) {
                         for (Status& status : statuses) {
                           if (!status.ok()) {
@@ -235,8 +235,10 @@ void IndexMaintainer::RunJoinEdgeUpdate(const Registered& reg, std::optional<Row
     row_keys.push_back(BaseRowKeyFromPiece(*target, item.target_pk));
   }
   stats_.lookups += static_cast<int64_t>(row_keys.size());
+  RequestOptions pinned;  // index maintenance reads the authoritative copy
+  pinned.read_mode = ReadMode::kPrimaryOnly;
   router_->MultiGet(
-      row_keys, /*pin_primary=*/true,
+      row_keys, pinned,
       [this, items, target, &reg, done = std::move(done)](std::vector<Result<Record>> records) {
         const IndexPlan& plan = reg.plan;
         std::vector<Router::WriteOp> ops;
@@ -436,8 +438,10 @@ void IndexMaintainer::ApplyWitnessDeltas(
     it->second += delta;
   }
   stats_.lookups += static_cast<int64_t>(keys.size());
+  RequestOptions pinned;  // counters are read-modify-write on the primary
+  pinned.read_mode = ReadMode::kPrimaryOnly;
   router_->MultiGet(
-      keys, /*pin_primary=*/true,
+      keys, pinned,
       [this, keys, net = std::move(net),
        done = std::move(done)](std::vector<Result<Record>> current) mutable {
         std::vector<Router::WriteOp> ops;

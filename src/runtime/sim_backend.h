@@ -1,0 +1,59 @@
+// SimBackend: the deterministic ExecutionBackend — an EventLoop plus a
+// SimNetwork presented through the backend API.
+//
+// This is a view, not an owner: it delegates to an existing loop/network
+// pair so code that assembles the simulator piecewise (Scads, test
+// fixtures) can also hand out a single ExecutionBackend*. Determinism,
+// virtual time, and the network's latency/loss/partition model are
+// unchanged — components running on this backend behave byte-identically
+// to components wired straight to the loop and network.
+
+#ifndef SCADS_RUNTIME_SIM_BACKEND_H_
+#define SCADS_RUNTIME_SIM_BACKEND_H_
+
+#include <functional>
+#include <utility>
+
+#include "runtime/execution_backend.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace scads {
+
+class SimBackend : public ExecutionBackend {
+ public:
+  SimBackend(EventLoop* loop, SimNetwork* network) : loop_(loop), network_(network) {}
+
+  // --- Executor ----------------------------------------------------------
+  Time Now() const override { return loop_->Now(); }
+  const Clock* clock() const override { return loop_->clock(); }
+  TaskId ScheduleAt(Time t, std::function<void()> fn) override {
+    return loop_->ScheduleAt(t, std::move(fn));
+  }
+  TaskId ScheduleAfter(Duration delay, std::function<void()> fn) override {
+    return loop_->ScheduleAfter(delay, std::move(fn));
+  }
+  TaskId SchedulePeriodic(Duration period, std::function<void()> fn) override {
+    return loop_->SchedulePeriodic(period, std::move(fn));
+  }
+  bool Cancel(TaskId id) override { return loop_->Cancel(id); }
+  bool deterministic() const override { return true; }
+
+  // --- MessageFabric ------------------------------------------------------
+  void Send(NodeId from, NodeId to, int64_t payload_bytes,
+            std::function<void()> deliver) override {
+    network_->Send(from, to, payload_bytes, std::move(deliver));
+  }
+  using MessageFabric::Send;
+
+  EventLoop* loop() { return loop_; }
+  SimNetwork* network() { return network_; }
+
+ private:
+  EventLoop* loop_;
+  SimNetwork* network_;
+};
+
+}  // namespace scads
+
+#endif  // SCADS_RUNTIME_SIM_BACKEND_H_

@@ -1,0 +1,217 @@
+#include "runtime/threaded_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace scads {
+namespace {
+
+// Which ThreadedRuntime worker (if any) the current thread is. Lets
+// ScheduleAfter arm timers on the caller's own worker so node-local
+// callbacks never migrate.
+struct WorkerTls {
+  const void* runtime = nullptr;
+  int index = -1;
+};
+thread_local WorkerTls tls_worker;
+
+}  // namespace
+
+ThreadedRuntime::ThreadedRuntime(Options options) {
+  int n = options.workers;
+  if (n <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    n = std::clamp(static_cast<int>(hw == 0 ? 2 : hw), 2, 16);
+  }
+  n = std::min<int>(n, kWorkerMask + 1);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  for (int i = 0; i < n; ++i) {
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadedRuntime::~ThreadedRuntime() { Shutdown(); }
+
+void ThreadedRuntime::Shutdown() {
+  if (stopped_.exchange(true)) return;
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ThreadedRuntime::RegisterDestination(NodeId id) {
+  std::unique_lock lock(destinations_mu_);
+  if (destinations_.count(id)) return;
+  destinations_[id] = next_destination_worker_;
+  next_destination_worker_ = (next_destination_worker_ + 1) % worker_count();
+}
+
+void ThreadedRuntime::RegisterDestination(NodeId id, int worker) {
+  std::unique_lock lock(destinations_mu_);
+  destinations_[id] = ((worker % worker_count()) + worker_count()) % worker_count();
+}
+
+int ThreadedRuntime::WorkerOf(NodeId to) const {
+  {
+    std::shared_lock lock(destinations_mu_);
+    auto it = destinations_.find(to);
+    if (it != destinations_.end()) return it->second;
+  }
+  // Fibonacci hash: adjacent client ids spread across workers.
+  uint64_t h = static_cast<uint64_t>(static_cast<uint32_t>(to)) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<int>((h >> 32) % static_cast<uint64_t>(worker_count()));
+}
+
+int ThreadedRuntime::HomeWorker() {
+  if (tls_worker.runtime == this) return tls_worker.index;
+  return next_external_.fetch_add(1, std::memory_order_relaxed) % worker_count();
+}
+
+void ThreadedRuntime::EnqueueTask(int worker, TaskId id, std::function<void()> fn) {
+  Worker& w = *workers_[worker];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (w.stop) return;
+    w.live.insert(id);
+    w.queue.push_back(QueuedTask{id, std::move(fn)});
+  }
+  w.cv.notify_one();
+}
+
+Executor::TaskId ThreadedRuntime::ArmTimer(int worker, Time when, std::function<void()> fn,
+                                           bool periodic, TaskId reuse_id) {
+  Worker& w = *workers_[worker];
+  TaskId id = reuse_id != kInvalidTask ? reuse_id : NextId(worker);
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (w.stop) return id;
+    w.live.insert(id);
+    wake = w.timers.empty() || when < w.timers.front().when;
+    w.timers.push_back(TimerEntry{when, id, std::move(fn), periodic});
+    std::push_heap(w.timers.begin(), w.timers.end(), TimerLater{});
+  }
+  // A new earliest deadline shortens the worker's current wait.
+  if (wake) w.cv.notify_one();
+  return id;
+}
+
+Executor::TaskId ThreadedRuntime::ScheduleAt(Time t, std::function<void()> fn) {
+  return ScheduleAfter(t - Now(), std::move(fn));
+}
+
+Executor::TaskId ThreadedRuntime::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  int worker = HomeWorker();
+  if (delay <= 0) {
+    TaskId id = NextId(worker);
+    EnqueueTask(worker, id, std::move(fn));
+    return id;
+  }
+  return ArmTimer(worker, Now() + delay, std::move(fn), /*periodic=*/false);
+}
+
+Executor::TaskId ThreadedRuntime::SchedulePeriodic(Duration period, std::function<void()> fn) {
+  int worker = HomeWorker();
+  Worker& w = *workers_[worker];
+  TaskId id = NextId(worker);
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (w.stop) return id;
+    w.periodics[id] = PeriodicState{std::max<Duration>(period, 1), std::move(fn)};
+  }
+  ArmTimer(worker, Now() + std::max<Duration>(period, 1), nullptr, /*periodic=*/true, id);
+  return id;
+}
+
+bool ThreadedRuntime::Cancel(TaskId id) {
+  if (id == kInvalidTask) return false;
+  Worker& w = *workers_[WorkerIndexOf(id)];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.live.erase(id) == 0) return false;
+  w.cancelled.insert(id);
+  w.periodics.erase(id);
+  return true;
+}
+
+void ThreadedRuntime::Send(NodeId from, NodeId to, int64_t payload_bytes,
+                           std::function<void()> deliver) {
+  (void)from;
+  (void)payload_bytes;
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  int worker = WorkerOf(to);
+  EnqueueTask(worker, NextId(worker), std::move(deliver));
+}
+
+bool ThreadedRuntime::RunOneLocked(std::unique_lock<std::mutex>& lock, Worker& w) {
+  // Queue first (message/post order), then due timers.
+  while (!w.queue.empty()) {
+    QueuedTask task = std::move(w.queue.front());
+    w.queue.pop_front();
+    if (w.cancelled.erase(task.id)) continue;
+    w.live.erase(task.id);
+    lock.unlock();
+    task.fn();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    return true;
+  }
+  Time now = Now();
+  while (!w.timers.empty() && w.timers.front().when <= now) {
+    std::pop_heap(w.timers.begin(), w.timers.end(), TimerLater{});
+    TimerEntry entry = std::move(w.timers.back());
+    w.timers.pop_back();
+    if (w.cancelled.erase(entry.id)) continue;
+    if (entry.periodic) {
+      auto it = w.periodics.find(entry.id);
+      if (it == w.periodics.end()) continue;  // cancelled mid-flight
+      Duration period = it->second.period;
+      std::function<void()> fn = it->second.fn;  // copy: survives the run
+      lock.unlock();
+      fn();
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+      // Re-arm unless Cancel ran while we were executing. live still
+      // holds the id (periodic entries stay live until cancelled).
+      if (w.live.count(entry.id) && !w.stop) {
+        w.timers.push_back(TimerEntry{Now() + period, entry.id, nullptr, true});
+        std::push_heap(w.timers.begin(), w.timers.end(), TimerLater{});
+      }
+      return true;
+    }
+    w.live.erase(entry.id);
+    lock.unlock();
+    entry.fn();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    return true;
+  }
+  return false;
+}
+
+void ThreadedRuntime::WorkerLoop(int index) {
+  tls_worker.runtime = this;
+  tls_worker.index = index;
+  Worker& w = *workers_[index];
+  std::unique_lock<std::mutex> lock(w.mu);
+  while (true) {
+    if (w.stop) return;
+    if (RunOneLocked(lock, w)) continue;
+    if (w.timers.empty()) {
+      w.cv.wait(lock);
+    } else {
+      Duration until = w.timers.front().when - Now();
+      if (until > 0) w.cv.wait_for(lock, std::chrono::microseconds(until));
+    }
+  }
+}
+
+}  // namespace scads

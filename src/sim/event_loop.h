@@ -17,14 +17,17 @@
 
 #include "common/clock.h"
 #include "common/types.h"
+#include "runtime/execution_backend.h"
 
 namespace scads {
 
-/// Single-threaded priority-queue event loop over simulated time.
-class EventLoop {
+/// Single-threaded priority-queue event loop over simulated time. The
+/// deterministic Executor implementation: identical schedules replay
+/// identically.
+class EventLoop : public Executor {
  public:
-  using EventId = int64_t;
-  static constexpr EventId kInvalidEvent = -1;
+  using EventId = Executor::TaskId;
+  static constexpr EventId kInvalidEvent = Executor::kInvalidTask;
 
   explicit EventLoop(Time start_time = 0) : clock_(start_time) {}
 
@@ -32,25 +35,28 @@ class EventLoop {
   EventLoop& operator=(const EventLoop&) = delete;
 
   /// Current simulated time.
-  Time Now() const { return clock_.Now(); }
+  Time Now() const override { return clock_.Now(); }
 
   /// Clock view for components that only need "now".
-  const Clock* clock() const { return &clock_; }
+  const Clock* clock() const override { return &clock_; }
 
   /// Runs `fn` at absolute time `t` (clamped to Now() if in the past).
   /// Events scheduled for the same time run in scheduling order.
-  EventId ScheduleAt(Time t, std::function<void()> fn);
+  EventId ScheduleAt(Time t, std::function<void()> fn) override;
 
   /// Runs `fn` after `delay` (>= 0).
-  EventId ScheduleAfter(Duration delay, std::function<void()> fn);
+  EventId ScheduleAfter(Duration delay, std::function<void()> fn) override;
 
   /// Runs `fn` every `period`, first firing after one period. Cancel stops
   /// the whole chain.
-  EventId SchedulePeriodic(Duration period, std::function<void()> fn);
+  EventId SchedulePeriodic(Duration period, std::function<void()> fn) override;
 
   /// Cancels a pending (or periodic) event. Returns false when the event
   /// already ran or does not exist.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) override;
+
+  /// Simulated time replays identically.
+  bool deterministic() const override { return true; }
 
   /// Pops and runs the next event. Returns false when the queue is empty.
   bool RunOne();

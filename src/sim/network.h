@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "runtime/execution_backend.h"
 #include "sim/event_loop.h"
 
 namespace scads {
@@ -32,12 +33,12 @@ struct NetworkConfig {
 };
 
 /// Message-passing fabric between NodeIds over simulated time.
-class SimNetwork {
+class SimNetwork : public MessageFabric {
  public:
   /// Fixed per-message framing overhead charged to the byte counters on top
   /// of the declared payload (transport + RPC headers). Batching N requests
   /// into one message saves (N-1) of these.
-  static constexpr int64_t kMessageOverheadBytes = 64;
+  static constexpr int64_t kMessageOverheadBytes = MessageFabric::kMessageOverheadBytes;
 
   SimNetwork(EventLoop* loop, uint64_t seed, NetworkConfig config = {});
 
@@ -48,12 +49,11 @@ class SimNetwork {
   /// `payload_bytes` is the application payload size; the byte counters
   /// charge it plus kMessageOverheadBytes per message, so batching wins show
   /// up in bytes as well as message counts.
-  void Send(NodeId from, NodeId to, int64_t payload_bytes, std::function<void()> deliver);
+  void Send(NodeId from, NodeId to, int64_t payload_bytes,
+            std::function<void()> deliver) override;
 
   /// Payload-size-agnostic send (control messages; counts overhead only).
-  void Send(NodeId from, NodeId to, std::function<void()> deliver) {
-    Send(from, to, 0, std::move(deliver));
-  }
+  using MessageFabric::Send;
 
   /// Puts each node into a numbered partition group; nodes in different
   /// groups cannot exchange messages. Unlisted nodes stay in group 0.

@@ -12,7 +12,7 @@ namespace {
 constexpr size_t kNpos = std::numeric_limits<size_t>::max();
 }  // namespace
 
-PagedEngine::PagedEngine(EventLoop* loop, PagedEngineOptions options)
+PagedEngine::PagedEngine(Executor* loop, PagedEngineOptions options)
     : loop_(loop),
       options_(options),
       owned_file_(options.file != nullptr ? nullptr : std::make_unique<PageFile>()),
@@ -32,7 +32,7 @@ PagedEngine::PagedEngine(EventLoop* loop, PagedEngineOptions options)
 }
 
 PagedEngine::~PagedEngine() {
-  if (write_back_event_ != EventLoop::kInvalidEvent) loop_->Cancel(write_back_event_);
+  if (write_back_event_ != Executor::kInvalidTask) loop_->Cancel(write_back_event_);
 }
 
 void PagedEngine::RebuildFromFile() {
@@ -507,7 +507,7 @@ Status PagedEngine::ApplyBatch(const std::vector<WalRecord>& records) {
 }
 
 Result<std::unique_ptr<PagedEngine>> PagedEngine::Recover(
-    EventLoop* loop, PagedEngineOptions options, const std::vector<WalRecord>& records) {
+    Executor* loop, PagedEngineOptions options, const std::vector<WalRecord>& records) {
   // Replay must not re-log: recover WAL-less, then attach. Records already
   // written back before the crash replay as superseded no-ops (the page
   // tier holds an equal version), so replay is idempotent.

@@ -39,7 +39,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/event_loop.h"
+#include "runtime/execution_backend.h"
 #include "storage/engine.h"
 #include "storage/pagestore/page_store.h"
 #include "storage/skiplist.h"
@@ -62,7 +62,7 @@ struct PagedEngineOptions {
 
 class PagedEngine : public EngineInterface {
  public:
-  PagedEngine(EventLoop* loop, PagedEngineOptions options);
+  PagedEngine(Executor* loop, PagedEngineOptions options);
   ~PagedEngine() override;
 
   PagedEngine(const PagedEngine&) = delete;
@@ -85,7 +85,7 @@ class PagedEngine : public EngineInterface {
   /// and replays `records` — typically ReadWal of the surviving log, torn
   /// tail already dropped — without re-logging. The version rule makes
   /// replay idempotent against records that were already written back.
-  static Result<std::unique_ptr<PagedEngine>> Recover(EventLoop* loop,
+  static Result<std::unique_ptr<PagedEngine>> Recover(Executor* loop,
                                                       PagedEngineOptions options,
                                                       const std::vector<WalRecord>& records);
 
@@ -162,7 +162,7 @@ class PagedEngine : public EngineInterface {
 
   void SyncResidentMetric() const;
 
-  EventLoop* loop_;
+  Executor* loop_;
   PagedEngineOptions options_;
   std::unique_ptr<PageFile> owned_file_;
   PageFile* file_;
@@ -184,7 +184,7 @@ class PagedEngine : public EngineInterface {
   /// Snapshot epoch of the newest durable image per page: a slow async
   /// completion must never clobber a newer forced write.
   mutable std::map<PageId, uint64_t> durable_epoch_;
-  EventLoop::EventId write_back_event_ = EventLoop::kInvalidEvent;
+  Executor::TaskId write_back_event_ = Executor::kInvalidTask;
 
   mutable Duration accrued_io_ = 0;
   mutable MetricRegistry metrics_;

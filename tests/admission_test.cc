@@ -286,7 +286,7 @@ TEST(AdaptiveBatchTest, ChunkedMultiGetPreservesOrderAndDuplicates) {
   Harness h(1);
   for (int i = 0; i < 32; ++i) {
     bool done = false;
-    h.router->Put("k" + std::to_string(i), "v" + std::to_string(i), AckMode::kPrimary,
+    h.router->Put("k" + std::to_string(i), "v" + std::to_string(i), AckMode::kPrimary, RequestOptions{},
                   [&](Status s) {
                     done = true;
                     EXPECT_TRUE(s.ok());

@@ -229,7 +229,7 @@ struct TestCluster {
                  AckMode ack = AckMode::kPrimary) {
     Status out = InternalError("callback never ran");
     bool done = false;
-    router->Put(key, value, ack, [&](Status s) {
+    router->Put(key, value, ack, RequestOptions{}, [&](Status s) {
       out = std::move(s);
       done = true;
     });
@@ -241,7 +241,9 @@ struct TestCluster {
                                            bool pin_primary = false) {
     std::vector<Result<Record>> out;
     bool done = false;
-    router->MultiGet(keys, pin_primary, [&](std::vector<Result<Record>> results) {
+    RequestOptions options;
+    if (pin_primary) options.read_mode = ReadMode::kPrimaryOnly;
+    router->MultiGet(keys, options, [&](std::vector<Result<Record>> results) {
       out = std::move(results);
       done = true;
     });
@@ -253,7 +255,7 @@ struct TestCluster {
                                      AckMode ack = AckMode::kPrimary) {
     std::vector<Status> out;
     bool done = false;
-    router->MultiWrite(std::move(ops), ack, [&](std::vector<Status> statuses) {
+    router->MultiWrite(std::move(ops), ack, RequestOptions{}, [&](std::vector<Status> statuses) {
       out = std::move(statuses);
       done = true;
     });
@@ -265,7 +267,7 @@ struct TestCluster {
 TEST(RouterMultiGetTest, EmptyKeySetCompletesImmediately) {
   TestCluster tc(2, 1);
   bool done = false;
-  tc.router->MultiGet({}, /*pin_primary=*/false, [&](std::vector<Result<Record>> results) {
+  tc.router->MultiGet({}, RequestOptions{}, [&](std::vector<Result<Record>> results) {
     EXPECT_TRUE(results.empty());
     done = true;
   });

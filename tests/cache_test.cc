@@ -328,12 +328,12 @@ TEST(CacheSystemTest, RepeatReadsServeFromCacheWithinBound) {
   ASSERT_TRUE(db->DefineEntity(ProfilesEntity()).ok());
   ASSERT_TRUE(db->Start().ok());
 
-  ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, "alice")).ok());
+  ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, "alice"), RequestOptions{}).ok());
   int64_t hits_before = db->metrics()->CounterValue("cache.point.hits");
-  auto row = db->GetRowSync("profiles", UserKey(1));
+  auto row = db->GetRowSync("profiles", UserKey(1), RequestOptions{});
   ASSERT_TRUE(row.ok()) << row.status();
   EXPECT_EQ(row->GetString("name"), "alice");
-  auto again = db->GetRowSync("profiles", UserKey(1));
+  auto again = db->GetRowSync("profiles", UserKey(1), RequestOptions{});
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->GetString("name"), "alice");
   EXPECT_GT(db->metrics()->CounterValue("cache.point.hits"), hits_before);
@@ -350,19 +350,19 @@ TEST(CacheSystemTest, EntriesPastStalenessBoundAreRejectedThenRepopulated) {
   ASSERT_TRUE(db->DefineEntity(ProfilesEntity()).ok());
   ASSERT_TRUE(db->Start().ok());
 
-  ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, "alice")).ok());
-  ASSERT_TRUE(db->GetRowSync("profiles", UserKey(1)).ok());  // cached
+  ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, "alice"), RequestOptions{}).ok());
+  ASSERT_TRUE(db->GetRowSync("profiles", UserKey(1), RequestOptions{}).ok());  // cached
 
   db->RunFor(3 * kSecond);  // age every entry past the 2s bound
   int64_t stale_before = db->metrics()->CounterValue("cache.point.stale_rejects");
-  auto row = db->GetRowSync("profiles", UserKey(1));
+  auto row = db->GetRowSync("profiles", UserKey(1), RequestOptions{});
   ASSERT_TRUE(row.ok()) << row.status();
   EXPECT_EQ(row->GetString("name"), "alice");  // re-fetched from storage
   EXPECT_GT(db->metrics()->CounterValue("cache.point.stale_rejects"), stale_before);
 
   // The re-fetch repopulated the cache: an immediate re-read hits.
   int64_t hits_before = db->metrics()->CounterValue("cache.point.hits");
-  ASSERT_TRUE(db->GetRowSync("profiles", UserKey(1)).ok());
+  ASSERT_TRUE(db->GetRowSync("profiles", UserKey(1), RequestOptions{}).ok());
   EXPECT_GT(db->metrics()->CounterValue("cache.point.hits"), hits_before);
 }
 
@@ -377,14 +377,14 @@ TEST(CacheSystemTest, WritesInvalidateSynchronously) {
   ASSERT_TRUE(db->DefineEntity(ProfilesEntity()).ok());
   ASSERT_TRUE(db->Start().ok());
 
-  ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, "v1")).ok());
-  ASSERT_TRUE(db->GetRowSync("profiles", UserKey(1)).ok());  // populate v1
+  ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, "v1"), RequestOptions{}).ok());
+  ASSERT_TRUE(db->GetRowSync("profiles", UserKey(1), RequestOptions{}).ok());  // populate v1
 
-  ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, "v2")).ok());
+  ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, "v2"), RequestOptions{}).ok());
   EXPECT_GT(db->metrics()->CounterValue("cache.point.invalidations"), 0);
   // The very next read must observe v2: the stale entry was dropped in the
   // same event that acked the write.
-  auto row = db->GetRowSync("profiles", UserKey(1));
+  auto row = db->GetRowSync("profiles", UserKey(1), RequestOptions{});
   ASSERT_TRUE(row.ok()) << row.status();
   EXPECT_EQ(row->GetString("name"), "v2");
 }
@@ -405,12 +405,12 @@ TEST(CacheSystemTest, CachedReadNeverOlderThanLatestAckedWrite) {
 
   for (int i = 0; i < 12; ++i) {
     std::string value = "v" + std::to_string(i);
-    ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, value)).ok());
+    ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, value), RequestOptions{}).ok());
     if (i % 3 == 1) db->RunFor(3 * kSecond);  // age the entry past the bound
-    auto row = db->GetRowSync("profiles", UserKey(1));
+    auto row = db->GetRowSync("profiles", UserKey(1), RequestOptions{});
     ASSERT_TRUE(row.ok()) << "iteration " << i << ": " << row.status();
     EXPECT_EQ(row->GetString("name"), value) << "iteration " << i;
-    auto re_read = db->GetRowSync("profiles", UserKey(1));
+    auto re_read = db->GetRowSync("profiles", UserKey(1), RequestOptions{});
     ASSERT_TRUE(re_read.ok());
     EXPECT_EQ(re_read->GetString("name"), value) << "iteration " << i;
   }
@@ -436,22 +436,22 @@ TEST(CacheSystemTest, ScanResultsCachedAndInvalidatedByIndexMaintenance) {
                   .ok());
   ASSERT_TRUE(db->Start().ok());
   for (int64_t i = 1; i <= 10; ++i) {
-    ASSERT_TRUE(db->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 100 - i)).ok());
+    ASSERT_TRUE(db->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 100 - i), RequestOptions{}).ok());
   }
   for (int64_t i = 2; i <= 6; ++i) {
     Row edge;
     edge.SetInt("f1", 1);
     edge.SetInt("f2", i);
-    ASSERT_TRUE(db->PutRowSync("friendships", edge).ok());
+    ASSERT_TRUE(db->PutRowSync("friendships", edge, RequestOptions{}).ok());
   }
   db->DrainIndexQueue();
 
-  auto first = db->QuerySync("birthday", {{"u", Value(int64_t{1})}});
+  auto first = db->QuerySync("birthday", {{"u", Value(int64_t{1})}}, RequestOptions{});
   ASSERT_TRUE(first.ok()) << first.status();
   ASSERT_EQ(first->size(), 5u);
 
   int64_t scan_hits_before = db->metrics()->CounterValue("cache.scan.hits");
-  auto second = db->QuerySync("birthday", {{"u", Value(int64_t{1})}});
+  auto second = db->QuerySync("birthday", {{"u", Value(int64_t{1})}}, RequestOptions{});
   ASSERT_TRUE(second.ok());
   ASSERT_EQ(second->size(), 5u);
   EXPECT_GT(db->metrics()->CounterValue("cache.scan.hits"), scan_hits_before);
@@ -464,10 +464,10 @@ TEST(CacheSystemTest, ScanResultsCachedAndInvalidatedByIndexMaintenance) {
   Row edge;
   edge.SetInt("f1", 1);
   edge.SetInt("f2", 7);
-  ASSERT_TRUE(db->PutRowSync("friendships", edge).ok());
+  ASSERT_TRUE(db->PutRowSync("friendships", edge, RequestOptions{}).ok());
   db->DrainIndexQueue();
   EXPECT_GT(db->metrics()->CounterValue("cache.scan.invalidations"), 0);
-  auto third = db->QuerySync("birthday", {{"u", Value(int64_t{1})}});
+  auto third = db->QuerySync("birthday", {{"u", Value(int64_t{1})}}, RequestOptions{});
   ASSERT_TRUE(third.ok());
   EXPECT_EQ(third->size(), 6u);
 }
@@ -488,9 +488,9 @@ TEST(CacheSystemTest, DirectorSplitsPartitionOnHotKeySignal) {
   ASSERT_TRUE(db->Start().ok());
   size_t partitions_before = db->cluster()->partitions()->size();
 
-  ASSERT_TRUE(db->PutRowSync("profiles", Profile(7, "celebrity")).ok());
+  ASSERT_TRUE(db->PutRowSync("profiles", Profile(7, "celebrity"), RequestOptions{}).ok());
   for (int i = 0; i < 120; ++i) {
-    ASSERT_TRUE(db->GetRowSync("profiles", UserKey(7)).ok());
+    ASSERT_TRUE(db->GetRowSync("profiles", UserKey(7), RequestOptions{}).ok());
   }
   db->RunFor(12 * kSecond);  // at least two control ticks
 

@@ -66,7 +66,7 @@ struct ChaosHarness {
     for (int i = 0; i < count; ++i) {
       int64_t value_id = next_value++;
       std::string key = KeyOf(static_cast<int>(value_id % kKeySlots));
-      db->router()->Put(key, "v" + std::to_string(value_id), db->durability_plan().ack_mode,
+      db->router()->Put(key, "v" + std::to_string(value_id), db->durability_plan().ack_mode, RequestOptions{},
                         [this, key, value_id](Status status) {
                           if (!status.ok()) return;
                           ++puts_acked;
@@ -370,7 +370,7 @@ TEST(WriteCoalescerTest, SameKeyPutsCollapseToOneReplicatedWrite) {
   // last-write-wins winner acked to all three callers.
   std::vector<Status> results;
   for (int i = 0; i < 3; ++i) {
-    chaos.db->router()->Put("burst/key", "v" + std::to_string(i), AckMode::kPrimary,
+    chaos.db->router()->Put("burst/key", "v" + std::to_string(i), AckMode::kPrimary, RequestOptions{},
                             [&results](Status status) { results.push_back(status); });
   }
   chaos.db->RunFor(kSecond);

@@ -152,7 +152,7 @@ struct TestCluster {
                  AckMode ack = AckMode::kPrimary) {
     Status out = InternalError("callback never ran");
     bool done = false;
-    router->Put(key, value, ack, [&](Status s) {
+    router->Put(key, value, ack, RequestOptions{}, [&](Status s) {
       out = std::move(s);
       done = true;
     });
@@ -166,7 +166,9 @@ struct TestCluster {
   Result<Record> GetSync(const std::string& key, bool pin_primary = false) {
     Result<Record> out(InternalError("callback never ran"));
     bool done = false;
-    router->Get(key, pin_primary, [&](Result<Record> r) {
+    RequestOptions options;
+    if (pin_primary) options.read_mode = ReadMode::kPrimaryOnly;
+    router->Get(key, options, [&](Result<Record> r) {
       out = std::move(r);
       done = true;
     });
@@ -293,7 +295,7 @@ TEST(RouterTest, ScanWithinPartition) {
   tc.loop.RunFor(kSecond);
   Result<std::vector<Record>> rows(InternalError("pending"));
   bool done = false;
-  tc.router->Scan("row:a", "row:c", 0, [&](Result<std::vector<Record>> r) {
+  tc.router->Scan("row:a", "row:c", 0, RequestOptions{}, [&](Result<std::vector<Record>> r) {
     rows = std::move(r);
     done = true;
   });
@@ -309,14 +311,14 @@ TEST(RouterTest, ConditionalPutEnforcesVersionCheck) {
   TestCluster tc(2, 2);
   // Create: expect-absent succeeds once.
   Status created = InternalError("pending");
-  tc.router->ConditionalPut("cas", "v1", std::nullopt, AckMode::kPrimary,
+  tc.router->ConditionalPut("cas", "v1", std::nullopt, AckMode::kPrimary, RequestOptions{},
                             [&](Status s) { created = std::move(s); });
   tc.loop.RunFor(kSecond);
   ASSERT_TRUE(created.ok());
 
   // Second expect-absent aborts.
   Status conflict = InternalError("pending");
-  tc.router->ConditionalPut("cas", "v2", std::nullopt, AckMode::kPrimary,
+  tc.router->ConditionalPut("cas", "v2", std::nullopt, AckMode::kPrimary, RequestOptions{},
                             [&](Status s) { conflict = std::move(s); });
   tc.loop.RunFor(kSecond);
   EXPECT_EQ(conflict.code(), StatusCode::kAborted);
@@ -325,7 +327,7 @@ TEST(RouterTest, ConditionalPutEnforcesVersionCheck) {
   auto current = tc.GetSync("cas", /*pin_primary=*/true);
   ASSERT_TRUE(current.ok());
   Status updated = InternalError("pending");
-  tc.router->ConditionalPut("cas", "v2", current->version, AckMode::kPrimary,
+  tc.router->ConditionalPut("cas", "v2", current->version, AckMode::kPrimary, RequestOptions{},
                             [&](Status s) { updated = std::move(s); });
   tc.loop.RunFor(kSecond);
   ASSERT_TRUE(updated.ok());
@@ -333,7 +335,7 @@ TEST(RouterTest, ConditionalPutEnforcesVersionCheck) {
 
   // Stale version now aborts.
   Status stale = InternalError("pending");
-  tc.router->ConditionalPut("cas", "v3", current->version, AckMode::kPrimary,
+  tc.router->ConditionalPut("cas", "v3", current->version, AckMode::kPrimary, RequestOptions{},
                             [&](Status s) { stale = std::move(s); });
   tc.loop.RunFor(kSecond);
   EXPECT_EQ(stale.code(), StatusCode::kAborted);
@@ -344,7 +346,7 @@ TEST(RouterTest, DeletePropagates) {
   ASSERT_TRUE(tc.PutSync("k", "v").ok());
   tc.loop.RunFor(kSecond);
   Status deleted = InternalError("pending");
-  tc.router->Delete("k", AckMode::kPrimary, [&](Status s) { deleted = std::move(s); });
+  tc.router->Delete("k", AckMode::kPrimary, RequestOptions{}, [&](Status s) { deleted = std::move(s); });
   tc.loop.RunFor(kSecond);
   ASSERT_TRUE(deleted.ok());
   for (const auto& node : tc.nodes) {
@@ -558,7 +560,7 @@ TEST_P(ConvergenceTest, AllReplicasConvergeAfterMixedWorkload) {
     std::string key = "k" + std::to_string(i % 10);
     if (i % 7 == 3) {
       Status st = InternalError("pending");
-      tc.router->Delete(key, AckMode::kPrimary, [&](Status s) { st = std::move(s); });
+      tc.router->Delete(key, AckMode::kPrimary, RequestOptions{}, [&](Status s) { st = std::move(s); });
       tc.loop.RunFor(kSecond);
       ASSERT_TRUE(st.ok());
     } else {

@@ -140,10 +140,10 @@ TEST(SessionTest, ReadYourWritesFallsBackToPrimary) {
   ConsistencyCluster cc(2, 2);
   SessionGuarantees guarantees;
   guarantees.read_your_writes = true;
-  SessionClient session(cc.router.get(), guarantees);
+  SessionClient session(ScadsClient{cc.router.get()}, guarantees);
 
   Status put_status = InternalError("pending");
-  session.Put("wall:alice", "post-1", AckMode::kPrimary,
+  session.Put("wall:alice", "post-1", AckMode::kPrimary, RequestOptions{},
               [&](Status s) { put_status = std::move(s); });
   cc.Settle(50 * kMillisecond);
   ASSERT_TRUE(put_status.ok());
@@ -153,7 +153,7 @@ TEST(SessionTest, ReadYourWritesFallsBackToPrimary) {
   for (int i = 0; i < 10; ++i) {
     Result<Record> got(InternalError("pending"));
     bool done = false;
-    session.Get("wall:alice", [&](Result<Record> r) {
+    session.Get("wall:alice", RequestOptions{}, [&](Result<Record> r) {
       got = std::move(r);
       done = true;
     });
@@ -169,15 +169,15 @@ TEST(SessionTest, WithoutGuaranteeStaleReadsArePossible) {
   slow_replication.replication_flush_interval = 10 * kSecond;
   slow_replication.watermark_heartbeat = 20 * kSecond;
   ConsistencyCluster cc(2, 2, slow_replication);
-  SessionClient session(cc.router.get(), SessionGuarantees{});  // none
+  SessionClient session(ScadsClient{cc.router.get()}, SessionGuarantees{});  // none
   Status put_status = InternalError("pending");
-  session.Put("k", "v", AckMode::kPrimary, [&](Status s) { put_status = std::move(s); });
+  session.Put("k", "v", AckMode::kPrimary, RequestOptions{}, [&](Status s) { put_status = std::move(s); });
   cc.Settle(5 * kMillisecond);  // too fast for replication
   ASSERT_TRUE(put_status.ok());
   int missing = 0;
   for (int i = 0; i < 20; ++i) {
     bool done = false;
-    session.Get("k", [&](Result<Record> r) {
+    session.Get("k", RequestOptions{}, [&](Result<Record> r) {
       if (!r.ok()) ++missing;
       done = true;
     });
@@ -193,19 +193,19 @@ TEST(SessionTest, ReadYourDeletes) {
   ConsistencyCluster cc(2, 2);
   SessionGuarantees guarantees;
   guarantees.read_your_writes = true;
-  SessionClient session(cc.router.get(), guarantees);
+  SessionClient session(ScadsClient{cc.router.get()}, guarantees);
   Status status = InternalError("pending");
-  session.Put("k", "v", AckMode::kAll, [&](Status s) { status = std::move(s); });
+  session.Put("k", "v", AckMode::kAll, RequestOptions{}, [&](Status s) { status = std::move(s); });
   cc.Settle();
   ASSERT_TRUE(status.ok());
-  session.Delete("k", AckMode::kPrimary, [&](Status s) { status = std::move(s); });
+  session.Delete("k", AckMode::kPrimary, RequestOptions{}, [&](Status s) { status = std::move(s); });
   cc.Settle(20 * kMillisecond);
   ASSERT_TRUE(status.ok());
   // Reads must observe the deletion even from a stale secondary.
   for (int i = 0; i < 10; ++i) {
     Result<Record> got(InternalError("pending"));
     bool done = false;
-    session.Get("k", [&](Result<Record> r) {
+    session.Get("k", RequestOptions{}, [&](Result<Record> r) {
       got = std::move(r);
       done = true;
     });
@@ -219,18 +219,18 @@ TEST(SessionTest, MonotonicReadsNeverGoBackwards) {
   ConsistencyCluster cc(2, 2);
   SessionGuarantees guarantees;
   guarantees.monotonic_reads = true;
-  SessionClient session(cc.router.get(), guarantees);
+  SessionClient session(ScadsClient{cc.router.get()}, guarantees);
   // Writer session (separate) updates the key repeatedly.
   Version last_seen{0, kInvalidNode};
   for (int i = 0; i < 10; ++i) {
     Status put = InternalError("pending");
-    cc.router->Put("mr", "v" + std::to_string(i), AckMode::kPrimary,
+    cc.router->Put("mr", "v" + std::to_string(i), AckMode::kPrimary, RequestOptions{},
                    [&](Status s) { put = std::move(s); });
     cc.Settle(10 * kMillisecond);
     ASSERT_TRUE(put.ok());
     Result<Record> got(InternalError("pending"));
     bool done = false;
-    session.Get("mr", [&](Result<Record> r) {
+    session.Get("mr", RequestOptions{}, [&](Result<Record> r) {
       got = std::move(r);
       done = true;
     });
@@ -251,13 +251,13 @@ TEST(StalenessTest, FreshReplicaServesWithinBound) {
   spec.max_staleness = kMinute;
   StalenessController controller(&cc.loop, cc.router.get(), &cc.cluster, spec);
   Status put = InternalError("pending");
-  cc.router->Put("k", "v", AckMode::kAll, [&](Status s) { put = std::move(s); });
+  cc.router->Put("k", "v", AckMode::kAll, RequestOptions{}, [&](Status s) { put = std::move(s); });
   cc.Settle();
   ASSERT_TRUE(put.ok());
   cc.Settle(2 * kSecond);  // heartbeats advance watermark
   Result<Record> got(InternalError("pending"));
   bool done = false;
-  controller.Get("k", [&](Result<Record> r) {
+  controller.Get("k", RequestOptions{}, [&](Result<Record> r) {
     got = std::move(r);
     done = true;
   });
@@ -278,13 +278,13 @@ TEST(StalenessTest, LaggingReplicaEscalatesToPrimary) {
   // Cut off the secondary so its watermark freezes.
   cc.network.SetPartitionGroup(secondary, 3);
   Status put = InternalError("pending");
-  cc.router->Put("k", "fresh", AckMode::kPrimary, [&](Status s) { put = std::move(s); });
+  cc.router->Put("k", "fresh", AckMode::kPrimary, RequestOptions{}, [&](Status s) { put = std::move(s); });
   cc.Settle();
   ASSERT_TRUE(put.ok());
   cc.Settle(kSecond);  // watermark now stale beyond the bound
   Result<Record> got(InternalError("pending"));
   bool done = false;
-  controller.Get("k", [&](Result<Record> r) {
+  controller.Get("k", RequestOptions{}, [&](Result<Record> r) {
     got = std::move(r);
     done = true;
   });
@@ -304,7 +304,7 @@ TEST(StalenessTest, PartitionAvailabilityFirstServesStale) {
   const PartitionInfo& p = cc.cluster.partitions()->ForKey("k");
   // Seed the key everywhere, then isolate the primary.
   Status put = InternalError("pending");
-  cc.router->Put("k", "old", AckMode::kAll, [&](Status s) { put = std::move(s); });
+  cc.router->Put("k", "old", AckMode::kAll, RequestOptions{}, [&](Status s) { put = std::move(s); });
   cc.Settle();
   ASSERT_TRUE(put.ok());
   cc.Settle(2 * kSecond);
@@ -312,7 +312,7 @@ TEST(StalenessTest, PartitionAvailabilityFirstServesStale) {
   cc.Settle(kSecond);  // secondary watermark goes stale
   Result<Record> got(InternalError("pending"));
   bool done = false;
-  controller.Get("k", [&](Result<Record> r) {
+  controller.Get("k", RequestOptions{}, [&](Result<Record> r) {
     got = std::move(r);
     done = true;
   });
@@ -331,14 +331,14 @@ TEST(StalenessTest, PartitionConsistencyFirstFailsRead) {
   StalenessController controller(&cc.loop, cc.router.get(), &cc.cluster, spec);
   const PartitionInfo& p = cc.cluster.partitions()->ForKey("k");
   Status put = InternalError("pending");
-  cc.router->Put("k", "old", AckMode::kAll, [&](Status s) { put = std::move(s); });
+  cc.router->Put("k", "old", AckMode::kAll, RequestOptions{}, [&](Status s) { put = std::move(s); });
   cc.Settle();
   ASSERT_TRUE(put.ok());
   cc.network.SetPartitionGroup(p.primary(), 77);
   cc.Settle(kSecond);
   Result<Record> got(InternalError("pending"));
   bool done = false;
-  controller.Get("k", [&](Result<Record> r) {
+  controller.Get("k", RequestOptions{}, [&](Result<Record> r) {
     got = std::move(r);
     done = true;
   });
@@ -354,7 +354,7 @@ TEST(WritePolicyTest, LastWriteWinsCommits) {
   ConsistencyCluster cc(2, 2);
   WritePolicy policy(cc.router.get(), WriteConsistency::kLastWriteWins);
   Status status = InternalError("pending");
-  policy.Put("k", "v", AckMode::kPrimary, [&](Status s) { status = std::move(s); });
+  policy.Put("k", "v", AckMode::kPrimary, RequestOptions{}, [&](Status s) { status = std::move(s); });
   cc.Settle();
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(policy.stats().writes_committed, 1);
@@ -364,10 +364,10 @@ TEST(WritePolicyTest, SerializableCreatesAndUpdates) {
   ConsistencyCluster cc(2, 2);
   WritePolicy policy(cc.router.get(), WriteConsistency::kSerializable);
   Status status = InternalError("pending");
-  policy.Put("doc", "v1", AckMode::kPrimary, [&](Status s) { status = std::move(s); });
+  policy.Put("doc", "v1", AckMode::kPrimary, RequestOptions{}, [&](Status s) { status = std::move(s); });
   cc.Settle();
   ASSERT_TRUE(status.ok());
-  policy.Put("doc", "v2", AckMode::kPrimary, [&](Status s) { status = std::move(s); });
+  policy.Put("doc", "v2", AckMode::kPrimary, RequestOptions{}, [&](Status s) { status = std::move(s); });
   cc.Settle();
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(policy.stats().writes_committed, 2);
@@ -380,8 +380,8 @@ TEST(WritePolicyTest, SerializableConflictRetriesThenWins) {
   Status sa = InternalError("pending"), sb = InternalError("pending");
   // Two writers race on the same key; both must eventually commit (their
   // CAS loops serialize through the primary).
-  a.Put("race", "from-a", AckMode::kPrimary, [&](Status s) { sa = std::move(s); });
-  b.Put("race", "from-b", AckMode::kPrimary, [&](Status s) { sb = std::move(s); });
+  a.Put("race", "from-a", AckMode::kPrimary, RequestOptions{}, [&](Status s) { sa = std::move(s); });
+  b.Put("race", "from-b", AckMode::kPrimary, RequestOptions{}, [&](Status s) { sb = std::move(s); });
   cc.Settle(5 * kSecond);
   EXPECT_TRUE(sa.ok()) << sa;
   EXPECT_TRUE(sb.ok()) << sb;
@@ -397,16 +397,16 @@ TEST(WritePolicyTest, MergePreservesBothWriters) {
   WritePolicy a(cc.router.get(), WriteConsistency::kMergeFunction, merge);
   WritePolicy b(cc.router.get(), WriteConsistency::kMergeFunction, merge);
   Status sa = InternalError("pending"), sb = InternalError("pending");
-  a.Put("cart", "apples", AckMode::kPrimary, [&](Status s) { sa = std::move(s); });
+  a.Put("cart", "apples", AckMode::kPrimary, RequestOptions{}, [&](Status s) { sa = std::move(s); });
   cc.Settle();
   ASSERT_TRUE(sa.ok());
-  b.Put("cart", "bread", AckMode::kPrimary, [&](Status s) { sb = std::move(s); });
+  b.Put("cart", "bread", AckMode::kPrimary, RequestOptions{}, [&](Status s) { sb = std::move(s); });
   cc.Settle();
   ASSERT_TRUE(sb.ok());
   // Final value contains both updates.
   Result<Record> got(InternalError("pending"));
   bool done = false;
-  cc.router->Get("cart", true, [&](Result<Record> r) {
+  cc.router->Get("cart", RequestOptions::PrimaryOnly(), [&](Result<Record> r) {
     got = std::move(r);
     done = true;
   });

@@ -78,9 +78,9 @@ TEST(ScadsTest, LifecycleAndPointQueries) {
                                    "SELECT p.* FROM profiles p WHERE p.user_id = <u>")
                   .ok());
   ASSERT_TRUE(scads->Start().ok());
-  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "ada", 101)).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "ada", 101), RequestOptions{}).ok());
   scads->DrainIndexQueue();
-  auto rows = scads->QuerySync("profile_by_id", {{"u", Value(int64_t{1})}});
+  auto rows = scads->QuerySync("profile_by_id", {{"u", Value(int64_t{1})}}, RequestOptions{});
   ASSERT_TRUE(rows.ok()) << rows.status();
   ASSERT_EQ(rows->size(), 1u);
   EXPECT_EQ((*rows)[0].GetString("name"), "ada");
@@ -113,13 +113,13 @@ TEST(ScadsTest, BirthdayQueryEndToEndThroughFacade) {
                                   "f.f2 = <user_id> ORDER BY p.bday")
                   .ok());
   ASSERT_TRUE(scads->Start().ok());
-  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "alice", 300)).ok());
-  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(2, "bob", 100)).ok());
-  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(3, "carol", 200)).ok());
-  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(1, 2)).ok());
-  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(3, 1)).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "alice", 300), RequestOptions{}).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(2, "bob", 100), RequestOptions{}).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(3, "carol", 200), RequestOptions{}).ok());
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(1, 2), RequestOptions{}).ok());
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(3, 1), RequestOptions{}).ok());
   scads->DrainIndexQueue();
-  auto rows = scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}});
+  auto rows = scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}}, RequestOptions{});
   ASSERT_TRUE(rows.ok()) << rows.status();
   ASSERT_EQ(rows->size(), 2u);
   EXPECT_EQ((*rows)[0].GetString("name"), "bob");
@@ -133,16 +133,16 @@ TEST(ScadsTest, BirthdayQueryEndToEndThroughFacade) {
 TEST(ScadsTest, GetRowHonoursStalenessPath) {
   auto scads = MakeSocialScads("staleness: 1m\n");
   ASSERT_TRUE(scads->Start().ok());
-  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(9, "zed", 7)).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(9, "zed", 7), RequestOptions{}).ok());
   scads->RunFor(2 * kSecond);
   Row key;
   key.SetInt("user_id", 9);
-  auto row = scads->GetRowSync("profiles", key);
+  auto row = scads->GetRowSync("profiles", key, RequestOptions{});
   ASSERT_TRUE(row.ok()) << row.status();
   EXPECT_EQ(row->GetString("name"), "zed");
   Row missing;
   missing.SetInt("user_id", 404);
-  EXPECT_TRUE(IsNotFound(scads->GetRowSync("profiles", missing).status()));
+  EXPECT_TRUE(IsNotFound(scads->GetRowSync("profiles", missing, RequestOptions{}).status()));
 }
 
 TEST(ScadsTest, DeleteRowUpdatesIndexes) {
@@ -154,24 +154,24 @@ TEST(ScadsTest, DeleteRowUpdatesIndexes) {
                                   "f.f2 = <user_id> ORDER BY p.bday")
                   .ok());
   ASSERT_TRUE(scads->Start().ok());
-  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "a", 1)).ok());
-  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(2, "b", 2)).ok());
-  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(1, 2)).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "a", 1), RequestOptions{}).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(2, "b", 2), RequestOptions{}).ok());
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(1, 2), RequestOptions{}).ok());
   scads->DrainIndexQueue();
-  ASSERT_EQ(scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}})->size(), 1u);
-  ASSERT_TRUE(scads->DeleteRowSync("friendships", Edge(1, 2)).ok());
+  ASSERT_EQ(scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}}, RequestOptions{})->size(), 1u);
+  ASSERT_TRUE(scads->DeleteRowSync("friendships", Edge(1, 2), RequestOptions{}).ok());
   scads->DrainIndexQueue();
-  EXPECT_TRUE(scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}})->empty());
+  EXPECT_TRUE(scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}}, RequestOptions{})->empty());
 }
 
 TEST(ScadsTest, SerializableSpecAppliesCasWrites) {
   auto scads = MakeSocialScads("writes: serializable\n");
   ASSERT_TRUE(scads->Start().ok());
-  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "v1", 1)).ok());
-  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "v2", 2)).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "v1", 1), RequestOptions{}).ok());
+  ASSERT_TRUE(scads->PutRowSync("profiles", Profile(1, "v2", 2), RequestOptions{}).ok());
   Row key;
   key.SetInt("user_id", 1);
-  auto row = scads->GetRowSync("profiles", key);
+  auto row = scads->GetRowSync("profiles", key, RequestOptions{});
   ASSERT_TRUE(row.ok());
   EXPECT_EQ(row->GetString("name"), "v2");
   EXPECT_GT(scads->write_policy()->stats().writes_committed, 0);
@@ -189,12 +189,12 @@ TEST(ScadsTest, SessionGuaranteesComeFromSpec) {
   ASSERT_TRUE(scads->Start().ok());
   auto session = scads->NewSession();
   Status put = InternalError("pending");
-  session->Put("app/key", "value", AckMode::kPrimary, [&](Status s) { put = std::move(s); });
+  session->Put("app/key", "value", AckMode::kPrimary, RequestOptions{}, [&](Status s) { put = std::move(s); });
   scads->RunFor(kSecond);
   ASSERT_TRUE(put.ok());
   Result<Record> got(InternalError("pending"));
   bool done = false;
-  session->Get("app/key", [&](Result<Record> r) {
+  session->Get("app/key", RequestOptions{}, [&](Result<Record> r) {
     got = std::move(r);
     done = true;
   });
@@ -216,11 +216,11 @@ TEST(BaselineTest, AdHocAnswersMatchScads) {
                   .ok());
   ASSERT_TRUE(scads->Start().ok());
   for (int64_t i = 1; i <= 8; ++i) {
-    ASSERT_TRUE(scads->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 10 * i)).ok());
+    ASSERT_TRUE(scads->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 10 * i), RequestOptions{}).ok());
   }
-  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(1, 3)).ok());
-  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(5, 1)).ok());
-  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(2, 6)).ok());
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(1, 3), RequestOptions{}).ok());
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(5, 1), RequestOptions{}).ok());
+  ASSERT_TRUE(scads->PutRowSync("friendships", Edge(2, 6), RequestOptions{}).ok());
   scads->DrainIndexQueue();
 
   AdHocExecutor adhoc(scads->router(), scads->cluster(), &scads->catalog());
@@ -234,7 +234,7 @@ TEST(BaselineTest, AdHocAnswersMatchScads) {
   ASSERT_TRUE(done);
   ASSERT_TRUE(adhoc_rows.ok()) << adhoc_rows.status();
 
-  auto scads_rows = scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}});
+  auto scads_rows = scads->QuerySync("birthday", {{"user_id", Value(int64_t{1})}}, RequestOptions{});
   ASSERT_TRUE(scads_rows.ok());
   ASSERT_EQ(adhoc_rows->size(), scads_rows->size());
   for (size_t i = 0; i < adhoc_rows->size(); ++i) {
@@ -248,7 +248,7 @@ TEST(BaselineTest, AppSideJoinCostsOneRoundTripPerFriend) {
   auto scads = MakeSocialScads();
   ASSERT_TRUE(scads->Start().ok());
   for (int64_t i = 1; i <= 6; ++i) {
-    ASSERT_TRUE(scads->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 10 * i)).ok());
+    ASSERT_TRUE(scads->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 10 * i), RequestOptions{}).ok());
   }
   AppSideJoinClient app(scads->router(), &scads->catalog());
   Status stored = InternalError("pending");

@@ -48,7 +48,7 @@ struct AutoscaleHarness {
     driver = std::make_unique<WorkloadDriver>(&loop, &cluster, pattern, driver_config, 24);
     driver->AddOp(WorkloadOp{"get", 1.0, [this](Rng* rng) {
                                std::string key = "k" + std::to_string(rng->Uniform(1000));
-                               router->Get(key, false, [](Result<Record>) {});
+                               router->Get(key, RequestOptions{}, [](Result<Record>) {});
                              }});
     director->set_offered_rate_probe([this] { return driver->RateAt(loop.Now()); });
   }
@@ -157,7 +157,7 @@ TEST(DirectorTest, DrainedNodesKeepDataReachable) {
   for (int i = 0; i < 50; ++i) {
     bool done = false;
     Status status = InternalError("pending");
-    h.router->Put("durable" + std::to_string(i), "v", AckMode::kQuorum, [&](Status s) {
+    h.router->Put("durable" + std::to_string(i), "v", AckMode::kQuorum, RequestOptions{}, [&](Status s) {
       status = std::move(s);
       done = true;
     });
@@ -174,7 +174,7 @@ TEST(DirectorTest, DrainedNodesKeepDataReachable) {
   for (int i = 0; i < 50; ++i) {
     bool done = false;
     bool ok = false;
-    h.router->Get("durable" + std::to_string(i), false, [&](Result<Record> r) {
+    h.router->Get("durable" + std::to_string(i), RequestOptions{}, [&](Result<Record> r) {
       ok = r.ok();
       done = true;
     });

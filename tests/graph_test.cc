@@ -341,7 +341,7 @@ TEST(GraphClientTest, FeedMatchesNaiveReference) {
 
   MiniCluster mini(7, /*paged=*/false);
   mini.Seed(gen, ts_base);
-  GraphClient client(&mini.router);
+  GraphClient client(ScadsClient{&mini.router});
 
   for (uint64_t user : {0ull, 3ull, 17ull, 59ull}) {
     std::vector<FeedItem> feed;
@@ -365,7 +365,7 @@ TEST(GraphClientTest, MutationsShapeTheFeed) {
   SocialGraphGen gen(gen_config, 13);
   MiniCluster mini(3, /*paged=*/false);
   mini.Seed(gen, 1ull << 40);
-  GraphClient client(&mini.router);
+  GraphClient client(ScadsClient{&mini.router});
 
   auto run_ok = [&](auto issue) {
     Status status = InternalError("callback never ran");
@@ -431,7 +431,7 @@ TEST(GraphClientTest, FeedsByteIdenticalAcrossRamAndPagedEngines) {
     auto run_arm = [&](bool paged) {
       MiniCluster mini(seed, paged);
       mini.Seed(gen, 1ull << 40);
-      GraphClient client(&mini.router);
+      GraphClient client(ScadsClient{&mini.router});
       SocialWorkloadConfig workload_config;
       workload_config.users = gen_config.users;
       workload_config.ops = 300;

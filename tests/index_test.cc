@@ -207,13 +207,15 @@ struct MiniScads {
     auto key = EncodePrimaryKey(*entity, row);
     ASSERT_TRUE(key.ok());
     bool done = false;
-    router->Get(*key, /*pin_primary=*/true, [&](Result<Record> old_record) {
+    RequestOptions pinned;
+    pinned.read_mode = ReadMode::kPrimaryOnly;
+    router->Get(*key, pinned, [&](Result<Record> old_record) {
       std::optional<Row> old_row;
       if (old_record.ok()) {
         auto decoded = DecodeRow(*entity, old_record->value);
         if (decoded.ok()) old_row = *decoded;
       }
-      router->Put(*key, EncodeRow(*entity, row), AckMode::kPrimary,
+      router->Put(*key, EncodeRow(*entity, row), AckMode::kPrimary, RequestOptions{},
                   [&, old_row](Status status) {
                     ASSERT_TRUE(status.ok());
                     maintainer->OnBaseWrite(entity->name, old_row, row);
@@ -230,13 +232,15 @@ struct MiniScads {
     auto key = EncodePrimaryKey(*entity, row);
     ASSERT_TRUE(key.ok());
     bool done = false;
-    router->Get(*key, /*pin_primary=*/true, [&](Result<Record> old_record) {
+    RequestOptions pinned;
+    pinned.read_mode = ReadMode::kPrimaryOnly;
+    router->Get(*key, pinned, [&](Result<Record> old_record) {
       std::optional<Row> old_row;
       if (old_record.ok()) {
         auto decoded = DecodeRow(*entity, old_record->value);
         if (decoded.ok()) old_row = *decoded;
       }
-      router->Delete(*key, AckMode::kPrimary, [&, old_row](Status status) {
+      router->Delete(*key, AckMode::kPrimary, RequestOptions{}, [&, old_row](Status status) {
         ASSERT_TRUE(status.ok());
         maintainer->OnBaseWrite(entity->name, old_row, std::nullopt);
         done = true;
@@ -254,7 +258,7 @@ struct MiniScads {
   Result<std::vector<Row>> Run(const std::string& query, const ParamMap& params) {
     Result<std::vector<Row>> out(InternalError("pending"));
     bool done = false;
-    executor->Execute(queries.at(query), params, [&](Result<std::vector<Row>> rows) {
+    executor->Execute(queries.at(query), params, RequestOptions{}, [&](Result<std::vector<Row>> rows) {
       out = std::move(rows);
       done = true;
     });

@@ -67,7 +67,7 @@ struct TestCluster {
                  AckMode ack = AckMode::kPrimary) {
     Status out = InternalError("callback never ran");
     bool done = false;
-    router->Put(key, value, ack, [&](Status s) {
+    router->Put(key, value, ack, RequestOptions{}, [&](Status s) {
       out = std::move(s);
       done = true;
     });
@@ -234,12 +234,12 @@ TEST(SessionFloorTest, ReadYourWritesHoldsOnCacheHitWithoutFallback) {
   tc.router->set_cache(&cache);
   SessionGuarantees guarantees;
   guarantees.read_your_writes = true;
-  SessionClient session(tc.router.get(), guarantees);
+  SessionClient session(ScadsClient{tc.router.get()}, guarantees);
 
   tc.loop.RunFor(kSecond);  // so the write's version outranks the poison below
   Status put = InternalError("pending");
   bool put_done = false;
-  session.Put("wall", "post-2", AckMode::kAll, [&](Status s) {
+  session.Put("wall", "post-2", AckMode::kAll, RequestOptions{}, [&](Status s) {
     put = std::move(s);
     put_done = true;
   });
@@ -253,7 +253,7 @@ TEST(SessionFloorTest, ReadYourWritesHoldsOnCacheHitWithoutFallback) {
 
   Result<Record> got(InternalError("pending"));
   bool done = false;
-  session.Get("wall", [&](Result<Record> r) {
+  session.Get("wall", RequestOptions{}, [&](Result<Record> r) {
     got = std::move(r);
     done = true;
   });
@@ -464,7 +464,7 @@ TEST(ScadsOptionsTest, TemplateBoundsOverrideSpecAndShedOnDeadline) {
                                 "WITH STALENESS 1s, DEADLINE 20ms")
                   .ok());
   ASSERT_TRUE(db->Start().ok());
-  ASSERT_TRUE(db->PutRowSync("profiles", Profile(7, "alice")).ok());
+  ASSERT_TRUE(db->PutRowSync("profiles", Profile(7, "alice"), RequestOptions{}).ok());
 
   // Age the cached entry past the template bound but well inside the spec's.
   db->RunFor(2 * kSecond);
@@ -474,13 +474,13 @@ TEST(ScadsOptionsTest, TemplateBoundsOverrideSpecAndShedOnDeadline) {
   ParamMap params = {{"u", Value(int64_t{7})}};
 
   // (a) Deployment-wide bound serves the 2s-old entry from cache...
-  Result<std::vector<Row>> plain = db->QuerySync("prof_plain", params);
+  Result<std::vector<Row>> plain = db->QuerySync("prof_plain", params, RequestOptions{});
   ASSERT_TRUE(plain.ok()) << plain.status();
   ASSERT_EQ(plain->size(), 1u);
   EXPECT_EQ(db->metrics()->CounterValue("cache.point.hits"), hits_before + 1);
 
   // ...the 1s template rejects it and reads storage — same row, fresh path.
-  Result<std::vector<Row>> bounded = db->QuerySync("prof_bounded", params);
+  Result<std::vector<Row>> bounded = db->QuerySync("prof_bounded", params, RequestOptions{});
   ASSERT_TRUE(bounded.ok()) << bounded.status();
   ASSERT_EQ(bounded->size(), 1u);
   EXPECT_EQ((*bounded)[0].GetString("name"), "alice");
@@ -489,7 +489,7 @@ TEST(ScadsOptionsTest, TemplateBoundsOverrideSpecAndShedOnDeadline) {
 
   // The tight-bounded reject must NOT have purged the entry for lax
   // requests: the deployment-wide query still hits cache.
-  Result<std::vector<Row>> plain_again = db->QuerySync("prof_plain", params);
+  Result<std::vector<Row>> plain_again = db->QuerySync("prof_plain", params, RequestOptions{});
   ASSERT_TRUE(plain_again.ok());
   EXPECT_EQ(db->metrics()->CounterValue("cache.point.hits"), hits_before + 2);
 
@@ -502,10 +502,10 @@ TEST(ScadsOptionsTest, TemplateBoundsOverrideSpecAndShedOnDeadline) {
     StorageNode* node = db->cluster()->GetNode(id);
     if (node != nullptr) node->InjectBackgroundLoad(100 * kMillisecond);
   }
-  Result<std::vector<Row>> shed = db->QuerySync("prof_bounded", params);
+  Result<std::vector<Row>> shed = db->QuerySync("prof_bounded", params, RequestOptions{});
   EXPECT_EQ(shed.status().code(), StatusCode::kDeadlineExceeded) << shed.status();
 
-  Result<std::vector<Row>> still_ok = db->QuerySync("prof_plain", params);
+  Result<std::vector<Row>> still_ok = db->QuerySync("prof_plain", params, RequestOptions{});
   ASSERT_TRUE(still_ok.ok()) << still_ok.status();
 
   TemplateSlaAccountant::TemplateStats bounded_stats =
@@ -540,7 +540,7 @@ TEST(ScadsOptionsTest, PerRequestStalenessGovernsReplicaChoiceOnCacheMiss) {
   ASSERT_TRUE(db->Start().ok());
 
   Row row = Profile(9, "bob");
-  ASSERT_TRUE(db->PutRowSync("profiles", row).ok());
+  ASSERT_TRUE(db->PutRowSync("profiles", row, RequestOptions{}).ok());
   db->RunFor(500 * kMillisecond);  // let the write finish replicating
   Row key;
   key.SetInt("user_id", 9);

@@ -53,7 +53,7 @@ TEST(SystemTest, DataSurvivesRollingNodeOutages) {
   ASSERT_EQ(db->durability_plan().replication_factor, 3);
 
   for (int64_t i = 0; i < 40; ++i) {
-    ASSERT_TRUE(db->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), i)).ok());
+    ASSERT_TRUE(db->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), i), RequestOptions{}).ok());
   }
   db->RunFor(5 * kSecond);  // replication settles
 
@@ -65,7 +65,7 @@ TEST(SystemTest, DataSurvivesRollingNodeOutages) {
     for (int64_t i = 0; i < 40; ++i) {
       Row key;
       key.SetInt("user_id", i);
-      if (db->GetRowSync("profiles", key).ok()) ++readable;
+      if (db->GetRowSync("profiles", key, RequestOptions{}).ok()) ++readable;
     }
     EXPECT_GE(readable, 38) << "during outage of node " << victim;
     db->RunFor(15 * kSecond);  // recover before the next outage
@@ -86,7 +86,7 @@ TEST(SystemTest, RandomOutagesDoNotLoseQuorumWrites) {
 
   std::set<int64_t> written;
   for (int64_t i = 0; i < 60; ++i) {
-    Status status = db->PutRowSync("profiles", Profile(i, "w" + std::to_string(i), i));
+    Status status = db->PutRowSync("profiles", Profile(i, "w" + std::to_string(i), i), RequestOptions{});
     if (status.ok()) written.insert(i);
     db->RunFor(kSecond);
   }
@@ -99,7 +99,7 @@ TEST(SystemTest, RandomOutagesDoNotLoseQuorumWrites) {
   for (int64_t i : written) {
     Row key;
     key.SetInt("user_id", i);
-    auto row = db->GetRowSync("profiles", key);
+    auto row = db->GetRowSync("profiles", key, RequestOptions{});
     EXPECT_TRUE(row.ok()) << "acked write " << i << " lost: " << row.status();
   }
 }
@@ -119,16 +119,16 @@ TEST(SystemTest, PartitionSplitKeepsQueriesCorrect) {
                   .ok());
   ASSERT_TRUE(db->Start().ok());
   for (int64_t i = 1; i <= 20; ++i) {
-    ASSERT_TRUE(db->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 100 - i)).ok());
+    ASSERT_TRUE(db->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 100 - i), RequestOptions{}).ok());
   }
   for (int64_t i = 2; i <= 11; ++i) {
     Row edge;
     edge.SetInt("f1", 1);
     edge.SetInt("f2", i);
-    ASSERT_TRUE(db->PutRowSync("friendships", edge).ok());
+    ASSERT_TRUE(db->PutRowSync("friendships", edge, RequestOptions{}).ok());
   }
   db->DrainIndexQueue();
-  auto before = db->QuerySync("birthday", {{"u", Value(int64_t{1})}});
+  auto before = db->QuerySync("birthday", {{"u", Value(int64_t{1})}}, RequestOptions{});
   ASSERT_TRUE(before.ok());
   ASSERT_EQ(before->size(), 10u);
 
@@ -143,7 +143,7 @@ TEST(SystemTest, PartitionSplitKeepsQueriesCorrect) {
   auto split = db->cluster()->partitions()->Split(split_point);
   ASSERT_TRUE(split.ok()) << split.status();
 
-  auto after = db->QuerySync("birthday", {{"u", Value(int64_t{1})}});
+  auto after = db->QuerySync("birthday", {{"u", Value(int64_t{1})}}, RequestOptions{});
   ASSERT_TRUE(after.ok());
   ASSERT_EQ(after->size(), 10u);
   for (size_t i = 0; i < after->size(); ++i) {
@@ -162,7 +162,7 @@ TEST(SystemTest, MultiScanStitchesAcrossManyPartitions) {
     char head = static_cast<char>((i * 255) / 200);
     std::string key = std::string(1, head) + "/k" + std::to_string(i);
     Status status = InternalError("pending");
-    db->router()->Put(key, "v", AckMode::kPrimary, [&](Status s) { status = std::move(s); });
+    db->router()->Put(key, "v", AckMode::kPrimary, RequestOptions{}, [&](Status s) { status = std::move(s); });
     db->RunFor(50 * kMillisecond);
     ASSERT_TRUE(status.ok()) << i;
   }
@@ -218,12 +218,12 @@ TEST(SystemTest, IndexMaintenanceCatchesUpAfterPartitionHeals) {
   constexpr NodeId kLagger = 3;
   db->network()->SetPartitionGroup(kLagger, 55);
 
-  ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, "a", 10)).ok());
-  ASSERT_TRUE(db->PutRowSync("profiles", Profile(2, "b", 20)).ok());
+  ASSERT_TRUE(db->PutRowSync("profiles", Profile(1, "a", 10), RequestOptions{}).ok());
+  ASSERT_TRUE(db->PutRowSync("profiles", Profile(2, "b", 20), RequestOptions{}).ok());
   Row edge;
   edge.SetInt("f1", 1);
   edge.SetInt("f2", 2);
-  ASSERT_TRUE(db->PutRowSync("friendships", edge).ok());
+  ASSERT_TRUE(db->PutRowSync("friendships", edge, RequestOptions{}).ok());
   db->DrainIndexQueue();
 
   // While cut off, the lagger's local store must be missing the data.
@@ -237,7 +237,7 @@ TEST(SystemTest, IndexMaintenanceCatchesUpAfterPartitionHeals) {
   EXPECT_GT(lagger_node->engine()->live_count(), 0u)
       << "replication catch-up did not deliver after heal";
 
-  auto rows = db->QuerySync("birthday", {{"u", Value(int64_t{1})}});
+  auto rows = db->QuerySync("birthday", {{"u", Value(int64_t{1})}}, RequestOptions{});
   ASSERT_TRUE(rows.ok()) << rows.status();
   ASSERT_EQ(rows->size(), 1u);
   EXPECT_EQ((*rows)[0].GetString("name"), "b");
@@ -257,12 +257,12 @@ TEST(SystemTest, SessionsStayConsistentDuringChurn) {
   for (int i = 0; i < 15; ++i) {
     std::string value = "v" + std::to_string(i);
     Status put = InternalError("pending");
-    session->Put("me/profile", value, AckMode::kPrimary, [&](Status s) { put = std::move(s); });
+    session->Put("me/profile", value, AckMode::kPrimary, RequestOptions{}, [&](Status s) { put = std::move(s); });
     db->RunFor(200 * kMillisecond);
     ASSERT_TRUE(put.ok());
     Result<Record> got(InternalError("pending"));
     bool done = false;
-    session->Get("me/profile", [&](Result<Record> r) {
+    session->Get("me/profile", RequestOptions{}, [&](Result<Record> r) {
       got = std::move(r);
       done = true;
     });
@@ -298,18 +298,18 @@ TEST(SystemTest, WholeStackSmokeAllFeaturesTogether) {
                   .ok());
   ASSERT_TRUE(db->Start().ok());
   for (int64_t i = 1; i <= 10; ++i) {
-    ASSERT_TRUE(db->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 50 + i)).ok());
+    ASSERT_TRUE(db->PutRowSync("profiles", Profile(i, "u" + std::to_string(i), 50 + i), RequestOptions{}).ok());
   }
   for (int64_t i = 2; i <= 8; ++i) {
     Row edge;
     edge.SetInt("f1", 1);
     edge.SetInt("f2", i);
-    ASSERT_TRUE(db->PutRowSync("friendships", edge).ok());
+    ASSERT_TRUE(db->PutRowSync("friendships", edge, RequestOptions{}).ok());
   }
   db->failures()->ScheduleNodeOutage(1, db->loop()->Now() + 2 * kSecond, 8 * kSecond);
   db->DrainIndexQueue();
   db->RunFor(15 * kSecond);
-  auto rows = db->QuerySync("birthday", {{"u", Value(int64_t{1})}});
+  auto rows = db->QuerySync("birthday", {{"u", Value(int64_t{1})}}, RequestOptions{});
   ASSERT_TRUE(rows.ok()) << rows.status();
   EXPECT_EQ(rows->size(), 5u);  // LIMIT applied
   EXPECT_EQ((*rows)[0].GetInt("bday"), 52);

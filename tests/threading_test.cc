@@ -1,0 +1,437 @@
+// Threaded-runtime tests: the ThreadedRuntime backend itself (ordering,
+// timers, worker affinity) and the data plane under real concurrency —
+// N writer / M reader storms, concurrent MultiGet fan-outs, a coalescer
+// storm, and window harvesting while load runs. The core safety claim
+// throughout: an acked write is never lost — a later pinned-primary read
+// observes it (or something newer from the same single-writer sequence).
+//
+// Everything here runs on wall-clock time, so assertions are about
+// ordering and final state, never about latency values.
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/coalescer.h"
+#include "cluster/node.h"
+#include "cluster/partition.h"
+#include "cluster/router.h"
+#include "common/request_options.h"
+#include "common/rng.h"
+#include "core/scads_client.h"
+#include "gtest/gtest.h"
+#include "runtime/sim_backend.h"
+#include "runtime/threaded_runtime.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace scads {
+namespace {
+
+// ------------------------------------------------------- runtime basics --
+
+TEST(ThreadedRuntimeTest, DeliveriesToOneDestinationRunInOrder) {
+  ThreadedRuntime runtime;
+  runtime.RegisterDestination(7);
+  constexpr int kMessages = 2000;
+  std::vector<int> order;
+  std::atomic<int> delivered{0};
+  for (int i = 0; i < kMessages; ++i) {
+    runtime.Send(100, 7, [&order, &delivered, i] {
+      order.push_back(i);  // single-worker destination: no race
+      delivered.fetch_add(1, std::memory_order_release);
+    });
+  }
+  while (delivered.load(std::memory_order_acquire) < kMessages) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(order.size(), static_cast<size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) EXPECT_EQ(order[i], i);
+  runtime.Shutdown();
+}
+
+TEST(ThreadedRuntimeTest, RegisteredDestinationsKeepOneWorker) {
+  ThreadedRuntime runtime;
+  runtime.RegisterDestination(1, /*worker=*/0);
+  runtime.RegisterDestination(2, /*worker=*/1);
+  EXPECT_EQ(runtime.WorkerOf(1), 0);
+  EXPECT_EQ(runtime.WorkerOf(2), 1 % runtime.worker_count());
+  // Unregistered ids hash to a stable worker.
+  EXPECT_EQ(runtime.WorkerOf(999), runtime.WorkerOf(999));
+  runtime.Shutdown();
+}
+
+TEST(ThreadedRuntimeTest, TimersFireAndCancelWins) {
+  ThreadedRuntime runtime;
+  std::atomic<bool> fired{false};
+  std::atomic<bool> cancelled_fired{false};
+  runtime.ScheduleAfter(2 * kMillisecond, [&] { fired = true; });
+  Executor::TaskId doomed =
+      runtime.ScheduleAfter(50 * kMillisecond, [&] { cancelled_fired = true; });
+  EXPECT_TRUE(runtime.Cancel(doomed));
+  EXPECT_FALSE(runtime.Cancel(doomed));  // second cancel: already gone
+  for (int i = 0; i < 2000 && !fired; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fired.load());
+  EXPECT_FALSE(cancelled_fired.load());
+  runtime.Shutdown();
+}
+
+TEST(ThreadedRuntimeTest, PeriodicRepeatsUntilCancelled) {
+  ThreadedRuntime runtime;
+  std::atomic<int> ticks{0};
+  Executor::TaskId id = runtime.SchedulePeriodic(kMillisecond, [&] { ticks.fetch_add(1); });
+  for (int i = 0; i < 5000 && ticks.load() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(ticks.load(), 3);
+  EXPECT_TRUE(runtime.Cancel(id));
+  int after_cancel = ticks.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // At most one firing can race the cancel; the chain must be dead.
+  EXPECT_LE(ticks.load(), after_cancel + 1);
+  runtime.Shutdown();
+}
+
+TEST(ThreadedRuntimeTest, WorkerCallbacksStayOnTheirWorker) {
+  ThreadedRuntime runtime;
+  runtime.RegisterDestination(5, /*worker=*/0);
+  std::atomic<bool> done{false};
+  std::thread::id first, second;
+  runtime.Send(1, 5, [&] {
+    first = std::this_thread::get_id();
+    // A timer armed from a worker must fire on that same worker.
+    runtime.ScheduleAfter(kMillisecond, [&] {
+      second = std::this_thread::get_id();
+      done = true;
+    });
+  });
+  for (int i = 0; i < 5000 && !done; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(done.load());
+  EXPECT_EQ(first, second);
+  runtime.Shutdown();
+}
+
+// ----------------------------------------------------- cluster fixture --
+
+constexpr NodeId kClient = 1000;
+
+// A real-threads cluster: nodes and a router on a ThreadedRuntime, data
+// plane driven through ScadsClient's blocking helpers from test threads.
+struct ThreadedCluster {
+  ThreadedRuntime runtime;
+  ClusterState cluster;
+  std::vector<std::unique_ptr<StorageNode>> nodes;
+  std::unique_ptr<Router> router;
+
+  explicit ThreadedCluster(int node_count, int replication_factor,
+                           NodeConfig node_config = NodeConfig{},
+                           RouterConfig router_config = RouterConfig{}) {
+    std::vector<NodeId> ids;
+    for (int i = 0; i < node_count; ++i) {
+      runtime.RegisterDestination(i);
+      auto node = std::make_unique<StorageNode>(i, &runtime, &runtime, &cluster, node_config,
+                                                1000 + static_cast<uint64_t>(i));
+      EXPECT_TRUE(cluster.AddNode(i, node.get()).ok());
+      node->Start();
+      nodes.push_back(std::move(node));
+      ids.push_back(i);
+    }
+    auto map = PartitionMap::CreateUniform(node_count * 4, ids, replication_factor);
+    EXPECT_TRUE(map.ok());
+    cluster.set_partitions(std::move(map).value());
+    router = std::make_unique<Router>(kClient, &runtime, &runtime, &cluster, router_config, 99);
+  }
+
+  ~ThreadedCluster() {
+    // Quiesce the workers before any member dies: queued closures capture
+    // raw node/router pointers.
+    runtime.Shutdown();
+  }
+
+  ScadsClient client() { return ScadsClient(router.get()); }
+};
+
+std::string Key(int writer, int i) {
+  // 2-byte spread prefix (as the benches use) so writers stripe across
+  // partitions instead of all landing in one range.
+  uint32_t h = static_cast<uint32_t>(writer * 7919 + i) * 2654435761u;
+  std::string key;
+  key.push_back(static_cast<char>('a' + (h >> 28) % 16));
+  key.push_back(static_cast<char>('a' + (h >> 24) % 16));
+  return key + "/w" + std::to_string(writer);
+}
+
+// ----------------------------------------------- acked writes never lost --
+
+TEST(ThreadedDataPlaneTest, AckedWritesSurviveWriterReaderStorm) {
+  ThreadedCluster tc(4, 2);
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 3;
+  constexpr int kOpsPerWriter = 120;
+
+  // writer w rewrites its own key with increasing sequence numbers; the
+  // last acked sequence is the write the storm must not lose.
+  std::vector<int> last_acked(kWriters, -1);
+  std::atomic<bool> stop_readers{false};
+  std::atomic<int64_t> torn_reads{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      ScadsClient client = tc.client();
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        Status s = client.PutSync(Key(w, 0), std::to_string(i), AckMode::kPrimary);
+        if (s.ok()) last_acked[w] = i;  // this thread is the only writer of w
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      ScadsClient client = tc.client();
+      int w = r % kWriters;
+      while (!stop_readers.load(std::memory_order_acquire)) {
+        Result<Record> got = client.GetSync(Key(w, 0));
+        if (got.ok()) {
+          // Values are whole sequence numbers: a torn/interleaved value
+          // would fail to parse back to itself.
+          const std::string& v = got->value;
+          if (v.empty() || v != std::to_string(std::stoi(v))) torn_reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop_readers.store(true, std::memory_order_release);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(torn_reads.load(), 0);
+  ScadsClient client = tc.client();
+  for (int w = 0; w < kWriters; ++w) {
+    ASSERT_GE(last_acked[w], 0) << "writer " << w << " never got an ack";
+    Result<Record> final_read = client.GetSync(Key(w, 0), RequestOptions::PrimaryOnly());
+    ASSERT_TRUE(final_read.ok()) << final_read.status().message();
+    // The single-writer sequence means the newest version IS the last
+    // acked write; anything older is a lost ack.
+    EXPECT_EQ(final_read->value, std::to_string(last_acked[w]))
+        << "writer " << w << " lost its acked write";
+  }
+}
+
+// ------------------------------------------------ concurrent MultiGets --
+
+TEST(ThreadedDataPlaneTest, ConcurrentMultiGetFanOutsSeeAckedValues) {
+  ThreadedCluster tc(4, 1);
+  ScadsClient loader = tc.client();
+  constexpr int kKeys = 64;
+  std::vector<std::string> keys;
+  for (int i = 0; i < kKeys; ++i) {
+    keys.push_back(Key(i, i));
+    ASSERT_TRUE(loader.PutSync(keys.back(), "v" + std::to_string(i)).ok());
+  }
+
+  constexpr int kThreads = 6;
+  constexpr int kRoundsPerThread = 40;
+  std::atomic<int64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ScadsClient client = tc.client();
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        // Random slice, preserving duplicates' semantics: results align
+        // 1:1 with the requested keys.
+        std::vector<std::string> batch;
+        std::vector<int> idx;
+        for (int j = 0; j < 12; ++j) {
+          int i = static_cast<int>(rng.Uniform(kKeys));
+          idx.push_back(i);
+          batch.push_back(keys[i]);
+        }
+        std::vector<Result<Record>> results = client.MultiGetSync(batch);
+        if (results.size() != batch.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t j = 0; j < results.size(); ++j) {
+          if (!results[j].ok() || results[j]->value != "v" + std::to_string(idx[j])) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --------------------------------------------------- coalescer storm --
+
+TEST(ThreadedDataPlaneTest, CoalescerStormServesEveryReaderTheRightValue) {
+  ThreadedCluster tc(2, 1);
+  CoalescerConfig coalescer_config;
+  coalescer_config.enabled = true;
+  coalescer_config.window = 200;  // us — wide enough for real overlap
+  ReadCoalescer coalescer(&tc.runtime, &tc.runtime, &tc.cluster, coalescer_config);
+  tc.router->set_coalescer(&coalescer);
+
+  ScadsClient loader = tc.client();
+  ASSERT_TRUE(loader.PutSync("hot/key", "celebrity").ok());
+  ASSERT_TRUE(loader.PutSync("warm/key", "sidekick").ok());
+
+  constexpr int kThreads = 6;
+  constexpr int kReadsPerThread = 150;
+  std::atomic<int64_t> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ScadsClient client = tc.client();
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        const bool hot = (i % 4) != 0;  // skewed: mostly one hot key
+        Result<Record> got = client.GetSync(hot ? "hot/key" : "warm/key");
+        if (!got.ok() || got->value != (hot ? "celebrity" : "sidekick")) {
+          wrong.fetch_add(1);
+        }
+        (void)t;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  tc.router->set_coalescer(nullptr);  // detach before the coalescer dies
+
+  EXPECT_EQ(wrong.load(), 0);
+  // Every read was accounted: led its key, joined a leader, or bypassed
+  // (kPrimaryOnly/ineligible reads never enter — these were all eligible).
+  const CoalescerStats& stats = coalescer.stats();
+  EXPECT_EQ(stats.leader_reads + stats.follower_joins,
+            static_cast<int64_t>(kThreads) * kReadsPerThread);
+}
+
+// ------------------------------------------- window harvest under load --
+
+TEST(ThreadedDataPlaneTest, TakeWindowWhileLoadedLosesNoCounts) {
+  ThreadedCluster tc(3, 1);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 150;
+
+  std::atomic<bool> harvesting{true};
+  RouterWindow harvested;
+  std::thread harvester([&] {
+    while (harvesting.load(std::memory_order_acquire)) {
+      harvested.MergeFrom(tc.router->TakeWindow());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> acked{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ScadsClient client = tc.client();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (client.PutSync(Key(t, i), "x").ok()) acked.fetch_add(1);
+        (void)client.GetSync(Key(t, i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  harvesting.store(false, std::memory_order_release);
+  harvester.join();
+  harvested.MergeFrom(tc.router->TakeWindow());
+
+  // Every op landed in exactly one harvested window: totals add up.
+  EXPECT_EQ(harvested.writes_ok + harvested.writes_failed,
+            static_cast<int64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(harvested.reads_ok + harvested.reads_failed,
+            static_cast<int64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(harvested.writes_ok, acked.load());
+}
+
+// ------------------------------------------- backend equivalence check --
+
+// The same logical workload lands the same final state on both backends.
+// (Latency/schedules differ by design; semantics must not.)
+TEST(BackendEquivalenceTest, AckedStateMatchesAcrossBackends) {
+  auto run_workload = [](ScadsClient client, auto await_put, auto await_get) {
+    std::vector<std::string> finals;
+    for (int i = 0; i < 20; ++i) {
+      std::string key = Key(i % 3, i);
+      EXPECT_TRUE(await_put(client, key, "v" + std::to_string(i)));
+    }
+    for (int i = 0; i < 20; ++i) {
+      finals.push_back(await_get(client, Key(i % 3, i)));
+    }
+    return finals;
+  };
+
+  // Sim: pump the loop around each async call.
+  EventLoop loop;
+  SimNetwork network(&loop, 7, NetworkConfig{});
+  SimBackend sim(&loop, &network);
+  ClusterState sim_cluster;
+  std::vector<std::unique_ptr<StorageNode>> sim_nodes;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto node = std::make_unique<StorageNode>(i, &sim, &sim, &sim_cluster, NodeConfig{},
+                                              1000 + static_cast<uint64_t>(i));
+    ASSERT_TRUE(sim_cluster.AddNode(i, node.get()).ok());
+    node->Start();
+    sim_nodes.push_back(std::move(node));
+    ids.push_back(i);
+  }
+  auto map = PartitionMap::CreateUniform(12, ids, 2);
+  ASSERT_TRUE(map.ok());
+  sim_cluster.set_partitions(std::move(map).value());
+  Router sim_router(kClient, &sim, &sim, &sim_cluster, RouterConfig{}, 99);
+
+  // The blocking helpers refuse on the deterministic backend...
+  ScadsClient sim_client(&sim_router);
+  EXPECT_EQ(sim_client.PutSync("k", "v").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sim_client.GetSync("k").status().code(), StatusCode::kFailedPrecondition);
+
+  // ...so the sim workload pumps the loop instead.
+  auto sim_put = [&loop](ScadsClient c, const std::string& k, const std::string& v) {
+    bool ok = false, done = false;
+    c.Put(k, v, AckMode::kPrimary, [&](Status s) {
+      ok = s.ok();
+      done = true;
+    });
+    while (!done) loop.RunFor(kMillisecond);
+    return ok;
+  };
+  auto sim_get = [&loop](ScadsClient c, const std::string& k) {
+    std::string value = "<error>";
+    bool done = false;
+    c.Get(k, [&](Result<Record> r) {
+      if (r.ok()) value = r->value;
+      done = true;
+    });
+    while (!done) loop.RunFor(kMillisecond);
+    return value;
+  };
+  std::vector<std::string> sim_finals = run_workload(sim_client, sim_put, sim_get);
+
+  // Threaded: the blocking helpers are the workload.
+  ThreadedCluster tc(3, 2);
+  auto thr_put = [](ScadsClient c, const std::string& k, const std::string& v) {
+    return c.PutSync(k, v).ok();
+  };
+  auto thr_get = [](ScadsClient c, const std::string& k) {
+    Result<Record> r = c.GetSync(k);
+    return r.ok() ? r->value : "<error>";
+  };
+  std::vector<std::string> threaded_finals = run_workload(tc.client(), thr_put, thr_get);
+
+  EXPECT_EQ(sim_finals, threaded_finals);
+}
+
+}  // namespace
+}  // namespace scads

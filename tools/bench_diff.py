@@ -34,6 +34,11 @@ absolute latencies are workload artifacts, not regressions to gate on.
 Its shape_check (codec compactness, cross-arm digest match, warm speedup,
 paged pool bound) flipping away from PASS still fails.
 
+BENCH_threaded_saturation.json is informational too: it runs real client
+threads against wall-clock timers, so throughput and latency depend on
+the runner's core count and load. Its own process exits nonzero when the
+scaling/monotonicity shape breaks, which is where that bench is gated.
+
 Baseline handling: an unreadable or corrupt JSON in either directory is an
 error (exit 2) with a clear message — never silently skipped. A missing
 PREV_DIR normally means "first run, nothing to diff" (exit 0);
