@@ -15,7 +15,12 @@
 //  * scaling: aggregate throughput at 8 threads >= 2.5x the 1-thread
 //    throughput;
 //  * monotone-to-saturation: each point's throughput >= 0.85x the previous
-//    point's (rising, then flat — never collapsing).
+//    point's (rising, then flat — never collapsing);
+//  * cache arm: a Zipfian read pass at 8 threads with ONE CacheDirectory
+//    (and one ReadCoalescer) shared by every client router must serve a
+//    hit-path p50 >= 5x lower than the identical cache-off pass, with
+//    byte-identical result digests — the caches may only relocate where a
+//    read is served, never change what it returns.
 
 #include <atomic>
 #include <cstdio>
@@ -24,7 +29,9 @@
 #include <thread>
 #include <vector>
 
+#include "cache/cache_directory.h"
 #include "cluster/cluster_state.h"
+#include "cluster/coalescer.h"
 #include "cluster/node.h"
 #include "cluster/partition.h"
 #include "cluster/router.h"
@@ -47,6 +54,13 @@ constexpr int kKeys = 4096;
 constexpr int kThreadCounts[] = {1, 2, 4, 8, 16, 32};
 constexpr Duration kWarmup = 60 * kMillisecond;
 constexpr Duration kMeasure = 350 * kMillisecond;
+
+// Cache arm: a fixed Zipfian read tape per thread (identical seeds in both
+// arms), so cache-on and cache-off observe the same multiset of
+// (key, value) pairs and their digests must match byte for byte.
+constexpr int kCacheThreads = 8;
+constexpr int kCacheOpsPerThread = 4000;
+constexpr double kZipfTheta = 0.99;
 
 std::string KeyFor(int i) {
   // 2-byte spread prefix stripes keys across the uniform partition map.
@@ -151,6 +165,73 @@ Point RunPoint(Deployment& dep, int thread_count) {
   return point;
 }
 
+struct ZipfArm {
+  int64_t ops = 0;
+  LogHistogram latency;
+  uint64_t digest = 0;  ///< Wrapping sum of per-thread tape digests.
+  bool all_ok = true;
+};
+
+uint64_t Fnv(uint64_t h, std::string_view s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Runs the fixed Zipfian read tapes at kCacheThreads, with every router
+// sharing `cache` (may be null = cache-off) and `coalescer`. Per-thread
+// digests chain (key, value) in tape order, so equal tapes + equal data
+// imply equal digests regardless of thread interleaving.
+ZipfArm RunZipfArm(Deployment& dep, CacheDirectory* cache, ReadCoalescer* coalescer) {
+  std::vector<std::unique_ptr<Router>> routers;
+  for (int t = 0; t < kCacheThreads; ++t) {
+    routers.push_back(std::make_unique<Router>(3000 + t, &dep.runtime, &dep.runtime,
+                                               &dep.cluster, RouterConfig{},
+                                               900 + static_cast<uint64_t>(t)));
+    if (cache != nullptr) routers.back()->set_cache(cache);
+    routers.back()->set_coalescer(coalescer);
+  }
+
+  std::vector<int64_t> ops(kCacheThreads, 0);
+  std::vector<LogHistogram> latencies(kCacheThreads);
+  std::vector<uint64_t> digests(kCacheThreads, 1469598103934665603ull);
+  std::atomic<bool> all_ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kCacheThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ScadsClient client(routers[t].get());
+      Rng rng(7100 + static_cast<uint64_t>(t));  // same tape in both arms
+      const Clock* clock = WallClock::Get();
+      for (int op = 0; op < kCacheOpsPerThread; ++op) {
+        int i = static_cast<int>(rng.Zipf(kKeys, kZipfTheta));
+        std::string key = KeyFor(i);
+        Time start = clock->Now();
+        Result<Record> result = client.GetSync(key);
+        if (!result.ok()) {
+          all_ok.store(false, std::memory_order_relaxed);
+          continue;
+        }
+        latencies[t].Record(clock->Now() - start);
+        ++ops[t];
+        digests[t] = Fnv(Fnv(digests[t], key), result->value);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (auto& router : routers) router->set_coalescer(nullptr);
+
+  ZipfArm arm;
+  arm.all_ok = all_ok.load();
+  for (int t = 0; t < kCacheThreads; ++t) {
+    arm.ops += ops[t];
+    arm.latency.Merge(latencies[t]);
+    arm.digest += digests[t];  // wrapping sum: order-independent combine
+  }
+  return arm;
+}
+
 }  // namespace
 }  // namespace scads
 
@@ -210,6 +291,56 @@ int main() {
   std::printf("\n1 -> 8 threads: %.2fx aggregate throughput (need >= 2.5x); curve %s\n",
               scaling_at_8, monotone ? "monotone to saturation" : "COLLAPSED");
 
+  // --- Zipfian cache arm: one CacheDirectory + one ReadCoalescer shared by
+  // all 8 client routers, against the identical cache-off tapes.
+  MetricRegistry cache_metrics;
+  CoalescerConfig coalescer_config;
+  coalescer_config.enabled = true;
+  ReadCoalescer coalescer(&dep.runtime, &dep.runtime, &dep.cluster, coalescer_config);
+
+  ZipfArm off = RunZipfArm(dep, nullptr, &coalescer);
+
+  CacheConfig cache_config;
+  cache_config.enabled = true;
+  CacheDirectory cache(cache_config, /*staleness_bound=*/0, &cache_metrics);
+  ZipfArm on = RunZipfArm(dep, &cache, &coalescer);
+
+  int64_t off_p50 = off.latency.ValueAtQuantile(0.5);
+  int64_t on_p50 = on.latency.ValueAtQuantile(0.5);
+  double speedup = on_p50 > 0 ? static_cast<double>(off_p50) / static_cast<double>(on_p50)
+                              : 0.0;
+  int64_t hits = cache_metrics.GetCounter("cache.point.hits")->value();
+  int64_t misses = cache_metrics.GetCounter("cache.point.misses")->value();
+  double hit_rate = hits + misses > 0
+                        ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                        : 0.0;
+  bool digests_match = off.digest == on.digest && off.all_ok && on.all_ok;
+  bool cache_fast = speedup >= 5.0;
+
+  std::printf("\nzipf cache arm (theta=%.2f, %d threads x %d reads):\n", kZipfTheta,
+              kCacheThreads, kCacheOpsPerThread);
+  std::printf("  cache-off p50 %lld us p99 %lld us | cache-on p50 %lld us p99 %lld us "
+              "(%.1fx, need >= 5x) | hit rate %.1f%% | digests %s\n",
+              static_cast<long long>(off_p50),
+              static_cast<long long>(off.latency.ValueAtQuantile(0.99)),
+              static_cast<long long>(on_p50),
+              static_cast<long long>(on.latency.ValueAtQuantile(0.99)), speedup,
+              hit_rate * 100.0, digests_match ? "MATCH" : "MISMATCH");
+
+  json.BeginRow("zipf_cache_off");
+  json.Add("ops", off.ops);
+  json.Add("p50_us", off_p50);
+  json.Add("p99_us", off.latency.ValueAtQuantile(0.99));
+  json.BeginRow("zipf_cache_on");
+  json.Add("ops", on.ops);
+  json.Add("p50_us", on_p50);
+  json.Add("p99_us", on.latency.ValueAtQuantile(0.99));
+  json.Add("hits", hits);
+  json.Add("misses", misses);
+  json.Add("hit_rate", hit_rate);
+  json.Add("speedup_p50", speedup);
+  json.Add("digest_check", digests_match ? "PASS" : "FAIL");
+
   json.BeginRow("shape");
   json.Add("scaling_1_to_8", scaling_at_8);
   json.Add("monotone", monotone ? 1 : 0);
@@ -220,5 +351,5 @@ int main() {
     return 1;
   }
 
-  return (scaled && monotone) ? 0 : 1;
+  return (scaled && monotone && cache_fast && digests_match) ? 0 : 1;
 }

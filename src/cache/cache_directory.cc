@@ -97,6 +97,7 @@ bool CacheDirectory::LookupScan(const std::string& prefix, size_t limit, Time no
 
 uint64_t CacheDirectory::BeginScan(const std::string& prefix) {
   if (!scan_caching()) return 0;
+  std::lock_guard<std::mutex> lock(leases_mu_);
   uint64_t token = next_scan_token_++;
   pending_scans_.push_back(PendingScan{token, prefix, false});
   return token;
@@ -104,6 +105,7 @@ uint64_t CacheDirectory::BeginScan(const std::string& prefix) {
 
 bool CacheDirectory::EndScan(uint64_t token) {
   if (token == 0) return true;
+  std::lock_guard<std::mutex> lock(leases_mu_);
   for (auto it = pending_scans_.begin(); it != pending_scans_.end(); ++it) {
     if (it->token != token) continue;
     bool clean = !it->dirty;
@@ -122,6 +124,7 @@ void CacheDirectory::StoreScan(const std::string& prefix, size_t limit,
 void CacheDirectory::InvalidateScansFor(const std::string& key) {
   size_t dropped = scans_.InvalidateForKey(key);
   if (dropped > 0) scan_invalidations_->Increment(static_cast<int64_t>(dropped));
+  std::lock_guard<std::mutex> lock(leases_mu_);
   for (PendingScan& pending : pending_scans_) {
     if (std::string_view(key).substr(0, pending.prefix.size()) == pending.prefix) {
       pending.dirty = true;
@@ -148,6 +151,7 @@ void CacheDirectory::OnDelete(const std::string& key, const Version& version, Ti
 }
 
 void CacheDirectory::TrackHotKey(const std::string& key) {
+  std::lock_guard<std::mutex> lock(hot_mu_);
   ++hot_total_;
   auto it = hot_hits_.find(key);
   if (it != hot_hits_.end()) {
@@ -159,6 +163,7 @@ void CacheDirectory::TrackHotKey(const std::string& key) {
 }
 
 CacheDirectory::HotKeyReport CacheDirectory::TakeHotKeys(size_t n) {
+  std::lock_guard<std::mutex> lock(hot_mu_);
   HotKeyReport report;
   report.total_hits = hot_total_;
   report.top.assign(hot_hits_.begin(), hot_hits_.end());

@@ -14,10 +14,20 @@
 //  * Counters surface through the deployment's MetricRegistry
 //    (cache.point.* / cache.scan.*), and per-key hit counts accumulate into
 //    a hot-key report the Director weighs when splitting partitions.
+//
+// Thread safety: one CacheDirectory may be shared by every Router in a
+// ThreadedRuntime deployment. The underlying caches carry their own shard
+// locks (see read_cache.h), counters are atomic, and the hot-key window and
+// scan-lease table here are guarded by their own mutexes. All of these are
+// leaf locks — no directory or cache method calls out while holding one —
+// so the directory may be consulted before the router mutex (the lock-free
+// hit path) and mutated under it (synchronous write invalidation) without
+// ordering hazards.
 
 #ifndef SCADS_CACHE_CACHE_DIRECTORY_H_
 #define SCADS_CACHE_CACHE_DIRECTORY_H_
 
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -115,6 +125,11 @@ class CacheDirectory {
   ReadCache* point_cache() { return &points_; }
   ScanCache* scan_cache() { return &scans_; }
 
+  /// Cumulative counter totals for control-plane rollups (the Director
+  /// snapshots deltas of these per control interval).
+  int64_t point_hit_total() const { return point_hits_->value(); }
+  int64_t point_miss_total() const { return point_misses_->value(); }
+
  private:
   void TrackHotKey(const std::string& key);
   /// Drops cached scans covering `key` and dirties in-flight scan leases.
@@ -127,17 +142,23 @@ class CacheDirectory {
 
   // Hot-key window (reset by TakeHotKeys). Size-capped: once full, new keys
   // stop being tracked until the next window; already-hot keys keep
-  // counting, which is exactly the signal the Director needs.
+  // counting, which is exactly the signal the Director needs. Guarded by
+  // hot_mu_ (a leaf lock) so concurrent hits from many routers do not lose
+  // updates.
   static constexpr size_t kHotKeyCap = 4096;
+  mutable std::mutex hot_mu_;
   std::unordered_map<std::string, int64_t> hot_hits_;
   int64_t hot_total_ = 0;
 
-  // In-flight scan leases (bounded by concurrent scans).
+  // In-flight scan leases (bounded by concurrent scans). Guarded by
+  // leases_mu_ (a leaf lock): a write dirtying leases and a scan
+  // opening/closing one may race from different routers.
   struct PendingScan {
     uint64_t token = 0;
     std::string prefix;
     bool dirty = false;
   };
+  mutable std::mutex leases_mu_;
   uint64_t next_scan_token_ = 1;
   std::vector<PendingScan> pending_scans_;
 

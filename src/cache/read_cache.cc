@@ -2,17 +2,21 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <utility>
 
 namespace scads {
 
 namespace {
-// Fixed bookkeeping charge per entry (list node, index slot, struct fields);
+// Fixed bookkeeping charge per entry (slot, index entry, struct fields);
 // keeps byte accounting honest for small values without sizing real heap
 // internals.
 constexpr size_t kPointEntryOverhead = 64;
 constexpr size_t kScanEntryOverhead = 128;
 constexpr size_t kScanRecordOverhead = 64;
+
+// EvictOver sentinel: no slot is protected from the sweep.
+constexpr size_t kNoProtect = std::numeric_limits<size_t>::max();
 
 bool WithinBound(Time now, Time as_of, Duration bound) {
   return bound == 0 || now - as_of <= bound;
@@ -30,26 +34,53 @@ ReadCache::Shard* ReadCache::ShardFor(const std::string& key) {
   return &shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
+void ReadCache::RemoveSlot(Shard* shard, size_t slot) {
+  Node* node = shard->slots[slot].get();
+  shard->bytes -= node->bytes;
+  shard->index.erase(node->key);
+  shard->slots[slot].reset();
+  shard->free_slots.push_back(slot);
+}
+
+size_t ReadCache::AddSlot(Shard* shard, std::unique_ptr<Node> node) {
+  shard->bytes += node->bytes;
+  size_t slot;
+  if (!shard->free_slots.empty()) {
+    slot = shard->free_slots.back();
+    shard->free_slots.pop_back();
+    shard->slots[slot] = std::move(node);
+  } else {
+    slot = shard->slots.size();
+    shard->slots.push_back(std::move(node));
+  }
+  shard->index[shard->slots[slot]->key] = slot;
+  return slot;
+}
+
 CacheLookup ReadCache::Lookup(const std::string& key, Time now, Duration bound,
                               CacheEntry* out, std::optional<Duration> retain_bound) {
   Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
   auto it = shard->index.find(key);
   if (it == shard->index.end()) return CacheLookup::kMiss;
-  if (!WithinBound(now, it->second->entry.as_of, bound)) {
-    bool was_marker = it->second->entry.invalidated;
+  Node* node = shard->slots[it->second].get();
+  Time as_of = node->as_of.load(std::memory_order_acquire);
+  if (!WithinBound(now, as_of, bound)) {
+    bool was_marker = node->invalidated;
     // Drop only entries past the retain bound; an entry merely too old for
     // this request's tighter bound stays servable for laxer requests.
-    if (!WithinBound(now, it->second->entry.as_of, retain_bound.value_or(bound))) {
-      shard->bytes -= it->second->bytes;
-      shard->lru.erase(it->second);
-      shard->index.erase(it);
+    if (!WithinBound(now, as_of, retain_bound.value_or(bound))) {
+      RemoveSlot(shard, it->second);
     }
     // An aged-out marker is bookkeeping, not a rejected value.
     return was_marker ? CacheLookup::kMiss : CacheLookup::kStale;
   }
-  if (it->second->entry.invalidated) return CacheLookup::kMiss;
-  shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
-  *out = it->second->entry;
+  if (node->invalidated) return CacheLookup::kMiss;
+  node->referenced.store(true, std::memory_order_relaxed);
+  out->value = node->value;
+  out->version = node->version;
+  out->as_of = as_of;
+  out->invalidated = false;
   return CacheLookup::kHit;
 }
 
@@ -57,86 +88,112 @@ void ReadCache::Insert(const std::string& key, std::string_view value, Version v
                        Time as_of) {
   Shard* shard = ShardFor(key);
   size_t bytes = key.size() + value.size() + kPointEntryOverhead;
+  std::lock_guard<std::mutex> lock(shard->mu);
   auto it = shard->index.find(key);
   if (it != shard->index.end()) {
-    Node& node = *it->second;
-    if (node.entry.version > version) {
+    Node* node = shard->slots[it->second].get();
+    if (node->version > version) {
       // Newer cached state (a write-through refresh, or an invalidation
       // marker from an acked write) beats this lagged value; a live entry
       // may only have its freshness lease extended by a later as_of.
-      if (!node.entry.invalidated) {
-        node.entry.as_of = std::max(node.entry.as_of, as_of);
-        shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+      if (!node->invalidated) {
+        if (as_of > node->as_of.load(std::memory_order_relaxed)) {
+          node->as_of.store(as_of, std::memory_order_release);
+        }
+        node->referenced.store(true, std::memory_order_relaxed);
       }
       return;
     }
-    shard->bytes -= node.bytes;
-    shard->lru.erase(it->second);
-    shard->index.erase(it);
+    RemoveSlot(shard, it->second);
   }
   if (bytes > per_shard_capacity_) return;  // would evict the whole shard
-  shard->lru.push_front(Node{key, CacheEntry{std::string(value), version, as_of, false}, bytes});
-  shard->index[key] = shard->lru.begin();
-  shard->bytes += bytes;
-  EvictOver(shard);
+  auto node = std::make_unique<Node>();
+  node->key = key;
+  node->value.assign(value.data(), value.size());
+  node->version = version;
+  node->bytes = bytes;
+  node->as_of.store(as_of, std::memory_order_release);
+  size_t slot = AddSlot(shard, std::move(node));
+  EvictOver(shard, slot);
 }
 
-void ReadCache::EvictOver(Shard* shard) {
-  while (shard->bytes > per_shard_capacity_ && !shard->lru.empty()) {
-    Node& victim = shard->lru.back();
-    shard->bytes -= victim.bytes;
-    shard->index.erase(victim.key);
-    shard->lru.pop_back();
+void ReadCache::EvictOver(Shard* shard, size_t protect) {
+  while (shard->bytes > per_shard_capacity_) {
+    // The protected slot alone fits capacity (Insert checks), so when it is
+    // the only occupant there is nothing left to victimize.
+    if (shard->index.size() <= (protect == kNoProtect ? 0u : 1u)) break;
+    if (shard->hand >= shard->slots.size()) shard->hand = 0;
+    Node* node = shard->slots[shard->hand].get();
+    if (node == nullptr || shard->hand == protect) {
+      ++shard->hand;
+      continue;
+    }
+    if (node->referenced.exchange(false, std::memory_order_relaxed)) {
+      ++shard->hand;  // second chance: spared once, evicted next lap
+      continue;
+    }
+    RemoveSlot(shard, shard->hand);
     if (evictions_ != nullptr) evictions_->Increment();
   }
 }
 
 bool ReadCache::MarkInvalidated(const std::string& key, Version version, Time as_of) {
   Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
   bool dropped_live = false;
   auto it = shard->index.find(key);
   if (it != shard->index.end()) {
-    if (it->second->entry.version > version) return false;  // newer state cached
-    dropped_live = !it->second->entry.invalidated;
-    shard->bytes -= it->second->bytes;
-    shard->lru.erase(it->second);
-    shard->index.erase(it);
+    Node* node = shard->slots[it->second].get();
+    if (node->version > version) return false;  // newer state cached
+    dropped_live = !node->invalidated;
+    RemoveSlot(shard, it->second);
   }
-  size_t bytes = key.size() + kPointEntryOverhead;
-  shard->lru.push_front(Node{key, CacheEntry{std::string(), version, as_of, true}, bytes});
-  shard->index[key] = shard->lru.begin();
-  shard->bytes += bytes;
-  EvictOver(shard);
+  auto node = std::make_unique<Node>();
+  node->key = key;
+  node->version = version;
+  node->invalidated = true;
+  node->bytes = key.size() + kPointEntryOverhead;
+  node->as_of.store(as_of, std::memory_order_release);
+  size_t slot = AddSlot(shard, std::move(node));
+  EvictOver(shard, slot);
   return dropped_live;
 }
 
 bool ReadCache::Erase(const std::string& key) {
   Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
   auto it = shard->index.find(key);
   if (it == shard->index.end()) return false;
-  shard->bytes -= it->second->bytes;
-  shard->lru.erase(it->second);
-  shard->index.erase(it);
+  RemoveSlot(shard, it->second);
   return true;
 }
 
 void ReadCache::Clear() {
   for (Shard& shard : shards_) {
-    shard.lru.clear();
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.slots.clear();
+    shard.free_slots.clear();
     shard.index.clear();
+    shard.hand = 0;
     shard.bytes = 0;
   }
 }
 
 size_t ReadCache::entry_count() const {
   size_t n = 0;
-  for (const Shard& shard : shards_) n += shard.index.size();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.index.size();
+  }
   return n;
 }
 
 size_t ReadCache::bytes_used() const {
   size_t n = 0;
-  for (const Shard& shard : shards_) n += shard.bytes;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.bytes;
+  }
   return n;
 }
 
@@ -156,67 +213,112 @@ std::string ScanCache::CacheKey(std::string_view prefix, size_t limit) {
   return key;
 }
 
+void ScanCache::RemoveSlot(size_t slot) {
+  Node* node = slots_[slot].get();
+  bytes_ -= node->bytes;
+  index_.erase(node->cache_key);
+  slots_[slot].reset();
+  free_slots_.push_back(slot);
+}
+
 CacheLookup ScanCache::Lookup(const std::string& prefix, size_t limit, Time now, Duration bound,
                               std::vector<Record>* out,
                               std::optional<Duration> retain_bound) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(CacheKey(prefix, limit));
   if (it == index_.end()) return CacheLookup::kMiss;
-  if (!WithinBound(now, it->second->as_of, bound)) {
-    if (!WithinBound(now, it->second->as_of, retain_bound.value_or(bound))) {
-      EraseNode(it->second);
+  Node* node = slots_[it->second].get();
+  if (!WithinBound(now, node->as_of, bound)) {
+    if (!WithinBound(now, node->as_of, retain_bound.value_or(bound))) {
+      RemoveSlot(it->second);
     }
     return CacheLookup::kStale;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  *out = it->second->records;
+  node->referenced.store(true, std::memory_order_relaxed);
+  *out = node->records;
   return CacheLookup::kHit;
 }
 
 void ScanCache::Insert(const std::string& prefix, size_t limit,
                        const std::vector<Record>& records, Time as_of) {
   std::string cache_key = CacheKey(prefix, limit);
-  auto it = index_.find(cache_key);
-  if (it != index_.end()) EraseNode(it->second);
   size_t bytes = kScanEntryOverhead + cache_key.size();
   for (const Record& record : records) {
     bytes += record.key.size() + record.value.size() + kScanRecordOverhead;
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(cache_key);
+  if (it != index_.end()) RemoveSlot(it->second);
   if (bytes > capacity_bytes_) return;
-  lru_.push_front(Node{std::move(cache_key), prefix, records, as_of, bytes});
-  index_[lru_.front().cache_key] = lru_.begin();
+  auto node = std::make_unique<Node>();
+  node->cache_key = std::move(cache_key);
+  node->prefix = prefix;
+  node->records = records;
+  node->as_of = as_of;
+  node->bytes = bytes;
   bytes_ += bytes;
-  EvictOver();
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(node);
+  } else {
+    slot = slots_.size();
+    slots_.push_back(std::move(node));
+  }
+  index_[slots_[slot]->cache_key] = slot;
+  EvictOver(slot);
 }
 
 size_t ScanCache::InvalidateForKey(std::string_view written_key) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t dropped = 0;
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    auto current = it++;
-    if (written_key.substr(0, current->prefix.size()) == current->prefix) {
-      EraseNode(current);
+  for (size_t slot = 0; slot < slots_.size(); ++slot) {
+    Node* node = slots_[slot].get();
+    if (node == nullptr) continue;
+    if (written_key.substr(0, node->prefix.size()) == node->prefix) {
+      RemoveSlot(slot);
       ++dropped;
     }
   }
   return dropped;
 }
 
-void ScanCache::EraseNode(std::list<Node>::iterator it) {
-  bytes_ -= it->bytes;
-  index_.erase(it->cache_key);
-  lru_.erase(it);
-}
-
-void ScanCache::EvictOver() {
-  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
-    EraseNode(std::prev(lru_.end()));
+void ScanCache::EvictOver(size_t protect) {
+  while (bytes_ > capacity_bytes_) {
+    if (index_.size() <= (protect == kNoProtect ? 0u : 1u)) break;
+    if (hand_ >= slots_.size()) hand_ = 0;
+    Node* node = slots_[hand_].get();
+    if (node == nullptr || hand_ == protect) {
+      ++hand_;
+      continue;
+    }
+    if (node->referenced.exchange(false, std::memory_order_relaxed)) {
+      ++hand_;
+      continue;
+    }
+    RemoveSlot(hand_);
     if (evictions_ != nullptr) evictions_->Increment();
   }
 }
 
 void ScanCache::Clear() {
-  lru_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  free_slots_.clear();
   index_.clear();
+  hand_ = 0;
   bytes_ = 0;
+}
+
+size_t ScanCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+size_t ScanCache::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 }  // namespace scads

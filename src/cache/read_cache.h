@@ -7,10 +7,23 @@
 // lookup, so the cache can never widen the declared staleness window.
 //
 // Two structures:
-//  * ReadCache  — sharded byte-capacity LRU over point-read records.
+//  * ReadCache  — sharded byte-capacity clock cache over point-read records.
 //  * ScanCache  — bounded index-scan results keyed by (prefix, limit); the
 //    query compiler only admits bounded contiguous scans (paper §3.1), so
 //    cardinality stays small and prefix invalidation stays cheap.
+//
+// Concurrency contract: both caches are thread-safe. Every ReadCache shard
+// (and the ScanCache as a whole) owns one mutex covering its index, slot
+// ring, and byte accounting; per-entry freshness state (the as_of watermark
+// and the clock's referenced bit) is published through atomics, so a hit is
+// validated against its staleness bound without ever taking a router lock.
+// Cache locks are LEAF locks: no cache method acquires any other lock or
+// invokes a callback while holding one, so they may be taken either before
+// the router mutex (the routers' lock-free hit path) or while it is held
+// (synchronous write invalidation) without any cycle. Eviction is
+// clock/second-chance — a hit sets one atomic bit instead of splicing a
+// shared LRU list, which keeps the hot path O(1) under the shard lock and
+// contention proportional to 1/shards.
 //
 // Policy coordination (what to serve, when to invalidate, counters, the
 // hot-key signal) lives in cache/cache_directory.h.
@@ -18,8 +31,10 @@
 #ifndef SCADS_CACHE_READ_CACHE_H_
 #define SCADS_CACHE_READ_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
-#include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -55,7 +70,7 @@ struct CacheConfig {
   Duration hit_service_time = 5;  // microseconds
 };
 
-/// One cached point read.
+/// One cached point read (the by-value view Lookup copies out).
 struct CacheEntry {
   std::string value;
   Version version;
@@ -76,19 +91,21 @@ struct CacheEntry {
 /// it has been dropped so capacity is not held by unservable data.
 enum class CacheLookup { kHit, kMiss, kStale };
 
-/// Sharded byte-capacity LRU over point-read records. Not thread-safe
-/// (SCADS simulations are single-threaded); sharding bounds worst-case
-/// probe cost and mirrors how a production build would partition locks.
+/// Sharded byte-capacity clock cache over point-read records. Thread-safe:
+/// one mutex per shard (a leaf lock — never held across any call out of the
+/// cache), clock/second-chance eviction instead of an LRU list so a hit
+/// publishes one atomic referenced bit rather than mutating shared order.
+/// Sharding bounds worst-case probe cost and divides lock contention.
 class ReadCache {
  public:
   /// `evictions` (optional) is incremented per capacity eviction.
   ReadCache(size_t capacity_bytes, size_t shards, Counter* evictions = nullptr);
 
-  /// Looks up `key`; on kHit copies the entry into `out` and marks it most
-  /// recently used. `bound` 0 = no staleness bound (entries never expire).
-  /// `retain_bound` (default: `bound`) governs eviction separately from
-  /// serving: an entry too old for this request's bound but still within
-  /// `retain_bound` reports kStale without being dropped, so one
+  /// Looks up `key`; on kHit copies the entry into `out` and sets its
+  /// second-chance bit. `bound` 0 = no staleness bound (entries never
+  /// expire). `retain_bound` (default: `bound`) governs eviction separately
+  /// from serving: an entry too old for this request's bound but still
+  /// within `retain_bound` reports kStale without being dropped, so one
   /// tight-bounded request cannot purge entries other requests may serve.
   CacheLookup Lookup(const std::string& key, Time now, Duration bound, CacheEntry* out,
                      std::optional<Duration> retain_bound = std::nullopt);
@@ -118,27 +135,47 @@ class ReadCache {
  private:
   struct Node {
     std::string key;
-    CacheEntry entry;
+    std::string value;
+    Version version;
+    bool invalidated = false;
     size_t bytes = 0;
+    /// Serve-time watermark, published atomically so a freshness lease
+    /// extension is visible to concurrent validators without re-locking.
+    std::atomic<Time> as_of{0};
+    /// Clock second-chance bit: set on hit, cleared (one reprieve) by the
+    /// sweeping hand. New inserts start unreferenced, so an untouched entry
+    /// is evicted before anything a reader has come back for — the same
+    /// victims the old LRU picked in the common insert/lookup patterns.
+    std::atomic<bool> referenced{false};
   };
   struct Shard {
-    std::list<Node> lru;  // front = most recently used
-    std::unordered_map<std::string, std::list<Node>::iterator> index;
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Node>> slots;  ///< Clock ring; null = free.
+    std::vector<size_t> free_slots;
+    std::unordered_map<std::string, size_t> index;  ///< key -> slot.
+    size_t hand = 0;
     size_t bytes = 0;
   };
 
   Shard* ShardFor(const std::string& key);
-  void EvictOver(Shard* shard);
+  /// Unlinks `slot` (index, bytes, free list). Caller holds shard->mu.
+  void RemoveSlot(Shard* shard, size_t slot);
+  /// Installs a node in a free (or new) slot. Caller holds shard->mu.
+  size_t AddSlot(Shard* shard, std::unique_ptr<Node> node);
+  /// Clock sweep until under capacity; `protect` (the slot just written) is
+  /// skipped so an insert cannot evict itself. Caller holds shard->mu.
+  void EvictOver(Shard* shard, size_t protect);
 
   size_t per_shard_capacity_;
   std::vector<Shard> shards_;
   Counter* evictions_;
 };
 
-/// LRU cache of bounded index-scan results, keyed by (prefix, limit).
-/// Invalidation scans every entry for a prefix match with the written key;
-/// the entry count is bounded by registered-query shapes × hot parameter
-/// values, which the byte capacity keeps small.
+/// Clock cache of bounded index-scan results, keyed by (prefix, limit).
+/// Thread-safe behind one leaf mutex (scan cardinality is bounded by
+/// registered-query shapes × hot parameter values, so a single lock
+/// suffices). Invalidation scans every entry for a prefix match with the
+/// written key.
 class ScanCache {
  public:
   ScanCache(size_t capacity_bytes, Counter* evictions = nullptr);
@@ -159,8 +196,8 @@ class ScanCache {
 
   void Clear();
 
-  size_t entry_count() const { return index_.size(); }
-  size_t bytes_used() const { return bytes_; }
+  size_t entry_count() const;
+  size_t bytes_used() const;
 
  private:
   struct Node {
@@ -169,15 +206,19 @@ class ScanCache {
     std::vector<Record> records;
     Time as_of = 0;
     size_t bytes = 0;
+    std::atomic<bool> referenced{false};
   };
 
   static std::string CacheKey(std::string_view prefix, size_t limit);
-  void EraseNode(std::list<Node>::iterator it);
-  void EvictOver();
+  void RemoveSlot(size_t slot);  ///< Caller holds mu_.
+  void EvictOver(size_t protect);  ///< Caller holds mu_.
 
   size_t capacity_bytes_;
-  std::list<Node> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Node>> slots_;  ///< Clock ring; null = free.
+  std::vector<size_t> free_slots_;
+  std::unordered_map<std::string, size_t> index_;  ///< cache_key -> slot.
+  size_t hand_ = 0;
   size_t bytes_ = 0;
   Counter* evictions_;
 };

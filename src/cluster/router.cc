@@ -268,15 +268,17 @@ bool Router::CacheEligible(const RequestOptions& options) const {
 
 void Router::Get(const std::string& key, RequestOptions options,
                  std::function<void(Result<Record>)> callback) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   options.Arm(loop_->Now());
   if (options.Expired(loop_->Now())) {
     ShedRead(loop_->Now(), "read", callback);
     return;
   }
-  // Cache hot path: serve entries fresh under the *request's* effective
-  // staleness bound (and at or above its session version floor) without
-  // touching a storage node.
+  // Cache hot path, consulted BEFORE the router mutex: the directory's
+  // shard locks are leaves (see cache_directory.h), so a hit on one client
+  // thread never contends with this router's in-flight completion claims.
+  // Entries are served fresh under the *request's* effective staleness
+  // bound (and at or above its session version floor) without touching a
+  // storage node; misses fall through to the locked path unchanged.
   if (CacheEligible(options)) {
     Record cached;
     if (cache_->LookupPoint(key, loop_->Now(), options, &cached)) {
@@ -290,6 +292,7 @@ void Router::Get(const std::string& key, RequestOptions options,
       return;
     }
   }
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const PartitionInfo& partition = cluster_->partitions()->ForKey(key);
   if (partition.replicas.empty()) {
     FinishRead(loop_->Now(), false);
@@ -571,7 +574,6 @@ void Router::MultiGet(const std::vector<std::string>& keys, RequestOptions optio
     callback({});
     return;
   }
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   options.Arm(loop_->Now());
   auto state = std::make_shared<MultiGetState>();
   state->start = loop_->Now();
@@ -586,8 +588,10 @@ void Router::MultiGet(const std::vector<std::string>& keys, RequestOptions optio
     return;
   }
 
-  // Single pass over the key set: dedup, serve cache-fresh keys, and compute
-  // each miss's replica candidate list from one ClusterState lookup.
+  // Pass 1, BEFORE the router mutex: dedup the key set and serve
+  // cache-fresh keys through the directory's leaf shard locks, so an
+  // all-hit batch never contends with this router's in-flight completions
+  // (same lock-free hot path as Get).
   bool cache_eligible = CacheEligible(options);
   std::map<std::string, size_t> fetch_index;  // key -> fetches index
   std::map<std::string, size_t> cached_slot;  // cache-hit key -> first slot
@@ -614,7 +618,6 @@ void Router::MultiGet(const std::vector<std::string>& keys, RequestOptions optio
     MultiGetState::Fetch fetch;
     fetch.key = key;
     fetch.slots.push_back(slot);
-    fetch.candidates = ReadCandidates(cluster_->partitions()->ForKey(key), options);
     fetch_index.emplace(key, state->fetches.size());
     state->fetches.push_back(std::move(fetch));
   }
@@ -625,6 +628,12 @@ void Router::MultiGet(const std::vector<std::string>& keys, RequestOptions optio
     // point-read hit path.
     loop_->ScheduleAfter(cache_->hit_service_time(), [this, state] { FinishMultiGet(state); });
     return;
+  }
+  // Pass 2, under the router mutex: each miss's replica candidate list from
+  // one ClusterState lookup, then the pre-existing dispatch path unchanged.
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  for (MultiGetState::Fetch& fetch : state->fetches) {
+    fetch.candidates = ReadCandidates(cluster_->partitions()->ForKey(fetch.key), state->options);
   }
   std::vector<size_t> all(state->fetches.size());
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;

@@ -131,14 +131,17 @@ class Router {
   /// clock to arm a RequestOptions budget at their own entry point).
   Executor* loop() const { return loop_; }
 
-  /// Attaches the staleness-aware read cache. Non-pinned point reads are
-  /// then answered from cache when the entry's age is within the spec's
-  /// staleness bound; successful reads populate it, and every acked write
-  /// refreshes/invalidates it synchronously (before the write callback), so
-  /// the cache can never serve a value older than the declared bound.
-  /// Cache calls happen under this router's lock; a CacheDirectory shared
-  /// by several routers on the threaded backend is not yet supported
-  /// (thread-safe read cache is a ROADMAP follow-up).
+  /// Attaches the staleness-aware read cache (may be shared by several
+  /// Routers — the directory is thread-safe behind leaf shard locks).
+  /// Non-pinned point reads are then answered from cache when the entry's
+  /// age is within the spec's staleness bound; successful reads populate
+  /// it, and every acked write refreshes/invalidates it synchronously
+  /// (before the write callback), so the cache can never serve a value
+  /// older than the declared bound. Hits are validated BEFORE this router's
+  /// mutex is taken (the lock-free hot path in Get/MultiGet); write hooks
+  /// run under it — both are safe because cache locks never wait on a
+  /// router (lock order: cache shard → router → coalescer, each a one-way
+  /// edge). Attach before traffic starts, like the coalescers.
   void set_cache(CacheDirectory* cache) { cache_ = cache; }
   CacheDirectory* cache() { return cache_; }
 
@@ -403,7 +406,10 @@ class Router {
   /// per-request dispatch state. Recursive because completions invoke user
   /// callbacks that may legally re-enter this router (session chains,
   /// coalescer redispatch). Ordering: router lock -> fabric queue lock;
-  /// never taken by storage-node-side code.
+  /// never taken by storage-node-side code. Cache shard locks sit before
+  /// this one in the order (the hit path probes the CacheDirectory with no
+  /// router lock held) and are leaves — cache code never waits on a router
+  /// — so the write hooks may still call into the cache under this lock.
   mutable std::recursive_mutex mu_;
   RouterWindow window_;
   CacheDirectory* cache_ = nullptr;

@@ -48,6 +48,9 @@ class StalenessController {
   /// Attaches the read cache: a staleness-fresh cached entry satisfies Get
   /// without any replica traffic (the cache enforces the same age bound the
   /// watermark check below does, so the freshness guarantee is unchanged).
+  /// The directory is thread-safe and may be the same instance the routers
+  /// share; this controller itself (and its stats_) stays single-threaded —
+  /// it is the sim-path consistency layer.
   void set_cache(CacheDirectory* cache) { cache_ = cache; }
 
   /// Reads `key` under the *request's* effective staleness bound (the

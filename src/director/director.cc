@@ -269,6 +269,17 @@ void Director::ControlTick() {
   snapshot.under_replicated_partitions = CountUnderReplicated();
   snapshot.repairs_completed = repairs_completed_;
   snapshot.last_restore_time = last_restore_time_;
+  // Cache rollup: windowed deltas of the shared directory's atomic
+  // counters. Many routers may feed one directory, so this total — not any
+  // single router's view — is the "reads that never reached storage" rate.
+  if (cache_ != nullptr) {
+    int64_t hits = cache_->point_hit_total();
+    int64_t misses = cache_->point_miss_total();
+    snapshot.cache_point_hits = hits - last_cache_hits_;
+    snapshot.cache_point_misses = misses - last_cache_misses_;
+    last_cache_hits_ = hits;
+    last_cache_misses_ = misses;
+  }
 
   // Node-side overload: per-priority admission sheds this window and the
   // worst queue backlog right now. Deltas are tracked per node so fleet

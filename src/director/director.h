@@ -131,6 +131,13 @@ struct DirectorSnapshot {
   int under_replicated_partitions = 0;
   int64_t repairs_completed = 0;
   Duration last_restore_time = 0;
+  /// Read-cache activity this window (deltas of the attached
+  /// CacheDirectory's atomic counters, which aggregate across every router
+  /// sharing the directory). The hit fraction is the "reads that never
+  /// touched a storage node" signal the scale model wants alongside
+  /// observed_rate; both zero when no cache is attached.
+  int64_t cache_point_hits = 0;
+  int64_t cache_point_misses = 0;
 };
 
 /// Free-form action log entry ("scale_up 12", "drain node 40", ...).
@@ -226,6 +233,10 @@ class Director {
   // Per-node (page_faults, pages_written_back) totals at the last tick,
   // churn-protected the same way.
   std::map<NodeId, std::array<int64_t, 2>> last_node_paging_;
+  // Cache counter totals at the last tick (the directory's counters are
+  // cumulative and shared by every router attached to it).
+  int64_t last_cache_hits_ = 0;
+  int64_t last_cache_misses_ = 0;
   // Self-healing state: when each currently-dead node was first seen dead
   // (erased the tick it comes back — a bounce restarts the clock), and the
   // partitions with a repair copy in flight (so one loss isn't repaired

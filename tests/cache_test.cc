@@ -1,9 +1,14 @@
 // Unit tests for src/cache (ReadCache, ScanCache, CacheDirectory) and
 // system-level tests proving the staleness-aware cache's contract: a cached
 // read is served only while its age is within the spec's staleness bound,
-// and acked writes refresh/invalidate entries synchronously.
+// and acked writes refresh/invalidate entries synchronously. The concurrent
+// storms exercise the sharded-lock design directly (they are in the TSan
+// job's repeat list): raw multi-thread Insert/Lookup/Invalidate mixes plus
+// outcome-counter conservation on the shared directory.
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/cache_directory.h"
@@ -22,13 +27,14 @@ std::string Val35() { return std::string(35, 'v'); }
 
 // ------------------------------------------------------------- ReadCache --
 
-TEST(ReadCacheTest, LruEvictionOrder) {
+TEST(ReadCacheTest, ClockEvictionSparesReferencedEntries) {
   ReadCache cache(/*capacity_bytes=*/300, /*shards=*/1);
   cache.Insert("a", Val35(), V(1), 0);
   cache.Insert("b", Val35(), V(1), 0);
   cache.Insert("c", Val35(), V(1), 0);
   CacheEntry entry;
-  // Touch "a" so "b" becomes the least recently used.
+  // Touch "a": the hit sets its reference bit, so the clock sweep grants it
+  // a second chance and evicts untouched "b" — the victim LRU picked too.
   ASSERT_EQ(cache.Lookup("a", 0, 0, &entry), CacheLookup::kHit);
   cache.Insert("d", Val35(), V(1), 0);  // over capacity: evicts "b"
   EXPECT_EQ(cache.Lookup("b", 0, 0, &entry), CacheLookup::kMiss);
@@ -118,6 +124,50 @@ TEST(ReadCacheTest, EraseRemovesEntry) {
   EXPECT_EQ(cache.Lookup("k", 0, 0, &entry), CacheLookup::kMiss);
 }
 
+TEST(ReadCacheTest, ConcurrentStormKeepsCapacityAndValueIntegrity) {
+  Counter evictions;
+  ReadCache cache(/*capacity_bytes=*/4096, /*shards=*/4, &evictions);
+  constexpr int kThreads = 6;
+  constexpr int kOps = 3000;
+  constexpr int kKeys = 32;
+  std::atomic<int64_t> torn{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string key = "key" + std::to_string((t * 31 + i) % kKeys);
+        Time stamp = static_cast<Time>(t) * kOps + i + 1;  // unique per op
+        switch (i % 5) {
+          case 0:
+          case 1:
+            // Value encodes its own version, so a hit can self-check.
+            cache.Insert(key, key + ":v" + std::to_string(stamp), V(stamp), /*as_of=*/stamp);
+            break;
+          case 2: {
+            CacheEntry entry;
+            if (cache.Lookup(key, /*now=*/1 << 30, /*bound=*/0, &entry) == CacheLookup::kHit) {
+              // An intact (key, version, value) triple — never a torn mix
+              // of two concurrent inserts.
+              if (entry.value != key + ":v" + std::to_string(entry.version.timestamp)) {
+                torn.fetch_add(1);
+              }
+            }
+            break;
+          }
+          case 3:
+            cache.MarkInvalidated(key, V(stamp), stamp);
+            break;
+          default:
+            cache.Erase(key);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_LE(cache.bytes_used(), 4096u);
+}
+
 // ------------------------------------------------------------- ScanCache --
 
 std::vector<Record> MakeRecords(const std::string& prefix, int n) {
@@ -166,10 +216,11 @@ TEST(ScanCacheTest, StalenessBoundRejects) {
   EXPECT_EQ(cache.Lookup("idx/", 0, 10 * kSecond, bound, &out), CacheLookup::kMiss);
 }
 
-TEST(ScanCacheTest, CapacityEvictsLeastRecentlyUsed) {
+TEST(ScanCacheTest, CapacityEvictsOldestUntouched) {
   Counter evictions;
   // Each 3-record entry costs ~128 + key + 3*(key+value+64) bytes; a 1 KiB
-  // budget holds only a couple.
+  // budget holds only a couple. With no lookups setting reference bits, the
+  // clock sweep evicts in insertion order — oldest first, like LRU did.
   ScanCache cache(1024, &evictions);
   cache.Insert("p1/", 0, MakeRecords("p1/", 3), 0);
   cache.Insert("p2/", 0, MakeRecords("p2/", 3), 0);
@@ -178,6 +229,41 @@ TEST(ScanCacheTest, CapacityEvictsLeastRecentlyUsed) {
   EXPECT_GT(evictions.value(), 0);
   std::vector<Record> out;
   EXPECT_EQ(cache.Lookup("p1/", 0, 0, 0, &out), CacheLookup::kMiss);
+}
+
+TEST(ScanCacheTest, ConcurrentInsertLookupInvalidate) {
+  ScanCache cache(/*capacity_bytes=*/8192);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1500;
+  std::atomic<int64_t> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string prefix = "p" + std::to_string((t + i) % 6) + "/";
+        switch (i % 3) {
+          case 0:
+            cache.Insert(prefix, 3, MakeRecords(prefix, 3), /*as_of=*/i);
+            break;
+          case 1: {
+            std::vector<Record> out;
+            if (cache.Lookup(prefix, 3, /*now=*/1 << 30, /*bound=*/0, &out) ==
+                CacheLookup::kHit) {
+              // A hit hands back the whole stored result set, never a
+              // half-invalidated one.
+              if (out.size() != 3 || out[0].key != prefix + "0") bad.fetch_add(1);
+            }
+            break;
+          }
+          default:
+            cache.InvalidateForKey(prefix + "1");
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_LE(cache.bytes_used(), 8192u);
 }
 
 // ------------------------------------------------------- CacheDirectory --
@@ -280,6 +366,40 @@ TEST(CacheDirectoryTest, HotKeyReportRanksAndResets) {
   report = directory.TakeHotKeys(2);
   EXPECT_EQ(report.total_hits, 0);
   EXPECT_TRUE(report.top.empty());
+}
+
+TEST(CacheDirectoryTest, ConcurrentLookupsConserveOutcomeCounters) {
+  MetricRegistry metrics;
+  CacheDirectory directory(EnabledConfig(), /*staleness_bound=*/0, &metrics);
+  constexpr int kThreads = 6;
+  constexpr int kOps = 4000;
+  constexpr int kKeys = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string key = "k" + std::to_string((t * 7 + i) % kKeys);
+        Record out;
+        if (!directory.LookupPoint(key, /*now=*/i, &out)) {
+          directory.StorePoint(key, "v", V(static_cast<Time>(t) * kOps + i + 1), /*as_of=*/i);
+        }
+        if (i % 64 == 0) {
+          directory.OnPut(key, "w", V(static_cast<Time>(t + 1) * 1000000 + i), i);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every LookupPoint from every thread landed in exactly one outcome
+  // counter — relaxed atomics lose no increments.
+  int64_t hits = metrics.CounterValue("cache.point.hits");
+  EXPECT_EQ(hits + metrics.CounterValue("cache.point.misses") +
+                metrics.CounterValue("cache.point.stale_rejects") +
+                metrics.CounterValue("cache.point.version_bypasses"),
+            static_cast<int64_t>(kThreads) * kOps);
+  // The hot-key window counted the same hits the counter did.
+  EXPECT_EQ(directory.TakeHotKeys(kKeys).total_hits, hits);
+  EXPECT_GT(hits, 0);
 }
 
 // ------------------------------------------------------- system tests ----
@@ -500,6 +620,14 @@ TEST(CacheSystemTest, DirectorSplitsPartitionOnHotKeySignal) {
   }
   EXPECT_TRUE(split_logged);
   EXPECT_GT(db->cluster()->partitions()->size(), partitions_before);
+
+  // The control-loop snapshots rolled up the directory's hit/miss deltas
+  // alongside the hot-key signal.
+  int64_t snapshot_hits = 0;
+  for (const DirectorSnapshot& snapshot : db->director()->history()) {
+    snapshot_hits += snapshot.cache_point_hits;
+  }
+  EXPECT_GT(snapshot_hits, 0);
 }
 
 }  // namespace

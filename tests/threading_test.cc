@@ -8,6 +8,7 @@
 // Everything here runs on wall-clock time, so assertions are about
 // ordering and final state, never about latency values.
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <set>
@@ -16,11 +17,13 @@
 #include <thread>
 #include <vector>
 
+#include "cache/cache_directory.h"
 #include "cluster/cluster_state.h"
 #include "cluster/coalescer.h"
 #include "cluster/node.h"
 #include "cluster/partition.h"
 #include "cluster/router.h"
+#include "common/metrics.h"
 #include "common/request_options.h"
 #include "common/rng.h"
 #include "core/scads_client.h"
@@ -353,6 +356,233 @@ TEST(ThreadedDataPlaneTest, TakeWindowWhileLoadedLosesNoCounts) {
   EXPECT_EQ(harvested.reads_ok + harvested.reads_failed,
             static_cast<int64_t>(kThreads) * kOpsPerThread);
   EXPECT_EQ(harvested.writes_ok, acked.load());
+}
+
+// --------------------------------------------- shared cache under storm --
+
+// N writers bump per-key sequence numbers through cache-attached routers
+// while M readers hammer the same keys through *other* routers sharing the
+// one CacheDirectory — the deployment shape of the threaded cache. Checked
+// invariants:
+//   * ack ordering (the teeth behind the staleness bound): the write hooks
+//     run before the ack callback, so once PutSync(seq) has returned, no
+//     read that *starts* later may observe seq-1 — with no slack at all;
+//   * session floor: a default read carrying min_version = v (learned from
+//     a pinned-primary read) never yields an older version — a cached
+//     predecessor must be bypassed, not served;
+//   * counter conservation: every eligible lookup lands in exactly one of
+//     hits/misses/stale_rejects/version_bypasses across all routers, and
+//     RouterWindow totals survive a concurrent TakeWindow harvest.
+void RunSharedCacheStorm(CacheWriteMode write_mode) {
+  ThreadedCluster tc(4, 1);  // rf=1: storage reads are primary-fresh, so a
+                             // stale observation can only come from the cache
+  MetricRegistry metrics;
+  CacheConfig config;
+  config.enabled = true;
+  config.write_mode = write_mode;
+  CacheDirectory cache(config, /*staleness_bound=*/0, &metrics);
+
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kKeys = 6;
+  constexpr int kSeqsPerKey = 40;
+
+  auto cache_key = [](int k) { return Key(k, 0); };
+
+  // acked_at[k][s] = wall time PutSync(std::to_string(s)) returned; 0 = not
+  // acked yet. Written by the key's single writer, read by every reader.
+  std::vector<std::array<std::atomic<Time>, kSeqsPerKey>> acked_at(kKeys);
+  for (auto& per_key : acked_at) {
+    for (auto& at : per_key) at.store(0);
+  }
+
+  // Every storm participant gets its own Router; all share `cache`.
+  std::vector<std::unique_ptr<Router>> routers;
+  for (int i = 0; i < kWriters + kReaders; ++i) {
+    routers.push_back(std::make_unique<Router>(kClient + 1 + i, &tc.runtime, &tc.runtime,
+                                               &tc.cluster, RouterConfig{},
+                                               500 + static_cast<uint64_t>(i)));
+    routers.back()->set_cache(&cache);
+  }
+
+  // Preload seq 0 so readers never see NotFound.
+  {
+    ScadsClient loader(routers[0].get());
+    for (int k = 0; k < kKeys; ++k) {
+      ASSERT_TRUE(loader.PutSync(cache_key(k), "0").ok());
+      acked_at[k][0].store(tc.runtime.clock()->Now());
+    }
+  }
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<int64_t> eligible_reads{0};  // default-mode Gets: one LookupPoint each
+  std::atomic<int64_t> reads_issued{0};    // all Gets, pinned probes included
+  std::atomic<int64_t> writes_issued{0};
+  std::atomic<int64_t> stale_violations{0};
+  std::atomic<int64_t> floor_violations{0};
+  std::atomic<int64_t> read_failures{0};
+
+  // Harvest all storm routers concurrently; totals must still conserve.
+  std::atomic<bool> harvesting{true};
+  RouterWindow harvested;
+  std::thread harvester([&] {
+    while (harvesting.load(std::memory_order_acquire)) {
+      for (auto& r : routers) harvested.MergeFrom(r->TakeWindow());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      ScadsClient client(routers[w].get());
+      for (int s = 1; s < kSeqsPerKey; ++s) {
+        for (int k = w; k < kKeys; k += kWriters) {  // single writer per key
+          writes_issued.fetch_add(1);
+          if (client.PutSync(cache_key(k), std::to_string(s)).ok()) {
+            acked_at[k][s].store(tc.runtime.clock()->Now());
+          }
+        }
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      ScadsClient client(routers[kWriters + r].get());
+      Rng rng(9000 + static_cast<uint64_t>(r));
+      int iter = 0;
+      while (!writers_done.load(std::memory_order_acquire)) {
+        int k = static_cast<int>(rng.Uniform(kKeys));
+        if (++iter % 8 == 0) {
+          // Session-floor probe: pin to the primary for the newest version,
+          // then demand at least that version on the cache-eligible path.
+          reads_issued.fetch_add(1);
+          Result<Record> pinned = client.GetSync(cache_key(k), RequestOptions::PrimaryOnly());
+          if (!pinned.ok()) {
+            read_failures.fetch_add(1);
+            continue;
+          }
+          RequestOptions floored;
+          floored.min_version = pinned->version;
+          reads_issued.fetch_add(1);
+          eligible_reads.fetch_add(1);
+          Result<Record> got = client.GetSync(cache_key(k), floored);
+          if (!got.ok()) {
+            read_failures.fetch_add(1);
+          } else if (got->version < pinned->version) {
+            floor_violations.fetch_add(1);
+          }
+        } else {
+          Time start = tc.runtime.clock()->Now();
+          reads_issued.fetch_add(1);
+          eligible_reads.fetch_add(1);
+          Result<Record> got = client.GetSync(cache_key(k));
+          if (!got.ok()) {
+            read_failures.fetch_add(1);
+            continue;
+          }
+          int seq = std::stoi(got->value);
+          // Ack ordering: if seq+1's ack completed before this read began,
+          // serving seq is a staleness violation whatever the bound. A
+          // not-yet-visible ack loads as 0 and is skipped — never a false
+          // positive, since acked_at is stamped *after* the ack returns.
+          if (seq + 1 < kSeqsPerKey) {
+            Time next_ack = acked_at[k][seq + 1].load();
+            if (next_ack != 0 && next_ack < start) stale_violations.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  writers_done.store(true, std::memory_order_release);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+  harvesting.store(false, std::memory_order_release);
+  harvester.join();
+  for (auto& r : routers) harvested.MergeFrom(r->TakeWindow());
+
+  EXPECT_EQ(stale_violations.load(), 0);
+  EXPECT_EQ(floor_violations.load(), 0);
+  EXPECT_EQ(read_failures.load(), 0);
+
+  // Exactly one outcome counter per eligible lookup, with no lost updates
+  // across the routers sharing the directory.
+  int64_t outcomes = metrics.GetCounter("cache.point.hits")->value() +
+                     metrics.GetCounter("cache.point.misses")->value() +
+                     metrics.GetCounter("cache.point.stale_rejects")->value() +
+                     metrics.GetCounter("cache.point.version_bypasses")->value();
+  EXPECT_EQ(outcomes, eligible_reads.load());
+  EXPECT_GT(metrics.GetCounter("cache.point.hits")->value(), 0);
+
+  // Window totals conserve under the concurrent harvest (preload included).
+  EXPECT_EQ(harvested.reads_ok + harvested.reads_failed, reads_issued.load());
+  EXPECT_EQ(harvested.writes_ok + harvested.writes_failed, writes_issued.load() + kKeys);
+}
+
+TEST(ThreadedDataPlaneTest, SharedCacheStormInvalidateMode) {
+  RunSharedCacheStorm(CacheWriteMode::kInvalidate);
+}
+
+TEST(ThreadedDataPlaneTest, SharedCacheStormWriteThroughMode) {
+  RunSharedCacheStorm(CacheWriteMode::kWriteThrough);
+}
+
+// --------------------------------------- pick-map harvest concurrency --
+
+// Regression: RouterWindow::picks_by_node is a per-node map merged entry by
+// entry, unlike the scalar counters next to it. A lost update during a
+// concurrent TakeWindow (swap under the router lock) or MergeFrom (caller-
+// owned snapshots) would break the invariant that the per-node picks sum to
+// replica_picks — the denominator of the Director's steer-fraction signal.
+TEST(ThreadedDataPlaneTest, ConcurrentHarvestConservesPickMap) {
+  ThreadedCluster tc(4, 2);  // rf=2: the read policy actually picks replicas
+  ScadsClient loader = tc.client();
+  constexpr int kKeys = 24;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(loader.PutSync(Key(i, i), "v").ok());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kReadsPerThread = 150;
+  std::atomic<bool> harvesting{true};
+  RouterWindow h1, h2;  // two competing harvesters — the regression shape
+  auto harvest = [&](RouterWindow* into) {
+    while (harvesting.load(std::memory_order_acquire)) {
+      into->MergeFrom(tc.router->TakeWindow());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  std::thread harvester1(harvest, &h1);
+  std::thread harvester2(harvest, &h2);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ScadsClient client = tc.client();
+      Rng rng(31 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        int k = static_cast<int>(rng.Uniform(kKeys));
+        (void)client.GetSync(Key(k, k));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  harvesting.store(false, std::memory_order_release);
+  harvester1.join();
+  harvester2.join();
+
+  RouterWindow total;
+  total.MergeFrom(h1);
+  total.MergeFrom(h2);
+  total.MergeFrom(tc.router->TakeWindow());
+
+  int64_t pick_sum = 0;
+  for (const auto& [node, picks] : total.picks_by_node) pick_sum += picks;
+  EXPECT_GT(total.replica_picks, 0);
+  EXPECT_EQ(pick_sum, total.replica_picks);
+  EXPECT_EQ(total.reads_ok + total.reads_failed,
+            static_cast<int64_t>(kThreads) * kReadsPerThread);
 }
 
 // ------------------------------------------- backend equivalence check --
